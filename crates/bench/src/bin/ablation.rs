@@ -1,0 +1,90 @@
+//! Ablation study of the paper's design choices (motivated by §III):
+//!
+//! 1. **hierarchical vs flat** — the full pipeline against a single
+//!    whole-graph GNN on identical pragma-transformed graphs and labels;
+//! 2. **pragma-in-structure vs pragma-as-features** — structural graph
+//!    transforms against flat graphs annotated with pragma feature columns;
+//! 3. **separate `GNN_p`/`GNN_np` vs one shared inner model**.
+//!
+//! Usage: `cargo run --release -p qor-bench --bin ablation [--paper]`
+
+use dse::{BaselineOptions, FlatGnnBaseline, LabelSpace};
+use qor_bench::{pct, row, Cli};
+use qor_core::HierarchicalModel;
+
+/// A post-route-label flat baseline with pragma *features* on pragma-blind
+/// structure (isolates the graph-construction choice from the label choice).
+fn pragma_features_post_route(opts: BaselineOptions) -> FlatGnnBaseline {
+    // gnn_dse uses PostHls labels; re-train a feature-variant on PostRoute
+    // by reusing its graph representation through LabelSpace::PostRoute.
+    FlatGnnBaseline::with_config(opts, false, true, LabelSpace::PostRoute)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = Cli::parse();
+    let opts = cli.train_options();
+
+    eprintln!("generating dataset...");
+    let designs = qor_core::generate(&opts.data)?;
+
+    eprintln!("[1/4] full hierarchical model...");
+    let (_full, full_stats) = HierarchicalModel::train_with_designs(&opts, &designs);
+
+    eprintln!("[2/4] flat whole-graph GNN (same graphs, same labels)...");
+    let mut flat = FlatGnnBaseline::wu_dse(cli.baseline_options());
+    flat.train(&designs);
+    let flat_eval = flat.eval_against_post_route(&designs, &designs.test);
+
+    eprintln!("[3/4] pragma-as-features flat GNN (post-route labels)...");
+    let mut feats = pragma_features_post_route(cli.baseline_options());
+    feats.train(&designs);
+    let feats_eval = feats.eval_against_post_route(&designs, &designs.test);
+
+    eprintln!("[4/4] shared inner model (no GNN_p/GNN_np split)...");
+    let mut shared_opts = opts;
+    shared_opts.shared_inner = true;
+    let (_shared, shared_stats) = HierarchicalModel::train_with_designs(&shared_opts, &designs);
+
+    let widths = [34usize, 9, 8, 8, 8];
+    println!("\nAblation: application-level test MAPE (post-route labels)\n");
+    println!(
+        "{}",
+        row(
+            &[
+                "Variant".into(),
+                "Latency".into(),
+                "DSP".into(),
+                "LUT".into(),
+                "FF".into(),
+            ],
+            &widths
+        )
+    );
+    let rows: Vec<(&str, qor_core::GlobalEval)> = vec![
+        ("hierarchical + structural pragmas", full_stats.global),
+        ("flat GNN, structural pragmas", flat_eval),
+        ("flat GNN, pragma-as-features", feats_eval),
+        ("hierarchical, shared inner model", shared_stats.global),
+    ];
+    for (name, e) in rows {
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    pct(e.latency_mape),
+                    pct(e.dsp_mape),
+                    pct(e.lut_mape),
+                    pct(e.ff_mape),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\nseparate vs shared inner (GNN_p latency): {} vs {}",
+        pct(full_stats.pipelined.latency_mape),
+        pct(shared_stats.pipelined.latency_mape),
+    );
+    Ok(())
+}

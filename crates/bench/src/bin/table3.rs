@@ -1,0 +1,123 @@
+//! Regenerates **Table III**: MAPE of post-route QoR with different GNNs.
+//!
+//! For each propagation-layer family (GCN, GAT, GraphSAGE, TransformerConv,
+//! PNA) the full hierarchical pipeline is trained on the shared dataset and
+//! evaluated on the held-out test split, reporting per-metric MAPE for
+//! `GNN_p`, `GNN_np` and `GNN_g`.
+//!
+//! Usage: `cargo run --release -p qor-bench --bin table3 [--paper]
+//! [--designs N] [--epochs N]`
+
+use gnn::ConvKind;
+use qor_bench::{pct, row, Cli};
+use qor_core::HierarchicalModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = Cli::parse();
+    let opts = cli.train_options();
+
+    eprintln!(
+        "generating dataset ({} designs/kernel, 12 kernels)...",
+        opts.data.max_designs_per_kernel
+    );
+    let designs = qor_core::generate(&opts.data)?;
+    eprintln!(
+        "dataset: {} train / {} val / {} test designs",
+        designs.train.len(),
+        designs.val.len(),
+        designs.test.len()
+    );
+
+    let widths = [12usize, 8, 9, 9, 8, 8, 8];
+    println!("\nTable III: MAPE of post-route QoR with different GNNs\n");
+    println!(
+        "{}",
+        row(
+            &[
+                "GNN type".into(),
+                "model".into(),
+                "Latency".into(),
+                "IterLat".into(),
+                "DSP".into(),
+                "LUT".into(),
+                "FF".into(),
+            ],
+            &widths
+        )
+    );
+
+    // the five conv families are independent: train them in parallel
+    let results: Vec<(ConvKind, qor_core::TrainStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ConvKind::all()
+            .into_iter()
+            .map(|conv| {
+                let designs = &designs;
+                scope.spawn(move || {
+                    let mut conv_opts = opts;
+                    conv_opts.conv = conv;
+                    eprintln!("training hierarchy with {conv}...");
+                    let (_model, stats) =
+                        HierarchicalModel::train_with_designs(&conv_opts, designs);
+                    (conv, stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("training thread")).collect()
+    });
+
+    for (conv, stats) in results {
+        let p = stats.pipelined;
+        println!(
+            "{}",
+            row(
+                &[
+                    conv.to_string(),
+                    "GNN_p".into(),
+                    pct(p.latency_mape),
+                    pct(p.il_mape),
+                    pct(p.dsp_mape),
+                    pct(p.lut_mape),
+                    pct(p.ff_mape),
+                ],
+                &widths
+            )
+        );
+        let np = stats.non_pipelined;
+        println!(
+            "{}",
+            row(
+                &[
+                    conv.to_string(),
+                    "GNN_np".into(),
+                    pct(np.latency_mape),
+                    pct(np.il_mape),
+                    pct(np.dsp_mape),
+                    pct(np.lut_mape),
+                    pct(np.ff_mape),
+                ],
+                &widths
+            )
+        );
+        let g = stats.global;
+        println!(
+            "{}",
+            row(
+                &[
+                    conv.to_string(),
+                    "GNN_g".into(),
+                    pct(g.latency_mape),
+                    "N/A".into(),
+                    pct(g.dsp_mape),
+                    pct(g.lut_mape),
+                    pct(g.ff_mape),
+                ],
+                &widths
+            )
+        );
+        eprintln!(
+            "  dataset sizes: p={} np={} g={}",
+            stats.dataset_sizes.0, stats.dataset_sizes.1, stats.dataset_sizes.2
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Regenerates **Table IV**: comparison of prediction error (MAPE) against
+//! Wu et al. (DAC'22, \[8\]).
+//!
+//! * **w/o pragma** — a synthetic corpus in the style of \[8\]'s dataset
+//!   (random DFGs / simple loops, no pragmas). Both methods should be
+//!   comparably accurate.
+//! * **w/ pragma** — the full pragma-swept dataset. \[8\]'s graphs do not
+//!   model pragmas, so its error explodes; the hierarchical pragma-aware
+//!   method stays accurate.
+//!
+//! Usage: `cargo run --release -p qor-bench --bin table4 [--paper]`
+
+use dse::FlatGnnBaseline;
+use qor_bench::{pct, row, Cli, Scale};
+use qor_core::HierarchicalModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = Cli::parse();
+    let opts = cli.train_options();
+
+    // ---- w/o pragma: synthetic corpus, default configuration only
+    let corpus_size = match cli.scale {
+        Scale::Quick => 120,
+        Scale::Paper => 400,
+    };
+    eprintln!("building synthetic pragma-free corpus ({corpus_size} programs)...");
+    let mut pairs = Vec::new();
+    for (name, src) in kernels::synthetic_corpus(corpus_size, 9000) {
+        let module = hir::lower(&frontc::parse(&src)?)?;
+        let func = module.function(&name).expect("generated function").clone();
+        pairs.push((name, func, vec![pragma::PragmaConfig::default()]));
+    }
+    let plain = qor_core::generate_from_functions(pairs, &opts.data)?;
+
+    eprintln!("training ours on the pragma-free corpus...");
+    let (_ours_plain, ours_plain_stats) = HierarchicalModel::train_with_designs(&opts, &plain);
+    eprintln!("training [8] on the pragma-free corpus...");
+    let mut wu_plain = FlatGnnBaseline::wu_accuracy(cli.baseline_options());
+    wu_plain.train(&plain);
+    let wu_plain_eval = wu_plain.eval_against_post_route(&plain, &plain.test);
+
+    // ---- w/ pragma: the standard swept dataset
+    eprintln!("generating pragma-swept dataset...");
+    let swept = qor_core::generate(&opts.data)?;
+    eprintln!("training ours on the pragma dataset...");
+    let (_ours, ours_stats) = HierarchicalModel::train_with_designs(&opts, &swept);
+    eprintln!("training [8] on the pragma dataset (pragma-blind graphs)...");
+    let mut wu = FlatGnnBaseline::wu_accuracy(cli.baseline_options());
+    wu.train(&swept);
+    let wu_eval = wu.eval_against_post_route(&swept, &swept.test);
+
+    let widths = [8usize, 14, 9, 8, 8, 8];
+    println!("\nTable IV: Comparison of prediction error (MAPE)\n");
+    println!(
+        "{}",
+        row(
+            &[
+                "Method".into(),
+                "Configuration".into(),
+                "Latency".into(),
+                "DSP".into(),
+                "LUT".into(),
+                "FF".into(),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "[8]".into(),
+                "w/o pragma".into(),
+                "N/A".into(),
+                pct(wu_plain_eval.dsp_mape),
+                pct(wu_plain_eval.lut_mape),
+                pct(wu_plain_eval.ff_mape),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "Ours".into(),
+                "w/o pragma".into(),
+                pct(ours_plain_stats.global.latency_mape),
+                pct(ours_plain_stats.global.dsp_mape),
+                pct(ours_plain_stats.global.lut_mape),
+                pct(ours_plain_stats.global.ff_mape),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "[8]".into(),
+                "w/ pragma".into(),
+                pct(wu_eval.latency_mape),
+                pct(wu_eval.dsp_mape),
+                pct(wu_eval.lut_mape),
+                pct(wu_eval.ff_mape),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "Ours".into(),
+                "w/ pragma".into(),
+                pct(ours_stats.global.latency_mape),
+                pct(ours_stats.global.dsp_mape),
+                pct(ours_stats.global.lut_mape),
+                pct(ours_stats.global.ff_mape),
+            ],
+            &widths
+        )
+    );
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Regenerates **Table V**: DSE results on the four unseen kernels (bicg,
+//! symm, mvt, syrk).
+//!
+//! Trains the hierarchical model plus the two baselines on the 12 training
+//! kernels, then explores each hold-out kernel's pragma space with all
+//! three predictors, reporting design-space size, the simulated Vivado
+//! exhaustive-sweep time, the measured model-guided DSE time, and ADRS.
+//!
+//! Usage: `cargo run --release -p qor-bench --bin table5 [--paper]
+//! [--dse-configs N]`
+
+use dse::{explore, FlatGnnBaseline, HLS_SECS_PER_DESIGN};
+use qor_bench::{row, Cli};
+use qor_core::HierarchicalModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = Cli::parse();
+    let opts = cli.train_options();
+
+    eprintln!("generating training dataset...");
+    let designs = qor_core::generate(&opts.data)?;
+    eprintln!("training hierarchical model (ours)...");
+    let (ours, _stats) = HierarchicalModel::train_with_designs(&opts, &designs);
+    eprintln!("training Wu et al. [8] (HLS-IR-fed flat GNN)...");
+    let mut wu = FlatGnnBaseline::wu_dse(cli.baseline_options());
+    wu.train(&designs);
+    eprintln!("training GNN-DSE [6] (pragma features, post-HLS labels)...");
+    let mut gnn_dse = FlatGnnBaseline::gnn_dse(cli.baseline_options());
+    gnn_dse.train(&designs);
+
+    let widths = [8usize, 8, 12, 10, 9, 9, 9];
+    println!("\nTable V: DSE results on unseen applications\n");
+    println!(
+        "{}",
+        row(
+            &[
+                "Kernel".into(),
+                "#Config".into(),
+                "Vivado".into(),
+                "Ours-time".into(),
+                "[8] ADRS".into(),
+                "[6] ADRS".into(),
+                "Ours ADRS".into(),
+            ],
+            &widths
+        )
+    );
+
+    let mut adrs_sums = [0.0f64; 3];
+    let mut n_kernels = 0.0f64;
+    for k in kernels::dse_kernels() {
+        let func = kernels::lower_kernel(k.name)?;
+        let space = kernels::design_space(&func);
+        let cap = cli.dse_cap();
+        let configs = if cap == 0 {
+            space.enumerate()
+        } else {
+            space.enumerate_capped(cap)
+        };
+        eprintln!("exploring {} ({} configs)...", k.name, configs.len());
+
+        let ours_out = explore(k.name, &func, &configs, |f, c| ours.predict(f, c), 0.0)?;
+        let wu_out = explore(
+            k.name,
+            &func,
+            &configs,
+            |f, c| wu.predict(f, c),
+            HLS_SECS_PER_DESIGN,
+        )?;
+        let dse_out = explore(k.name, &func, &configs, |f, c| gnn_dse.predict(f, c), 0.0)?;
+
+        adrs_sums[0] += wu_out.adrs_percent;
+        adrs_sums[1] += dse_out.adrs_percent;
+        adrs_sums[2] += ours_out.adrs_percent;
+        n_kernels += 1.0;
+
+        println!(
+            "{}",
+            row(
+                &[
+                    k.name.into(),
+                    format!("{}", ours_out.n_configs),
+                    format!("{:.0} days", ours_out.vivado_days()),
+                    format!("{:.2} min", ours_out.explore_minutes()),
+                    format!("{:.2}", wu_out.adrs_percent),
+                    format!("{:.2}", dse_out.adrs_percent),
+                    format!("{:.2}", ours_out.adrs_percent),
+                ],
+                &widths
+            )
+        );
+        eprintln!(
+            "  [8] DSE time (incl. HLS per design): {:.1} h",
+            wu_out.explore_secs / 3600.0
+        );
+    }
+    println!(
+        "\naverage ADRS: [8] {:.2}%  [6] {:.2}%  ours {:.2}%",
+        adrs_sums[0] / n_kernels,
+        adrs_sums[1] / n_kernels,
+        adrs_sums[2] / n_kernels,
+    );
+    Ok(())
+}

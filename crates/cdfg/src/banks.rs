@@ -1,0 +1,288 @@
+//! Memory-bank reachability analysis for partitioned arrays.
+//!
+//! Given a load/store's affine access pattern, the partitioning of each
+//! dimension, and the *known residues* of unrolled loop variables, this
+//! module computes which banks the access can touch. This implements the
+//! paper's LLVM-pass analysis that "analyzes the index values of each load
+//! and store operation to determine which memory ports should be connected"
+//! (§III-A.3), including the fall-back: dynamic or unresolvable indices
+//! connect to all ports.
+
+use std::collections::HashMap;
+
+use hir::{AccessPattern, AffineIndex, ArrayInfo};
+use pragma::{LoopId, PartitionKind, PragmaConfig};
+
+/// Computes the set of flat bank indices an access can reach.
+///
+/// `residues` maps unroll-replicated loops to `(replica_index, factor)`; a
+/// loop present there is known to satisfy `i ≡ replica (mod factor)`.
+///
+/// Returns bank indices in `0..total_banks` (row-major over dimensions).
+pub fn bank_candidates(
+    array: &ArrayInfo,
+    cfg: &PragmaConfig,
+    access: &AccessPattern,
+    residues: &HashMap<LoopId, (u32, u32)>,
+) -> Vec<u32> {
+    let per_dim_banks: Vec<u32> = array
+        .dims
+        .iter()
+        .enumerate()
+        .map(|(d, &n)| dim_banks(cfg, &array.name, d as u32 + 1, n))
+        .collect();
+    let total: u32 = per_dim_banks.iter().product::<u32>().max(1);
+
+    let AccessPattern::Affine(indices) = access else {
+        return (0..total).collect();
+    };
+    if indices.len() != array.dims.len() {
+        return (0..total).collect();
+    }
+
+    // candidate banks per dimension
+    let mut per_dim: Vec<Vec<u32>> = Vec::with_capacity(indices.len());
+    for (d, idx) in indices.iter().enumerate() {
+        let banks = per_dim_banks[d];
+        if banks <= 1 {
+            per_dim.push(vec![0]);
+            continue;
+        }
+        let kind = cfg.partition(&array.name, d as u32 + 1).kind;
+        match kind {
+            PartitionKind::Cyclic | PartitionKind::Complete => {
+                match residue_mod(idx, banks, residues) {
+                    Some(r) => per_dim.push(vec![r]),
+                    None => per_dim.push((0..banks).collect()),
+                }
+            }
+            PartitionKind::Block => {
+                // block bank = floor(index / block_size): requires the full
+                // index value, which only constants provide
+                if idx.terms.is_empty() {
+                    let n = array.dims[d] as u32;
+                    let block = n.div_ceil(banks).max(1);
+                    let b = ((idx.constant.rem_euclid(i64::from(n)) as u32) / block).min(banks - 1);
+                    per_dim.push(vec![b]);
+                } else {
+                    per_dim.push((0..banks).collect());
+                }
+            }
+        }
+    }
+
+    // cross product, flattened row-major
+    let mut out = vec![0u32];
+    for (d, cands) in per_dim.iter().enumerate() {
+        let stride: u32 = per_dim_banks[d + 1..].iter().product::<u32>().max(1);
+        let mut next = Vec::with_capacity(out.len() * cands.len());
+        for &base in &out {
+            for &c in cands {
+                next.push(base + c * stride);
+            }
+        }
+        out = next;
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Effective bank count along one dimension.
+fn dim_banks(cfg: &PragmaConfig, array: &str, dim: u32, n: usize) -> u32 {
+    let p = cfg.partition(array, dim);
+    match p.kind {
+        PartitionKind::Complete => n as u32,
+        _ => p.factor.clamp(1, n.max(1) as u32),
+    }
+}
+
+/// `index mod banks` when statically determined, else `None`.
+///
+/// A term `c * i` contributes a known residue when either `c ≡ 0 (mod banks)`
+/// or `i`'s residue modulo `banks` is pinned by unrolling (requires the
+/// unroll factor to be a multiple of `banks` — the usual
+/// partition-factor = unroll-factor case — or vice versa with `banks`
+/// dividing the factor).
+fn residue_mod(
+    idx: &AffineIndex,
+    banks: u32,
+    residues: &HashMap<LoopId, (u32, u32)>,
+) -> Option<u32> {
+    let m = i64::from(banks);
+    let mut acc = idx.constant.rem_euclid(m);
+    for (l, c) in &idx.terms {
+        let c_mod = c.rem_euclid(m);
+        if c_mod == 0 {
+            continue;
+        }
+        let (replica, factor) = residues.get(l).copied()?;
+        if factor % banks != 0 {
+            return None; // replica residue does not pin `i mod banks`
+        }
+        let i_mod = i64::from(replica % banks);
+        acc = (acc + c_mod * i_mod).rem_euclid(m);
+    }
+    Some(acc as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hir::ScalarType;
+    use pragma::ArrayPartition;
+
+    fn arr(dims: &[usize]) -> ArrayInfo {
+        ArrayInfo {
+            name: "a".into(),
+            elem: ScalarType::Float,
+            dims: dims.to_vec(),
+        }
+    }
+
+    fn cyclic(factor: u32, dim: u32) -> PragmaConfig {
+        let mut cfg = PragmaConfig::new();
+        cfg.set_partition(
+            "a",
+            dim,
+            ArrayPartition {
+                kind: PartitionKind::Cyclic,
+                factor,
+            },
+        );
+        cfg
+    }
+
+    #[test]
+    fn unpartitioned_single_bank() {
+        let a = arr(&[16]);
+        let cfg = PragmaConfig::new();
+        let access = AccessPattern::Affine(vec![AffineIndex::var(LoopId::from_path(&[0]))]);
+        assert_eq!(bank_candidates(&a, &cfg, &access, &HashMap::new()), vec![0]);
+    }
+
+    #[test]
+    fn replica_residue_pins_cyclic_bank() {
+        let a = arr(&[16]);
+        let cfg = cyclic(4, 1);
+        let i = LoopId::from_path(&[0]);
+        let access = AccessPattern::Affine(vec![AffineIndex::var(i.clone())]);
+        // replica 2 of an unroll-by-4 loop: i ≡ 2 (mod 4)
+        let mut residues = HashMap::new();
+        residues.insert(i, (2, 4));
+        assert_eq!(bank_candidates(&a, &cfg, &access, &residues), vec![2]);
+    }
+
+    #[test]
+    fn unknown_variable_reaches_all_banks() {
+        let a = arr(&[16]);
+        let cfg = cyclic(4, 1);
+        let access = AccessPattern::Affine(vec![AffineIndex::var(LoopId::from_path(&[0]))]);
+        assert_eq!(
+            bank_candidates(&a, &cfg, &access, &HashMap::new()),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn constant_offset_shifts_bank() {
+        let a = arr(&[16]);
+        let cfg = cyclic(4, 1);
+        let i = LoopId::from_path(&[0]);
+        let mut idx = AffineIndex::var(i.clone());
+        idx.constant = 3;
+        let access = AccessPattern::Affine(vec![idx]);
+        let mut residues = HashMap::new();
+        residues.insert(i, (2, 4));
+        // (2 + 3) mod 4 = 1
+        assert_eq!(bank_candidates(&a, &cfg, &access, &residues), vec![1]);
+    }
+
+    #[test]
+    fn coefficient_multiple_of_banks_vanishes() {
+        let a = arr(&[64]);
+        let cfg = cyclic(4, 1);
+        let i = LoopId::from_path(&[0]);
+        // index 4*i + 1: bank always 1, regardless of i
+        let idx = AffineIndex {
+            terms: vec![(i, 4)],
+            constant: 1,
+        };
+        let access = AccessPattern::Affine(vec![idx]);
+        assert_eq!(bank_candidates(&a, &cfg, &access, &HashMap::new()), vec![1]);
+    }
+
+    #[test]
+    fn dynamic_access_reaches_all_banks() {
+        let a = arr(&[16]);
+        let cfg = cyclic(4, 1);
+        let access = AccessPattern::Dynamic { rank: 1 };
+        assert_eq!(
+            bank_candidates(&a, &cfg, &access, &HashMap::new()),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn two_dimensional_banks_flatten_row_major() {
+        let a = arr(&[8, 8]);
+        let mut cfg = cyclic(2, 1);
+        cfg.set_partition(
+            "a",
+            2,
+            ArrayPartition {
+                kind: PartitionKind::Cyclic,
+                factor: 2,
+            },
+        );
+        let i = LoopId::from_path(&[0]);
+        let j = LoopId::from_path(&[0, 0]);
+        let access = AccessPattern::Affine(vec![
+            AffineIndex::var(i.clone()),
+            AffineIndex::var(j.clone()),
+        ]);
+        let mut residues = HashMap::new();
+        residues.insert(i, (1, 2));
+        residues.insert(j, (0, 2));
+        // dim0 bank 1, dim1 bank 0 -> flat = 1*2 + 0 = 2
+        assert_eq!(bank_candidates(&a, &cfg, &access, &residues), vec![2]);
+    }
+
+    #[test]
+    fn partial_knowledge_expands_along_unknown_dim() {
+        let a = arr(&[8, 8]);
+        let mut cfg = cyclic(2, 1);
+        cfg.set_partition(
+            "a",
+            2,
+            ArrayPartition {
+                kind: PartitionKind::Cyclic,
+                factor: 2,
+            },
+        );
+        let i = LoopId::from_path(&[0]);
+        let j = LoopId::from_path(&[0, 0]);
+        let access = AccessPattern::Affine(vec![AffineIndex::var(i.clone()), AffineIndex::var(j)]);
+        let mut residues = HashMap::new();
+        residues.insert(i, (1, 2));
+        // dim0 pinned to 1, dim1 unknown -> banks {2, 3}
+        assert_eq!(bank_candidates(&a, &cfg, &access, &residues), vec![2, 3]);
+    }
+
+    #[test]
+    fn block_partition_with_constant_index() {
+        let a = arr(&[16]);
+        let mut cfg = PragmaConfig::new();
+        cfg.set_partition(
+            "a",
+            1,
+            ArrayPartition {
+                kind: PartitionKind::Block,
+                factor: 4,
+            },
+        );
+        // block size = 4; index 9 -> bank 2
+        let access = AccessPattern::Affine(vec![AffineIndex::constant(9)]);
+        assert_eq!(bank_candidates(&a, &cfg, &access, &HashMap::new()), vec![2]);
+    }
+}

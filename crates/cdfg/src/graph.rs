@@ -1,0 +1,242 @@
+//! Graph data structures.
+
+use hir::OpId;
+use pragma::LoopId;
+
+/// QoR annotation carried by a super node (predicted by the inner-hierarchy
+/// models during inference, or ground truth during `GNN_g` training).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SuperFeatures {
+    /// Loop latency in cycles.
+    pub latency: f64,
+    /// Iteration latency.
+    pub il: f64,
+    /// Initiation interval.
+    pub ii: f64,
+    /// Effective trip count.
+    pub tc: f64,
+    /// LUT usage of one replica.
+    pub lut: f64,
+    /// FF usage of one replica.
+    pub ff: f64,
+    /// DSP usage of one replica.
+    pub dsp: f64,
+}
+
+/// Node flavours.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// An operation instance (possibly one of several unroll replicas).
+    Instr {
+        /// Originating HIR op (`None` for synthesized control ops).
+        op: Option<OpId>,
+        /// Replica index within the innermost replicated loop.
+        replica: u32,
+    },
+    /// A memory-port (bank) node of one array.
+    MemPort {
+        /// Array name.
+        array: String,
+        /// Bank index.
+        bank: u32,
+    },
+    /// A condensed inner-hierarchy loop.
+    Super {
+        /// The condensed loop.
+        loop_id: LoopId,
+        /// QoR annotation (features of the super node).
+        features: SuperFeatures,
+    },
+}
+
+/// One graph node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Flavour and payload.
+    pub kind: NodeKind,
+    /// Operation mnemonic (`"fadd"`, `"load"`, `"icmp"`, `"br"`, `"port"`,
+    /// `"super"`, …) — drives the one-hot optype feature.
+    pub mnemonic: &'static str,
+    /// Innermost loop containing the node.
+    pub loop_path: LoopId,
+    /// Estimated number of executions (the `#invocation` feature).
+    pub invocations: u64,
+    /// Number of hardware replicas this node stands for. Normally 1; larger
+    /// when the builder folds unroll replicas to respect the node budget.
+    pub hw_weight: u64,
+}
+
+/// Edge flavours (the CDFG's control and data flow, plus memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Def-use data dependence.
+    Data,
+    /// Control dependence (loop branches, `if` predicates).
+    Control,
+    /// Memory-port connection.
+    Memory,
+}
+
+/// A directed edge `src -> dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Flavour.
+    pub kind: EdgeKind,
+}
+
+/// An attributed program graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Graph {
+    /// Nodes.
+    pub nodes: Vec<Node>,
+    /// Directed edges.
+    pub edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self, node: Node) -> u32 {
+        self.nodes.push(node);
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Adds an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn add_edge(&mut self, src: u32, dst: u32, kind: EdgeKind) {
+        assert!(
+            (src as usize) < self.nodes.len() && (dst as usize) < self.nodes.len(),
+            "edge ({src},{dst}) out of bounds for {} nodes",
+            self.nodes.len()
+        );
+        self.edges.push(Edge { src, dst, kind });
+    }
+
+    /// In-degrees of every node.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.nodes.len()];
+        for e in &self.edges {
+            deg[e.dst as usize] += 1;
+        }
+        deg
+    }
+
+    /// Out-degrees of every node.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.nodes.len()];
+        for e in &self.edges {
+            deg[e.src as usize] += 1;
+        }
+        deg
+    }
+
+    /// Number of nodes with a given mnemonic (handy in tests).
+    pub fn count_mnemonic(&self, m: &str) -> usize {
+        self.nodes.iter().filter(|n| n.mnemonic == m).count()
+    }
+
+    /// Renders the graph in Graphviz DOT format.
+    ///
+    /// Data edges are solid black, control edges dashed blue, memory edges
+    /// solid red; port nodes are boxes, super nodes double octagons.
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {:?} {{", title);
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = match n.kind {
+                NodeKind::MemPort { .. } => "box",
+                NodeKind::Super { .. } => "doubleoctagon",
+                NodeKind::Instr { .. } => "ellipse",
+            };
+            let label = match &n.kind {
+                NodeKind::MemPort { array, bank } => format!("{array}[bank {bank}]"),
+                NodeKind::Super { loop_id, .. } => format!("super {loop_id}"),
+                NodeKind::Instr { .. } => {
+                    if n.invocations > 1 {
+                        format!("{} x{}", n.mnemonic, n.invocations)
+                    } else {
+                        n.mnemonic.to_string()
+                    }
+                }
+            };
+            let _ = writeln!(out, "  n{i} [label={label:?}, shape={shape}];");
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                EdgeKind::Data => "color=black",
+                EdgeKind::Control => "color=blue, style=dashed",
+                EdgeKind::Memory => "color=red",
+            };
+            let _ = writeln!(out, "  n{} -> n{} [{}];", e.src, e.dst, style);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Indices of all memory-port nodes of an array.
+    pub fn ports_of(&self, array: &str) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match &n.kind {
+                NodeKind::MemPort { array: a, .. } if a == array => Some(i as u32),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_count_edges() {
+        let mut g = Graph::default();
+        let a = g.add_node(Node {
+            kind: NodeKind::Instr { op: None, replica: 0 },
+            mnemonic: "add",
+            loop_path: LoopId::root(),
+            invocations: 1,
+            hw_weight: 1,
+        });
+        let b = g.add_node(Node {
+            kind: NodeKind::Instr { op: None, replica: 0 },
+            mnemonic: "store",
+            loop_path: LoopId::root(),
+            invocations: 1,
+            hw_weight: 1,
+        });
+        g.add_edge(a, b, EdgeKind::Data);
+        g.add_edge(a, b, EdgeKind::Control);
+        assert_eq!(g.in_degrees(), vec![0, 2]);
+        assert_eq!(g.out_degrees(), vec![2, 0]);
+        assert_eq!(g.count_mnemonic("add"), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_edge_panics() {
+        let mut g = Graph::default();
+        g.add_edge(0, 1, EdgeKind::Data);
+    }
+}

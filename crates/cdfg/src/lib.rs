@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! Pragma-aware control/data-flow graph construction (paper §III-A).
+//!
+//! Graphs are built from the HIR with the pragma configuration *embedded in
+//! the structure*, exactly as the paper prescribes:
+//!
+//! * **pipelining** leaves the graph unchanged (it is captured by loop-level
+//!   features instead),
+//! * **unrolling** replicates the body nodes and rewires def-use and
+//!   loop-carried edges across replicas,
+//! * **array partitioning** splits each array's memory-port node into one
+//!   node per bank; loads/stores connect to the banks their affine indices
+//!   can reach (all banks for dynamic indices).
+//!
+//! The same builder also produces the **inner-hierarchy subgraphs** and the
+//! **condensed outer graphs** in which inner loops are replaced by *super
+//! nodes* annotated with (predicted) QoR, which is the core of the paper's
+//! hierarchical method (§III-C).
+//!
+//! # Example
+//!
+//! ```
+//! use cdfg::GraphBuilder;
+//! use pragma::{LoopId, PragmaConfig, Unroll};
+//!
+//! let src = "void k(float a[16], float b[16]) {
+//!     for (int i = 0; i < 16; i++) { b[i] = a[i] * 2.0; }
+//! }";
+//! let module = hir::lower(&frontc::parse(src)?)?;
+//! let func = module.function("k").unwrap();
+//!
+//! let plain = GraphBuilder::new(func, &PragmaConfig::default()).build();
+//! let mut cfg = PragmaConfig::default();
+//! cfg.set_unroll(LoopId::from_path(&[0]), Unroll::Factor(4));
+//! let unrolled = GraphBuilder::new(func, &cfg).build();
+//! assert!(unrolled.num_nodes() > plain.num_nodes());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod banks;
+mod build;
+mod graph;
+
+pub use banks::bank_candidates;
+pub use build::{GraphBuilder, GraphOptions};
+pub use graph::{Edge, EdgeKind, Graph, Node, NodeKind, SuperFeatures};

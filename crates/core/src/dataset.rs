@@ -1,0 +1,222 @@
+//! Dataset generation: pragma sweeps labeled by the simulated tool flow.
+
+use std::collections::BTreeMap;
+
+use hir::Function;
+use hlsim::QorReport;
+use pragma::PragmaConfig;
+use rand::seq::SliceRandom;
+
+/// Dataset-generation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataOptions {
+    /// Cap on enumerated designs per kernel (0 = unlimited).
+    pub max_designs_per_kernel: usize,
+    /// Shuffling seed for the 80/10/10 split.
+    pub seed: u64,
+}
+
+impl Default for DataOptions {
+    fn default() -> Self {
+        DataOptions {
+            max_designs_per_kernel: 120,
+            seed: 17,
+        }
+    }
+}
+
+/// One labeled design point.
+#[derive(Debug, Clone)]
+pub struct DesignSample {
+    /// Kernel name.
+    pub kernel: String,
+    /// Pragma configuration.
+    pub config: PragmaConfig,
+    /// Ground truth from the simulated tool flow.
+    pub report: QorReport,
+}
+
+/// Labeled designs split 80/10/10 per kernel, plus the lowered functions.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledDesigns {
+    /// Training designs.
+    pub train: Vec<DesignSample>,
+    /// Validation designs.
+    pub val: Vec<DesignSample>,
+    /// Held-out test designs.
+    pub test: Vec<DesignSample>,
+    /// Lowered functions by kernel name.
+    pub functions: BTreeMap<String, Function>,
+}
+
+impl LabeledDesigns {
+    /// Total number of labeled designs.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The function of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel was not registered (cannot happen for datasets
+    /// built by [`generate`]).
+    pub fn function_of(&self, sample: &DesignSample) -> &Function {
+        &self.functions[&sample.kernel]
+    }
+}
+
+/// Generates the labeled dataset for the 12 training kernels.
+///
+/// Every design in each kernel's (capped) pragma space is pushed through the
+/// simulated C-to-bitstream flow; the 80/10/10 split is per kernel so all
+/// kernels appear in every split (the paper's setup — DSE kernels are held
+/// out entirely instead).
+///
+/// # Errors
+///
+/// Propagates kernel lowering or evaluation failures.
+pub fn generate(opts: &DataOptions) -> Result<LabeledDesigns, Box<dyn std::error::Error>> {
+    let kernels: Vec<_> = kernels::training_kernels().collect();
+    generate_for(&kernels, opts)
+}
+
+/// Generates a labeled dataset for an explicit kernel list.
+///
+/// # Errors
+///
+/// Propagates kernel lowering or evaluation failures.
+pub fn generate_for(
+    kernel_list: &[&kernels::Kernel],
+    opts: &DataOptions,
+) -> Result<LabeledDesigns, Box<dyn std::error::Error>> {
+    let mut pairs = Vec::with_capacity(kernel_list.len());
+    for k in kernel_list {
+        let func = kernels::lower_kernel(k.name)?;
+        let space = kernels::design_space(&func);
+        let configs = if opts.max_designs_per_kernel > 0 {
+            space.enumerate_capped(opts.max_designs_per_kernel)
+        } else {
+            space.enumerate()
+        };
+        pairs.push((k.name.to_string(), func, configs));
+    }
+    generate_from_functions(pairs, opts)
+}
+
+/// Generates a labeled dataset from explicit `(name, function, configs)`
+/// triples — used for synthetic (pragma-free) program corpora and custom
+/// sweeps.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn generate_from_functions(
+    pairs: Vec<(String, Function, Vec<PragmaConfig>)>,
+    opts: &DataOptions,
+) -> Result<LabeledDesigns, Box<dyn std::error::Error>> {
+    let mut out = LabeledDesigns::default();
+    let mut rng = tensor::init::seeded_rng(opts.seed);
+    for (name, func, mut configs) in pairs {
+        configs.shuffle(&mut rng);
+        let n = configs.len();
+        // single-config programs (synthetic corpora) are split across
+        // programs rather than within
+        if n == 1 {
+            use rand::Rng;
+            let config = configs.pop().expect("one config");
+            let report = hlsim::evaluate(&func, &config)?;
+            let sample = DesignSample {
+                kernel: name.clone(),
+                config,
+                report,
+            };
+            match rng.gen_range(0..10) {
+                0..=7 => out.train.push(sample),
+                8 => out.val.push(sample),
+                _ => out.test.push(sample),
+            }
+            out.functions.insert(name, func);
+            continue;
+        }
+        let n_train = (n * 8) / 10;
+        let n_val = (n * 9) / 10 - n_train;
+        for (i, config) in configs.into_iter().enumerate() {
+            let report = hlsim::evaluate(&func, &config)?;
+            let sample = DesignSample {
+                kernel: name.clone(),
+                config,
+                report,
+            };
+            if i < n_train {
+                out.train.push(sample);
+            } else if i < n_train + n_val {
+                out.val.push(sample);
+            } else {
+                out.test.push(sample);
+            }
+        }
+        out.functions.insert(name, func);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_proportions_hold() {
+        let opts = DataOptions {
+            max_designs_per_kernel: 20,
+            seed: 1,
+        };
+        let k: Vec<_> = kernels::training_kernels().take(2).collect();
+        let data = generate_for(&k, &opts).unwrap();
+        assert_eq!(data.len(), 40);
+        assert_eq!(data.train.len(), 32);
+        assert_eq!(data.val.len(), 2 * 2);
+        assert_eq!(data.test.len(), 2 * 2);
+        assert_eq!(data.functions.len(), 2);
+    }
+
+    #[test]
+    fn labels_vary_across_configs() {
+        let opts = DataOptions {
+            max_designs_per_kernel: 15,
+            seed: 2,
+        };
+        let k: Vec<_> = kernels::training_kernels()
+            .filter(|k| k.name == "gemm")
+            .collect();
+        let data = generate_for(&k, &opts).unwrap();
+        let latencies: std::collections::HashSet<u64> = data
+            .train
+            .iter()
+            .map(|s| s.report.top.latency)
+            .collect();
+        assert!(
+            latencies.len() > 3,
+            "configs must induce different latencies, got {latencies:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let opts = DataOptions {
+            max_designs_per_kernel: 10,
+            seed: 3,
+        };
+        let k: Vec<_> = kernels::training_kernels().take(1).collect();
+        let a = generate_for(&k, &opts).unwrap();
+        let b = generate_for(&k, &opts).unwrap();
+        let fa: Vec<u64> = a.train.iter().map(|s| s.config.fingerprint()).collect();
+        let fb: Vec<u64> = b.train.iter().map(|s| s.config.fingerprint()).collect();
+        assert_eq!(fa, fb);
+    }
+}

@@ -1,0 +1,278 @@
+//! Node and loop-level feature annotation (paper §III-B, Table II).
+
+use cdfg::{Graph, NodeKind};
+use gnn::GraphData;
+use hir::Function;
+use hlsim::{OpCost, OpLibrary};
+use pragma::{LoopId, PragmaConfig};
+use tensor::Matrix;
+
+/// Operation mnemonics in one-hot order.
+pub const MNEMONICS: &[&str] = &[
+    "add", "sub", "mul", "div", "rem", "fadd", "fsub", "fmul", "fdiv", "icmp", "fcmp", "and",
+    "or", "not", "select", "sqrt", "exp", "abs", "max", "min", "cast", "load", "store", "phi",
+    "param", "br", "port", "super",
+];
+
+/// Numeric features appended after the one-hot optype:
+/// `#invocation, in-degree, out-degree, #cycle, delay, LUT, FF, DSP,
+/// super-latency, super-TC, super-II, hardware-weight` (all compressed
+/// with `log1p` except delay, which is normalized by the clock period).
+pub const NUM_FEATURES: usize = 12;
+
+/// Total node-feature dimension.
+pub const FEATURE_DIM: usize = MNEMONICS.len() + NUM_FEATURES;
+
+/// Loop-level (graph-level) features for the inner-hierarchy models:
+/// `log1p(II), log1p(TC), pipelined flag, log1p(unroll factor),
+/// log1p(II*TC)` — the last being the dominant term of a pipelined loop's
+/// latency `IL + II*(TC-1)`.
+pub const LOOP_FEATURE_DIM: usize = 5;
+
+/// Graph-level aggregate features (see [`graph_aggregates`]).
+pub const AGG_DIM: usize = 9;
+
+fn log1p(v: f64) -> f32 {
+    (v.max(0.0) + 1.0).ln() as f32
+}
+
+/// Cost features of a node by mnemonic (zero for ports/supers/synthetic
+/// control, per the paper's treatment of non-arithmetic operations).
+fn mnemonic_cost(lib: &OpLibrary, mnemonic: &str) -> OpCost {
+    use hir::{AccessPattern, CmpOp, OpKind};
+    let kind = match mnemonic {
+        "add" => OpKind::Add,
+        "sub" => OpKind::Sub,
+        "mul" => OpKind::Mul,
+        "div" => OpKind::Div,
+        "rem" => OpKind::Rem,
+        "fadd" => OpKind::FAdd,
+        "fsub" => OpKind::FSub,
+        "fmul" => OpKind::FMul,
+        "fdiv" => OpKind::FDiv,
+        "icmp" | "br" => OpKind::ICmp(CmpOp::Lt),
+        "fcmp" => OpKind::FCmp(CmpOp::Lt),
+        "and" => OpKind::And,
+        "or" => OpKind::Or,
+        "not" => OpKind::Not,
+        "select" => OpKind::Select,
+        "sqrt" => OpKind::Sqrt,
+        "exp" => OpKind::Exp,
+        "abs" => OpKind::Abs,
+        "max" => OpKind::Max,
+        "min" => OpKind::Min,
+        "cast" => OpKind::Cast,
+        "load" => OpKind::Load {
+            array: String::new(),
+            access: AccessPattern::Dynamic { rank: 1 },
+        },
+        "store" => OpKind::Store {
+            array: String::new(),
+            access: AccessPattern::Dynamic { rank: 1 },
+        },
+        "phi" => OpKind::Phi,
+        _ => OpKind::Phi, // param/port/super: zero-cost placeholder
+    };
+    lib.cost(&kind)
+}
+
+/// Converts a [`Graph`] into GNN input, annotating every node with the
+/// Table II features.
+///
+/// Extra columns carry super-node annotations (predicted latency/TC/II) and
+/// are zero for ordinary nodes; super nodes place their predicted LUT/FF/DSP
+/// in the same columns ordinary nodes use for operator costs — exactly the
+/// paper's "super nodes hold a complete set of node features" design.
+pub fn graph_to_gnn(graph: &Graph) -> GraphData {
+    let lib = OpLibrary::zcu102();
+    let n = graph.num_nodes();
+    let in_deg = graph.in_degrees();
+    let out_deg = graph.out_degrees();
+    let mut x = Matrix::zeros(n, FEATURE_DIM);
+
+    for (i, node) in graph.nodes.iter().enumerate() {
+        // one-hot optype
+        if let Some(pos) = MNEMONICS.iter().position(|m| *m == node.mnemonic) {
+            x[(i, pos)] = 1.0;
+        }
+        let base = MNEMONICS.len();
+        x[(i, base)] = log1p(node.invocations as f64);
+        x[(i, base + 1)] = log1p(f64::from(in_deg[i]));
+        x[(i, base + 2)] = log1p(f64::from(out_deg[i]));
+        x[(i, base + 11)] = log1p(node.hw_weight as f64);
+
+        match &node.kind {
+            NodeKind::Super { features, .. } => {
+                x[(i, base + 3)] = log1p(features.il);
+                x[(i, base + 4)] = (features.ii / 64.0) as f32;
+                x[(i, base + 5)] = log1p(features.lut);
+                x[(i, base + 6)] = log1p(features.ff);
+                x[(i, base + 7)] = log1p(features.dsp);
+                x[(i, base + 8)] = log1p(features.latency);
+                x[(i, base + 9)] = log1p(features.tc);
+                x[(i, base + 10)] = log1p(features.ii);
+            }
+            _ => {
+                let c = mnemonic_cost(&lib, node.mnemonic);
+                x[(i, base + 3)] = log1p(f64::from(c.cycles));
+                x[(i, base + 4)] = c.delay_ns / lib.clock_ns;
+                x[(i, base + 5)] = log1p(f64::from(c.lut));
+                x[(i, base + 6)] = log1p(f64::from(c.ff));
+                x[(i, base + 7)] = log1p(f64::from(c.dsp));
+                // super-only columns stay zero
+            }
+        }
+    }
+
+    let src: Vec<u32> = graph.edges.iter().map(|e| e.src).collect();
+    let dst: Vec<u32> = graph.edges.iter().map(|e| e.dst).collect();
+    GraphData::new(x, src, dst)
+}
+
+/// Graph-level aggregates, all `log1p`-compressed:
+/// `[#nodes, #edges, Σ invocations, Σ cycles, Σ LUT, Σ FF, Σ DSP,
+///   Σ invocations·cycles (total work), Σ super-node latency]`.
+///
+/// These are exactly the quantities a sum-pooling readout would expose;
+/// providing them explicitly keeps the learned embedding magnitudes
+/// size-independent (mean ⊕ max pooling) without losing the extensive
+/// signals that resource totals depend on.
+pub fn graph_aggregates(graph: &Graph) -> Vec<f32> {
+    let lib = OpLibrary::zcu102();
+    let (mut inv, mut cycles, mut lut, mut ff, mut dsp) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    let (mut work, mut super_lat) = (0f64, 0f64);
+    for node in &graph.nodes {
+        let hw = node.hw_weight as f64;
+        inv += node.invocations as f64 * hw;
+        match &node.kind {
+            NodeKind::Super { features, .. } => {
+                lut += features.lut * hw;
+                ff += features.ff * hw;
+                dsp += features.dsp * hw;
+                super_lat += features.latency * node.invocations as f64;
+            }
+            _ => {
+                let c = mnemonic_cost(&lib, node.mnemonic);
+                cycles += f64::from(c.cycles);
+                lut += f64::from(c.lut) * hw;
+                ff += f64::from(c.ff) * hw;
+                dsp += f64::from(c.dsp) * hw;
+                work += node.invocations as f64 * hw * f64::from(c.cycles.max(1));
+            }
+        }
+    }
+    vec![
+        log1p(graph.num_nodes() as f64),
+        log1p(graph.num_edges() as f64),
+        log1p(inv),
+        log1p(cycles),
+        log1p(lut),
+        log1p(ff),
+        log1p(dsp),
+        log1p(work),
+        log1p(super_lat),
+    ]
+}
+
+/// Loop-level features of one inner-hierarchy loop under `cfg`:
+/// `[log1p(II), log1p(TC), pipelined, log1p(unroll)]`.
+///
+/// II comes from the analytic formula (`hlsim::analytic_ii`), TC from the
+/// IR — both available without running any tool flow, as the paper
+/// requires. IL is the learned quantity and is *not* part of this vector.
+pub fn loop_level_features(
+    func: &Function,
+    cfg: &PragmaConfig,
+    loop_id: &LoopId,
+    pipelined: bool,
+) -> Vec<f32> {
+    let ii = hlsim::analytic_ii(func, cfg, loop_id);
+    let meta = func.loop_meta(loop_id);
+    let tc = meta.map(|m| m.trip_count).unwrap_or(1);
+    let unroll = cfg.loop_pragma(loop_id).unroll.factor(tc.max(1));
+    vec![
+        log1p(ii as f64),
+        log1p(tc as f64),
+        f32::from(u8::from(pipelined)),
+        log1p(unroll as f64),
+        log1p(ii as f64 * tc.div_ceil(unroll.max(1)) as f64),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdfg::GraphBuilder;
+
+    fn sample() -> (Function, PragmaConfig) {
+        let f = kernels::lower_kernel("gemm").unwrap();
+        (f, PragmaConfig::default())
+    }
+
+    #[test]
+    fn feature_matrix_shape_and_onehot() {
+        let (f, cfg) = sample();
+        let g = GraphBuilder::new(&f, &cfg).build();
+        let data = graph_to_gnn(&g);
+        assert_eq!(data.feat_dim(), FEATURE_DIM);
+        assert_eq!(data.num_nodes(), g.num_nodes());
+        // every node has exactly one active one-hot slot
+        for i in 0..data.num_nodes() {
+            let hot: f32 = data.x.row(i)[..MNEMONICS.len()].iter().sum();
+            assert_eq!(hot, 1.0, "node {i} one-hot malformed");
+        }
+    }
+
+    #[test]
+    fn degrees_enter_features() {
+        let (f, cfg) = sample();
+        let g = GraphBuilder::new(&f, &cfg).build();
+        let data = graph_to_gnn(&g);
+        let in_col = MNEMONICS.len() + 1;
+        let any_nonzero = (0..data.num_nodes()).any(|i| data.x[(i, in_col)] > 0.0);
+        assert!(any_nonzero, "in-degree feature never set");
+    }
+
+    #[test]
+    fn fadd_nodes_carry_library_costs() {
+        let (f, cfg) = sample();
+        let g = GraphBuilder::new(&f, &cfg).build();
+        let data = graph_to_gnn(&g);
+        let fadd_pos = MNEMONICS.iter().position(|m| *m == "fadd").unwrap();
+        let lut_col = MNEMONICS.len() + 5;
+        for i in 0..data.num_nodes() {
+            if data.x[(i, fadd_pos)] == 1.0 {
+                assert!(data.x[(i, lut_col)] > 0.0, "fadd LUT feature missing");
+            }
+        }
+    }
+
+    #[test]
+    fn loop_features_reflect_pragmas() {
+        let f = kernels::lower_kernel("gemm").unwrap();
+        let inner = LoopId::from_path(&[0, 0, 0]);
+        let mut cfg = PragmaConfig::default();
+        cfg.set_pipeline(inner.clone(), true);
+        let lf = loop_level_features(&f, &cfg, &inner, true);
+        assert_eq!(lf.len(), LOOP_FEATURE_DIM);
+        assert!(lf[0] > 0.0, "II feature");
+        assert!((lf[1] - ((16.0f64 + 1.0).ln() as f32)).abs() < 1e-5, "TC");
+        assert_eq!(lf[2], 1.0, "pipelined flag");
+    }
+
+    #[test]
+    fn mnemonic_table_covers_graph_nodes() {
+        for k in kernels::all() {
+            let f = kernels::lower_kernel(k.name).unwrap();
+            let g = GraphBuilder::new(&f, &PragmaConfig::default()).build();
+            for node in &g.nodes {
+                assert!(
+                    MNEMONICS.contains(&node.mnemonic),
+                    "{}: mnemonic {:?} missing from table",
+                    k.name,
+                    node.mnemonic
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Inner/outer hierarchy split (paper §III-C).
+
+use hir::{Function, HirLoop, Item};
+use pragma::{LoopId, PragmaConfig};
+
+/// The four inner-hierarchy loop categories of §III-C.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InnerCategory {
+    /// ① a single-level loop.
+    SingleLevel,
+    /// ② a nested loop pipelined at its outermost level (inner sub-loops
+    /// fully unrolled).
+    PipelinedNest,
+    /// ③ a perfect nest flattened and pipelined at the innermost level.
+    FlattenedPipeline,
+    /// ④ a nested loop with all inner sub-loops fully unrolled (no
+    /// pipelining).
+    FullyUnrolledNest,
+}
+
+/// One loop assigned to the inner hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InnerLoop {
+    /// Root loop of the inner region.
+    pub id: LoopId,
+    /// Category (① – ④).
+    pub category: InnerCategory,
+    /// Whether the region executes as a pipeline (decides `GNN_p` vs
+    /// `GNN_np`).
+    pub pipelined: bool,
+}
+
+/// The hierarchy split of one configured design.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Hierarchy {
+    /// Inner-hierarchy regions, in pre-order.
+    pub inner: Vec<InnerLoop>,
+}
+
+impl Hierarchy {
+    /// Inner loops that run pipelined (handled by `GNN_p`).
+    pub fn pipelined(&self) -> impl Iterator<Item = &InnerLoop> {
+        self.inner.iter().filter(|l| l.pipelined)
+    }
+
+    /// Inner loops that run sequentially (handled by `GNN_np`).
+    pub fn non_pipelined(&self) -> impl Iterator<Item = &InnerLoop> {
+        self.inner.iter().filter(|l| !l.pipelined)
+    }
+}
+
+/// Splits a configured design into inner regions and the outer hierarchy.
+///
+/// Walking the loop tree top-down, a subtree becomes an inner region when
+/// it matches one of the paper's four categories; everything above stays in
+/// the outer hierarchy and is later modeled by `GNN_g` over the condensed
+/// graph.
+pub fn split_hierarchy(func: &Function, cfg: &PragmaConfig) -> Hierarchy {
+    let mut inner = Vec::new();
+    for item in &func.body.items {
+        if let Item::Loop(l) = item {
+            classify(func, cfg, l, &mut inner);
+        }
+    }
+    Hierarchy { inner }
+}
+
+fn classify(func: &Function, cfg: &PragmaConfig, l: &HirLoop, out: &mut Vec<InnerLoop>) {
+    let p = cfg.loop_pragma(&l.id);
+    let children: Vec<&HirLoop> = l.children().collect();
+
+    // ③ flattened perfect chain pipelined at the innermost level
+    if p.flatten && l.is_perfect_level() && flatten_chain_pipelined(cfg, l) {
+        out.push(InnerLoop {
+            id: l.id.clone(),
+            category: InnerCategory::FlattenedPipeline,
+            pipelined: true,
+        });
+        return;
+    }
+
+    // ② pipelining here forces full unrolling below: whole subtree is inner
+    if p.pipeline {
+        let category = if children.is_empty() {
+            InnerCategory::SingleLevel
+        } else {
+            InnerCategory::PipelinedNest
+        };
+        out.push(InnerLoop {
+            id: l.id.clone(),
+            category,
+            pipelined: true,
+        });
+        return;
+    }
+
+    // ① single-level loop
+    if children.is_empty() {
+        out.push(InnerLoop {
+            id: l.id.clone(),
+            category: InnerCategory::SingleLevel,
+            pipelined: false,
+        });
+        return;
+    }
+
+    // ④ nested loop whose sub-loops are all fully unrolled
+    if subtree_fully_unrolled(cfg, &children) {
+        out.push(InnerLoop {
+            id: l.id.clone(),
+            category: InnerCategory::FullyUnrolledNest,
+            pipelined: false,
+        });
+        return;
+    }
+
+    // outer hierarchy: recurse
+    for c in children {
+        classify(func, cfg, c, out);
+    }
+    let _ = func;
+}
+
+fn flatten_chain_pipelined(cfg: &PragmaConfig, l: &HirLoop) -> bool {
+    let mut cur = l;
+    loop {
+        let children: Vec<&HirLoop> = cur.children().collect();
+        if children.len() != 1 {
+            return false;
+        }
+        let child = children[0];
+        let cp = cfg.loop_pragma(&child.id);
+        if child.children().next().is_none() {
+            return cp.pipeline;
+        }
+        if !cp.flatten || !child.is_perfect_level() {
+            return false;
+        }
+        cur = child;
+    }
+}
+
+fn subtree_fully_unrolled(cfg: &PragmaConfig, children: &[&HirLoop]) -> bool {
+    children.iter().all(|c| {
+        let p = cfg.loop_pragma(&c.id);
+        p.unroll.is_full(c.trip_count().max(1))
+            && subtree_fully_unrolled(cfg, &c.children().collect::<Vec<_>>())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pragma::Unroll;
+
+    fn gemm() -> Function {
+        kernels::lower_kernel("gemm").unwrap()
+    }
+
+    #[test]
+    fn default_config_inner_is_innermost() {
+        let f = gemm();
+        let h = split_hierarchy(&f, &PragmaConfig::default());
+        assert_eq!(h.inner.len(), 1);
+        assert_eq!(h.inner[0].id, LoopId::from_path(&[0, 0, 0]));
+        assert_eq!(h.inner[0].category, InnerCategory::SingleLevel);
+        assert!(!h.inner[0].pipelined);
+    }
+
+    #[test]
+    fn pipelined_middle_loop_becomes_pipelined_nest() {
+        let f = gemm();
+        let mut cfg = PragmaConfig::default();
+        cfg.set_pipeline(LoopId::from_path(&[0, 0]), true);
+        cfg.set_unroll(LoopId::from_path(&[0, 0, 0]), Unroll::Full);
+        let h = split_hierarchy(&f, &cfg);
+        assert_eq!(h.inner.len(), 1);
+        assert_eq!(h.inner[0].id, LoopId::from_path(&[0, 0]));
+        assert_eq!(h.inner[0].category, InnerCategory::PipelinedNest);
+        assert!(h.inner[0].pipelined);
+    }
+
+    #[test]
+    fn fully_unrolled_inner_nest_is_category_four() {
+        let f = gemm();
+        let mut cfg = PragmaConfig::default();
+        cfg.set_unroll(LoopId::from_path(&[0, 0, 0]), Unroll::Full);
+        let h = split_hierarchy(&f, &cfg);
+        // the j-loop now has all sub-loops fully unrolled
+        assert_eq!(h.inner[0].id, LoopId::from_path(&[0, 0]));
+        assert_eq!(h.inner[0].category, InnerCategory::FullyUnrolledNest);
+        assert!(!h.inner[0].pipelined);
+    }
+
+    #[test]
+    fn flatten_chain_detected() {
+        let src = "void copy(float a[8][8], float b[8][8]) {
+            for (int i = 0; i < 8; i++) {
+                for (int j = 0; j < 8; j++) {
+                    b[i][j] = a[i][j];
+                }
+            }
+        }";
+        let m = hir::lower(&frontc::parse(src).unwrap()).unwrap();
+        let f = m.function("copy").unwrap();
+        let mut cfg = PragmaConfig::default();
+        cfg.set_flatten(LoopId::from_path(&[0]), true);
+        cfg.set_flatten(LoopId::from_path(&[0, 0]), true);
+        cfg.set_pipeline(LoopId::from_path(&[0, 0]), true);
+        let h = split_hierarchy(f, &cfg);
+        assert_eq!(h.inner.len(), 1);
+        assert_eq!(h.inner[0].category, InnerCategory::FlattenedPipeline);
+    }
+
+    #[test]
+    fn multiple_nests_split_independently() {
+        let f = kernels::lower_kernel("mvt").unwrap();
+        let mut cfg = PragmaConfig::default();
+        cfg.set_pipeline(LoopId::from_path(&[0, 0]), true);
+        // second nest left alone: its innermost j-loop is inner
+        let h = split_hierarchy(&f, &cfg);
+        assert_eq!(h.inner.len(), 2);
+        assert!(h.inner[0].pipelined);
+        assert!(!h.inner[1].pipelined);
+        assert_eq!(h.pipelined().count(), 1);
+        assert_eq!(h.non_pipelined().count(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Design-space exploration (paper §IV-D): Pareto frontiers, ADRS, the
+//! model-guided explorer, and the two state-of-the-art baselines the paper
+//! compares against.
+//!
+//! * [`ParetoFront`] / [`Adrs`] — exact and approximate Pareto sets over
+//!   `(latency, area)` and the average distance from reference set.
+//! * [`explore`] — evaluates a predictor over a design space, extracts the
+//!   predicted Pareto set, and scores it (with simulated Vivado / HLS time
+//!   accounting for the "DSE time" columns of Table V).
+//! * [`FlatGnnBaseline`] — Wu et al. (DAC'22, \[8\]): a single whole-graph
+//!   GNN without hierarchy. Pragma-blind for the accuracy comparison
+//!   (Table IV) and HLS-IR-fed (pragma-transformed graphs, with per-design
+//!   HLS time charged) for DSE (Table V), mirroring how that method is
+//!   deployed.
+//! * GNN-DSE (DAC'22, \[6\]) via [`FlatGnnBaseline::gnn_dse`] — flat graphs
+//!   with pragmas as node *features* (not structure), trained on post-HLS
+//!   (pre-route) labels.
+//!
+//! # Example
+//!
+//! ```
+//! use dse::{Adrs, ParetoFront};
+//!
+//! // latency/area pairs; lower is better in both dimensions
+//! let exact = vec![(10.0, 5.0), (20.0, 2.0), (30.0, 1.0)];
+//! let front = ParetoFront::from_points(&exact);
+//! assert_eq!(front.indices().len(), 3);
+//! let adrs = Adrs::compute(&exact, &exact);
+//! assert_eq!(adrs.percent(), 0.0);
+//! ```
+
+mod baseline;
+mod explore;
+mod pareto;
+
+pub use baseline::{BaselineOptions, FlatGnnBaseline, LabelSpace};
+pub use explore::{area, explore, DseOutcome, DsePoint, HLS_SECS_PER_DESIGN};
+pub use pareto::{Adrs, ParetoFront};

@@ -1,0 +1,182 @@
+//! Pareto frontiers and the average distance from reference set (ADRS).
+
+/// A Pareto front over bi-objective points `(latency, area)`, both
+/// minimized.
+///
+/// # Example
+///
+/// ```
+/// use dse::ParetoFront;
+/// let pts = vec![(1.0, 10.0), (2.0, 5.0), (3.0, 6.0)];
+/// let front = ParetoFront::from_points(&pts);
+/// assert_eq!(front.indices(), &[0, 1]); // (3,6) dominated by (2,5)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoFront {
+    indices: Vec<usize>,
+    points: Vec<(f64, f64)>,
+}
+
+impl ParetoFront {
+    /// Extracts the non-dominated subset of `points`.
+    pub fn from_points(points: &[(f64, f64)]) -> Self {
+        let mut indices = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            let dominated = points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && dominates(*q, *p));
+            if !dominated {
+                indices.push(i);
+            }
+        }
+        // drop exact duplicates, keeping the first occurrence
+        let mut seen = Vec::new();
+        indices.retain(|&i| {
+            let p = points[i];
+            if seen.contains(&p) {
+                false
+            } else {
+                seen.push(p);
+                true
+            }
+        });
+        let kept = indices.iter().map(|&i| points[i]).collect();
+        ParetoFront {
+            indices,
+            points: kept,
+        }
+    }
+
+    /// Indices of the non-dominated points in the original slice.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The non-dominated points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points on the front.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the front is empty (only for empty input).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// `q` dominates `p`: no worse in both objectives, strictly better in one.
+fn dominates(q: (f64, f64), p: (f64, f64)) -> bool {
+    q.0 <= p.0 && q.1 <= p.1 && (q.0 < p.0 || q.1 < p.1)
+}
+
+/// Average distance from reference set (paper §IV-D):
+///
+/// `ADRS(Γ, Ω) = (1/|Γ|) Σ_{γ∈Γ} min_{ω∈Ω} f(γ, ω)` with
+/// `f(γ, ω) = max(0, (lat_ω−lat_γ)/lat_γ, (area_ω−area_γ)/area_γ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adrs(f64);
+
+impl Adrs {
+    /// Computes ADRS of the approximate set `omega` against the exact
+    /// Pareto-optimal set `gamma_source` (the exact front is extracted from
+    /// it first).
+    ///
+    /// Returns zero for degenerate inputs (either set empty).
+    pub fn compute(gamma_source: &[(f64, f64)], omega: &[(f64, f64)]) -> Self {
+        let gamma = ParetoFront::from_points(gamma_source);
+        if gamma.is_empty() || omega.is_empty() {
+            return Adrs(0.0);
+        }
+        let mut total = 0.0;
+        for g in gamma.points() {
+            let best = omega
+                .iter()
+                .map(|w| distance(*g, *w))
+                .fold(f64::INFINITY, f64::min);
+            total += best;
+        }
+        Adrs(total / gamma.len() as f64)
+    }
+
+    /// ADRS as a fraction.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// ADRS in percent.
+    pub fn percent(&self) -> f64 {
+        self.0 * 100.0
+    }
+}
+
+/// Pareto distance `f(γ, ω)`: the worst relative regression of `ω` w.r.t.
+/// `γ`, floored at zero.
+fn distance(gamma: (f64, f64), omega: (f64, f64)) -> f64 {
+    let d_lat = (omega.0 - gamma.0) / gamma.0.max(1e-12);
+    let d_area = (omega.1 - gamma.1) / gamma.1.max(1e-12);
+    d_lat.max(d_area).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_drops_dominated_points() {
+        let pts = vec![(1.0, 10.0), (2.0, 5.0), (2.5, 5.0), (3.0, 1.0), (4.0, 4.0)];
+        let f = ParetoFront::from_points(&pts);
+        assert_eq!(f.indices(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicates_kept_once() {
+        let pts = vec![(1.0, 1.0), (1.0, 1.0)];
+        let f = ParetoFront::from_points(&pts);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn adrs_zero_for_exact_set() {
+        let pts = vec![(10.0, 3.0), (20.0, 1.0), (15.0, 2.0)];
+        let adrs = Adrs::compute(&pts, &pts);
+        assert_eq!(adrs.percent(), 0.0);
+    }
+
+    #[test]
+    fn adrs_grows_with_distance() {
+        let exact = vec![(10.0, 1.0)];
+        let near = vec![(11.0, 1.0)];
+        let far = vec![(20.0, 1.0)];
+        let a_near = Adrs::compute(&exact, &near);
+        let a_far = Adrs::compute(&exact, &far);
+        assert!((a_near.percent() - 10.0).abs() < 1e-9);
+        assert!((a_far.percent() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adrs_uses_worst_objective() {
+        let exact = vec![(10.0, 10.0)];
+        // better latency but 50% worse area -> distance 0.5
+        let approx = vec![(5.0, 15.0)];
+        let adrs = Adrs::compute(&exact, &approx);
+        assert!((adrs.percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adrs_superset_of_exact_front_is_zero() {
+        let exact = vec![(10.0, 3.0), (20.0, 1.0)];
+        let approx = vec![(10.0, 3.0), (20.0, 1.0), (50.0, 50.0)];
+        assert_eq!(Adrs::compute(&exact, &approx).percent(), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_degenerate_zero() {
+        assert_eq!(Adrs::compute(&[], &[(1.0, 1.0)]).percent(), 0.0);
+        assert_eq!(Adrs::compute(&[(1.0, 1.0)], &[]).percent(), 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Abstract syntax tree for HLS-C.
+
+use std::fmt;
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Functions in declaration order.
+    pub functions: Vec<FunctionDef>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// Scalar element types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 32-bit signed integer.
+    Int,
+    /// 32-bit IEEE float.
+    Float,
+    /// Function return type only.
+    Void,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Type::Int => "int",
+            Type::Float => "float",
+            Type::Void => "void",
+        })
+    }
+}
+
+/// A function parameter: scalar if `dims` is empty, otherwise an array with
+/// constant dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// Constant array dimensions (empty = scalar).
+    pub dims: Vec<usize>,
+}
+
+impl Param {
+    /// Whether the parameter is an array.
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+
+    /// Total element count (1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product::<usize>().max(1)
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Function-scope pragmas (e.g. `array_partition`).
+    pub pragmas: Vec<SourcePragma>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `int x = e;` / `float x;`
+    Decl {
+        /// Declared name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// `lv = e;`, `lv += e;`, …
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Plain or compound assignment.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Canonical counted loop.
+    For(ForLoop),
+    /// `if (c) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+/// A canonical `for` loop: `for (int v = start; v < bound; v += step)`.
+///
+/// Bounds are compile-time constants so trip counts are static, matching the
+/// paper's dataset (TC is a loop-level feature).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForLoop {
+    /// Induction variable.
+    pub var: String,
+    /// Inclusive start.
+    pub start: i64,
+    /// Exclusive bound.
+    pub bound: i64,
+    /// Positive step.
+    pub step: i64,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+    /// Pragmas attached to this loop (written just inside its body).
+    pub pragmas: Vec<SourcePragma>,
+}
+
+impl ForLoop {
+    /// Static trip count of the loop.
+    pub fn trip_count(&self) -> u64 {
+        if self.bound <= self.start || self.step <= 0 {
+            0
+        } else {
+            ((self.bound - self.start + self.step - 1) / self.step) as u64
+        }
+    }
+}
+
+/// Assignable locations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element `a[i][j]…`.
+    ArrayElem {
+        /// Array name.
+        array: String,
+        /// One index expression per dimension.
+        indices: Vec<Expr>,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element read.
+    ArrayElem {
+        /// Array name.
+        array: String,
+        /// Index expressions.
+        indices: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Intrinsic call (`sqrtf`, `expf`, `fabsf`, `fmaxf`, `fminf`).
+    Call {
+        /// Intrinsic name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Conditional expression `c ? t : e`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when the condition is non-zero.
+        then_value: Box<Expr>,
+        /// Value when the condition is zero.
+        else_value: Box<Expr>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean (int 0/1) result.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// Array partitioning flavours (mirrors Vitis HLS options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionKind {
+    /// Interleaved banks: element `i` goes to bank `i % factor`.
+    Cyclic,
+    /// Contiguous blocks: element `i` goes to bank `i / ceil(n/factor)`.
+    Block,
+    /// One bank per element along the dimension.
+    Complete,
+}
+
+impl fmt::Display for PartitionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartitionKind::Cyclic => "cyclic",
+            PartitionKind::Block => "block",
+            PartitionKind::Complete => "complete",
+        })
+    }
+}
+
+/// A `#pragma HLS …` directive as written in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourcePragma {
+    /// `#pragma HLS pipeline [II=n]`
+    Pipeline {
+        /// Requested initiation interval, if given.
+        ii: Option<u32>,
+    },
+    /// `#pragma HLS unroll [factor=n]` (no factor = full unroll)
+    Unroll {
+        /// Unroll factor; `None` = full.
+        factor: Option<u32>,
+    },
+    /// `#pragma HLS loop_flatten`
+    LoopFlatten,
+    /// `#pragma HLS array_partition variable=A <kind> factor=n dim=d`
+    ArrayPartition {
+        /// Target array name.
+        variable: String,
+        /// Partitioning flavour.
+        kind: PartitionKind,
+        /// Bank count (ignored for `complete`).
+        factor: u32,
+        /// 1-based dimension (0 = all dims).
+        dim: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_count_computation() {
+        let mk = |start, bound, step| ForLoop {
+            var: "i".into(),
+            start,
+            bound,
+            step,
+            body: vec![],
+            pragmas: vec![],
+        };
+        assert_eq!(mk(0, 10, 1).trip_count(), 10);
+        assert_eq!(mk(0, 10, 3).trip_count(), 4);
+        assert_eq!(mk(5, 5, 1).trip_count(), 0);
+        assert_eq!(mk(2, 8, 2).trip_count(), 3);
+    }
+
+    #[test]
+    fn param_helpers() {
+        let scalar = Param {
+            name: "n".into(),
+            ty: Type::Int,
+            dims: vec![],
+        };
+        let arr = Param {
+            name: "a".into(),
+            ty: Type::Float,
+            dims: vec![4, 8],
+        };
+        assert!(!scalar.is_array());
+        assert_eq!(scalar.num_elements(), 1);
+        assert!(arr.is_array());
+        assert_eq!(arr.num_elements(), 32);
+    }
+
+    #[test]
+    fn comparison_predicate() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+}

@@ -1,0 +1,310 @@
+//! Tokenizer for HLS-C.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal (contains `.`, `e`, or `f` suffix).
+    Float(f64),
+    /// A full `#pragma …` line (content after `#pragma`).
+    Pragma(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Pragma(p) => write!(f, "#pragma {p}"),
+            TokenKind::Punct(p) => write!(f, "{p:?}"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Streaming tokenizer.
+///
+/// # Example
+///
+/// ```
+/// use frontc::{Lexer, TokenKind};
+/// let toks = Lexer::new("int x = 3;").tokenize().unwrap();
+/// assert_eq!(toks[0].kind, TokenKind::Ident("int".into()));
+/// assert_eq!(toks[2].kind, TokenKind::Punct("="));
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+/// Multi-character punctuation, longest first.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "++", "--",
+    "<<", ">>", "(", ")", "{", "}", "[", "]", ";", ",", "=", "<", ">", "+", "-", "*", "/", "%",
+    "!", "&", "|", "^", "?", ":",
+];
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Tokenizes the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on unexpected characters
+    /// or malformed numbers.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, String> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let line = self.line;
+            if self.pos >= self.src.len() {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                });
+                return Ok(out);
+            }
+            let c = self.src[self.pos];
+            let kind = if c == b'#' {
+                self.lex_pragma()?
+            } else if c.is_ascii_alphabetic() || c == b'_' {
+                self.lex_ident()
+            } else if c.is_ascii_digit() || (c == b'.' && self.peek_digit(1)) {
+                self.lex_number()?
+            } else {
+                self.lex_punct()?
+            };
+            out.push(Token { kind, line });
+        }
+    }
+
+    fn peek_digit(&self, off: usize) -> bool {
+        self.src
+            .get(self.pos + off)
+            .is_some_and(|c| c.is_ascii_digit())
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            while self.pos < self.src.len() {
+                match self.src[self.pos] {
+                    b'\n' => {
+                        self.line += 1;
+                        self.pos += 1;
+                    }
+                    b' ' | b'\t' | b'\r' => self.pos += 1,
+                    _ => break,
+                }
+            }
+            if self.src[self.pos..].starts_with(b"//") {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else if self.src[self.pos..].starts_with(b"/*") {
+                self.pos += 2;
+                while self.pos < self.src.len() && !self.src[self.pos..].starts_with(b"*/") {
+                    if self.src[self.pos] == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 2).min(self.src.len());
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn lex_pragma(&mut self) -> Result<TokenKind, String> {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| format!("line {}: invalid utf-8 in pragma", self.line))?;
+        let rest = text
+            .strip_prefix('#')
+            .map(str::trim_start)
+            .and_then(|t| t.strip_prefix("pragma"))
+            .ok_or_else(|| format!("line {}: unknown preprocessor directive", self.line))?;
+        Ok(TokenKind::Pragma(rest.trim().to_string()))
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        TokenKind::Ident(s.to_string())
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, String> {
+        let start = self.pos;
+        let mut is_float = false;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    if self
+                        .src
+                        .get(self.pos)
+                        .is_some_and(|&c| c == b'+' || c == b'-')
+                    {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        // optional f/F suffix
+        if self
+            .src
+            .get(self.pos)
+            .is_some_and(|&c| c == b'f' || c == b'F')
+        {
+            self.pos += 1;
+            is_float = true;
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| format!("line {}: bad float literal {text:?}", self.line))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| format!("line {}: bad int literal {text:?}", self.line))
+        }
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind, String> {
+        for p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                self.pos += p.len();
+                return Ok(TokenKind::Punct(p));
+            }
+        }
+        Err(format!(
+            "line {}: unexpected character {:?}",
+            self.line, self.src[self.pos] as char
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let k = kinds("int x = 42 + 3.5f;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(42),
+                TokenKind::Punct("+"),
+                TokenKind::Float(3.5),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("a // line comment\n /* block \n comment */ b");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn pragma_token_captures_rest_of_line() {
+        let k = kinds("#pragma HLS pipeline II=2\nx");
+        assert_eq!(k[0], TokenKind::Pragma("HLS pipeline II=2".into()));
+        assert_eq!(k[1], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn multichar_puncts_have_priority() {
+        let k = kinds("a <= b += c++");
+        assert_eq!(k[1], TokenKind::Punct("<="));
+        assert_eq!(k[3], TokenKind::Punct("+="));
+        assert_eq!(k[5], TokenKind::Punct("++"));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = Lexer::new("a\nb\n\nc").tokenize().unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let k = kinds("1e-3 2.5E+2");
+        assert_eq!(k[0], TokenKind::Float(1e-3));
+        assert_eq!(k[1], TokenKind::Float(2.5e2));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Lexer::new("a @ b").tokenize().is_err());
+    }
+}

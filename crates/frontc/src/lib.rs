@@ -1,0 +1,93 @@
+#![warn(missing_docs)]
+//! Front-end for **HLS-C**, the C subset used by this workspace's kernels.
+//!
+//! The front-end plays the role Clang/LLVM plays in the paper: it turns
+//! kernel source into a structured representation ([`Program`]) from which
+//! the `hir` crate builds its loop-tree IR and the `cdfg` crate builds
+//! program graphs.
+//!
+//! Supported language surface:
+//!
+//! * `void`/`int`/`float` functions with scalar and constant-dimension array
+//!   parameters,
+//! * declarations, assignments (including `+=`-style compound assignment),
+//! * canonical `for` loops (`for (int i = a; i < b; i += s)`),
+//! * `if`/`else`, `return`,
+//! * arithmetic/comparison/logical expressions and calls to math intrinsics
+//!   (`sqrtf`, `expf`, `fabsf`, `fmaxf`, `fminf`),
+//! * `#pragma HLS pipeline/unroll/loop_flatten/array_partition` directives.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//! void scale(float x[16], float y[16]) {
+//!     for (int i = 0; i < 16; i++) {
+//!         #pragma HLS pipeline II=1
+//!         y[i] = x[i] * 2.0;
+//!     }
+//! }
+//! "#;
+//! let program = frontc::parse(src)?;
+//! assert_eq!(program.functions[0].name, "scale");
+//! # Ok::<(), frontc::FrontError>(())
+//! ```
+
+mod ast;
+mod lexer;
+mod parser;
+mod sema;
+
+pub use ast::{
+    AssignOp, BinOp, Expr, ForLoop, FunctionDef, LValue, Param, PartitionKind, Program,
+    SourcePragma, Stmt, Type, UnOp,
+};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::ParseError;
+pub use sema::SemaError;
+
+use std::fmt;
+
+/// Any error produced by the front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontError {
+    /// Lexing/parsing failure.
+    Parse(ParseError),
+    /// Semantic-analysis failure.
+    Sema(SemaError),
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontError::Sema(e) => write!(f, "semantic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+impl From<ParseError> for FrontError {
+    fn from(e: ParseError) -> Self {
+        FrontError::Parse(e)
+    }
+}
+
+impl From<SemaError> for FrontError {
+    fn from(e: SemaError) -> Self {
+        FrontError::Sema(e)
+    }
+}
+
+/// Parses and semantically checks an HLS-C translation unit.
+///
+/// # Errors
+///
+/// Returns a [`FrontError`] describing the first lexical, syntactic or
+/// semantic problem found.
+pub fn parse(source: &str) -> Result<Program, FrontError> {
+    let program = parser::parse_program(source)?;
+    sema::check(&program)?;
+    Ok(program)
+}

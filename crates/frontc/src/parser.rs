@@ -1,0 +1,714 @@
+//! Recursive-descent parser for HLS-C.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// A parse failure with source line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a translation unit (without semantic checking — see
+/// [`crate::parse`] for the full pipeline).
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = Lexer::new(source).tokenize().map_err(|message| ParseError {
+        line: 0,
+        message,
+    })?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            TokenKind::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => {
+                let msg = format!("expected {p:?}, found {other}");
+                self.err(msg)
+            }
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => {
+                let msg = format!("expected identifier, found {other}");
+                self.err(msg)
+            }
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i64, ParseError> {
+        let neg = self.try_punct("-");
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            other => {
+                let msg = format!("expected integer literal, found {other}");
+                self.err(msg)
+            }
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "int" => Ok(Type::Int),
+            "float" => Ok(Type::Float),
+            "void" => Ok(Type::Void),
+            other => {
+                let msg = format!("unknown type {other:?}");
+                self.err(msg)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ program
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut functions = Vec::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            functions.push(self.function()?);
+        }
+        Ok(Program { functions })
+    }
+
+    fn function(&mut self) -> Result<FunctionDef, ParseError> {
+        let ret = self.ty()?;
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.try_punct(")") {
+            loop {
+                params.push(self.param()?);
+                if self.try_punct(")") {
+                    break;
+                }
+                self.eat_punct(",")?;
+            }
+        }
+        self.eat_punct("{")?;
+        let (body, pragmas) = self.block_body()?;
+        Ok(FunctionDef {
+            name,
+            ret,
+            params,
+            body,
+            pragmas,
+        })
+    }
+
+    fn param(&mut self) -> Result<Param, ParseError> {
+        let ty = self.ty()?;
+        if ty == Type::Void {
+            return self.err("parameters cannot be void");
+        }
+        let name = self.ident()?;
+        let mut dims = Vec::new();
+        while self.try_punct("[") {
+            let d = self.int_lit()?;
+            if d <= 0 {
+                return self.err("array dimensions must be positive");
+            }
+            dims.push(d as usize);
+            self.eat_punct("]")?;
+        }
+        Ok(Param { name, ty, dims })
+    }
+
+    /// Parses statements until `}`; collects pragmas that appear at this
+    /// block level (they attach to the enclosing loop/function).
+    fn block_body(&mut self) -> Result<(Vec<Stmt>, Vec<SourcePragma>), ParseError> {
+        let mut stmts = Vec::new();
+        let mut pragmas = Vec::new();
+        loop {
+            if self.try_punct("}") {
+                return Ok((stmts, pragmas));
+            }
+            if matches!(self.peek(), TokenKind::Eof) {
+                return self.err("unexpected end of input inside block");
+            }
+            if let TokenKind::Pragma(text) = self.peek().clone() {
+                let line = self.line();
+                self.bump();
+                pragmas.push(parse_pragma(&text, line)?);
+                continue;
+            }
+            stmts.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(kw) => match kw.as_str() {
+                "for" => self.for_loop().map(Stmt::For),
+                "if" => self.if_stmt(),
+                "return" => {
+                    self.bump();
+                    if self.try_punct(";") {
+                        Ok(Stmt::Return(None))
+                    } else {
+                        let e = self.expr()?;
+                        self.eat_punct(";")?;
+                        Ok(Stmt::Return(Some(e)))
+                    }
+                }
+                "int" | "float" => self.decl(),
+                _ => self.assign_stmt(),
+            },
+            other => {
+                let msg = format!("expected statement, found {other}");
+                self.err(msg)
+            }
+        }
+    }
+
+    fn decl(&mut self) -> Result<Stmt, ParseError> {
+        let ty = self.ty()?;
+        let name = self.ident()?;
+        let init = if self.try_punct("=") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.eat_punct(";")?;
+        Ok(Stmt::Decl { name, ty, init })
+    }
+
+    fn assign_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let target = self.lvalue()?;
+        // x++; / x--; sugar
+        if self.try_punct("++") {
+            self.eat_punct(";")?;
+            return Ok(Stmt::Assign {
+                target,
+                op: AssignOp::Add,
+                value: Expr::IntLit(1),
+            });
+        }
+        if self.try_punct("--") {
+            self.eat_punct(";")?;
+            return Ok(Stmt::Assign {
+                target,
+                op: AssignOp::Sub,
+                value: Expr::IntLit(1),
+            });
+        }
+        let op = match self.peek() {
+            TokenKind::Punct("=") => AssignOp::Set,
+            TokenKind::Punct("+=") => AssignOp::Add,
+            TokenKind::Punct("-=") => AssignOp::Sub,
+            TokenKind::Punct("*=") => AssignOp::Mul,
+            TokenKind::Punct("/=") => AssignOp::Div,
+            other => {
+                let msg = format!("expected assignment operator, found {other}");
+                return self.err(msg);
+            }
+        };
+        self.bump();
+        let value = self.expr()?;
+        self.eat_punct(";")?;
+        Ok(Stmt::Assign { target, op, value })
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, ParseError> {
+        let name = self.ident()?;
+        if matches!(self.peek(), TokenKind::Punct("[")) {
+            let mut indices = Vec::new();
+            while self.try_punct("[") {
+                indices.push(self.expr()?);
+                self.eat_punct("]")?;
+            }
+            Ok(LValue::ArrayElem {
+                array: name,
+                indices,
+            })
+        } else {
+            Ok(LValue::Var(name))
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.bump(); // "if"
+        self.eat_punct("(")?;
+        let cond = self.expr()?;
+        self.eat_punct(")")?;
+        let then_body = self.stmt_or_block()?;
+        let else_body = if matches!(self.peek(), TokenKind::Ident(k) if k == "else") {
+            self.bump();
+            self.stmt_or_block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.try_punct("{") {
+            let (body, pragmas) = self.block_body()?;
+            if !pragmas.is_empty() {
+                return self.err("pragmas are only allowed in loop or function bodies");
+            }
+            Ok(body)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn for_loop(&mut self) -> Result<ForLoop, ParseError> {
+        self.bump(); // "for"
+        self.eat_punct("(")?;
+        // init: `int i = c` or `i = c`
+        if matches!(self.peek(), TokenKind::Ident(k) if k == "int") {
+            self.bump();
+        }
+        let var = self.ident()?;
+        self.eat_punct("=")?;
+        let start = self.int_lit()?;
+        self.eat_punct(";")?;
+        // cond: `i < c` or `i <= c`
+        let cond_var = self.ident()?;
+        if cond_var != var {
+            return self.err("loop condition must test the induction variable");
+        }
+        let inclusive = if self.try_punct("<") {
+            false
+        } else if self.try_punct("<=") {
+            true
+        } else {
+            return self.err("loop condition must use < or <=");
+        };
+        let mut bound = self.int_lit()?;
+        if inclusive {
+            bound += 1;
+        }
+        self.eat_punct(";")?;
+        // step: `i++`, `i += c`, or `i = i + c`
+        let step_var = self.ident()?;
+        if step_var != var {
+            return self.err("loop step must update the induction variable");
+        }
+        let step = if self.try_punct("++") {
+            1
+        } else if self.try_punct("+=") {
+            self.int_lit()?
+        } else if self.try_punct("=") {
+            let v2 = self.ident()?;
+            if v2 != var {
+                return self.err("loop step must be of the form i = i + c");
+            }
+            self.eat_punct("+")?;
+            self.int_lit()?
+        } else {
+            return self.err("loop step must be ++, +=, or i = i + c");
+        };
+        if step <= 0 {
+            return self.err("loop step must be positive");
+        }
+        self.eat_punct(")")?;
+        self.eat_punct("{")?;
+        let (body, pragmas) = self.block_body()?;
+        Ok(ForLoop {
+            var,
+            start,
+            bound,
+            step,
+            body,
+            pragmas,
+        })
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary_expr(0)?;
+        if self.try_punct("?") {
+            let then_value = self.expr()?;
+            self.eat_punct(":")?;
+            let else_value = self.expr()?;
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_value: Box::new(then_value),
+                else_value: Box::new(else_value),
+            });
+        }
+        Ok(cond)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokenKind::Punct("||") => (BinOp::Or, 1),
+                TokenKind::Punct("&&") => (BinOp::And, 2),
+                TokenKind::Punct("==") => (BinOp::Eq, 3),
+                TokenKind::Punct("!=") => (BinOp::Ne, 3),
+                TokenKind::Punct("<") => (BinOp::Lt, 4),
+                TokenKind::Punct("<=") => (BinOp::Le, 4),
+                TokenKind::Punct(">") => (BinOp::Gt, 4),
+                TokenKind::Punct(">=") => (BinOp::Ge, 4),
+                TokenKind::Punct("+") => (BinOp::Add, 5),
+                TokenKind::Punct("-") => (BinOp::Sub, 5),
+                TokenKind::Punct("*") => (BinOp::Mul, 6),
+                TokenKind::Punct("/") => (BinOp::Div, 6),
+                TokenKind::Punct("%") => (BinOp::Rem, 6),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.try_punct("-") {
+            let e = self.unary_expr()?;
+            return Ok(match e {
+                Expr::IntLit(v) => Expr::IntLit(-v),
+                Expr::FloatLit(v) => Expr::FloatLit(-v),
+                other => Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        if self.try_punct("!") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::FloatLit(v))
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.try_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.try_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.try_punct(")") {
+                                break;
+                            }
+                            self.eat_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args })
+                } else if matches!(self.peek(), TokenKind::Punct("[")) {
+                    let mut indices = Vec::new();
+                    while self.try_punct("[") {
+                        indices.push(self.expr()?);
+                        self.eat_punct("]")?;
+                    }
+                    Ok(Expr::ArrayElem {
+                        array: name,
+                        indices,
+                    })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => {
+                let msg = format!("expected expression, found {other}");
+                self.err(msg)
+            }
+        }
+    }
+}
+
+/// Parses the text after `#pragma` into a [`SourcePragma`].
+fn parse_pragma(text: &str, line: usize) -> Result<SourcePragma, ParseError> {
+    let err = |message: String| ParseError { line, message };
+    let mut words = text.split_whitespace();
+    match words.next() {
+        Some(w) if w.eq_ignore_ascii_case("hls") => {}
+        _ => return Err(err(format!("unsupported pragma {text:?} (expected HLS)"))),
+    }
+    let kind = words
+        .next()
+        .ok_or_else(|| err("missing HLS pragma kind".into()))?
+        .to_ascii_lowercase();
+    let mut opts = std::collections::BTreeMap::new();
+    let mut flags = Vec::new();
+    for w in words {
+        match w.split_once('=') {
+            Some((k, v)) => {
+                opts.insert(k.to_ascii_lowercase(), v.to_string());
+            }
+            None => flags.push(w.to_ascii_lowercase()),
+        }
+    }
+    let get_u32 = |opts: &std::collections::BTreeMap<String, String>, key: &str| {
+        opts.get(key)
+            .map(|v| {
+                v.parse::<u32>()
+                    .map_err(|_| err(format!("bad {key} value {v:?}")))
+            })
+            .transpose()
+    };
+    match kind.as_str() {
+        "pipeline" => Ok(SourcePragma::Pipeline {
+            ii: get_u32(&opts, "ii")?,
+        }),
+        "unroll" => Ok(SourcePragma::Unroll {
+            factor: get_u32(&opts, "factor")?,
+        }),
+        "loop_flatten" => Ok(SourcePragma::LoopFlatten),
+        "array_partition" => {
+            let variable = opts
+                .get("variable")
+                .cloned()
+                .ok_or_else(|| err("array_partition needs variable=".into()))?;
+            let kind = if flags.iter().any(|f| f == "cyclic") {
+                PartitionKind::Cyclic
+            } else if flags.iter().any(|f| f == "block") {
+                PartitionKind::Block
+            } else if flags.iter().any(|f| f == "complete") {
+                PartitionKind::Complete
+            } else {
+                return Err(err("array_partition needs cyclic|block|complete".into()));
+            };
+            let factor = get_u32(&opts, "factor")?.unwrap_or(1);
+            let dim = get_u32(&opts, "dim")?.unwrap_or(1);
+            Ok(SourcePragma::ArrayPartition {
+                variable,
+                kind,
+                factor,
+                dim,
+            })
+        }
+        other => Err(err(format!("unsupported HLS pragma kind {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GEMM: &str = r#"
+void gemm(float a[8][8], float b[8][8], float c[8][8]) {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            float acc = 0.0;
+            for (int k = 0; k < 8; k++) {
+                #pragma HLS pipeline II=1
+                acc += a[i][k] * b[k][j];
+            }
+            c[i][j] = acc;
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn parses_gemm() {
+        let p = parse_program(GEMM).unwrap();
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "gemm");
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[0].dims, vec![8, 8]);
+        let Stmt::For(ref outer) = f.body[0] else {
+            panic!("expected outer loop");
+        };
+        assert_eq!(outer.trip_count(), 8);
+        let Stmt::For(ref mid) = outer.body[0] else {
+            panic!("expected middle loop");
+        };
+        let Stmt::For(ref inner) = mid.body[1] else {
+            panic!("expected inner loop after decl");
+        };
+        assert_eq!(inner.pragmas, vec![SourcePragma::Pipeline { ii: Some(1) }]);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_program("void f(int x) { int y = 1 + 2 * 3; }").unwrap();
+        let Stmt::Decl { init: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+            panic!("expected + at top: {e:?}")
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn comparison_below_logical() {
+        let p = parse_program("void f(int x) { if (x < 3 && x > 1) { x = 0; } }").unwrap();
+        let Stmt::If { cond, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(cond, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn for_variants() {
+        for step in ["i++", "i += 2", "i = i + 2"] {
+            let src = format!("void f(float a[4]) {{ for (int i = 0; i < 4; {step}) {{ a[i] = 0.0; }} }}");
+            assert!(parse_program(&src).is_ok(), "failed for step {step}");
+        }
+        // inclusive bound
+        let p = parse_program("void f(float a[5]) { for (int i = 0; i <= 4; i++) { a[i] = 0.0; } }")
+            .unwrap();
+        let Stmt::For(l) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(l.trip_count(), 5);
+    }
+
+    #[test]
+    fn array_partition_pragma() {
+        let src = r#"
+void f(float a[16]) {
+    #pragma HLS array_partition variable=a cyclic factor=4 dim=1
+    for (int i = 0; i < 16; i++) { a[i] = 0.0; }
+}
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(
+            p.functions[0].pragmas,
+            vec![SourcePragma::ArrayPartition {
+                variable: "a".into(),
+                kind: PartitionKind::Cyclic,
+                factor: 4,
+                dim: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn unroll_without_factor_is_full() {
+        let src = "void f(float a[4]) { for (int i = 0; i < 4; i++) { #pragma HLS unroll\n a[i] = 0.0; } }";
+        let p = parse_program(src).unwrap();
+        let Stmt::For(l) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(l.pragmas, vec![SourcePragma::Unroll { factor: None }]);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse_program("void f() {\n  int x = ;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_noncanonical_loop() {
+        let src = "void f(int n) { for (int i = 0; i > 4; i++) { n = 0; } }";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn ternary_parses_right_associative() {
+        let p = parse_program("void f(int x) { int y = x > 0 ? 1 : x > 5 ? 2 : 3; }").unwrap();
+        let Stmt::Decl { init: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        let Expr::Ternary { else_value, .. } = e else {
+            panic!("expected ternary: {e:?}")
+        };
+        assert!(matches!(**else_value, Expr::Ternary { .. }));
+    }
+
+    #[test]
+    fn intrinsic_calls_parse() {
+        let src = "void f(float a[4]) { a[0] = sqrtf(a[1]) + fmaxf(a[2], a[3]); }";
+        assert!(parse_program(src).is_ok());
+    }
+}

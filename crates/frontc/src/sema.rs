@@ -1,0 +1,356 @@
+//! Semantic analysis: symbol resolution, type checking, loop legality.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::*;
+
+/// A semantic error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaError {
+    /// Function where the problem was found.
+    pub function: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in function {:?}: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Math intrinsics accepted by the front-end, with their arities.
+pub const INTRINSICS: &[(&str, usize)] = &[
+    ("sqrtf", 1),
+    ("expf", 1),
+    ("fabsf", 1),
+    ("fmaxf", 2),
+    ("fminf", 2),
+];
+
+#[derive(Clone, Copy, PartialEq)]
+enum SymKind {
+    Scalar(Type),
+    Array(Type, usize), // element type, rank
+}
+
+struct Scope<'a> {
+    func: &'a FunctionDef,
+    symbols: Vec<HashMap<String, SymKind>>,
+}
+
+impl<'a> Scope<'a> {
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, SemaError> {
+        Err(SemaError {
+            function: self.func.name.clone(),
+            message: message.into(),
+        })
+    }
+
+    fn lookup(&self, name: &str) -> Option<SymKind> {
+        self.symbols
+            .iter()
+            .rev()
+            .find_map(|m| m.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, kind: SymKind) -> Result<(), SemaError> {
+        let top = self.symbols.last_mut().expect("scope stack non-empty");
+        if top.contains_key(name) {
+            return Err(SemaError {
+                function: self.func.name.clone(),
+                message: format!("duplicate declaration of {name:?}"),
+            });
+        }
+        top.insert(name.to_string(), kind);
+        Ok(())
+    }
+}
+
+/// Checks a parsed program.
+///
+/// # Errors
+///
+/// Returns the first semantic problem: unknown symbols, type mismatches,
+/// wrong array ranks, invalid pragma targets, or unknown intrinsics.
+pub fn check(program: &Program) -> Result<(), SemaError> {
+    if program.functions.is_empty() {
+        return Err(SemaError {
+            function: String::new(),
+            message: "translation unit has no functions".into(),
+        });
+    }
+    for func in &program.functions {
+        check_function(func)?;
+    }
+    Ok(())
+}
+
+fn check_function(func: &FunctionDef) -> Result<(), SemaError> {
+    let mut scope = Scope {
+        func,
+        symbols: vec![HashMap::new()],
+    };
+    for p in &func.params {
+        let kind = if p.is_array() {
+            SymKind::Array(p.ty, p.dims.len())
+        } else {
+            SymKind::Scalar(p.ty)
+        };
+        scope.declare(&p.name, kind)?;
+    }
+    // function-level pragmas must reference array parameters
+    for pragma in &func.pragmas {
+        if let SourcePragma::ArrayPartition { variable, dim, .. } = pragma {
+            match scope.lookup(variable) {
+                Some(SymKind::Array(_, rank)) => {
+                    if *dim as usize > rank {
+                        return scope
+                            .error(format!("array_partition dim {dim} exceeds rank {rank}"));
+                    }
+                }
+                _ => {
+                    return scope.error(format!(
+                        "array_partition target {variable:?} is not an array parameter"
+                    ))
+                }
+            }
+        } else {
+            return scope.error("only array_partition pragmas are allowed at function scope");
+        }
+    }
+    check_block(&mut scope, &func.body)?;
+    Ok(())
+}
+
+fn check_block(scope: &mut Scope, body: &[Stmt]) -> Result<(), SemaError> {
+    scope.symbols.push(HashMap::new());
+    for stmt in body {
+        check_stmt(scope, stmt)?;
+    }
+    scope.symbols.pop();
+    Ok(())
+}
+
+fn check_stmt(scope: &mut Scope, stmt: &Stmt) -> Result<(), SemaError> {
+    match stmt {
+        Stmt::Decl { name, ty, init } => {
+            if *ty == Type::Void {
+                return scope.error("cannot declare a void variable");
+            }
+            if let Some(e) = init {
+                check_expr(scope, e)?;
+            }
+            scope.declare(name, SymKind::Scalar(*ty))
+        }
+        Stmt::Assign { target, value, .. } => {
+            check_lvalue(scope, target)?;
+            check_expr(scope, value)?;
+            Ok(())
+        }
+        Stmt::For(l) => {
+            scope.symbols.push(HashMap::new());
+            scope.declare(&l.var, SymKind::Scalar(Type::Int))?;
+            if l.trip_count() == 0 {
+                return scope.error(format!("loop over {:?} has zero trip count", l.var));
+            }
+            for pragma in &l.pragmas {
+                if matches!(pragma, SourcePragma::ArrayPartition { .. }) {
+                    return scope.error("array_partition must be at function scope");
+                }
+            }
+            check_block(scope, &l.body)?;
+            scope.symbols.pop();
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            check_expr(scope, cond)?;
+            check_block(scope, then_body)?;
+            check_block(scope, else_body)?;
+            Ok(())
+        }
+        Stmt::Return(e) => {
+            match (scope.func.ret, e) {
+                (Type::Void, Some(_)) => scope.error("void function returns a value"),
+                (Type::Void, None) => Ok(()),
+                (_, None) => scope.error("non-void function returns nothing"),
+                (_, Some(e)) => {
+                    check_expr(scope, e)?;
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn check_lvalue(scope: &mut Scope, lv: &LValue) -> Result<(), SemaError> {
+    match lv {
+        LValue::Var(name) => match scope.lookup(name) {
+            Some(SymKind::Scalar(_)) => Ok(()),
+            Some(SymKind::Array(..)) => {
+                scope.error(format!("cannot assign to array {name:?} as a whole"))
+            }
+            None => scope.error(format!("unknown variable {name:?}")),
+        },
+        LValue::ArrayElem { array, indices } => check_array_access(scope, array, indices),
+    }
+}
+
+fn check_array_access(scope: &mut Scope, array: &str, indices: &[Expr]) -> Result<(), SemaError> {
+    match scope.lookup(array) {
+        Some(SymKind::Array(_, rank)) => {
+            if indices.len() != rank {
+                return scope.error(format!(
+                    "array {array:?} has rank {rank} but {} indices were given",
+                    indices.len()
+                ));
+            }
+            for idx in indices {
+                check_expr(scope, idx)?;
+            }
+            Ok(())
+        }
+        Some(SymKind::Scalar(_)) => scope.error(format!("{array:?} is not an array")),
+        None => scope.error(format!("unknown array {array:?}")),
+    }
+}
+
+fn check_expr(scope: &mut Scope, expr: &Expr) -> Result<(), SemaError> {
+    match expr {
+        Expr::IntLit(_) | Expr::FloatLit(_) => Ok(()),
+        Expr::Var(name) => match scope.lookup(name) {
+            Some(SymKind::Scalar(_)) => Ok(()),
+            Some(SymKind::Array(..)) => {
+                scope.error(format!("array {name:?} used without indices"))
+            }
+            None => scope.error(format!("unknown variable {name:?}")),
+        },
+        Expr::ArrayElem { array, indices } => check_array_access(scope, array, indices),
+        Expr::Binary { lhs, rhs, .. } => {
+            check_expr(scope, lhs)?;
+            check_expr(scope, rhs)
+        }
+        Expr::Unary { expr, .. } => check_expr(scope, expr),
+        Expr::Ternary {
+            cond,
+            then_value,
+            else_value,
+        } => {
+            check_expr(scope, cond)?;
+            check_expr(scope, then_value)?;
+            check_expr(scope, else_value)
+        }
+        Expr::Call { name, args } => {
+            let arity = INTRINSICS
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, a)| *a);
+            match arity {
+                Some(a) if a == args.len() => {
+                    for arg in args {
+                        check_expr(scope, arg)?;
+                    }
+                    Ok(())
+                }
+                Some(a) => scope.error(format!(
+                    "intrinsic {name:?} takes {a} arguments, got {}",
+                    args.len()
+                )),
+                None => scope.error(format!("unknown function {name:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check_src(src: &str) -> Result<(), SemaError> {
+        check(&parse_program(src).expect("parse ok"))
+    }
+
+    #[test]
+    fn accepts_valid_kernel() {
+        let src = r#"
+void mvt(float a[4][4], float x[4], float y[4]) {
+    for (int i = 0; i < 4; i++) {
+        float acc = 0.0;
+        for (int j = 0; j < 4; j++) {
+            acc += a[i][j] * x[j];
+        }
+        y[i] = acc;
+    }
+}
+"#;
+        assert!(check_src(src).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let e = check_src("void f(int x) { x = y; }").unwrap_err();
+        assert!(e.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let e = check_src("void f(float a[4][4]) { a[0] = 1.0; }").unwrap_err();
+        assert!(e.message.contains("rank"));
+    }
+
+    #[test]
+    fn rejects_partition_of_scalar() {
+        let src = "void f(int x) {\n#pragma HLS array_partition variable=x cyclic factor=2 dim=1\n x = 0; }";
+        let e = check_src(src).unwrap_err();
+        assert!(e.message.contains("not an array"));
+    }
+
+    #[test]
+    fn rejects_partition_dim_beyond_rank() {
+        let src = "void f(float a[4]) {\n#pragma HLS array_partition variable=a cyclic factor=2 dim=3\n a[0] = 0.0; }";
+        let e = check_src(src).unwrap_err();
+        assert!(e.message.contains("exceeds rank"));
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration() {
+        let e = check_src("void f(int x) { int x = 0; int x = 1; x = 2; }").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn loop_variable_scoped_to_loop() {
+        // using i after the loop is an error
+        let e = check_src("void f(int x) { for (int i = 0; i < 4; i++) { x = i; } x = i; }")
+            .unwrap_err();
+        assert!(e.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn intrinsic_arity_checked() {
+        let e = check_src("void f(float a[2]) { a[0] = sqrtf(a[0], a[1]); }").unwrap_err();
+        assert!(e.message.contains("arguments"));
+    }
+
+    #[test]
+    fn void_return_rules() {
+        assert!(check_src("void f(int x) { return; }").is_ok());
+        assert!(check_src("void f(int x) { return x; }").is_err());
+        assert!(check_src("int f(int x) { return x; }").is_ok());
+        assert!(check_src("int f(int x) { return; }").is_err());
+    }
+
+    #[test]
+    fn zero_trip_loop_rejected() {
+        let e = check_src("void f(int x) { for (int i = 4; i < 4; i++) { x = 0; } }").unwrap_err();
+        assert!(e.message.contains("zero trip count"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: the front-end must never panic, only return errors.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII soup must produce `Ok` or `Err`, never a panic.
+    #[test]
+    fn parser_never_panics_on_ascii(input in "[ -~\\n\\t]{0,200}") {
+        let _ = frontc::parse(&input);
+    }
+
+    /// Mutations of a valid kernel (byte deletions) must not panic either.
+    #[test]
+    fn parser_never_panics_on_mutations(cut_start in 0usize..200, cut_len in 0usize..40) {
+        let src = "void k(float a[16], float b[16]) {\n    for (int i = 0; i < 16; i++) {\n        #pragma HLS pipeline\n        b[i] = a[i] * 2.0 + 1.5;\n    }\n}\n";
+        let bytes = src.as_bytes();
+        let start = cut_start.min(bytes.len());
+        let end = (start + cut_len).min(bytes.len());
+        let mutated: Vec<u8> = bytes[..start].iter().chain(&bytes[end..]).copied().collect();
+        if let Ok(text) = std::str::from_utf8(&mutated) {
+            let _ = frontc::parse(text);
+        }
+    }
+
+    /// Numeric literals round-trip through the lexer.
+    #[test]
+    fn int_literals_roundtrip(v in 0i64..1_000_000) {
+        let toks = frontc::Lexer::new(&format!("{v}")).tokenize().unwrap();
+        prop_assert_eq!(&toks[0].kind, &frontc::TokenKind::Int(v));
+    }
+
+    /// Identifier-shaped strings lex as single identifiers.
+    #[test]
+    fn identifiers_lex_whole(name in "[a-zA-Z_][a-zA-Z0-9_]{0,20}") {
+        let toks = frontc::Lexer::new(&name).tokenize().unwrap();
+        prop_assert_eq!(toks.len(), 2, "ident + eof");
+        match &toks[0].kind {
+            frontc::TokenKind::Ident(s) => prop_assert_eq!(s, &name),
+            other => prop_assert!(false, "unexpected token {other:?}"),
+        }
+    }
+}
+
+/// A grammar-directed generator of valid kernels: everything it produces
+/// must pass the full front-end.
+#[test]
+fn generated_valid_kernels_always_parse() {
+    for seed in 0..40u64 {
+        let src = kernels_like_source(seed);
+        frontc::parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+    }
+}
+
+fn kernels_like_source(seed: u64) -> String {
+    // tiny deterministic generator (LCG) over a safe template family
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move |m: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+    let n = [8, 16, 32][next(3) as usize];
+    let op = ["+", "*", "-"][next(3) as usize];
+    let pragma = ["", "#pragma HLS pipeline\n        ", "#pragma HLS unroll factor=2\n        "]
+        [next(3) as usize];
+    let two = next(2) == 0;
+    if two {
+        format!(
+            "void k(float a[{n}][{n}], float b[{n}][{n}]) {{\n    for (int i = 0; i < {n}; i++) {{\n        for (int j = 0; j < {n}; j++) {{\n        {pragma}b[i][j] = a[i][j] {op} 2.0;\n        }}\n    }}\n}}\n"
+        )
+    } else {
+        format!(
+            "void k(float a[{n}], float b[{n}]) {{\n    for (int i = 0; i < {n}; i++) {{\n        {pragma}b[i] = a[i] {op} 2.0;\n    }}\n}}\n"
+        )
+    }
+}

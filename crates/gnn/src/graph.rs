@@ -1,0 +1,262 @@
+//! Graph containers and mini-batch collation.
+
+use std::rc::Rc;
+
+use tensor::Matrix;
+
+/// A single attributed directed graph.
+///
+/// `src[e] -> dst[e]` is edge `e`; messages flow from source to destination
+/// during propagation. Optional graph-level features (`g_feats`) are
+/// concatenated to the pooled embedding by [`RegressionModel`].
+///
+/// [`RegressionModel`]: crate::RegressionModel
+///
+/// # Example
+///
+/// ```
+/// use gnn::GraphData;
+/// use tensor::Matrix;
+/// let g = GraphData::new(Matrix::zeros(2, 3), vec![0], vec![1]);
+/// assert_eq!(g.num_nodes(), 2);
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphData {
+    /// Node feature matrix, `num_nodes x feat_dim`.
+    pub x: Matrix,
+    /// Edge source node indices.
+    pub src: Vec<u32>,
+    /// Edge destination node indices.
+    pub dst: Vec<u32>,
+    /// Optional graph-level feature vector.
+    pub g_feats: Vec<f32>,
+}
+
+impl GraphData {
+    /// Creates a graph without graph-level features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` lengths differ or reference nonexistent nodes.
+    pub fn new(x: Matrix, src: Vec<u32>, dst: Vec<u32>) -> Self {
+        Self::with_features(x, src, dst, Vec::new())
+    }
+
+    /// Creates a graph with graph-level features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` lengths differ or reference nonexistent nodes.
+    pub fn with_features(x: Matrix, src: Vec<u32>, dst: Vec<u32>, g_feats: Vec<f32>) -> Self {
+        assert_eq!(src.len(), dst.len(), "edge list length mismatch");
+        let n = x.rows() as u32;
+        for (&s, &d) in src.iter().zip(&dst) {
+            assert!(s < n && d < n, "edge ({s},{d}) out of bounds for {n} nodes");
+        }
+        GraphData { x, src, dst, g_feats }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Node feature dimension.
+    pub fn feat_dim(&self) -> usize {
+        self.x.cols()
+    }
+}
+
+/// A collated mini-batch of graphs forming one block-diagonal super-graph.
+///
+/// Construction offsets node indices, optionally mirrors edges (so directed
+/// CDFGs propagate information both ways), and precomputes the per-edge GCN
+/// normalization coefficients and per-node in-degrees used by the
+/// convolution layers.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Stacked node features, `total_nodes x feat_dim`.
+    pub x: Matrix,
+    /// Edge sources (after offsetting/mirroring).
+    pub src: Rc<Vec<u32>>,
+    /// Edge destinations (after offsetting/mirroring).
+    pub dst: Rc<Vec<u32>>,
+    /// Graph id of each node.
+    pub graph_of_node: Rc<Vec<u32>>,
+    /// Number of graphs in the batch.
+    pub n_graphs: usize,
+    /// In-degree (message count) per node, excluding self-loops.
+    pub in_deg: Vec<f32>,
+    /// GCN edge list including self-loops.
+    pub gcn_src: Rc<Vec<u32>>,
+    /// GCN edge destinations including self-loops.
+    pub gcn_dst: Rc<Vec<u32>>,
+    /// Symmetric normalization coefficient per GCN edge.
+    pub gcn_coef: Matrix,
+    /// Stacked graph-level features, `n_graphs x g_feat_dim` (may be `n x 0`).
+    pub g_feats: Matrix,
+}
+
+impl Batch {
+    /// Collates graphs into a batch.
+    ///
+    /// When `mirror` is true, each edge `s -> d` also contributes a reverse
+    /// edge `d -> s`, which is the standard treatment for CDFGs where QoR
+    /// effects flow against def-use direction too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or feature dimensions are inconsistent.
+    pub fn from_graphs(graphs: &[&GraphData], mirror: bool) -> Self {
+        assert!(!graphs.is_empty(), "cannot batch zero graphs");
+        let feat_dim = graphs[0].feat_dim();
+        let g_feat_dim = graphs[0].g_feats.len();
+        let total_nodes: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+
+        let mut x = Matrix::zeros(total_nodes, feat_dim);
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        let mut graph_of_node = Vec::with_capacity(total_nodes);
+        let mut g_feats = Matrix::zeros(graphs.len(), g_feat_dim);
+
+        let mut offset = 0u32;
+        for (gi, g) in graphs.iter().enumerate() {
+            assert_eq!(g.feat_dim(), feat_dim, "inconsistent node feature dims");
+            assert_eq!(
+                g.g_feats.len(),
+                g_feat_dim,
+                "inconsistent graph feature dims"
+            );
+            for r in 0..g.num_nodes() {
+                x.row_mut(offset as usize + r).copy_from_slice(g.x.row(r));
+                graph_of_node.push(gi as u32);
+            }
+            for (&s, &d) in g.src.iter().zip(&g.dst) {
+                src.push(s + offset);
+                dst.push(d + offset);
+                if mirror && s != d {
+                    src.push(d + offset);
+                    dst.push(s + offset);
+                }
+            }
+            for (j, &v) in g.g_feats.iter().enumerate() {
+                g_feats[(gi, j)] = v;
+            }
+            offset += g.num_nodes() as u32;
+        }
+
+        let mut in_deg = vec![0.0f32; total_nodes];
+        for &d in &dst {
+            in_deg[d as usize] += 1.0;
+        }
+
+        // GCN: add self-loops, symmetric normalization 1/sqrt(d_i * d_j)
+        // where degrees count the self-loop.
+        let mut gcn_src = src.clone();
+        let mut gcn_dst = dst.clone();
+        for i in 0..total_nodes as u32 {
+            gcn_src.push(i);
+            gcn_dst.push(i);
+        }
+        let mut deg_loop = vec![1.0f32; total_nodes];
+        for &d in &dst {
+            deg_loop[d as usize] += 1.0;
+        }
+        let mut coef = Matrix::zeros(gcn_src.len(), 1);
+        for e in 0..gcn_src.len() {
+            let ds = deg_loop[gcn_src[e] as usize];
+            let dd = deg_loop[gcn_dst[e] as usize];
+            coef[(e, 0)] = 1.0 / (ds * dd).sqrt();
+        }
+
+        Batch {
+            x,
+            src: Rc::new(src),
+            dst: Rc::new(dst),
+            graph_of_node: Rc::new(graph_of_node),
+            n_graphs: graphs.len(),
+            in_deg,
+            gcn_src: Rc::new(gcn_src),
+            gcn_dst: Rc::new(gcn_dst),
+            gcn_coef: coef,
+            g_feats,
+        }
+    }
+
+    /// Total nodes in the batch.
+    pub fn num_nodes(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Total (possibly mirrored) edges in the batch.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, edges: &[(u32, u32)]) -> GraphData {
+        let x = Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32);
+        GraphData::new(
+            x,
+            edges.iter().map(|e| e.0).collect(),
+            edges.iter().map(|e| e.1).collect(),
+        )
+    }
+
+    #[test]
+    fn batch_offsets_node_indices() {
+        let a = toy(2, &[(0, 1)]);
+        let b = toy(3, &[(0, 2), (1, 2)]);
+        let batch = Batch::from_graphs(&[&a, &b], false);
+        assert_eq!(batch.num_nodes(), 5);
+        assert_eq!(batch.num_edges(), 3);
+        assert_eq!(batch.src.as_slice(), &[0, 2, 3]);
+        assert_eq!(batch.dst.as_slice(), &[1, 4, 4]);
+        assert_eq!(batch.graph_of_node.as_slice(), &[0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn mirroring_doubles_edges() {
+        let a = toy(3, &[(0, 1), (1, 2)]);
+        let batch = Batch::from_graphs(&[&a], true);
+        assert_eq!(batch.num_edges(), 4);
+        assert_eq!(batch.in_deg, vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn gcn_self_loops_present() {
+        let a = toy(2, &[(0, 1)]);
+        let batch = Batch::from_graphs(&[&a], false);
+        assert_eq!(batch.gcn_src.len(), 1 + 2);
+        // isolated-ish node 0 has degree 1 (self loop only)
+        let coef_self_0 = batch.gcn_coef[(1, 0)];
+        assert!((coef_self_0 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn graph_features_stack() {
+        let mut a = toy(2, &[(0, 1)]);
+        a.g_feats = vec![1.0, 2.0];
+        let mut b = toy(2, &[(0, 1)]);
+        b.g_feats = vec![3.0, 4.0];
+        let batch = Batch::from_graphs(&[&a, &b], false);
+        assert_eq!(batch.g_feats.row(0), &[1.0, 2.0]);
+        assert_eq!(batch.g_feats.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_edge_panics() {
+        let _ = GraphData::new(Matrix::zeros(2, 1), vec![0], vec![5]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Dense layers: `Linear` and `Mlp`.
+
+use rand::rngs::StdRng;
+
+use tensor::{init, ParamStore, Tape, Var};
+
+/// A dense affine layer `y = x W + b`.
+///
+/// # Example
+///
+/// ```
+/// use gnn::Linear;
+/// use tensor::{init, Matrix, ParamStore, Tape};
+///
+/// let mut store = ParamStore::new();
+/// let mut rng = init::seeded_rng(0);
+/// let lin = Linear::new(&mut store, "head", 3, 2, &mut rng);
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(Matrix::zeros(5, 3));
+/// let y = lin.forward(&store, &mut tape, x);
+/// assert_eq!(tape.value(y).shape(), (5, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: tensor::ParamId,
+    b: tensor::ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weights.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), init::xavier(rng, in_dim, out_dim));
+        let b = store.add(format!("{name}.b"), init::zero_bias(out_dim));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, store: &ParamStore, t: &mut Tape, x: Var) -> Var {
+        let w = t.param(store, self.w);
+        let b = t.param(store, self.b);
+        let xw = t.matmul(x, w);
+        t.add_row(xw, b)
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// A multi-layer perceptron with ReLU activations between layers (and a
+/// linear final layer).
+///
+/// # Example
+///
+/// ```
+/// use gnn::Mlp;
+/// use tensor::{init, Matrix, ParamStore, Tape};
+///
+/// let mut store = ParamStore::new();
+/// let mut rng = init::seeded_rng(0);
+/// let mlp = Mlp::new(&mut store, "qor_head", &[8, 16, 1], &mut rng);
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(Matrix::zeros(4, 8));
+/// let y = mlp.forward(&store, &mut tape, x);
+/// assert_eq!(tape.value(y).shape(), (4, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths (`dims.len() >= 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dimensions are given.
+    pub fn new(store: &mut ParamStore, name: &str, dims: &[usize], rng: &mut StdRng) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.{i}"), w[0], w[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Applies the MLP.
+    pub fn forward(&self, store: &ParamStore, t: &mut Tape, mut x: Var) -> Var {
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(store, t, x);
+            if i + 1 < n {
+                x = t.relu(x);
+            }
+        }
+        x
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Matrix;
+
+    #[test]
+    fn linear_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = init::seeded_rng(3);
+        let lin = Linear::new(&mut store, "l", 4, 7, &mut rng);
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(2, 4));
+        let y = lin.forward(&store, &mut t, x);
+        assert_eq!(t.value(y).shape(), (2, 7));
+        assert_eq!(lin.in_dim(), 4);
+        assert_eq!(lin.out_dim(), 7);
+    }
+
+    #[test]
+    fn mlp_learns_linear_map() {
+        // fit y = 2x - 1 with a tiny MLP
+        let mut store = ParamStore::new();
+        let mut rng = init::seeded_rng(5);
+        let mlp = Mlp::new(&mut store, "m", &[1, 8, 1], &mut rng);
+        let cfg = tensor::AdamConfig::with_lr(0.02);
+        let xs = Matrix::col_vector(&[-1.0, -0.5, 0.0, 0.5, 1.0]);
+        let ys = xs.map(|v| 2.0 * v - 1.0);
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            let mut t = Tape::new();
+            let x = t.leaf(xs.clone());
+            let target = t.leaf(ys.clone());
+            let pred = mlp.forward(&store, &mut t, x);
+            let loss = t.mse(pred, target);
+            last = t.value(loss).item();
+            t.backward(loss);
+            store.adam_step(&t, &cfg);
+        }
+        assert!(last < 1e-3, "final loss too high: {last}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Regression quality metrics.
+
+/// Mean absolute percentage error, in percent.
+///
+/// Targets with absolute value below `1e-6` are skipped to avoid division by
+/// zero; if all targets are skipped the result is `0.0`.
+///
+/// # Example
+///
+/// ```
+/// let m = gnn::mape(&[110.0, 90.0], &[100.0, 100.0]);
+/// assert!((m - 10.0).abs() < 1e-4);
+/// ```
+pub fn mape(pred: &[f32], target: &[f32]) -> f32 {
+    assert_eq!(pred.len(), target.len(), "mape length mismatch");
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (&p, &t) in pred.iter().zip(target) {
+        if t.abs() > 1e-6 {
+            acc += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * acc / n as f32
+    }
+}
+
+/// Root mean squared error.
+///
+/// # Example
+///
+/// ```
+/// let e = gnn::rmse(&[3.0], &[0.0]);
+/// assert!((e - 3.0).abs() < 1e-6);
+/// ```
+pub fn rmse(pred: &[f32], target: &[f32]) -> f32 {
+    assert_eq!(pred.len(), target.len(), "rmse length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mse: f32 = pred
+        .iter()
+        .zip(target)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / pred.len() as f32;
+    mse.sqrt()
+}
+
+/// Coefficient of determination (R²).
+///
+/// Returns `0.0` when the target variance is zero.
+pub fn r_squared(pred: &[f32], target: &[f32]) -> f32 {
+    assert_eq!(pred.len(), target.len(), "r2 length mismatch");
+    if target.is_empty() {
+        return 0.0;
+    }
+    let mean = target.iter().sum::<f32>() / target.len() as f32;
+    let ss_tot: f32 = target.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    let ss_res: f32 = pred
+        .iter()
+        .zip(target)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
+    if ss_tot <= 1e-12 {
+        0.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_metrics() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mape(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert!((r_squared(&t, &t) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mape_skips_zero_targets() {
+        let m = mape(&[5.0, 110.0], &[0.0, 100.0]);
+        assert!((m - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn r_squared_of_mean_predictor_is_zero() {
+        let target = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&pred, &target).abs() < 1e-6);
+    }
+}

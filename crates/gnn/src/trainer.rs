@@ -1,0 +1,348 @@
+//! Generic graph-regression model and training loop.
+
+use rand::seq::SliceRandom;
+
+use tensor::{init, AdamConfig, Matrix, ParamStore, Tape, Var};
+
+use crate::convs::{Encoder, EncoderConfig};
+use crate::graph::{Batch, GraphData};
+use crate::layers::Mlp;
+use crate::metrics::mape;
+
+/// Encoder + MLP head predicting a fixed-size vector per graph.
+///
+/// The pooled graph embedding is concatenated with the batch's graph-level
+/// features (if any) before the head — this is how loop-level features such
+/// as II and TC enter the latency models.
+#[derive(Debug, Clone)]
+pub struct RegressionModel {
+    encoder: Encoder,
+    head: Mlp,
+    g_feat_dim: usize,
+}
+
+impl RegressionModel {
+    /// Builds a model with `g_feat_dim` graph-level features and `out_dim`
+    /// regression outputs; `seed` controls weight initialization.
+    pub fn new(
+        store: &mut ParamStore,
+        cfg: &EncoderConfig,
+        g_feat_dim: usize,
+        out_dim: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = init::seeded_rng(seed);
+        let encoder = Encoder::new(store, "encoder", cfg, &mut rng);
+        let head_in = encoder.pooled_dim() + g_feat_dim;
+        let head = Mlp::new(store, "head", &[head_in, cfg.hidden * 2, out_dim], &mut rng);
+        RegressionModel {
+            encoder,
+            head,
+            g_feat_dim,
+        }
+    }
+
+    /// Forward pass, returning the `[n_graphs, out_dim]` prediction variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's graph-feature width differs from the model's.
+    pub fn forward(&self, store: &ParamStore, t: &mut Tape, batch: &Batch) -> Var {
+        assert_eq!(
+            batch.g_feats.cols(),
+            self.g_feat_dim,
+            "graph feature width mismatch"
+        );
+        let pooled = self.encoder.forward_pooled(store, t, batch);
+        let with_feats = if self.g_feat_dim > 0 {
+            let gf = t.leaf(batch.g_feats.clone());
+            t.concat_cols(&[pooled, gf])
+        } else {
+            pooled
+        };
+        self.head.forward(store, t, with_feats)
+    }
+
+    /// Convenience inference over a slice of graphs (no gradient tracking).
+    pub fn predict(&self, store: &ParamStore, graphs: &[&GraphData]) -> Matrix {
+        let batch = Batch::from_graphs(graphs, true);
+        let mut t = Tape::new();
+        let out = self.forward(store, &mut t, &batch);
+        t.value(out).clone()
+    }
+
+    /// The underlying encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Number of regression outputs.
+    pub fn out_dim(&self) -> usize {
+        self.head.out_dim()
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Graphs per mini-batch.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// AdamW weight decay.
+    pub weight_decay: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Stop early after this many epochs without validation improvement
+    /// (`0` disables early stopping).
+    pub patience: usize,
+    /// Print a progress line every N epochs (`0` silences).
+    pub log_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 60,
+            batch_size: 32,
+            lr: 3e-3,
+            weight_decay: 1e-5,
+            seed: 0,
+            patience: 0,
+            log_every: 0,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Final training loss (MSE in model space).
+    pub final_loss: f32,
+    /// Best validation MAPE observed (percent, model space).
+    pub best_val_mape: f32,
+    /// Epochs actually run.
+    pub epochs_run: usize,
+}
+
+/// Trains `model` on `(graph, target-vector)` pairs with MSE loss.
+///
+/// Targets are used as-is: callers that want log-space training (as the QoR
+/// pipeline does) transform targets before calling and predictions after.
+///
+/// # Panics
+///
+/// Panics if `train` is empty or target widths mismatch the model output.
+pub fn train_regression(
+    store: &mut ParamStore,
+    model: &RegressionModel,
+    train: &[(GraphData, Vec<f32>)],
+    val: &[(GraphData, Vec<f32>)],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    assert!(!train.is_empty(), "empty training set");
+    let out_dim = model.out_dim();
+    for (_, y) in train.iter().chain(val) {
+        assert_eq!(y.len(), out_dim, "target width mismatch");
+    }
+
+    let mut rng = init::seeded_rng(cfg.seed);
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut best_val = f32::INFINITY;
+    let mut stall = 0usize;
+    let mut final_loss = f32::NAN;
+    let mut epochs_run = 0;
+
+    for epoch in 0..cfg.epochs {
+        // step LR schedule: 1x -> 0.3x -> 0.1x, with gradient clipping
+        let frac = (epoch as f32 + 0.5) / cfg.epochs.max(1) as f32;
+        let decay = if frac < 0.6 {
+            1.0
+        } else if frac < 0.85 {
+            0.3
+        } else {
+            0.1
+        };
+        let adam = AdamConfig {
+            lr: cfg.lr * decay,
+            weight_decay: cfg.weight_decay,
+            clip: 2.0,
+            ..AdamConfig::default()
+        };
+        epochs_run = epoch + 1;
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let graphs: Vec<&GraphData> = chunk.iter().map(|&i| &train[i].0).collect();
+            let batch = Batch::from_graphs(&graphs, true);
+            let mut targets = Matrix::zeros(chunk.len(), out_dim);
+            for (r, &i) in chunk.iter().enumerate() {
+                targets.row_mut(r).copy_from_slice(&train[i].1);
+            }
+            let mut t = Tape::new();
+            let pred = model.forward(store, &mut t, &batch);
+            let tv = t.leaf(targets);
+            let loss = t.mse(pred, tv);
+            epoch_loss += t.value(loss).item();
+            batches += 1;
+            t.backward(loss);
+            store.adam_step(&t, &adam);
+        }
+        final_loss = epoch_loss / batches.max(1) as f32;
+
+        if !val.is_empty() {
+            let vm = eval_mape(store, model, val);
+            if vm < best_val - 1e-4 {
+                best_val = vm;
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            if cfg.log_every > 0 && epoch % cfg.log_every == 0 {
+                eprintln!("epoch {epoch}: train_mse={final_loss:.5} val_mape={vm:.2}%");
+            }
+            if cfg.patience > 0 && stall >= cfg.patience {
+                break;
+            }
+        } else if cfg.log_every > 0 && epoch % cfg.log_every == 0 {
+            eprintln!("epoch {epoch}: train_mse={final_loss:.5}");
+        }
+    }
+
+    TrainReport {
+        final_loss,
+        best_val_mape: if val.is_empty() { f32::NAN } else { best_val },
+        epochs_run,
+    }
+}
+
+/// Model-space MAPE of `model` over a labeled set.
+pub fn eval_mape(
+    store: &ParamStore,
+    model: &RegressionModel,
+    data: &[(GraphData, Vec<f32>)],
+) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut preds = Vec::new();
+    let mut targets = Vec::new();
+    for chunk in data.chunks(64) {
+        let graphs: Vec<&GraphData> = chunk.iter().map(|(g, _)| g).collect();
+        let out = model.predict(store, &graphs);
+        for (r, (_, y)) in chunk.iter().enumerate() {
+            preds.extend_from_slice(out.row(r));
+            targets.extend_from_slice(y);
+        }
+    }
+    mape(&preds, &targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convs::ConvKind;
+
+    /// Synthetic task: predict the number of nodes and total edge count of
+    /// random path graphs — learnable from structure alone.
+    fn synth_dataset(n: usize, seed: u64) -> Vec<(GraphData, Vec<f32>)> {
+        let mut rng = init::seeded_rng(seed);
+        use rand::Rng;
+        (0..n)
+            .map(|_| {
+                let nodes = rng.gen_range(3..10usize);
+                let x = Matrix::from_fn(nodes, 2, |r, _| 0.1 * r as f32 + 0.5);
+                let src: Vec<u32> = (0..nodes as u32 - 1).collect();
+                let dst: Vec<u32> = (1..nodes as u32).collect();
+                let y = vec![nodes as f32 / 10.0];
+                (GraphData::new(x, src, dst), y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn regression_learns_graph_size() {
+        let train = synth_dataset(60, 1);
+        let val = synth_dataset(20, 2);
+        let mut store = ParamStore::new();
+        let model = RegressionModel::new(
+            &mut store,
+            &EncoderConfig::new(ConvKind::Sage, 2, 8),
+            0,
+            1,
+            7,
+        );
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 16,
+            lr: 5e-3,
+            ..TrainConfig::default()
+        };
+        let report = train_regression(&mut store, &model, &train, &val, &cfg);
+        assert!(
+            report.best_val_mape < 12.0,
+            "val MAPE too high: {}",
+            report.best_val_mape
+        );
+    }
+
+    #[test]
+    fn graph_features_reach_head() {
+        // target equals the graph-level feature: trivially learnable only if
+        // g_feats are plumbed through
+        let mut data = Vec::new();
+        for i in 0..40 {
+            let x = Matrix::zeros(3, 2);
+            let mut g = GraphData::new(x, vec![0, 1], vec![1, 2]);
+            let f = (i % 7) as f32 / 7.0;
+            g.g_feats = vec![f];
+            data.push((g, vec![f]));
+        }
+        let mut store = ParamStore::new();
+        let model = RegressionModel::new(
+            &mut store,
+            &EncoderConfig::new(ConvKind::Gcn, 2, 4),
+            1,
+            1,
+            3,
+        );
+        let cfg = TrainConfig {
+            epochs: 80,
+            batch_size: 8,
+            lr: 1e-2,
+            ..TrainConfig::default()
+        };
+        let report = train_regression(&mut store, &model, &data, &data, &cfg);
+        assert!(
+            report.best_val_mape < 8.0,
+            "val MAPE too high: {}",
+            report.best_val_mape
+        );
+    }
+
+    #[test]
+    fn early_stopping_halts() {
+        let train = synth_dataset(10, 3);
+        let val = synth_dataset(5, 4);
+        let mut store = ParamStore::new();
+        let model = RegressionModel::new(
+            &mut store,
+            &EncoderConfig::new(ConvKind::Gcn, 2, 4),
+            0,
+            1,
+            1,
+        );
+        let cfg = TrainConfig {
+            epochs: 500,
+            batch_size: 8,
+            lr: 0.0, // no progress => patience should trigger
+            patience: 3,
+            ..TrainConfig::default()
+        };
+        let report = train_regression(&mut store, &model, &train, &val, &cfg);
+        assert!(report.epochs_run <= 10);
+    }
+}

@@ -1,0 +1,300 @@
+//! HIR analyses: loop shapes, recurrence cycles, array-use summaries.
+
+use pragma::{LoopId, LoopShape};
+
+use crate::ir::{Block, Function, HirLoop, Item, OpId, OpKind, Operand};
+
+/// A loop-carried scalar recurrence (through a phi node).
+///
+/// The `cycle` lists the ops on the dependence cycle from the phi through
+/// the back-edge value and back; its accumulated latency bounds the
+/// initiation interval of a pipelined loop (`II_rec` in the paper's
+/// formula).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recurrence {
+    /// The phi op heading the cycle.
+    pub phi: OpId,
+    /// Ops on the cycle (excluding the phi itself), in discovery order.
+    pub cycle: Vec<OpId>,
+    /// Iteration distance of the dependence (always 1 for scalar phis).
+    pub distance: u32,
+}
+
+/// Memory-traffic summary of one array within a loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayUse {
+    /// Array name.
+    pub array: String,
+    /// Load ops per iteration (lexical count).
+    pub loads: usize,
+    /// Store ops per iteration (lexical count).
+    pub stores: usize,
+    /// Whether every access is affine.
+    pub all_affine: bool,
+}
+
+impl ArrayUse {
+    /// Total accesses per iteration.
+    pub fn accesses(&self) -> usize {
+        self.loads + self.stores
+    }
+}
+
+/// Builds [`LoopShape`] trees for the pragma design-space machinery.
+pub fn loop_shapes(func: &Function) -> Vec<LoopShape> {
+    fn shape_of(l: &HirLoop) -> LoopShape {
+        let children: Vec<LoopShape> = l.children().map(shape_of).collect();
+        LoopShape {
+            id: l.id.clone(),
+            trip_count: l.trip_count(),
+            perfect: l.is_perfect_level(),
+            children,
+        }
+    }
+    top_loops(&func.body).into_iter().map(shape_of).collect()
+}
+
+fn top_loops(block: &Block) -> Vec<&HirLoop> {
+    block
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Loop(l) => Some(l),
+            Item::Op(_) => None,
+        })
+        .collect()
+}
+
+/// Finds the scalar recurrence cycles of a loop.
+///
+/// For each phi, the back-edge operand is traced through def-use chains; the
+/// ops encountered before reaching the phi again form the cycle. Returns an
+/// empty list for loops without phis (no loop-carried scalar dependence).
+pub fn recurrences(func: &Function, loop_id: &LoopId) -> Vec<Recurrence> {
+    let Some(l) = func.find_loop(loop_id) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for &phi in &l.phis {
+        let back = &func.op(phi).operands[1];
+        let mut cycle = Vec::new();
+        let mut stack: Vec<OpId> = Vec::new();
+        if let Operand::Value(v) = back {
+            stack.push(*v);
+        }
+        let mut visited = std::collections::HashSet::new();
+        let mut reaches_phi = false;
+        while let Some(id) = stack.pop() {
+            if id == phi {
+                reaches_phi = true;
+                continue;
+            }
+            if !visited.insert(id) {
+                continue;
+            }
+            cycle.push(id);
+            for opnd in &func.op(id).operands {
+                if let Operand::Value(v) = opnd {
+                    stack.push(*v);
+                }
+            }
+        }
+        if reaches_phi {
+            // keep only ops that can actually reach the phi (on the cycle):
+            // prune pure fan-in that does not depend on the phi
+            let on_cycle: Vec<OpId> = cycle
+                .into_iter()
+                .filter(|&id| depends_on(func, id, phi, &mut Default::default()))
+                .collect();
+            out.push(Recurrence {
+                phi,
+                cycle: on_cycle,
+                distance: 1,
+            });
+        }
+    }
+    out
+}
+
+fn depends_on(
+    func: &Function,
+    from: OpId,
+    target: OpId,
+    memo: &mut std::collections::HashMap<OpId, bool>,
+) -> bool {
+    if from == target {
+        return true;
+    }
+    if let Some(&v) = memo.get(&from) {
+        return v;
+    }
+    memo.insert(from, false); // break cycles conservatively
+    let result = func.op(from).operands.iter().any(|o| match o {
+        Operand::Value(v) => *v == target || depends_on(func, *v, target, memo),
+        _ => false,
+    });
+    memo.insert(from, result);
+    result
+}
+
+/// Summarizes array accesses lexically inside a loop body.
+///
+/// With `recursive`, accesses of nested loops are included (used when inner
+/// loops are fully unrolled into a pipelined region).
+pub fn array_uses(func: &Function, loop_id: &LoopId, recursive: bool) -> Vec<ArrayUse> {
+    let ops = func.ops_in_loop(loop_id, recursive);
+    summarize(func, &ops)
+}
+
+/// Summarizes array accesses of an explicit op set.
+pub fn summarize(func: &Function, ops: &[OpId]) -> Vec<ArrayUse> {
+    let mut map: std::collections::BTreeMap<String, ArrayUse> = Default::default();
+    for &id in ops {
+        let op = func.op(id);
+        match &op.kind {
+            OpKind::Load { array, access } => {
+                let e = map.entry(array.clone()).or_insert_with(|| ArrayUse {
+                    array: array.clone(),
+                    loads: 0,
+                    stores: 0,
+                    all_affine: true,
+                });
+                e.loads += 1;
+                e.all_affine &= access.is_affine();
+            }
+            OpKind::Store { array, access } => {
+                let e = map.entry(array.clone()).or_insert_with(|| ArrayUse {
+                    array: array.clone(),
+                    loads: 0,
+                    stores: 0,
+                    all_affine: true,
+                });
+                e.stores += 1;
+                e.all_affine &= access.is_affine();
+            }
+            _ => {}
+        }
+    }
+    map.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+
+    fn func(src: &str, name: &str) -> Function {
+        let p = frontc::parse(src).expect("frontend ok");
+        lower(&p)
+            .expect("lower ok")
+            .function(name)
+            .expect("function present")
+            .clone()
+    }
+
+    #[test]
+    fn shapes_mirror_nesting() {
+        let f = func(
+            r#"
+void k(float a[4][4]) {
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) {
+            a[i][j] = 0.0;
+        }
+    }
+}
+"#,
+            "k",
+        );
+        let shapes = loop_shapes(&f);
+        assert_eq!(shapes.len(), 1);
+        assert_eq!(shapes[0].trip_count, 4);
+        assert!(shapes[0].perfect);
+        assert_eq!(shapes[0].children.len(), 1);
+        assert!(shapes[0].is_perfect_chain());
+    }
+
+    #[test]
+    fn accumulation_has_recurrence() {
+        let f = func(
+            r#"
+void dot(float a[16], float b[16], float out[1]) {
+    float acc = 0.0;
+    for (int i = 0; i < 16; i++) {
+        acc += a[i] * b[i];
+    }
+    out[0] = acc;
+}
+"#,
+            "dot",
+        );
+        let recs = recurrences(&f, &LoopId::from_path(&[0]));
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].distance, 1);
+        // the cycle is exactly the fadd (loads/fmul feed it but do not
+        // depend on the phi)
+        let kinds: Vec<&str> = recs[0]
+            .cycle
+            .iter()
+            .map(|&id| f.op(id).kind.mnemonic())
+            .collect();
+        assert_eq!(kinds, vec!["fadd"]);
+    }
+
+    #[test]
+    fn elementwise_loop_has_no_recurrence() {
+        let f = func(
+            r#"
+void scale(float a[16]) {
+    for (int i = 0; i < 16; i++) {
+        a[i] = a[i] * 2.0;
+    }
+}
+"#,
+            "scale",
+        );
+        assert!(recurrences(&f, &LoopId::from_path(&[0])).is_empty());
+    }
+
+    #[test]
+    fn array_use_counts() {
+        let f = func(
+            r#"
+void k(float a[8], float b[8]) {
+    for (int i = 0; i < 8; i++) {
+        b[i] = a[i] + a[7 - i];
+    }
+}
+"#,
+            "k",
+        );
+        let uses = array_uses(&f, &LoopId::from_path(&[0]), false);
+        let a = uses.iter().find(|u| u.array == "a").unwrap();
+        let b = uses.iter().find(|u| u.array == "b").unwrap();
+        assert_eq!((a.loads, a.stores), (2, 0));
+        assert_eq!((b.loads, b.stores), (0, 1));
+        assert!(a.all_affine);
+        assert_eq!(a.accesses(), 2);
+    }
+
+    #[test]
+    fn recursive_array_use_includes_inner_loops() {
+        let f = func(
+            r#"
+void k(float a[4][4]) {
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) {
+            a[i][j] = a[i][j] + 1.0;
+        }
+    }
+}
+"#,
+            "k",
+        );
+        let outer = LoopId::from_path(&[0]);
+        assert!(array_uses(&f, &outer, false).is_empty());
+        let rec = array_uses(&f, &outer, true);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].accesses(), 2);
+    }
+}

@@ -1,0 +1,494 @@
+//! A reference interpreter for the HIR.
+//!
+//! Executes a lowered function on concrete array/scalar inputs. Its purpose
+//! is **differential testing**: the lowering (SSA renaming, if-conversion,
+//! phi construction) is validated by checking that interpreting the HIR
+//! reproduces the source semantics on concrete data. The prediction stack
+//! never needs it at runtime.
+
+use std::collections::HashMap;
+
+use pragma::LoopId;
+
+use crate::ir::{Block, CmpOp, Function, HirLoop, Item, OpId, OpKind, Operand, ScalarType};
+
+/// Interpreter error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interp: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Concrete memory state: one flat `f64` buffer per array.
+///
+/// # Example
+///
+/// ```
+/// use hir::Memory;
+/// let mut mem = Memory::new();
+/// mem.set("a", vec![1.0, 2.0, 3.0]);
+/// assert_eq!(mem.get("a").unwrap()[1], 2.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Memory {
+    arrays: HashMap<String, Vec<f64>>,
+    /// Scalar parameter values.
+    pub scalars: HashMap<String, f64>,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs an array buffer (row-major for multi-dimensional arrays).
+    pub fn set(&mut self, name: impl Into<String>, data: Vec<f64>) {
+        self.arrays.insert(name.into(), data);
+    }
+
+    /// Reads an array buffer.
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.arrays.get(name).map(|v| v.as_slice())
+    }
+
+    /// Fills every array of `func` with a deterministic pattern (useful for
+    /// differential tests).
+    pub fn seeded_for(func: &Function, seed: u64) -> Self {
+        let mut mem = Memory::new();
+        for a in &func.arrays {
+            let n = a.num_elements();
+            let data = (0..n)
+                .map(|i| {
+                    let x = (i as u64).wrapping_mul(2654435761).wrapping_add(seed);
+                    ((x % 1000) as f64) / 100.0 - 4.0
+                })
+                .collect();
+            mem.set(a.name.clone(), data);
+        }
+        mem
+    }
+}
+
+/// Executes `func` against `mem`, mutating array contents in place.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] on missing arrays, out-of-bounds accesses, or
+/// malformed operand references (all of which indicate lowering bugs).
+pub fn execute(func: &Function, mem: &mut Memory) -> Result<(), InterpError> {
+    let mut ctx = Ctx {
+        func,
+        values: HashMap::new(),
+        ind: HashMap::new(),
+    };
+    ctx.run_block(&func.body, mem)
+}
+
+struct Ctx<'a> {
+    func: &'a Function,
+    values: HashMap<OpId, f64>,
+    ind: HashMap<LoopId, i64>,
+}
+
+impl<'a> Ctx<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, InterpError> {
+        Err(InterpError {
+            message: message.into(),
+        })
+    }
+
+    fn operand(&self, o: &Operand, _mem: &Memory) -> Result<f64, InterpError> {
+        match o {
+            Operand::Const(c) => Ok(*c),
+            Operand::IndVar(l) => self
+                .ind
+                .get(l)
+                .copied()
+                .map(|v| v as f64)
+                .ok_or_else(|| InterpError {
+                    message: format!("induction variable of {l} not bound"),
+                }),
+            Operand::Value(id) => self.values.get(id).copied().ok_or_else(|| InterpError {
+                message: format!("value {id:?} used before definition"),
+            }),
+        }
+    }
+
+    fn run_block(&mut self, block: &Block, mem: &mut Memory) -> Result<(), InterpError> {
+        for item in &block.items {
+            match item {
+                Item::Op(id) => self.run_op(*id, mem)?,
+                Item::Loop(l) => self.run_loop(l, mem)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn run_loop(&mut self, l: &HirLoop, mem: &mut Memory) -> Result<(), InterpError> {
+        // phi initial values
+        for &phi in &l.phis {
+            let init = self.operand(&self.func.op(phi).operands[0], mem)?;
+            self.values.insert(phi, init);
+        }
+        let mut i = l.start;
+        while i < l.bound {
+            self.ind.insert(l.id.clone(), i);
+            self.run_block(&l.body, mem)?;
+            // latch: phis take their back-edge values
+            for &phi in &l.phis {
+                let next = self.operand(&self.func.op(phi).operands[1], mem)?;
+                self.values.insert(phi, next);
+            }
+            i += l.step;
+        }
+        self.ind.remove(&l.id);
+        Ok(())
+    }
+
+    fn run_op(&mut self, id: OpId, mem: &mut Memory) -> Result<(), InterpError> {
+        let op = self.func.op(id);
+        // predicated ops only execute when their control condition holds —
+        // except loads/selects, which are evaluated speculatively (they are
+        // side-effect free), matching the lowering's if-conversion model
+        let pred = match op.ctrl {
+            Some(c) => self.values.get(&c).copied().unwrap_or(0.0) != 0.0,
+            None => true,
+        };
+
+        let value = match &op.kind {
+            OpKind::Param(name) => mem.scalars.get(name).copied().unwrap_or(0.0),
+            OpKind::Phi => {
+                // value managed by run_loop; keep current
+                self.values.get(&id).copied().unwrap_or(0.0)
+            }
+            OpKind::Load { array, access } => {
+                let idx = self.flat_index(array, access, &op.operands, mem)?;
+                let buf = mem
+                    .get(array)
+                    .ok_or_else(|| InterpError {
+                        message: format!("array {array:?} missing"),
+                    })?;
+                if idx >= buf.len() {
+                    // out-of-bounds speculative loads under a false predicate
+                    // read as zero (e.g. fir's guarded `input[n - t]`)
+                    if !pred {
+                        0.0
+                    } else {
+                        return self.err(format!(
+                            "load {array}[{idx}] out of bounds ({})",
+                            buf.len()
+                        ));
+                    }
+                } else {
+                    buf[idx]
+                }
+            }
+            OpKind::Store { array, access } => {
+                let value = self.operand(&op.operands[0], mem)?;
+                if pred {
+                    let extra = &op.operands[1..];
+                    let idx = self.flat_index(array, access, extra, mem)?;
+                    let buf = mem.arrays.get_mut(array).ok_or_else(|| InterpError {
+                        message: format!("array {array:?} missing"),
+                    })?;
+                    if idx >= buf.len() {
+                        return self.err(format!(
+                            "store {array}[{idx}] out of bounds ({})",
+                            buf.len()
+                        ));
+                    }
+                    buf[idx] = value;
+                }
+                value
+            }
+            kind => {
+                let a = op
+                    .operands
+                    .first()
+                    .map(|o| self.operand(o, mem))
+                    .transpose()?
+                    .unwrap_or(0.0);
+                let b = op
+                    .operands
+                    .get(1)
+                    .map(|o| self.operand(o, mem))
+                    .transpose()?
+                    .unwrap_or(0.0);
+                let as_int = |v: f64| v.trunc() as i64;
+                match kind {
+                    OpKind::Add => (as_int(a) + as_int(b)) as f64,
+                    OpKind::Sub => (as_int(a) - as_int(b)) as f64,
+                    OpKind::Mul => (as_int(a) * as_int(b)) as f64,
+                    OpKind::Div => {
+                        if as_int(b) == 0 {
+                            0.0
+                        } else {
+                            (as_int(a) / as_int(b)) as f64
+                        }
+                    }
+                    OpKind::Rem => {
+                        if as_int(b) == 0 {
+                            0.0
+                        } else {
+                            (as_int(a) % as_int(b)) as f64
+                        }
+                    }
+                    OpKind::FAdd => a + b,
+                    OpKind::FSub => a - b,
+                    OpKind::FMul => a * b,
+                    OpKind::FDiv => {
+                        if b == 0.0 {
+                            0.0
+                        } else {
+                            a / b
+                        }
+                    }
+                    OpKind::ICmp(c) | OpKind::FCmp(c) => {
+                        let r = match c {
+                            CmpOp::Lt => a < b,
+                            CmpOp::Le => a <= b,
+                            CmpOp::Gt => a > b,
+                            CmpOp::Ge => a >= b,
+                            CmpOp::Eq => a == b,
+                            CmpOp::Ne => a != b,
+                        };
+                        f64::from(u8::from(r))
+                    }
+                    OpKind::And => f64::from(u8::from(a != 0.0 && b != 0.0)),
+                    OpKind::Or => f64::from(u8::from(a != 0.0 || b != 0.0)),
+                    OpKind::Not => f64::from(u8::from(a == 0.0)),
+                    OpKind::Select => {
+                        let c = self.operand(&op.operands[2], mem)?;
+                        let _ = c;
+                        let cond = a;
+                        let t = b;
+                        let e = self.operand(&op.operands[2], mem)?;
+                        if cond != 0.0 {
+                            t
+                        } else {
+                            e
+                        }
+                    }
+                    OpKind::Sqrt => a.max(0.0).sqrt(),
+                    OpKind::Exp => a.exp(),
+                    OpKind::Abs => a.abs(),
+                    OpKind::Max => a.max(b),
+                    OpKind::Min => a.min(b),
+                    OpKind::Cast => match op.ty {
+                        ScalarType::Int => a.trunc(),
+                        ScalarType::Float => a,
+                    },
+                    _ => unreachable!("memory/phi/param handled above"),
+                }
+            }
+        };
+        self.values.insert(id, value);
+        Ok(())
+    }
+
+    /// Flattens a (possibly dynamic) access to a row-major element index.
+    fn flat_index(
+        &self,
+        array: &str,
+        access: &crate::ir::AccessPattern,
+        dyn_operands: &[Operand],
+        mem: &Memory,
+    ) -> Result<usize, InterpError> {
+        let info = self
+            .func
+            .array(array)
+            .ok_or_else(|| InterpError {
+                message: format!("unknown array {array:?}"),
+            })?;
+        let dims = &info.dims;
+        let indices: Vec<i64> = match access {
+            crate::ir::AccessPattern::Affine(idxs) => idxs
+                .iter()
+                .map(|ix| {
+                    ix.eval(&|l| self.ind.get(l).copied().unwrap_or(0))
+                })
+                .collect(),
+            crate::ir::AccessPattern::Dynamic { rank } => {
+                let mut out = Vec::with_capacity(*rank);
+                for o in dyn_operands.iter().take(*rank) {
+                    out.push(self.operand(o, mem)?.trunc() as i64);
+                }
+                out
+            }
+        };
+        let mut flat: i64 = 0;
+        for (d, &ix) in indices.iter().enumerate() {
+            let n = dims.get(d).copied().unwrap_or(1) as i64;
+            flat = flat * n + ix;
+        }
+        if flat < 0 {
+            // clamp negative speculative addresses to a sentinel OOB value
+            return Ok(usize::MAX);
+        }
+        Ok(flat as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+
+    fn run(src: &str, name: &str, mem: &mut Memory) {
+        let module = lower(&frontc::parse(src).unwrap()).unwrap();
+        let f = module.function(name).unwrap();
+        execute(f, mem).unwrap();
+    }
+
+    #[test]
+    fn dot_product_matches_reference() {
+        let src = "void dot(float a[8], float b[8], float out[1]) {
+            float acc = 0.0;
+            for (int i = 0; i < 8; i++) { acc += a[i] * b[i]; }
+            out[0] = acc;
+        }";
+        let mut mem = Memory::new();
+        let a: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..8).map(|i| (i as f64) * 0.5).collect();
+        let expected: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        mem.set("a", a);
+        mem.set("b", b);
+        mem.set("out", vec![0.0]);
+        run(src, "dot", &mut mem);
+        assert!((mem.get("out").unwrap()[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn if_conversion_preserves_semantics() {
+        let src = "void clamp(float a[6]) {
+            for (int i = 0; i < 6; i++) {
+                float v = a[i];
+                if (v > 2.0) { v = 2.0; } else { v = v + 1.0; }
+                a[i] = v;
+            }
+        }";
+        let mut mem = Memory::new();
+        mem.set("a", vec![0.0, 1.0, 2.0, 3.0, 4.0, -1.0]);
+        run(src, "clamp", &mut mem);
+        assert_eq!(mem.get("a").unwrap(), &[1.0, 2.0, 3.0, 2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn matrix_vector_matches_reference() {
+        let src = "void mv(float m[3][3], float x[3], float y[3]) {
+            for (int i = 0; i < 3; i++) {
+                float acc = 0.0;
+                for (int j = 0; j < 3; j++) { acc += m[i][j] * x[j]; }
+                y[i] = acc;
+            }
+        }";
+        let mut mem = Memory::new();
+        mem.set("m", (1..=9).map(|v| v as f64).collect());
+        mem.set("x", vec![1.0, 0.0, -1.0]);
+        mem.set("y", vec![0.0; 3]);
+        run(src, "mv", &mut mem);
+        assert_eq!(mem.get("y").unwrap(), &[-2.0, -2.0, -2.0]);
+    }
+
+    #[test]
+    fn dynamic_indexing_gathers() {
+        let src = "void gather(int idx[4], float a[8], float out[4]) {
+            for (int i = 0; i < 4; i++) { out[i] = a[idx[i]]; }
+        }";
+        let mut mem = Memory::new();
+        mem.set("idx", vec![3.0, 0.0, 7.0, 1.0]);
+        mem.set("a", (0..8).map(|v| v as f64 * 10.0).collect());
+        mem.set("out", vec![0.0; 4]);
+        run(src, "gather", &mut mem);
+        assert_eq!(mem.get("out").unwrap(), &[30.0, 0.0, 70.0, 10.0]);
+    }
+
+    #[test]
+    fn scalar_params_flow_in() {
+        let src = "void saxpy(float alpha, float x[4], float y[4]) {
+            for (int i = 0; i < 4; i++) { y[i] = alpha * x[i] + y[i]; }
+        }";
+        let module = lower(&frontc::parse(src).unwrap()).unwrap();
+        let f = module.function("saxpy").unwrap();
+        let mut mem = Memory::new();
+        mem.scalars.insert("alpha".into(), 2.0);
+        mem.set("x", vec![1.0, 2.0, 3.0, 4.0]);
+        mem.set("y", vec![10.0; 4]);
+        execute(f, &mut mem).unwrap();
+        assert_eq!(mem.get("y").unwrap(), &[12.0, 14.0, 16.0, 18.0]);
+    }
+
+    #[test]
+    fn all_bundled_kernels_execute() {
+        for k in ["gemm", "atax", "bicg", "mvt", "fir", "spmv", "nn_dist", "stencil2d"] {
+            let src = kernels_source(k);
+            let module = lower(&frontc::parse(src).unwrap()).unwrap();
+            let f = module.function(k).unwrap();
+            let mut mem = Memory::seeded_for(f, 42);
+            // clamp spmv's dynamic indices into range
+            if k == "spmv" {
+                let cols: Vec<f64> = (0..32 * 8).map(|i| (i % 32) as f64).collect();
+                mem.set("cols", cols);
+            }
+            execute(f, &mut mem).unwrap_or_else(|e| panic!("{k}: {e}"));
+        }
+    }
+
+    // local copy to avoid a dev-dependency cycle with the kernels crate
+    fn kernels_source(name: &str) -> &'static str {
+        match name {
+            "gemm" => "void gemm(float a[16][16], float b[16][16], float c[16][16]) {
+                for (int i = 0; i < 16; i++) { for (int j = 0; j < 16; j++) {
+                    float acc = 0.0;
+                    for (int k = 0; k < 16; k++) { acc += a[i][k] * b[k][j]; }
+                    c[i][j] = acc;
+                } } }",
+            "atax" => "void atax(float a[32][32], float x[32], float y[32], float tmp[32]) {
+                for (int i = 0; i < 32; i++) { float acc = 0.0;
+                    for (int j = 0; j < 32; j++) { acc += a[i][j] * x[j]; } tmp[i] = acc; }
+                for (int j = 0; j < 32; j++) { float acc = 0.0;
+                    for (int i = 0; i < 32; i++) { acc += a[i][j] * tmp[i]; } y[j] = acc; } }",
+            "bicg" => "void bicg(float a[32][32], float s[32], float q[32], float p[32], float r[32]) {
+                for (int i = 0; i < 32; i++) { s[i] = 0.0; }
+                for (int i = 0; i < 32; i++) { float acc = 0.0;
+                    for (int j = 0; j < 32; j++) { s[j] = s[j] + r[i] * a[i][j]; acc += a[i][j] * p[j]; }
+                    q[i] = acc; } }",
+            "mvt" => "void mvt(float a[32][32], float x1[32], float x2[32], float y1[32], float y2[32]) {
+                for (int i = 0; i < 32; i++) { float acc = 0.0;
+                    for (int j = 0; j < 32; j++) { acc += a[i][j] * y1[j]; } x1[i] = x1[i] + acc; }
+                for (int i = 0; i < 32; i++) { float acc = 0.0;
+                    for (int j = 0; j < 32; j++) { acc += a[j][i] * y2[j]; } x2[i] = x2[i] + acc; } }",
+            "fir" => "void fir(float input[64], float coeff[16], float output[64]) {
+                for (int n = 0; n < 64; n++) { float acc = 0.0;
+                    for (int t = 0; t < 16; t++) { if (n - t >= 0) { acc += coeff[t] * input[n - t]; } }
+                    output[n] = acc; } }",
+            "spmv" => "void spmv(float nzval[32][8], int cols[32][8], float vec[32], float out[32]) {
+                for (int i = 0; i < 32; i++) { float sum = 0.0;
+                    for (int j = 0; j < 8; j++) { sum += nzval[i][j] * vec[cols[i][j]]; }
+                    out[i] = sum; } }",
+            "nn_dist" => "void nn_dist(float px[32], float py[32], float pz[32], float dist[32]) {
+                for (int i = 0; i < 32; i++) { float best = 1000000.0;
+                    for (int j = 0; j < 32; j++) {
+                        float dx = px[i] - px[j]; float dy = py[i] - py[j]; float dz = pz[i] - pz[j];
+                        float d = sqrtf(dx * dx + dy * dy + dz * dz);
+                        if (j != i) { best = fminf(best, d); } }
+                    dist[i] = best; } }",
+            "stencil2d" => "void stencil2d(float orig[16][16], float filt[3][3], float sol[16][16]) {
+                for (int r = 0; r < 14; r++) { for (int c = 0; c < 14; c++) {
+                    float temp = 0.0;
+                    for (int k1 = 0; k1 < 3; k1++) { for (int k2 = 0; k2 < 3; k2++) {
+                        temp += filt[k1][k2] * orig[r + k1][c + k2]; } }
+                    sol[r][c] = temp; } } }",
+            other => panic!("no source for {other}"),
+        }
+    }
+}

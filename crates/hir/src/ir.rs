@@ -1,0 +1,554 @@
+//! HIR data structures.
+
+use std::fmt;
+
+use pragma::LoopId;
+
+/// Scalar value types in the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// 32-bit integer.
+    Int,
+    /// 32-bit float.
+    Float,
+}
+
+impl From<frontc::Type> for ScalarType {
+    fn from(t: frontc::Type) -> Self {
+        match t {
+            frontc::Type::Int => ScalarType::Int,
+            frontc::Type::Float | frontc::Type::Void => ScalarType::Float,
+        }
+    }
+}
+
+/// Index of an [`Op`] in its function's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// Comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// One affine index expression: `sum(coeff_k * loop_var_k) + constant`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AffineIndex {
+    /// `(loop, coefficient)` terms; loops appear at most once.
+    pub terms: Vec<(LoopId, i64)>,
+    /// Constant offset.
+    pub constant: i64,
+}
+
+impl AffineIndex {
+    /// Constant index.
+    pub fn constant(c: i64) -> Self {
+        AffineIndex {
+            terms: Vec::new(),
+            constant: c,
+        }
+    }
+
+    /// Single-variable index `var + 0`.
+    pub fn var(loop_id: LoopId) -> Self {
+        AffineIndex {
+            terms: vec![(loop_id, 1)],
+            constant: 0,
+        }
+    }
+
+    /// Coefficient of `loop_id` (0 if absent).
+    pub fn coeff(&self, loop_id: &LoopId) -> i64 {
+        self.terms
+            .iter()
+            .find(|(l, _)| l == loop_id)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the index for concrete induction-variable values.
+    pub fn eval(&self, values: &dyn Fn(&LoopId) -> i64) -> i64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(l, c)| c * values(l))
+                .sum::<i64>()
+    }
+
+    /// Whether the index depends on `loop_id`.
+    pub fn depends_on(&self, loop_id: &LoopId) -> bool {
+        self.coeff(loop_id) != 0
+    }
+}
+
+/// Memory access pattern of one load/store, one entry per array dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Every dimension is an affine function of induction variables.
+    Affine(Vec<AffineIndex>),
+    /// At least one dimension is data-dependent (e.g. `a[b[i]]`).
+    Dynamic {
+        /// Number of dimensions.
+        rank: usize,
+    },
+}
+
+impl AccessPattern {
+    /// Number of index dimensions.
+    pub fn rank(&self) -> usize {
+        match self {
+            AccessPattern::Affine(v) => v.len(),
+            AccessPattern::Dynamic { rank } => *rank,
+        }
+    }
+
+    /// Whether the pattern is fully affine.
+    pub fn is_affine(&self) -> bool {
+        matches!(self, AccessPattern::Affine(_))
+    }
+}
+
+/// Operation kinds (three-address ops).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Integer add.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide.
+    Div,
+    /// Integer remainder.
+    Rem,
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide.
+    FDiv,
+    /// Integer comparison.
+    ICmp(CmpOp),
+    /// Float comparison.
+    FCmp(CmpOp),
+    /// Logical and of two booleans.
+    And,
+    /// Logical or of two booleans.
+    Or,
+    /// Logical not.
+    Not,
+    /// `select(cond, a, b)`.
+    Select,
+    /// Square root intrinsic.
+    Sqrt,
+    /// Exponential intrinsic.
+    Exp,
+    /// Absolute value intrinsic.
+    Abs,
+    /// Maximum intrinsic.
+    Max,
+    /// Minimum intrinsic.
+    Min,
+    /// Int/float conversion.
+    Cast,
+    /// Memory read.
+    Load {
+        /// Source array.
+        array: String,
+        /// Index pattern.
+        access: AccessPattern,
+    },
+    /// Memory write (operand 0 is the stored value).
+    Store {
+        /// Destination array.
+        array: String,
+        /// Index pattern.
+        access: AccessPattern,
+    },
+    /// Loop-carried scalar: operand 0 = initial value, operand 1 = value from
+    /// the previous iteration (back edge).
+    Phi,
+    /// Scalar function parameter read (function entry).
+    Param(String),
+}
+
+impl OpKind {
+    /// Mnemonic used for feature one-hot encoding and debugging.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Rem => "rem",
+            OpKind::FAdd => "fadd",
+            OpKind::FSub => "fsub",
+            OpKind::FMul => "fmul",
+            OpKind::FDiv => "fdiv",
+            OpKind::ICmp(_) => "icmp",
+            OpKind::FCmp(_) => "fcmp",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Not => "not",
+            OpKind::Select => "select",
+            OpKind::Sqrt => "sqrt",
+            OpKind::Exp => "exp",
+            OpKind::Abs => "abs",
+            OpKind::Max => "max",
+            OpKind::Min => "min",
+            OpKind::Cast => "cast",
+            OpKind::Load { .. } => "load",
+            OpKind::Store { .. } => "store",
+            OpKind::Phi => "phi",
+            OpKind::Param(_) => "param",
+        }
+    }
+
+    /// Whether the op accesses memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, OpKind::Load { .. } | OpKind::Store { .. })
+    }
+}
+
+/// Operand of an op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Result of another op in the same function.
+    Value(OpId),
+    /// Compile-time constant.
+    Const(f64),
+    /// Induction variable of an enclosing loop.
+    IndVar(LoopId),
+}
+
+/// One three-address operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Op {
+    /// Kind (including memory access metadata).
+    pub kind: OpKind,
+    /// Result type.
+    pub ty: ScalarType,
+    /// Operands in positional order.
+    pub operands: Vec<Operand>,
+    /// Control predicate: `Some(cond)` when the op executes under an `if`.
+    pub ctrl: Option<OpId>,
+    /// Innermost loop containing the op (`LoopId::root()` for function-level
+    /// straight-line code).
+    pub in_loop: LoopId,
+}
+
+/// An ordered sequence of ops and nested loops.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Items in program order.
+    pub items: Vec<Item>,
+}
+
+/// Block item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Straight-line op (index into the function arena).
+    Op(OpId),
+    /// A nested loop.
+    Loop(HirLoop),
+}
+
+/// A counted loop in the HIR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HirLoop {
+    /// Loop identifier (path-based).
+    pub id: LoopId,
+    /// Induction variable name (for diagnostics).
+    pub var: String,
+    /// Inclusive start.
+    pub start: i64,
+    /// Exclusive bound.
+    pub bound: i64,
+    /// Positive step.
+    pub step: i64,
+    /// Phi ops materialized for loop-carried scalars.
+    pub phis: Vec<OpId>,
+    /// Loop body.
+    pub body: Block,
+}
+
+impl HirLoop {
+    /// Static trip count.
+    pub fn trip_count(&self) -> u64 {
+        if self.bound <= self.start || self.step <= 0 {
+            0
+        } else {
+            ((self.bound - self.start + self.step - 1) / self.step) as u64
+        }
+    }
+
+    /// Child loops in order.
+    pub fn children(&self) -> impl Iterator<Item = &HirLoop> {
+        self.body.items.iter().filter_map(|i| match i {
+            Item::Loop(l) => Some(l),
+            Item::Op(_) => None,
+        })
+    }
+
+    /// Whether the body consists solely of one nested loop (perfect level).
+    pub fn is_perfect_level(&self) -> bool {
+        self.body.items.len() == 1 && matches!(self.body.items[0], Item::Loop(_))
+    }
+}
+
+/// Array metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayInfo {
+    /// Array name (parameter name).
+    pub name: String,
+    /// Element type.
+    pub elem: ScalarType,
+    /// Constant dimensions.
+    pub dims: Vec<usize>,
+}
+
+impl ArrayInfo {
+    /// Total number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product::<usize>().max(1)
+    }
+}
+
+/// Flat metadata about one loop (mirrors the loop tree for quick lookup).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopMeta {
+    /// Loop identifier.
+    pub id: LoopId,
+    /// Induction variable name.
+    pub var: String,
+    /// Static trip count.
+    pub trip_count: u64,
+    /// Nesting depth (1 = top level).
+    pub depth: usize,
+    /// Whether the loop body is just one nested loop.
+    pub perfect: bool,
+    /// Whether the loop has no nested loops.
+    pub innermost: bool,
+}
+
+/// A lowered function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Array parameters.
+    pub arrays: Vec<ArrayInfo>,
+    /// Op arena; [`OpId`] indexes into this.
+    pub ops: Vec<Op>,
+    /// Top-level body.
+    pub body: Block,
+    /// Pragma configuration written in the source (may be empty).
+    pub source_pragmas: pragma::PragmaConfig,
+    loop_meta: Vec<LoopMeta>,
+}
+
+impl Function {
+    pub(crate) fn new(
+        name: String,
+        arrays: Vec<ArrayInfo>,
+        ops: Vec<Op>,
+        body: Block,
+        source_pragmas: pragma::PragmaConfig,
+    ) -> Self {
+        let mut f = Function {
+            name,
+            arrays,
+            ops,
+            body,
+            source_pragmas,
+            loop_meta: Vec::new(),
+        };
+        f.loop_meta = f.collect_loop_meta();
+        f
+    }
+
+    /// The op behind an id.
+    pub fn op(&self, id: OpId) -> &Op {
+        &self.ops[id.0]
+    }
+
+    /// Metadata for all loops, in pre-order.
+    pub fn loops(&self) -> &[LoopMeta] {
+        &self.loop_meta
+    }
+
+    /// Metadata for one loop.
+    pub fn loop_meta(&self, id: &LoopId) -> Option<&LoopMeta> {
+        self.loop_meta.iter().find(|m| &m.id == id)
+    }
+
+    /// The loop node for an id.
+    pub fn find_loop(&self, id: &LoopId) -> Option<&HirLoop> {
+        fn walk<'a>(block: &'a Block, id: &LoopId) -> Option<&'a HirLoop> {
+            for item in &block.items {
+                if let Item::Loop(l) = item {
+                    if &l.id == id {
+                        return Some(l);
+                    }
+                    if l.id.contains(id) {
+                        return walk(&l.body, id);
+                    }
+                }
+            }
+            None
+        }
+        walk(&self.body, id)
+    }
+
+    /// Array metadata by name.
+    pub fn array(&self, name: &str) -> Option<&ArrayInfo> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Ops lexically inside a loop body; `recursive` includes nested loops.
+    pub fn ops_in_loop(&self, id: &LoopId, recursive: bool) -> Vec<OpId> {
+        let Some(l) = self.find_loop(id) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        collect_ops(&l.body, recursive, &mut out);
+        out
+    }
+
+    /// Ops at the top level of the function (outside every loop).
+    pub fn top_level_ops(&self) -> Vec<OpId> {
+        let mut out = Vec::new();
+        collect_ops(&self.body, false, &mut out);
+        out
+    }
+
+    fn collect_loop_meta(&self) -> Vec<LoopMeta> {
+        fn walk(block: &Block, depth: usize, out: &mut Vec<LoopMeta>) {
+            for item in &block.items {
+                if let Item::Loop(l) = item {
+                    out.push(LoopMeta {
+                        id: l.id.clone(),
+                        var: l.var.clone(),
+                        trip_count: l.trip_count(),
+                        depth,
+                        perfect: l.is_perfect_level(),
+                        innermost: l.children().next().is_none(),
+                    });
+                    walk(&l.body, depth + 1, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, 1, &mut out);
+        out
+    }
+}
+
+fn collect_ops(block: &Block, recursive: bool, out: &mut Vec<OpId>) {
+    for item in &block.items {
+        match item {
+            Item::Op(id) => out.push(*id),
+            Item::Loop(l) => {
+                if recursive {
+                    out.extend(l.phis.iter().copied());
+                    collect_ops(&l.body, true, out);
+                }
+            }
+        }
+    }
+}
+
+/// A lowered module (one per translation unit).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Lowered functions.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {} ({} ops)", self.name, self.ops.len())?;
+        for m in &self.loop_meta {
+            writeln!(
+                f,
+                "  loop {} tc={} depth={}{}{}",
+                m.id,
+                m.trip_count,
+                m.depth,
+                if m.perfect { " perfect" } else { "" },
+                if m.innermost { " innermost" } else { "" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_index_eval() {
+        let i = LoopId::from_path(&[0]);
+        let j = LoopId::from_path(&[0, 0]);
+        let idx = AffineIndex {
+            terms: vec![(i.clone(), 4), (j.clone(), 1)],
+            constant: 2,
+        };
+        let v = idx.eval(&|l| if *l == i { 3 } else { 5 });
+        assert_eq!(v, 4 * 3 + 5 + 2);
+        assert_eq!(idx.coeff(&i), 4);
+        assert!(idx.depends_on(&j));
+        assert!(!AffineIndex::constant(7).depends_on(&i));
+    }
+
+    #[test]
+    fn access_pattern_rank() {
+        let a = AccessPattern::Affine(vec![AffineIndex::constant(0); 2]);
+        assert_eq!(a.rank(), 2);
+        assert!(a.is_affine());
+        let d = AccessPattern::Dynamic { rank: 3 };
+        assert_eq!(d.rank(), 3);
+        assert!(!d.is_affine());
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(OpKind::FAdd.mnemonic(), "fadd");
+        assert_eq!(
+            OpKind::Load {
+                array: "a".into(),
+                access: AccessPattern::Dynamic { rank: 1 }
+            }
+            .mnemonic(),
+            "load"
+        );
+        assert!(OpKind::Store {
+            array: "a".into(),
+            access: AccessPattern::Dynamic { rank: 1 }
+        }
+        .is_memory());
+    }
+}

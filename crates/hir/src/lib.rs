@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! Structured loop-tree IR ("HIR") for HLS-C kernels.
+//!
+//! The HIR plays the role LLVM IR plays in the paper: a three-address
+//! representation of the kernel with explicit loop structure, def-use
+//! chains, loop-carried recurrences (phi nodes) and **affine memory access
+//! functions** — everything the graph constructor and the simulated HLS
+//! flow need.
+//!
+//! # Pipeline position
+//!
+//! ```text
+//! frontc::Program  --lower-->  hir::Module  --> cdfg::Graph (+pragma)
+//!                                          \--> hlsim ground-truth QoR
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//! void axpy(float a, float x[32], float y[32]) {
+//!     for (int i = 0; i < 32; i++) {
+//!         y[i] = a * x[i] + y[i];
+//!     }
+//! }
+//! "#;
+//! let program = frontc::parse(src)?;
+//! let module = hir::lower(&program)?;
+//! let f = module.function("axpy").unwrap();
+//! assert_eq!(f.loops().len(), 1);
+//! assert_eq!(f.loops()[0].trip_count, 32);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod analysis;
+pub mod interp;
+mod ir;
+mod lower;
+
+pub use analysis::{array_uses, loop_shapes, recurrences, summarize, ArrayUse, Recurrence};
+pub use ir::{
+    AccessPattern, AffineIndex, ArrayInfo, Block, CmpOp, Function, HirLoop, Item, LoopMeta,
+    Module, Op, OpId, OpKind, Operand, ScalarType,
+};
+pub use interp::{execute, InterpError, Memory};
+pub use lower::{lower, source_config, LowerError};

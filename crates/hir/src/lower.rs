@@ -1,0 +1,1103 @@
+//! AST → HIR lowering.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use frontc::{
+    AssignOp, BinOp, Expr, ForLoop, FunctionDef, LValue, Program, SourcePragma, Stmt, UnOp,
+};
+use pragma::{ArrayPartition, LoopId, PragmaConfig, Unroll};
+
+use crate::ir::*;
+
+/// Lowering failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    /// Function being lowered.
+    pub function: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering {:?}: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers a checked program to HIR.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] for constructs outside the supported subset
+/// (currently: loops nested under `if`).
+pub fn lower(program: &Program) -> Result<Module, LowerError> {
+    let mut functions = Vec::with_capacity(program.functions.len());
+    for f in &program.functions {
+        functions.push(lower_function(f)?);
+    }
+    Ok(Module { functions })
+}
+
+/// Extracts the pragma configuration written in the source of `func`.
+///
+/// This is what [`lower`] stores in [`Function::source_pragmas`]; exposed
+/// separately for tooling that only needs the configuration.
+pub fn source_config(func: &FunctionDef) -> PragmaConfig {
+    let mut cfg = PragmaConfig::new();
+    apply_function_pragmas(func, &mut cfg);
+    fn walk(stmts: &[Stmt], parent: &LoopId, cfg: &mut PragmaConfig) {
+        let mut idx = 0u16;
+        for s in stmts {
+            match s {
+                Stmt::For(l) => {
+                    let id = parent.child(idx);
+                    idx += 1;
+                    apply_loop_pragmas(l, &id, cfg);
+                    walk(&l.body, &id, cfg);
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    // loops under if are rejected later; nothing to collect
+                    let _ = (then_body, else_body);
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(&func.body, &LoopId::root(), &mut cfg);
+    cfg
+}
+
+fn apply_function_pragmas(func: &FunctionDef, cfg: &mut PragmaConfig) {
+    for p in &func.pragmas {
+        if let SourcePragma::ArrayPartition {
+            variable,
+            kind,
+            factor,
+            dim,
+        } = p
+        {
+            let rank = func
+                .params
+                .iter()
+                .find(|q| &q.name == variable)
+                .map(|q| q.dims.len())
+                .unwrap_or(1);
+            let dims: Vec<u32> = if *dim == 0 {
+                (1..=rank as u32).collect()
+            } else {
+                vec![*dim]
+            };
+            for d in dims {
+                cfg.set_partition(
+                    variable.clone(),
+                    d,
+                    ArrayPartition {
+                        kind: *kind,
+                        factor: *factor,
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn apply_loop_pragmas(l: &ForLoop, id: &LoopId, cfg: &mut PragmaConfig) {
+    for p in &l.pragmas {
+        match p {
+            SourcePragma::Pipeline { .. } => cfg.set_pipeline(id.clone(), true),
+            SourcePragma::Unroll { factor } => {
+                let u = match factor {
+                    None => Unroll::Full,
+                    Some(1) => Unroll::Off,
+                    Some(f) => Unroll::Factor(*f),
+                };
+                cfg.set_unroll(id.clone(), u);
+            }
+            SourcePragma::LoopFlatten => cfg.set_flatten(id.clone(), true),
+            SourcePragma::ArrayPartition { .. } => {
+                // sema guarantees these only appear at function scope
+            }
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Binding {
+    Scalar(Operand, ScalarType),
+    Array(usize),
+    IndVar(LoopId),
+}
+
+struct Lowerer<'a> {
+    func: &'a FunctionDef,
+    arrays: Vec<ArrayInfo>,
+    ops: Vec<Op>,
+    scopes: Vec<HashMap<String, Binding>>,
+    loop_stack: Vec<LoopId>,
+    pred: Option<OpId>,
+    /// Ops below this index are already placed in some block (or are phis,
+    /// which live in [`HirLoop::phis`] instead of a block).
+    watermark: usize,
+}
+
+impl<'a> Lowerer<'a> {
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, LowerError> {
+        Err(LowerError {
+            function: self.func.name.clone(),
+            message: message.into(),
+        })
+    }
+
+    fn cur_loop(&self) -> LoopId {
+        self.loop_stack.last().cloned().unwrap_or_else(LoopId::root)
+    }
+
+    fn push_op(&mut self, kind: OpKind, ty: ScalarType, operands: Vec<Operand>) -> OpId {
+        let id = OpId(self.ops.len());
+        self.ops.push(Op {
+            kind,
+            ty,
+            operands,
+            ctrl: self.pred,
+            in_loop: self.cur_loop(),
+        });
+        id
+    }
+
+    /// Places every op created since the last flush into `out`, in arena
+    /// order.
+    fn flush(&mut self, out: &mut Block) {
+        for idx in self.watermark..self.ops.len() {
+            out.items.push(Item::Op(OpId(idx)));
+        }
+        self.watermark = self.ops.len();
+    }
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).cloned())
+    }
+
+    fn set_scalar(&mut self, name: &str, value: Operand, ty: ScalarType) {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(b) = scope.get_mut(name) {
+                *b = Binding::Scalar(value, ty);
+                return;
+            }
+        }
+        // new binding in the current scope
+        self.scopes
+            .last_mut()
+            .expect("scope stack non-empty")
+            .insert(name.to_string(), Binding::Scalar(value, ty));
+    }
+
+    fn declare(&mut self, name: &str, binding: Binding) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack non-empty")
+            .insert(name.to_string(), binding);
+    }
+
+    // ------------------------------------------------------------- exprs
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<(Operand, ScalarType), LowerError> {
+        match e {
+            Expr::IntLit(v) => Ok((Operand::Const(*v as f64), ScalarType::Int)),
+            Expr::FloatLit(v) => Ok((Operand::Const(*v), ScalarType::Float)),
+            Expr::Var(name) => match self.lookup(name) {
+                Some(Binding::Scalar(op, ty)) => Ok((op, ty)),
+                Some(Binding::IndVar(id)) => Ok((Operand::IndVar(id), ScalarType::Int)),
+                Some(Binding::Array(_)) => self.error(format!("array {name:?} used as scalar")),
+                None => self.error(format!("unknown variable {name:?}")),
+            },
+            Expr::ArrayElem { array, indices } => {
+                let (info_idx, elem) = self.array_ref(array)?;
+                let (access, dyn_ops) = self.lower_access(array, info_idx, indices)?;
+                let id = self.push_op(
+                    OpKind::Load {
+                        array: array.clone(),
+                        access,
+                    },
+                    elem,
+                    dyn_ops,
+                );
+                Ok((Operand::Value(id), elem))
+            }
+            Expr::Binary { op, lhs, rhs } => self.lower_binary(*op, lhs, rhs),
+            Expr::Unary { op, expr } => match op {
+                UnOp::Neg => {
+                    let (v, ty) = self.lower_expr(expr)?;
+                    if let Operand::Const(c) = v {
+                        return Ok((Operand::Const(-c), ty));
+                    }
+                    let kind = if ty == ScalarType::Float {
+                        OpKind::FSub
+                    } else {
+                        OpKind::Sub
+                    };
+                    let id = self.push_op(kind, ty, vec![Operand::Const(0.0), v]);
+                    Ok((Operand::Value(id), ty))
+                }
+                UnOp::Not => {
+                    let (v, _) = self.lower_expr(expr)?;
+                    let id = self.push_op(OpKind::Not, ScalarType::Int, vec![v]);
+                    Ok((Operand::Value(id), ScalarType::Int))
+                }
+            },
+            Expr::Ternary {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                let (cv, _) = self.lower_expr(cond)?;
+                let (tv, tt) = self.lower_expr(then_value)?;
+                let (ev, et) = self.lower_expr(else_value)?;
+                let ty = if tt == ScalarType::Float || et == ScalarType::Float {
+                    ScalarType::Float
+                } else {
+                    ScalarType::Int
+                };
+                let tv = self.coerce(tv, tt, ty);
+                let ev = self.coerce(ev, et, ty);
+                let id = self.push_op(OpKind::Select, ty, vec![cv, tv, ev]);
+                Ok((Operand::Value(id), ty))
+            }
+            Expr::Call { name, args } => {
+                let kind = match name.as_str() {
+                    "sqrtf" => OpKind::Sqrt,
+                    "expf" => OpKind::Exp,
+                    "fabsf" => OpKind::Abs,
+                    "fmaxf" => OpKind::Max,
+                    "fminf" => OpKind::Min,
+                    other => return self.error(format!("unknown intrinsic {other:?}")),
+                };
+                let mut operands = Vec::with_capacity(args.len());
+                for a in args {
+                    let (v, ty) = self.lower_expr(a)?;
+                    operands.push(self.coerce(v, ty, ScalarType::Float));
+                }
+                let id = self.push_op(kind, ScalarType::Float, operands);
+                Ok((Operand::Value(id), ScalarType::Float))
+            }
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<(Operand, ScalarType), LowerError> {
+        let (lv, lt) = self.lower_expr(lhs)?;
+        let (rv, rt) = self.lower_expr(rhs)?;
+
+        // constant folding for arithmetic on two constants
+        if let (Operand::Const(a), Operand::Const(b)) = (&lv, &rv) {
+            if let Some(folded) = fold(op, *a, *b) {
+                let ty = if lt == ScalarType::Float || rt == ScalarType::Float {
+                    ScalarType::Float
+                } else {
+                    ScalarType::Int
+                };
+                let ty = if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                    ScalarType::Int
+                } else {
+                    ty
+                };
+                return Ok((Operand::Const(folded), ty));
+            }
+        }
+
+        let float = lt == ScalarType::Float || rt == ScalarType::Float;
+        let work_ty = if float { ScalarType::Float } else { ScalarType::Int };
+        let lv = self.coerce(lv, lt, work_ty);
+        let rv = self.coerce(rv, rt, work_ty);
+
+        let (kind, result_ty) = match op {
+            BinOp::Add if float => (OpKind::FAdd, ScalarType::Float),
+            BinOp::Add => (OpKind::Add, ScalarType::Int),
+            BinOp::Sub if float => (OpKind::FSub, ScalarType::Float),
+            BinOp::Sub => (OpKind::Sub, ScalarType::Int),
+            BinOp::Mul if float => (OpKind::FMul, ScalarType::Float),
+            BinOp::Mul => (OpKind::Mul, ScalarType::Int),
+            BinOp::Div if float => (OpKind::FDiv, ScalarType::Float),
+            BinOp::Div => (OpKind::Div, ScalarType::Int),
+            BinOp::Rem => (OpKind::Rem, ScalarType::Int),
+            BinOp::And => (OpKind::And, ScalarType::Int),
+            BinOp::Or => (OpKind::Or, ScalarType::Int),
+            cmp => {
+                let pred = match cmp {
+                    BinOp::Lt => CmpOp::Lt,
+                    BinOp::Le => CmpOp::Le,
+                    BinOp::Gt => CmpOp::Gt,
+                    BinOp::Ge => CmpOp::Ge,
+                    BinOp::Eq => CmpOp::Eq,
+                    BinOp::Ne => CmpOp::Ne,
+                    _ => unreachable!("arithmetic handled above"),
+                };
+                let kind = if float { OpKind::FCmp(pred) } else { OpKind::ICmp(pred) };
+                (kind, ScalarType::Int)
+            }
+        };
+        let id = self.push_op(kind, result_ty, vec![lv, rv]);
+        Ok((Operand::Value(id), result_ty))
+    }
+
+    fn coerce(&mut self, v: Operand, from: ScalarType, to: ScalarType) -> Operand {
+        if from == to {
+            return v;
+        }
+        if let Operand::Const(c) = v {
+            return Operand::Const(c);
+        }
+        Operand::Value(self.push_op(OpKind::Cast, to, vec![v]))
+    }
+
+    fn array_ref(&self, name: &str) -> Result<(usize, ScalarType), LowerError> {
+        match self.lookup(name) {
+            Some(Binding::Array(i)) => Ok((i, self.arrays[i].elem)),
+            _ => self.error(format!("{name:?} is not an array")),
+        }
+    }
+
+    /// Builds the access pattern for an array reference. Affine dimensions
+    /// produce no ops; non-affine dimensions are lowered and returned as
+    /// operands (making the whole access `Dynamic`).
+    fn lower_access(
+        &mut self,
+        _array: &str,
+        _info_idx: usize,
+        indices: &[Expr],
+    ) -> Result<(AccessPattern, Vec<Operand>), LowerError> {
+        let mut affine = Vec::with_capacity(indices.len());
+        let mut all_affine = true;
+        for idx in indices {
+            match self.affine_of(idx) {
+                Some(a) => affine.push(a),
+                None => {
+                    all_affine = false;
+                    break;
+                }
+            }
+        }
+        if all_affine {
+            return Ok((AccessPattern::Affine(affine), Vec::new()));
+        }
+        // dynamic: lower every index expression as data operands
+        let mut operands = Vec::with_capacity(indices.len());
+        for idx in indices {
+            let (v, ty) = self.lower_expr(idx)?;
+            operands.push(self.coerce(v, ty, ScalarType::Int));
+        }
+        Ok((
+            AccessPattern::Dynamic {
+                rank: indices.len(),
+            },
+            operands,
+        ))
+    }
+
+    /// Tries to express `e` as an affine function of induction variables.
+    fn affine_of(&self, e: &Expr) -> Option<AffineIndex> {
+        match e {
+            Expr::IntLit(v) => Some(AffineIndex::constant(*v)),
+            Expr::Var(name) => match self.lookup(name)? {
+                Binding::IndVar(id) => Some(AffineIndex::var(id)),
+                Binding::Scalar(Operand::Const(c), ScalarType::Int) => {
+                    Some(AffineIndex::constant(c as i64))
+                }
+                _ => None,
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.affine_of(lhs)?;
+                let b = self.affine_of(rhs)?;
+                match op {
+                    BinOp::Add => Some(affine_combine(a, b, 1)),
+                    BinOp::Sub => Some(affine_combine(a, b, -1)),
+                    BinOp::Mul => {
+                        // one side must be constant
+                        if a.terms.is_empty() {
+                            Some(affine_scale(b, a.constant))
+                        } else if b.terms.is_empty() {
+                            Some(affine_scale(a, b.constant))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => self.affine_of(expr).map(|a| affine_scale(a, -1)),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------- stmts
+
+    fn lower_block(&mut self, stmts: &[Stmt], out: &mut Block) -> Result<(), LowerError> {
+        self.scopes.push(HashMap::new());
+        let result = self.lower_block_inner(stmts, out);
+        self.scopes.pop();
+        result
+    }
+
+    fn lower_block_inner(&mut self, stmts: &[Stmt], out: &mut Block) -> Result<(), LowerError> {
+        let mut loop_counter: u16 = self
+            .count_existing_loops(out);
+        for stmt in stmts {
+            match stmt {
+                Stmt::Decl { name, ty, init } => {
+                    let sty = ScalarType::from(*ty);
+                    let value = match init {
+                        Some(e) => {
+                            let (v, t) = self.lower_expr(e)?;
+                            let v = self.coerce(v, t, sty);
+                            self.flush(out);
+                            v
+                        }
+                        None => Operand::Const(0.0),
+                    };
+                    self.declare(name, Binding::Scalar(value, sty));
+                }
+                Stmt::Assign { target, op, value } => {
+                    self.lower_assign(target, *op, value)?;
+                    self.flush(out);
+                }
+                Stmt::For(l) => {
+                    let parent = self.cur_loop();
+                    let id = parent.child(loop_counter);
+                    loop_counter += 1;
+                    self.flush(out);
+                    let hl = self.lower_loop(l, id)?;
+                    out.items.push(Item::Loop(hl));
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.lower_if(cond, then_body, else_body, out)?;
+                }
+                Stmt::Return(e) => {
+                    if let Some(e) = e {
+                        let (v, _) = self.lower_expr(e)?;
+                        let _ = v;
+                        self.flush(out);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn count_existing_loops(&self, out: &Block) -> u16 {
+        out.items
+            .iter()
+            .filter(|i| matches!(i, Item::Loop(_)))
+            .count() as u16
+    }
+
+    fn lower_assign(
+        &mut self,
+        target: &LValue,
+        op: AssignOp,
+        value: &Expr,
+    ) -> Result<(), LowerError> {
+        match target {
+            LValue::Var(name) => {
+                let (rv, rt) = self.lower_expr(value)?;
+                let (final_v, final_t) = if op == AssignOp::Set {
+                    (rv, rt)
+                } else {
+                    let (cur, ct) = match self.lookup(name) {
+                        Some(Binding::Scalar(v, t)) => (v, t),
+                        _ => return self.error(format!("unknown scalar {name:?}")),
+                    };
+                    self.apply_compound(op, cur, ct, rv, rt)?
+                };
+                self.set_scalar(name, final_v, final_t);
+                Ok(())
+            }
+            LValue::ArrayElem { array, indices } => {
+                let (info_idx, elem) = self.array_ref(array)?;
+                let (rv, rt) = self.lower_expr(value)?;
+                let (stored, _) = if op == AssignOp::Set {
+                    (self.coerce(rv, rt, elem), elem)
+                } else {
+                    // compound: load current element first
+                    let (access, dyn_ops) = self.lower_access(array, info_idx, indices)?;
+                    let load = self.push_op(
+                        OpKind::Load {
+                            array: array.clone(),
+                            access,
+                        },
+                        elem,
+                        dyn_ops,
+                    );
+                    let (v, t) =
+                        self.apply_compound(op, Operand::Value(load), elem, rv, rt)?;
+                    (self.coerce(v, t, elem), elem)
+                };
+                let (access, mut operands) = self.lower_access(array, info_idx, indices)?;
+                operands.insert(0, stored);
+                self.push_op(
+                    OpKind::Store {
+                        array: array.clone(),
+                        access,
+                    },
+                    elem,
+                    operands,
+                );
+                Ok(())
+            }
+        }
+    }
+
+    fn apply_compound(
+        &mut self,
+        op: AssignOp,
+        cur: Operand,
+        ct: ScalarType,
+        rv: Operand,
+        rt: ScalarType,
+    ) -> Result<(Operand, ScalarType), LowerError> {
+        let float = ct == ScalarType::Float || rt == ScalarType::Float;
+        let ty = if float { ScalarType::Float } else { ScalarType::Int };
+        let a = self.coerce(cur, ct, ty);
+        let b = self.coerce(rv, rt, ty);
+        let kind = match (op, float) {
+            (AssignOp::Add, true) => OpKind::FAdd,
+            (AssignOp::Add, false) => OpKind::Add,
+            (AssignOp::Sub, true) => OpKind::FSub,
+            (AssignOp::Sub, false) => OpKind::Sub,
+            (AssignOp::Mul, true) => OpKind::FMul,
+            (AssignOp::Mul, false) => OpKind::Mul,
+            (AssignOp::Div, true) => OpKind::FDiv,
+            (AssignOp::Div, false) => OpKind::Div,
+            (AssignOp::Set, _) => unreachable!("Set handled by caller"),
+        };
+        let id = self.push_op(kind, ty, vec![a, b]);
+        Ok((Operand::Value(id), ty))
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &Expr,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+        out: &mut Block,
+    ) -> Result<(), LowerError> {
+        if contains_loop(then_body) || contains_loop(else_body) {
+            return self.error("loops nested under `if` are not supported");
+        }
+        let (cv, _) = self.lower_expr(cond)?;
+        let cond_id = match cv {
+            Operand::Value(id) => id,
+            other => {
+                // materialize constant/indvar conditions for ctrl edges
+                self.push_op(
+                    OpKind::ICmp(CmpOp::Ne),
+                    ScalarType::Int,
+                    vec![other, Operand::Const(0.0)],
+                )
+            }
+        };
+
+        let snapshot = self.scalar_snapshot();
+        let outer_pred = self.pred;
+        let combined = match outer_pred {
+            Some(p) => self.push_op(
+                OpKind::And,
+                ScalarType::Int,
+                vec![Operand::Value(p), Operand::Value(cond_id)],
+            ),
+            None => cond_id,
+        };
+        self.flush(out);
+
+        self.pred = Some(combined);
+        self.lower_block(then_body, out)?;
+        let then_vals = self.scalar_snapshot();
+        self.restore_scalars(&snapshot);
+
+        self.lower_block(else_body, out)?;
+        let else_vals = self.scalar_snapshot();
+        self.restore_scalars(&snapshot);
+        self.pred = outer_pred;
+
+        // merge scalars assigned in either branch with selects
+        let mut names: Vec<&String> = then_vals
+            .keys()
+            .chain(else_vals.keys())
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        names.sort();
+        for name in names {
+            let base = snapshot.get(name);
+            let tv = then_vals.get(name).or(base);
+            let ev = else_vals.get(name).or(base);
+            let (Some((tv, tt)), Some((ev, _)), Some((bv, bt))) = (tv, ev, base) else {
+                continue; // variable local to a branch
+            };
+            if tv == bv && ev == bv {
+                continue; // unchanged
+            }
+            let id = self.push_op(
+                OpKind::Select,
+                *tt,
+                vec![Operand::Value(cond_id), tv.clone(), ev.clone()],
+            );
+            let _ = bt;
+            self.set_scalar(name, Operand::Value(id), *tt);
+        }
+        self.flush(out);
+        Ok(())
+    }
+
+    fn scalar_snapshot(&self) -> HashMap<String, (Operand, ScalarType)> {
+        let mut out = HashMap::new();
+        for scope in &self.scopes {
+            for (name, b) in scope {
+                if let Binding::Scalar(v, t) = b {
+                    out.insert(name.clone(), (v.clone(), *t));
+                }
+            }
+        }
+        out
+    }
+
+    fn restore_scalars(&mut self, snapshot: &HashMap<String, (Operand, ScalarType)>) {
+        for scope in self.scopes.iter_mut() {
+            for (name, b) in scope.iter_mut() {
+                if let Binding::Scalar(..) = b {
+                    if let Some((v, t)) = snapshot.get(name) {
+                        *b = Binding::Scalar(v.clone(), *t);
+                    }
+                }
+            }
+        }
+    }
+
+    fn lower_loop(&mut self, l: &ForLoop, id: LoopId) -> Result<HirLoop, LowerError> {
+        // scalars from outer scopes that the body reassigns become phis
+        let assigned = assigned_outer_scalars(&l.body);
+        let mut phis: Vec<(String, OpId, ScalarType)> = Vec::new();
+        self.loop_stack.push(id.clone());
+        for name in &assigned {
+            if let Some(Binding::Scalar(init, ty)) = self.lookup(name) {
+                let phi = self.push_op(OpKind::Phi, ty, vec![init, Operand::Const(0.0)]);
+                self.set_scalar(name, Operand::Value(phi), ty);
+                phis.push((name.clone(), phi, ty));
+            }
+        }
+        // phis live in `HirLoop::phis`, not in a block
+        self.watermark = self.ops.len();
+
+        self.scopes.push(HashMap::new());
+        self.declare(&l.var, Binding::IndVar(id.clone()));
+        let mut body = Block::default();
+        let inner_result = self.lower_block_inner(&l.body, &mut body);
+        self.scopes.pop();
+        self.loop_stack.pop();
+        inner_result?;
+
+        // fix up back edges and propagate the post-loop value
+        for (name, phi, _ty) in &phis {
+            if let Some(Binding::Scalar(final_v, ft)) = self.lookup(name) {
+                self.ops[phi.0].operands[1] = final_v.clone();
+                // after the loop the scalar holds the last-iteration value,
+                // which is exactly `final_v` in dataflow terms
+                self.set_scalar(name, final_v, ft);
+            }
+        }
+
+        Ok(HirLoop {
+            id,
+            var: l.var.clone(),
+            start: l.start,
+            bound: l.bound,
+            step: l.step,
+            phis: phis.iter().map(|(_, p, _)| *p).collect(),
+            body,
+        })
+    }
+}
+
+fn affine_combine(mut a: AffineIndex, b: AffineIndex, sign: i64) -> AffineIndex {
+    a.constant += sign * b.constant;
+    for (l, c) in b.terms {
+        match a.terms.iter_mut().find(|(al, _)| *al == l) {
+            Some((_, ac)) => *ac += sign * c,
+            None => a.terms.push((l, sign * c)),
+        }
+    }
+    a.terms.retain(|(_, c)| *c != 0);
+    a
+}
+
+fn affine_scale(mut a: AffineIndex, k: i64) -> AffineIndex {
+    a.constant *= k;
+    for (_, c) in &mut a.terms {
+        *c *= k;
+    }
+    a.terms.retain(|(_, c)| *c != 0);
+    a
+}
+
+fn fold(op: BinOp, a: f64, b: f64) -> Option<f64> {
+    Some(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return None;
+            }
+            a / b
+        }
+        BinOp::Rem => {
+            if b == 0.0 {
+                return None;
+            }
+            (a as i64 % b as i64) as f64
+        }
+        BinOp::Lt => f64::from(a < b),
+        BinOp::Le => f64::from(a <= b),
+        BinOp::Gt => f64::from(a > b),
+        BinOp::Ge => f64::from(a >= b),
+        BinOp::Eq => f64::from(a == b),
+        BinOp::Ne => f64::from(a != b),
+        BinOp::And => f64::from(a != 0.0 && b != 0.0),
+        BinOp::Or => f64::from(a != 0.0 || b != 0.0),
+    })
+}
+
+fn contains_loop(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::For(_) => true,
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => contains_loop(then_body) || contains_loop(else_body),
+        _ => false,
+    })
+}
+
+/// Names assigned in `stmts` but not declared there (candidates for phis).
+fn assigned_outer_scalars(stmts: &[Stmt]) -> Vec<String> {
+    fn walk(stmts: &[Stmt], declared: &mut HashSet<String>, out: &mut Vec<String>) {
+        for s in stmts {
+            match s {
+                Stmt::Decl { name, .. } => {
+                    declared.insert(name.clone());
+                }
+                Stmt::Assign {
+                    target: LValue::Var(name),
+                    ..
+                } if !declared.contains(name) && !out.contains(name) => {
+                    out.push(name.clone());
+                }
+                Stmt::For(l) => {
+                    let mut inner_declared = declared.clone();
+                    inner_declared.insert(l.var.clone());
+                    walk(&l.body, &mut inner_declared, out);
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    let mut d1 = declared.clone();
+                    walk(then_body, &mut d1, out);
+                    let mut d2 = declared.clone();
+                    walk(else_body, &mut d2, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut declared = HashSet::new();
+    let mut out = Vec::new();
+    walk(stmts, &mut declared, &mut out);
+    out
+}
+
+fn lower_function(func: &FunctionDef) -> Result<Function, LowerError> {
+    let arrays: Vec<ArrayInfo> = func
+        .params
+        .iter()
+        .filter(|p| p.is_array())
+        .map(|p| ArrayInfo {
+            name: p.name.clone(),
+            elem: ScalarType::from(p.ty),
+            dims: p.dims.clone(),
+        })
+        .collect();
+
+    let mut lowerer = Lowerer {
+        func,
+        arrays: arrays.clone(),
+        ops: Vec::new(),
+        scopes: vec![HashMap::new()],
+        loop_stack: Vec::new(),
+        pred: None,
+        watermark: 0,
+    };
+
+    let mut body = Block::default();
+    // bind parameters
+    for p in &func.params {
+        if p.is_array() {
+            let idx = lowerer
+                .arrays
+                .iter()
+                .position(|a| a.name == p.name)
+                .expect("array registered");
+            lowerer.declare(&p.name, Binding::Array(idx));
+        } else {
+            let ty = ScalarType::from(p.ty);
+            let id = lowerer.push_op(OpKind::Param(p.name.clone()), ty, Vec::new());
+            lowerer.declare(&p.name, Binding::Scalar(Operand::Value(id), ty));
+        }
+    }
+    lowerer.flush(&mut body);
+
+    lowerer.lower_block_inner(&func.body, &mut body)?;
+    let source_pragmas = source_config(func);
+    Ok(Function::new(
+        func.name.clone(),
+        arrays,
+        lowerer.ops,
+        body,
+        source_pragmas,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_src(src: &str) -> Module {
+        let p = frontc::parse(src).expect("frontend ok");
+        lower(&p).expect("lowering ok")
+    }
+
+    #[test]
+    fn lowers_accumulating_loop_with_phi() {
+        let m = lower_src(
+            r#"
+void dot(float a[16], float b[16], float out[1]) {
+    float acc = 0.0;
+    for (int i = 0; i < 16; i++) {
+        acc += a[i] * b[i];
+    }
+    out[0] = acc;
+}
+"#,
+        );
+        let f = m.function("dot").unwrap();
+        assert_eq!(f.loops().len(), 1);
+        let l = f.find_loop(&LoopId::from_path(&[0])).unwrap();
+        assert_eq!(l.phis.len(), 1, "acc must become a phi");
+        let phi = f.op(l.phis[0]);
+        assert_eq!(phi.kind, OpKind::Phi);
+        // back edge must point at the fadd
+        let Operand::Value(next) = &phi.operands[1] else {
+            panic!("phi back edge not fixed up: {:?}", phi.operands[1]);
+        };
+        assert_eq!(f.op(*next).kind, OpKind::FAdd);
+    }
+
+    #[test]
+    fn affine_access_extraction() {
+        let m = lower_src(
+            r#"
+void copy(float a[8][8], float b[8][8]) {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            b[i][j] = a[j][i + 1];
+        }
+    }
+}
+"#,
+        );
+        let f = m.function("copy").unwrap();
+        let i = LoopId::from_path(&[0]);
+        let j = LoopId::from_path(&[0, 0]);
+        let loads: Vec<&Op> = f
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Load { .. }))
+            .collect();
+        assert_eq!(loads.len(), 1);
+        let OpKind::Load {
+            access: AccessPattern::Affine(dims),
+            ..
+        } = &loads[0].kind
+        else {
+            panic!("expected affine load");
+        };
+        assert_eq!(dims[0].coeff(&j), 1);
+        assert_eq!(dims[1].coeff(&i), 1);
+        assert_eq!(dims[1].constant, 1);
+    }
+
+    #[test]
+    fn dynamic_access_detected() {
+        let m = lower_src(
+            r#"
+void gather(int idx[8], float a[64], float out[8]) {
+    for (int i = 0; i < 8; i++) {
+        out[i] = a[idx[i]];
+    }
+}
+"#,
+        );
+        let f = m.function("gather").unwrap();
+        let dynamic_loads = f
+            .ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    &o.kind,
+                    OpKind::Load {
+                        access: AccessPattern::Dynamic { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(dynamic_loads, 1, "a[idx[i]] must be dynamic");
+    }
+
+    #[test]
+    fn nested_loop_ids_follow_paths() {
+        let m = lower_src(
+            r#"
+void two(float a[4], float b[4]) {
+    for (int i = 0; i < 4; i++) { a[i] = 0.0; }
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) { b[i] = b[i] + 1.0; }
+    }
+}
+"#,
+        );
+        let f = m.function("two").unwrap();
+        let ids: Vec<String> = f.loops().iter().map(|l| l.id.to_string()).collect();
+        assert_eq!(ids, vec!["L0", "L1", "L1.L0"]);
+        assert!(f.loop_meta(&LoopId::from_path(&[1])).unwrap().perfect);
+        assert!(f.loop_meta(&LoopId::from_path(&[0])).unwrap().innermost);
+    }
+
+    #[test]
+    fn if_becomes_select() {
+        let m = lower_src(
+            r#"
+void clamp(float a[8]) {
+    for (int i = 0; i < 8; i++) {
+        float v = a[i];
+        if (v > 1.0) {
+            v = 1.0;
+        }
+        a[i] = v;
+    }
+}
+"#,
+        );
+        let f = m.function("clamp").unwrap();
+        assert!(
+            f.ops.iter().any(|o| o.kind == OpKind::Select),
+            "if must lower to select"
+        );
+    }
+
+    #[test]
+    fn compound_array_assign_loads_then_stores() {
+        let m = lower_src(
+            r#"
+void inc(float a[8]) {
+    for (int i = 0; i < 8; i++) {
+        a[i] += 1.0;
+    }
+}
+"#,
+        );
+        let f = m.function("inc").unwrap();
+        let loads = f
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Load { .. }))
+            .count();
+        let stores = f
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Store { .. }))
+            .count();
+        assert_eq!((loads, stores), (1, 1));
+    }
+
+    #[test]
+    fn source_pragmas_collected() {
+        let m = lower_src(
+            r#"
+void k(float a[16]) {
+    #pragma HLS array_partition variable=a cyclic factor=4 dim=1
+    for (int i = 0; i < 16; i++) {
+        #pragma HLS pipeline
+        #pragma HLS unroll factor=2
+        a[i] = a[i] * 2.0;
+    }
+}
+"#,
+        );
+        let f = m.function("k").unwrap();
+        let cfg = &f.source_pragmas;
+        let l = LoopId::from_path(&[0]);
+        assert!(cfg.loop_pragma(&l).pipeline);
+        assert_eq!(cfg.loop_pragma(&l).unroll, Unroll::Factor(2));
+        assert_eq!(cfg.array_banks("a", &[16]), 4);
+    }
+
+    #[test]
+    fn ternary_lowers_to_select() {
+        let m = lower_src(
+            "void relu(float a[8]) { for (int i = 0; i < 8; i++) { a[i] = a[i] > 0.0 ? a[i] : 0.0; } }",
+        );
+        let f = m.function("relu").unwrap();
+        assert!(f.ops.iter().any(|o| o.kind == OpKind::Select));
+    }
+
+    #[test]
+    fn loops_under_if_rejected() {
+        let p = frontc::parse(
+            "void f(float a[4]) { int c = 1; if (c) { for (int i = 0; i < 4; i++) { a[i] = 0.0; } } }",
+        )
+        .unwrap();
+        assert!(lower(&p).is_err());
+    }
+
+    #[test]
+    fn scalar_params_become_param_ops() {
+        let m = lower_src("void f(float alpha, float a[4]) { a[0] = alpha; }");
+        let f = m.function("f").unwrap();
+        assert!(f
+            .ops
+            .iter()
+            .any(|o| matches!(&o.kind, OpKind::Param(n) if n == "alpha")));
+    }
+}

@@ -1,0 +1,144 @@
+//! Operator cost library.
+//!
+//! The paper builds a per-operation latency/delay/resource library by
+//! profiling micro-benchmarks on the target device. We encode a library with
+//! the same shape, using figures representative of 32-bit operators on an
+//! UltraScale+ device at a 200 MHz clock.
+
+use hir::OpKind;
+
+/// Cost of one hardware operator instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCost {
+    /// Pipeline depth in clock cycles (0 = purely combinational).
+    pub cycles: u32,
+    /// Combinational delay contribution in nanoseconds.
+    pub delay_ns: f32,
+    /// LUT usage.
+    pub lut: u32,
+    /// Flip-flop usage.
+    pub ff: u32,
+    /// DSP blocks.
+    pub dsp: u32,
+}
+
+impl OpCost {
+    const fn new(cycles: u32, delay_ns: f32, lut: u32, ff: u32, dsp: u32) -> Self {
+        OpCost {
+            cycles,
+            delay_ns,
+            lut,
+            ff,
+            dsp,
+        }
+    }
+}
+
+/// The operator library plus clock configuration.
+///
+/// # Example
+///
+/// ```
+/// use hlsim::OpLibrary;
+/// let lib = OpLibrary::zcu102();
+/// let fadd = lib.cost(&hir::OpKind::FAdd);
+/// assert!(fadd.cycles >= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpLibrary {
+    /// Clock period in nanoseconds.
+    pub clock_ns: f32,
+}
+
+impl Default for OpLibrary {
+    fn default() -> Self {
+        Self::zcu102()
+    }
+}
+
+impl OpLibrary {
+    /// Library calibrated for the AMD UltraScale+ ZCU102 at 200 MHz (the
+    /// paper's platform).
+    pub fn zcu102() -> Self {
+        OpLibrary { clock_ns: 5.0 }
+    }
+
+    /// Cost of one operator kind.
+    ///
+    /// Non-arithmetic operations (branch-like compares, phis, params) carry
+    /// zero resource features, as in the paper's feature library.
+    pub fn cost(&self, kind: &OpKind) -> OpCost {
+        match kind {
+            OpKind::Add | OpKind::Sub => OpCost::new(0, 1.6, 32, 0, 0),
+            OpKind::Mul => OpCost::new(3, 2.4, 45, 96, 3),
+            OpKind::Div | OpKind::Rem => OpCost::new(34, 3.1, 780, 930, 0),
+            OpKind::FAdd | OpKind::FSub => OpCost::new(4, 3.2, 195, 324, 2),
+            OpKind::FMul => OpCost::new(3, 2.9, 85, 151, 3),
+            OpKind::FDiv => OpCost::new(28, 3.6, 760, 1430, 0),
+            OpKind::Sqrt => OpCost::new(28, 3.4, 470, 880, 0),
+            OpKind::Exp => OpCost::new(20, 3.4, 520, 930, 7),
+            OpKind::Abs => OpCost::new(0, 0.8, 16, 0, 0),
+            OpKind::Max | OpKind::Min => OpCost::new(0, 1.9, 48, 0, 0),
+            OpKind::ICmp(_) => OpCost::new(0, 1.2, 0, 0, 0),
+            OpKind::FCmp(_) => OpCost::new(1, 2.2, 0, 0, 0),
+            OpKind::And | OpKind::Or | OpKind::Not => OpCost::new(0, 0.5, 0, 0, 0),
+            OpKind::Select => OpCost::new(0, 1.0, 0, 0, 0),
+            OpKind::Cast => OpCost::new(1, 1.8, 60, 80, 0),
+            OpKind::Load { .. } => OpCost::new(2, 1.5, 0, 0, 0),
+            OpKind::Store { .. } => OpCost::new(1, 1.5, 0, 0, 0),
+            OpKind::Phi | OpKind::Param(_) => OpCost::new(0, 0.0, 0, 0, 0),
+        }
+    }
+
+    /// Whether the operator is registered (occupies ≥ 1 full cycle) rather
+    /// than chainable combinational logic.
+    pub fn is_sequential(&self, kind: &OpKind) -> bool {
+        self.cost(kind).cycles >= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_ops_cost_more_than_int() {
+        let lib = OpLibrary::zcu102();
+        assert!(lib.cost(&OpKind::FAdd).lut > lib.cost(&OpKind::Add).lut);
+        assert!(lib.cost(&OpKind::FAdd).cycles > lib.cost(&OpKind::Add).cycles);
+    }
+
+    #[test]
+    fn non_arithmetic_ops_have_zero_resources() {
+        let lib = OpLibrary::zcu102();
+        for kind in [
+            OpKind::ICmp(hir::CmpOp::Lt),
+            OpKind::Phi,
+            OpKind::Param("x".into()),
+        ] {
+            let c = lib.cost(&kind);
+            assert_eq!((c.lut, c.ff, c.dsp), (0, 0, 0), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn delays_fit_the_clock() {
+        let lib = OpLibrary::zcu102();
+        for kind in [
+            OpKind::Add,
+            OpKind::FMul,
+            OpKind::FDiv,
+            OpKind::Sqrt,
+            OpKind::Select,
+        ] {
+            assert!(lib.cost(&kind).delay_ns <= lib.clock_ns, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_classification() {
+        let lib = OpLibrary::zcu102();
+        assert!(lib.is_sequential(&OpKind::FAdd));
+        assert!(!lib.is_sequential(&OpKind::Add));
+    }
+}

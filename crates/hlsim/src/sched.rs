@@ -1,0 +1,237 @@
+//! Delay-chaining list scheduler for one loop-body iteration.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hir::{Function, OpId, OpKind, Operand};
+
+use crate::oplib::OpLibrary;
+
+/// Per-array memory-port budget (reads+writes issuable per cycle).
+///
+/// A bank of BRAM is dual-ported, so `ports = 2 × banks`.
+#[derive(Debug, Clone, Default)]
+pub struct PortBudget {
+    ports: BTreeMap<String, u32>,
+}
+
+impl PortBudget {
+    /// Creates an empty budget (arrays default to one dual-ported bank).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the port count of one array.
+    pub fn set(&mut self, array: impl Into<String>, ports: u32) {
+        self.ports.insert(array.into(), ports.max(1));
+    }
+
+    /// Ports available for `array` per cycle.
+    pub fn ports(&self, array: &str) -> u32 {
+        self.ports.get(array).copied().unwrap_or(2)
+    }
+}
+
+/// Result of scheduling one iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleResult {
+    /// Iteration latency in cycles (schedule makespan).
+    pub latency: u64,
+    /// Peak number of simultaneously busy units per op mnemonic — the
+    /// minimum unit count needed without slowing the schedule (used for the
+    /// resource-sharing model).
+    pub peak_units: BTreeMap<&'static str, u32>,
+    /// Number of scheduled ops.
+    pub num_ops: usize,
+}
+
+/// Schedules `ops` (one loop-body iteration) with operator chaining and
+/// memory-port constraints.
+///
+/// * Combinational ops chain within a clock period; when the accumulated
+///   delay exceeds the period a new cycle starts.
+/// * Sequential ops (cycles ≥ 1) register their inputs and occupy their
+///   pipeline depth.
+/// * Loads/stores to the same array are limited to its port budget per
+///   cycle; excess accesses are pushed to later cycles (list scheduling in
+///   dependence order).
+///
+/// Operands produced outside `ops` (loop-invariant values, phis of enclosing
+/// loops) are treated as available at time zero.
+pub fn schedule_ops(
+    func: &Function,
+    ops: &[OpId],
+    lib: &OpLibrary,
+    ports: &PortBudget,
+) -> ScheduleResult {
+    // finish[op] = (cycle, delay-within-cycle) at which the result is ready
+    let mut finish: HashMap<OpId, (u64, f32)> = HashMap::new();
+    // per-(array, cycle) port usage
+    let mut port_use: HashMap<(String, u64), u32> = HashMap::new();
+    // per-(mnemonic, cycle) busy units, for the sharing model
+    let mut busy: HashMap<(&'static str, u64), u32> = HashMap::new();
+    let mut peak_units: BTreeMap<&'static str, u32> = BTreeMap::new();
+    let in_set: std::collections::HashSet<OpId> = ops.iter().copied().collect();
+    let mut makespan = 0u64;
+
+    for &id in ops {
+        let op = func.op(id);
+        let cost = lib.cost(&op.kind);
+
+        // earliest start from data dependencies
+        let mut ready_cycle = 0u64;
+        let mut ready_delay = 0.0f32;
+        for operand in &op.operands {
+            if let Operand::Value(v) = operand {
+                if !in_set.contains(v) {
+                    continue; // external value: available at t=0
+                }
+                if let Some(&(c, d)) = finish.get(v) {
+                    if c > ready_cycle || (c == ready_cycle && d > ready_delay) {
+                        ready_cycle = c;
+                        ready_delay = d;
+                    }
+                }
+            }
+        }
+        if let Some(c) = op.ctrl {
+            if in_set.contains(&c) {
+                if let Some(&(cc, cd)) = finish.get(&c) {
+                    if cc > ready_cycle || (cc == ready_cycle && cd > ready_delay) {
+                        ready_cycle = cc;
+                        ready_delay = cd;
+                    }
+                }
+            }
+        }
+
+        let (mut start_cycle, mut start_delay) = (ready_cycle, ready_delay);
+        if cost.cycles >= 1 {
+            // sequential op: inputs are registered; if anything was consumed
+            // mid-cycle, the op starts at the next cycle boundary
+            if start_delay > 0.0 {
+                start_cycle += 1;
+            }
+            start_delay = 0.0;
+        } else {
+            // combinational op: chain if it fits in the remaining budget
+            if start_delay + cost.delay_ns > lib.clock_ns {
+                start_cycle += 1;
+                start_delay = 0.0;
+            }
+        }
+
+        // memory-port constraint: find the first cycle with a free port
+        if let OpKind::Load { array, .. } | OpKind::Store { array, .. } = &op.kind {
+            let budget = ports.ports(array);
+            loop {
+                let key = (array.clone(), start_cycle);
+                let used = port_use.get(&key).copied().unwrap_or(0);
+                if used < budget {
+                    port_use.insert(key, used + 1);
+                    break;
+                }
+                start_cycle += 1;
+                start_delay = 0.0;
+            }
+        }
+
+        // record unit occupancy (for sharing): a unit is busy for
+        // max(1, cycles) cycles from its start
+        let mnemonic = op.kind.mnemonic();
+        let occupancy = u64::from(cost.cycles.max(1));
+        for c in start_cycle..start_cycle + occupancy {
+            let e = busy.entry((mnemonic, c)).or_insert(0);
+            *e += 1;
+            let p = peak_units.entry(mnemonic).or_insert(0);
+            *p = (*p).max(*e);
+        }
+
+        let (end_cycle, end_delay) = if cost.cycles >= 1 {
+            (start_cycle + u64::from(cost.cycles), 0.0)
+        } else {
+            (start_cycle, start_delay + cost.delay_ns)
+        };
+        finish.insert(id, (end_cycle, end_delay));
+        let op_makespan = end_cycle + u64::from(end_delay > 0.0);
+        makespan = makespan.max(op_makespan);
+    }
+
+    ScheduleResult {
+        latency: makespan.max(1),
+        peak_units,
+        num_ops: ops.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pragma::LoopId;
+
+    fn lower_loop_ops(src: &str, name: &str) -> (Function, Vec<OpId>) {
+        let module = hir::lower(&frontc::parse(src).unwrap()).unwrap();
+        let f = module.function(name).unwrap().clone();
+        let ops = f.ops_in_loop(&LoopId::from_path(&[0]), true);
+        (f, ops)
+    }
+
+    #[test]
+    fn chained_int_adds_fit_one_cycle() {
+        // three chained int adds: 3 * 1.6ns < 5ns clock => 1 cycle... the
+        // third add exceeds 4.8ns? 3*1.6 = 4.8 <= 5.0 so still one cycle
+        let (f, ops) = lower_loop_ops(
+            "void k(int a, int b, int o[4]) { for (int i = 0; i < 4; i++) { o[i] = a + b + a + i; } }",
+            "k",
+        );
+        let lib = OpLibrary::zcu102();
+        let res = schedule_ops(&f, &ops, &lib, &PortBudget::new());
+        // adds chain in cycle 0; the store takes 1 more cycle
+        assert!(res.latency <= 3, "latency {} too high", res.latency);
+    }
+
+    #[test]
+    fn dependent_fmul_fadd_stack_their_depths() {
+        let (f, ops) = lower_loop_ops(
+            "void k(float a[4], float b[4], float o[4]) { for (int i = 0; i < 4; i++) { o[i] = a[i] * b[i] + a[i]; } }",
+            "k",
+        );
+        let lib = OpLibrary::zcu102();
+        let res = schedule_ops(&f, &ops, &lib, &PortBudget::new());
+        // load(2) -> fmul(3) -> fadd(4) -> store(1): at least 10 cycles
+        assert!(res.latency >= 10, "latency {} too low", res.latency);
+    }
+
+    #[test]
+    fn port_pressure_serializes_loads() {
+        // four independent copies from the same array: bandwidth-bound
+        let (f, ops) = lower_loop_ops(
+            "void k(float a[16], float o[4], float p[4], float q[4], float r[4]) { for (int i = 0; i < 4; i++) { o[i] = a[i]; p[i] = a[i + 4]; q[i] = a[i + 8]; r[i] = a[i + 12]; } }",
+            "k",
+        );
+        let lib = OpLibrary::zcu102();
+        let mut narrow_budget = PortBudget::new();
+        narrow_budget.set("a", 1);
+        let narrow = schedule_ops(&f, &ops, &lib, &narrow_budget);
+        let mut wide_budget = PortBudget::new();
+        wide_budget.set("a", 8);
+        let wide = schedule_ops(&f, &ops, &lib, &wide_budget);
+        assert!(
+            narrow.latency > wide.latency,
+            "more ports must shorten the schedule ({} vs {})",
+            narrow.latency,
+            wide.latency
+        );
+    }
+
+    #[test]
+    fn peak_units_reflect_parallelism() {
+        let (f, ops) = lower_loop_ops(
+            "void k(float a[8], float o[8]) { for (int i = 0; i < 8; i++) { o[i] = a[i] * 2.0 * 3.0; } }",
+            "k",
+        );
+        let lib = OpLibrary::zcu102();
+        let res = schedule_ops(&f, &ops, &lib, &PortBudget::new());
+        assert!(res.peak_units.contains_key("fmul"));
+        assert!(res.peak_units["fmul"] >= 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Golden-value regression tests for the oracle.
+//!
+//! The entire experimental pipeline trains against `hlsim` labels, so
+//! accidental changes to the cost model silently invalidate every recorded
+//! result in EXPERIMENTS.md. These tests pin exact values for a few
+//! representative designs; if a deliberate model change trips them, update
+//! the constants *and* regenerate the experiment tables.
+
+use pragma::{ArrayPartition, LoopId, PartitionKind, PragmaConfig, Unroll};
+
+fn lower(src: &str, name: &str) -> hir::Function {
+    hir::lower(&frontc::parse(src).unwrap())
+        .unwrap()
+        .function(name)
+        .unwrap()
+        .clone()
+}
+
+const DOT: &str = "void dot(float a[64], float b[64], float o[1]) {
+    float acc = 0.0;
+    for (int i = 0; i < 64; i++) { acc += a[i] * b[i]; }
+    o[0] = acc;
+}";
+
+#[test]
+fn golden_dot_baseline() {
+    let f = lower(DOT, "dot");
+    let q = hlsim::evaluate(&f, &PragmaConfig::default()).unwrap().top;
+    assert_eq!(
+        (q.latency, q.lut, q.ff, q.dsp),
+        (706, 464, 720, 5),
+        "baseline dot QoR drifted: {q}"
+    );
+}
+
+#[test]
+fn golden_dot_pipelined_unrolled() {
+    let f = lower(DOT, "dot");
+    let l = LoopId::from_path(&[0]);
+    let mut cfg = PragmaConfig::default();
+    cfg.set_pipeline(l.clone(), true);
+    cfg.set_unroll(l, Unroll::Factor(4));
+    for arr in ["a", "b"] {
+        cfg.set_partition(
+            arr,
+            1,
+            ArrayPartition {
+                kind: PartitionKind::Cyclic,
+                factor: 4,
+            },
+        );
+    }
+    let report = hlsim::evaluate(&f, &cfg).unwrap();
+    let q = report.top;
+    assert_eq!(
+        (q.latency, q.lut, q.ff, q.dsp),
+        (264, 1240, 2262, 20),
+        "pipelined dot QoR drifted: {q}"
+    );
+    let lq = report.loops.get(&LoopId::from_path(&[0])).unwrap();
+    // fadd recurrence (4 cycles) x 4 replicas = II 16
+    assert_eq!(lq.ii, 16);
+    assert_eq!(lq.trip_count, 16);
+}
+
+#[test]
+fn golden_gemm_latency_ordering() {
+    let f = kernels::lower_kernel("gemm").unwrap();
+    let base = hlsim::evaluate(&f, &PragmaConfig::default()).unwrap().top;
+    // exact pins for the two extremes of the space
+    assert_eq!(base.latency, 46129, "gemm baseline latency drifted");
+
+    let mut best = PragmaConfig::default();
+    best.set_pipeline(LoopId::from_path(&[0, 0]), true);
+    best.set_unroll(LoopId::from_path(&[0, 0, 0]), Unroll::Full);
+    let piped = hlsim::evaluate(&f, &best).unwrap().top;
+    assert!(
+        piped.latency < base.latency / 10,
+        "aggressive gemm config must be >10x faster ({} vs {})",
+        piped.latency,
+        base.latency
+    );
+}
+
+#[test]
+fn golden_analytic_ii_values() {
+    let f = lower(DOT, "dot");
+    let l = LoopId::from_path(&[0]);
+    let mut cfg = PragmaConfig::default();
+    cfg.set_pipeline(l.clone(), true);
+    // fadd recurrence: 4 cycles, distance 1 -> II 4 without unrolling
+    assert_eq!(hlsim::analytic_ii(&f, &cfg, &l), 4);
+    cfg.set_unroll(l.clone(), Unroll::Factor(8));
+    // chained accumulators: 8 x 4 = 32
+    assert_eq!(hlsim::analytic_ii(&f, &cfg, &l), 32);
+}
+
+#[test]
+fn golden_tool_runtime_scale() {
+    let f = kernels::lower_kernel("gemm").unwrap();
+    let q = hlsim::evaluate(&f, &PragmaConfig::default()).unwrap().top;
+    let mins = hlsim::tool_runtime_secs(&q) / 60.0;
+    // simulated Vivado time per small design: minutes, not seconds or days
+    assert!((1.0..60.0).contains(&mins), "tool time drifted: {mins} min");
+}

@@ -1,0 +1,131 @@
+//! Property tests of the ground-truth oracle: monotonicity, determinism,
+//! and consistency of the analytic II with the full evaluation.
+
+use pragma::{ArrayPartition, LoopId, PartitionKind, PragmaConfig, Unroll};
+use proptest::prelude::*;
+
+fn vadd_func(n: usize) -> hir::Function {
+    let src = format!(
+        "void vadd(float a[{n}], float b[{n}], float c[{n}]) {{\n  for (int i = 0; i < {n}; i++) {{ c[i] = a[i] + b[i]; }}\n}}"
+    );
+    hir::lower(&frontc::parse(&src).unwrap())
+        .unwrap()
+        .function("vadd")
+        .unwrap()
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Evaluation is a pure function of (kernel, config).
+    #[test]
+    fn oracle_is_deterministic(u_pow in 0u32..5, pipeline in any::<bool>()) {
+        let func = vadd_func(64);
+        let l = LoopId::from_path(&[0]);
+        let mut cfg = PragmaConfig::default();
+        cfg.set_pipeline(l.clone(), pipeline);
+        let u = 2u32.pow(u_pow);
+        if u > 1 {
+            cfg.set_unroll(l.clone(), Unroll::Factor(u));
+        }
+        let a = hlsim::evaluate(&func, &cfg).unwrap();
+        let b = hlsim::evaluate(&func, &cfg).unwrap();
+        prop_assert_eq!(a.top, b.top);
+        prop_assert_eq!(a.loops.len(), b.loops.len());
+    }
+
+    /// The per-loop II recorded by the oracle equals the analytic formula.
+    #[test]
+    fn recorded_ii_matches_analytic_formula(u_pow in 0u32..4, part_pow in 0u32..4) {
+        let func = vadd_func(64);
+        let l = LoopId::from_path(&[0]);
+        let mut cfg = PragmaConfig::default();
+        cfg.set_pipeline(l.clone(), true);
+        let u = 2u32.pow(u_pow);
+        if u > 1 {
+            cfg.set_unroll(l.clone(), Unroll::Factor(u));
+        }
+        let f = 2u32.pow(part_pow);
+        if f > 1 {
+            for arr in ["a", "b", "c"] {
+                cfg.set_partition(arr, 1, ArrayPartition { kind: PartitionKind::Cyclic, factor: f });
+            }
+        }
+        let report = hlsim::evaluate(&func, &cfg).unwrap();
+        let lq = report.loops.get(&l).expect("loop recorded");
+        prop_assert_eq!(lq.ii, hlsim::analytic_ii(&func, &cfg, &l));
+    }
+
+    /// More memory banks never increase the II of a port-bound pipeline.
+    #[test]
+    fn ii_monotone_in_banks(part_pow in 0u32..5) {
+        let func = vadd_func(64);
+        let l = LoopId::from_path(&[0]);
+        let base_cfg = {
+            let mut c = PragmaConfig::default();
+            c.set_pipeline(l.clone(), true);
+            c.set_unroll(l.clone(), Unroll::Factor(8));
+            c
+        };
+        let banked = {
+            let mut c = base_cfg.clone();
+            let f = 2u32.pow(part_pow);
+            if f > 1 {
+                for arr in ["a", "b", "c"] {
+                    c.set_partition(arr, 1, ArrayPartition { kind: PartitionKind::Cyclic, factor: f });
+                }
+            }
+            c
+        };
+        let ii_base = hlsim::analytic_ii(&func, &base_cfg, &l);
+        let ii_banked = hlsim::analytic_ii(&func, &banked, &l);
+        prop_assert!(ii_banked <= ii_base, "{ii_banked} > {ii_base}");
+    }
+
+    /// Latency labels scale with problem size for the same configuration.
+    #[test]
+    fn latency_scales_with_trip_count(n_pow in 3u32..7) {
+        let small = vadd_func(8);
+        let big = vadd_func(1usize << n_pow);
+        let cfg = PragmaConfig::default();
+        let a = hlsim::evaluate(&small, &cfg).unwrap().top.latency;
+        let b = hlsim::evaluate(&big, &cfg).unwrap().top.latency;
+        prop_assert!(b >= a, "{b} < {a}");
+    }
+}
+
+#[test]
+fn pre_route_bias_is_systematic() {
+    // post-HLS LUT estimates must consistently exceed post-route values —
+    // the bias GNN-DSE-style models inherit
+    for k in kernels::all().iter().take(6) {
+        let func = kernels::lower_kernel(k.name).unwrap();
+        let report = hlsim::evaluate(&func, &PragmaConfig::default()).unwrap();
+        assert!(
+            report.pre_route.lut > report.top.lut,
+            "{}: pre {} <= post {}",
+            k.name,
+            report.pre_route.lut,
+            report.top.lut
+        );
+    }
+}
+
+#[test]
+fn placement_variance_differs_across_kernels() {
+    // the deterministic post-route jitter must vary per design, otherwise
+    // it is a constant factor the models could fold away
+    let ratios: Vec<f64> = kernels::all()
+        .iter()
+        .take(6)
+        .map(|k| {
+            let func = kernels::lower_kernel(k.name).unwrap();
+            let r = hlsim::evaluate(&func, &PragmaConfig::default()).unwrap();
+            r.top.lut as f64 / r.pre_route.lut as f64
+        })
+        .collect();
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    assert!(max - min > 1e-3, "jitter collapsed: {ratios:?}");
+}

@@ -1,0 +1,259 @@
+#![warn(missing_docs)]
+//! Benchmark kernels and their pragma design spaces.
+//!
+//! Sixteen applications in the style of the Polybench / MachSuite / CHStone
+//! suites used by the paper: twelve for model training and testing, four
+//! (bicg, symm, mvt, syrk) held out for the DSE experiment (§IV-D).
+//!
+//! # Example
+//!
+//! ```
+//! let f = kernels::lower_kernel("gemm")?;
+//! let space = kernels::design_space(&f);
+//! assert!(space.enumerate().len() > 50);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod sources;
+mod synth;
+
+pub use synth::{synthetic_corpus, synthetic_kernel};
+
+use hir::{AccessPattern, Function, OpKind};
+use pragma::{ArrayBinding, DesignSpace, LoopId};
+
+/// Which benchmark suite a kernel imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Polybench linear-algebra kernels.
+    Polybench,
+    /// MachSuite accelerator workloads.
+    MachSuite,
+}
+
+/// Role of a kernel in the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Used to build the training/validation/test datasets.
+    Train,
+    /// Held out for the DSE experiment (unseen during training).
+    Dse,
+}
+
+/// One benchmark kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kernel {
+    /// Kernel (and top function) name.
+    pub name: &'static str,
+    /// HLS-C source.
+    pub source: &'static str,
+    /// Originating suite style.
+    pub suite: Suite,
+    /// Experiment role.
+    pub role: Role,
+}
+
+/// All sixteen kernels.
+pub fn all() -> &'static [Kernel] {
+    use Role::*;
+    use Suite::*;
+    const KERNELS: &[Kernel] = &[
+        Kernel { name: "gemm", source: sources::GEMM, suite: Polybench, role: Train },
+        Kernel { name: "atax", source: sources::ATAX, suite: Polybench, role: Train },
+        Kernel { name: "gesummv", source: sources::GESUMMV, suite: Polybench, role: Train },
+        Kernel { name: "k2mm", source: sources::K2MM, suite: Polybench, role: Train },
+        Kernel { name: "doitgen", source: sources::DOITGEN, suite: Polybench, role: Train },
+        Kernel { name: "trmm", source: sources::TRMM, suite: Polybench, role: Train },
+        Kernel { name: "fir", source: sources::FIR, suite: MachSuite, role: Train },
+        Kernel { name: "conv1d", source: sources::CONV1D, suite: MachSuite, role: Train },
+        Kernel { name: "stencil2d", source: sources::STENCIL2D, suite: MachSuite, role: Train },
+        Kernel { name: "jacobi1d", source: sources::JACOBI1D, suite: Polybench, role: Train },
+        Kernel { name: "spmv", source: sources::SPMV, suite: MachSuite, role: Train },
+        Kernel { name: "nn_dist", source: sources::NN_DIST, suite: MachSuite, role: Train },
+        Kernel { name: "bicg", source: sources::BICG, suite: Polybench, role: Dse },
+        Kernel { name: "symm", source: sources::SYMM, suite: Polybench, role: Dse },
+        Kernel { name: "mvt", source: sources::MVT, suite: Polybench, role: Dse },
+        Kernel { name: "syrk", source: sources::SYRK, suite: Polybench, role: Dse },
+    ];
+    KERNELS
+}
+
+/// Kernels used for training/validation/testing.
+pub fn training_kernels() -> impl Iterator<Item = &'static Kernel> {
+    all().iter().filter(|k| k.role == Role::Train)
+}
+
+/// Kernels held out for DSE.
+pub fn dse_kernels() -> impl Iterator<Item = &'static Kernel> {
+    all().iter().filter(|k| k.role == Role::Dse)
+}
+
+/// Source of a kernel by name.
+pub fn kernel_source(name: &str) -> Option<&'static str> {
+    all().iter().find(|k| k.name == name).map(|k| k.source)
+}
+
+/// Parses and lowers a kernel to its HIR function.
+///
+/// # Errors
+///
+/// Returns an error if the kernel name is unknown (or, unexpectedly, if a
+/// bundled source fails the front-end).
+pub fn lower_kernel(name: &str) -> Result<Function, Box<dyn std::error::Error>> {
+    let src = kernel_source(name).ok_or_else(|| format!("unknown kernel {name:?}"))?;
+    let program = frontc::parse(src)?;
+    let module = hir::lower(&program)?;
+    let f = module
+        .function(name)
+        .ok_or_else(|| format!("kernel source does not define {name:?}"))?;
+    Ok(f.clone())
+}
+
+/// Derives the pragma design space of a function: the loop-shape tree plus
+/// array-partition bindings inferred from affine access patterns.
+///
+/// A binding ties array dimension `d` to the loop whose induction variable
+/// most frequently indexes that dimension (so partitioning follows the
+/// unroll factor, as the paper's DSE does).
+pub fn design_space(func: &Function) -> DesignSpace {
+    let roots = hir::loop_shapes(func);
+    let arrays: Vec<(String, Vec<usize>)> = func
+        .arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.dims.clone()))
+        .collect();
+
+    // vote: (array, dim) -> loop -> count
+    let mut votes: std::collections::BTreeMap<(String, u32), std::collections::BTreeMap<LoopId, usize>> =
+        Default::default();
+    for op in &func.ops {
+        let (array, access) = match &op.kind {
+            OpKind::Load { array, access } | OpKind::Store { array, access } => (array, access),
+            _ => continue,
+        };
+        let AccessPattern::Affine(dims) = access else {
+            continue;
+        };
+        for (d, idx) in dims.iter().enumerate() {
+            for (l, c) in &idx.terms {
+                if *c != 0 {
+                    *votes
+                        .entry((array.clone(), d as u32 + 1))
+                        .or_default()
+                        .entry(l.clone())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let bindings: Vec<ArrayBinding> = votes
+        .into_iter()
+        .filter_map(|((array, dim), by_loop)| {
+            by_loop
+                .into_iter()
+                .max_by_key(|(_, n)| *n)
+                .map(|(loop_id, _)| ArrayBinding {
+                    array,
+                    dim,
+                    loop_id,
+                })
+        })
+        .collect();
+
+    DesignSpace::new(func.name.clone(), roots, arrays, bindings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_pass_the_frontend_and_lowering() {
+        for k in all() {
+            let f = lower_kernel(k.name).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert!(!f.loops().is_empty(), "{} has loops", k.name);
+            assert!(!f.ops.is_empty(), "{} has ops", k.name);
+        }
+    }
+
+    #[test]
+    fn twelve_train_four_dse() {
+        assert_eq!(training_kernels().count(), 12);
+        assert_eq!(dse_kernels().count(), 4);
+        let dse: Vec<&str> = dse_kernels().map(|k| k.name).collect();
+        assert_eq!(dse, vec!["bicg", "symm", "mvt", "syrk"]);
+    }
+
+    #[test]
+    fn design_spaces_are_nontrivial() {
+        for k in all() {
+            let f = lower_kernel(k.name).unwrap();
+            let space = design_space(&f);
+            let n = space.enumerate().len();
+            assert!(n >= 10, "{}: space too small ({n})", k.name);
+        }
+    }
+
+    #[test]
+    fn dse_space_sizes_match_paper_order_of_magnitude() {
+        for k in dse_kernels() {
+            let f = lower_kernel(k.name).unwrap();
+            let n = design_space(&f).enumerate().len();
+            // paper: 1972..2796; ours should be within the same order
+            assert!(
+                (100..20_000).contains(&n),
+                "{}: unexpected space size {n}",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_bindings_follow_access_patterns() {
+        let f = lower_kernel("gemm").unwrap();
+        let space = design_space(&f);
+        // array `b` is indexed b[k][j]: dim 1 must bind to the k-loop
+        let b1 = space
+            .bindings
+            .iter()
+            .find(|b| b.array == "b" && b.dim == 1)
+            .expect("binding for b dim 1");
+        assert_eq!(b1.loop_id, LoopId::from_path(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn spmv_has_dynamic_access() {
+        let f = lower_kernel("spmv").unwrap();
+        let dynamic = f.ops.iter().any(|o| {
+            matches!(
+                &o.kind,
+                OpKind::Load {
+                    access: AccessPattern::Dynamic { .. },
+                    ..
+                }
+            )
+        });
+        assert!(dynamic, "spmv must exercise the dynamic-index path");
+    }
+
+    #[test]
+    fn kernels_evaluate_under_default_config() {
+        for k in all() {
+            let f = lower_kernel(k.name).unwrap();
+            let report = hlsim::evaluate(&f, &pragma::PragmaConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert!(report.top.latency > 0, "{}", k.name);
+            assert!(report.top.lut > 0, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn kernels_build_graphs_under_default_config() {
+        for k in all() {
+            let f = lower_kernel(k.name).unwrap();
+            let g = cdfg::GraphBuilder::new(&f, &pragma::PragmaConfig::default()).build();
+            assert!(g.num_nodes() > 5, "{}: graph too small", k.name);
+            assert!(g.num_edges() > 5, "{}: no edges", k.name);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! HLS-C sources of the benchmark kernels.
+//!
+//! Sixteen applications in the style of Polybench, MachSuite and CHStone, as
+//! used by the paper (12 for training/testing, 4 held out for the DSE
+//! experiment). Sizes are scaled to keep simulated sweeps laptop-friendly;
+//! structures (loop nests, access patterns, recurrences, dynamic indexing)
+//! mirror the originals.
+
+/// `gemm` — dense matrix multiply (Polybench).
+pub const GEMM: &str = r#"
+void gemm(float a[16][16], float b[16][16], float c[16][16]) {
+    for (int i = 0; i < 16; i++) {
+        for (int j = 0; j < 16; j++) {
+            float acc = 0.0;
+            for (int k = 0; k < 16; k++) {
+                acc += a[i][k] * b[k][j];
+            }
+            c[i][j] = acc;
+        }
+    }
+}
+"#;
+
+/// `atax` — matrix times vector, then transpose times result (Polybench).
+pub const ATAX: &str = r#"
+void atax(float a[32][32], float x[32], float y[32], float tmp[32]) {
+    for (int i = 0; i < 32; i++) {
+        float acc = 0.0;
+        for (int j = 0; j < 32; j++) {
+            acc += a[i][j] * x[j];
+        }
+        tmp[i] = acc;
+    }
+    for (int j = 0; j < 32; j++) {
+        float acc = 0.0;
+        for (int i = 0; i < 32; i++) {
+            acc += a[i][j] * tmp[i];
+        }
+        y[j] = acc;
+    }
+}
+"#;
+
+/// `gesummv` — scalar, vector and matrix multiplication (Polybench).
+pub const GESUMMV: &str = r#"
+void gesummv(float a[32][32], float b[32][32], float x[32], float y[32]) {
+    for (int i = 0; i < 32; i++) {
+        float s1 = 0.0;
+        float s2 = 0.0;
+        for (int j = 0; j < 32; j++) {
+            s1 += a[i][j] * x[j];
+            s2 += b[i][j] * x[j];
+        }
+        y[i] = 1.5 * s1 + 1.2 * s2;
+    }
+}
+"#;
+
+/// `k2mm` — two chained matrix multiplies (Polybench 2mm).
+pub const K2MM: &str = r#"
+void k2mm(float a[12][12], float b[12][12], float c[12][12], float d[12][12], float tmp[12][12]) {
+    for (int i = 0; i < 12; i++) {
+        for (int j = 0; j < 12; j++) {
+            float acc = 0.0;
+            for (int k = 0; k < 12; k++) {
+                acc += a[i][k] * b[k][j];
+            }
+            tmp[i][j] = acc;
+        }
+    }
+    for (int i = 0; i < 12; i++) {
+        for (int j = 0; j < 12; j++) {
+            float acc = 0.0;
+            for (int k = 0; k < 12; k++) {
+                acc += tmp[i][k] * c[k][j];
+            }
+            d[i][j] = d[i][j] + acc;
+        }
+    }
+}
+"#;
+
+/// `doitgen` — multi-resolution analysis kernel (Polybench, reduced).
+pub const DOITGEN: &str = r#"
+void doitgen(float a[8][8][8], float c4[8][8], float sum[8]) {
+    for (int r = 0; r < 8; r++) {
+        for (int q = 0; q < 8; q++) {
+            for (int p = 0; p < 8; p++) {
+                float acc = 0.0;
+                for (int s = 0; s < 8; s++) {
+                    acc += a[r][q][s] * c4[s][p];
+                }
+                sum[p] = acc;
+            }
+            for (int p = 0; p < 8; p++) {
+                a[r][q][p] = sum[p];
+            }
+        }
+    }
+}
+"#;
+
+/// `trmm` — triangular-style matrix multiply, rectangularized (Polybench).
+pub const TRMM: &str = r#"
+void trmm(float a[16][16], float b[16][16]) {
+    for (int i = 0; i < 16; i++) {
+        for (int j = 0; j < 16; j++) {
+            float acc = 0.0;
+            for (int k = 0; k < 16; k++) {
+                acc += a[k][i] * b[k][j];
+            }
+            b[i][j] = b[i][j] + 0.8 * acc;
+        }
+    }
+}
+"#;
+
+/// `fir` — finite impulse response filter (MachSuite).
+pub const FIR: &str = r#"
+void fir(float input[64], float coeff[16], float output[64]) {
+    for (int n = 0; n < 64; n++) {
+        float acc = 0.0;
+        for (int t = 0; t < 16; t++) {
+            if (n - t >= 0) {
+                acc += coeff[t] * input[n - t];
+            }
+        }
+        output[n] = acc;
+    }
+}
+"#;
+
+/// `conv1d` — one-dimensional convolution with halo (MachSuite-style).
+pub const CONV1D: &str = r#"
+void conv1d(float signal[64], float kernel[5], float out[60]) {
+    for (int i = 0; i < 60; i++) {
+        float acc = 0.0;
+        for (int k = 0; k < 5; k++) {
+            acc += signal[i + k] * kernel[k];
+        }
+        out[i] = acc;
+    }
+}
+"#;
+
+/// `stencil2d` — 3x3 stencil (MachSuite).
+pub const STENCIL2D: &str = r#"
+void stencil2d(float orig[16][16], float filt[3][3], float sol[16][16]) {
+    for (int r = 0; r < 14; r++) {
+        for (int c = 0; c < 14; c++) {
+            float temp = 0.0;
+            for (int k1 = 0; k1 < 3; k1++) {
+                for (int k2 = 0; k2 < 3; k2++) {
+                    temp += filt[k1][k2] * orig[r + k1][c + k2];
+                }
+            }
+            sol[r][c] = temp;
+        }
+    }
+}
+"#;
+
+/// `jacobi1d` — 3-point relaxation sweep (Polybench-style).
+pub const JACOBI1D: &str = r#"
+void jacobi1d(float a[64], float b[64]) {
+    for (int i = 1; i < 63; i++) {
+        b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1]);
+    }
+    for (int i = 1; i < 63; i++) {
+        a[i] = 0.33333 * (b[i - 1] + b[i] + b[i + 1]);
+    }
+}
+"#;
+
+/// `spmv` — sparse matrix-vector multiply, ELLPACK format with dynamic
+/// column indices (MachSuite).
+pub const SPMV: &str = r#"
+void spmv(float nzval[32][8], int cols[32][8], float vec[32], float out[32]) {
+    for (int i = 0; i < 32; i++) {
+        float sum = 0.0;
+        for (int j = 0; j < 8; j++) {
+            sum += nzval[i][j] * vec[cols[i][j]];
+        }
+        out[i] = sum;
+    }
+}
+"#;
+
+/// `nn_dist` — pairwise Euclidean distances (kNN/MD-style, uses `sqrtf`).
+pub const NN_DIST: &str = r#"
+void nn_dist(float px[32], float py[32], float pz[32], float dist[32]) {
+    for (int i = 0; i < 32; i++) {
+        float best = 1000000.0;
+        for (int j = 0; j < 32; j++) {
+            float dx = px[i] - px[j];
+            float dy = py[i] - py[j];
+            float dz = pz[i] - pz[j];
+            float d = sqrtf(dx * dx + dy * dy + dz * dz);
+            if (j != i) {
+                best = fminf(best, d);
+            }
+        }
+        dist[i] = best;
+    }
+}
+"#;
+
+// ----------------------------------------------------- DSE hold-out kernels
+
+/// `bicg` — BiCG sub-kernel of BiCGStab (Polybench; DSE hold-out).
+pub const BICG: &str = r#"
+void bicg(float a[32][32], float s[32], float q[32], float p[32], float r[32]) {
+    for (int i = 0; i < 32; i++) {
+        s[i] = 0.0;
+    }
+    for (int i = 0; i < 32; i++) {
+        float acc = 0.0;
+        for (int j = 0; j < 32; j++) {
+            s[j] = s[j] + r[i] * a[i][j];
+            acc += a[i][j] * p[j];
+        }
+        q[i] = acc;
+    }
+}
+"#;
+
+/// `symm` — symmetric matrix multiply, rectangularized (Polybench; DSE
+/// hold-out).
+pub const SYMM: &str = r#"
+void symm(float a[24][24], float b[24][24], float c[24][24]) {
+    for (int i = 0; i < 24; i++) {
+        for (int j = 0; j < 24; j++) {
+            float temp = 0.0;
+            for (int k = 0; k < 24; k++) {
+                temp += b[k][j] * a[i][k];
+            }
+            c[i][j] = 0.6 * c[i][j] + 1.3 * temp;
+        }
+    }
+}
+"#;
+
+/// `mvt` — matrix-vector product and transpose (Polybench; DSE hold-out).
+pub const MVT: &str = r#"
+void mvt(float a[32][32], float x1[32], float x2[32], float y1[32], float y2[32]) {
+    for (int i = 0; i < 32; i++) {
+        float acc = 0.0;
+        for (int j = 0; j < 32; j++) {
+            acc += a[i][j] * y1[j];
+        }
+        x1[i] = x1[i] + acc;
+    }
+    for (int i = 0; i < 32; i++) {
+        float acc = 0.0;
+        for (int j = 0; j < 32; j++) {
+            acc += a[j][i] * y2[j];
+        }
+        x2[i] = x2[i] + acc;
+    }
+}
+"#;
+
+/// `syrk` — symmetric rank-k update, rectangularized (Polybench; DSE
+/// hold-out).
+pub const SYRK: &str = r#"
+void syrk(float a[24][24], float c[24][24]) {
+    for (int i = 0; i < 24; i++) {
+        for (int j = 0; j < 24; j++) {
+            float acc = 0.0;
+            for (int k = 0; k < 24; k++) {
+                acc += a[i][k] * a[j][k];
+            }
+            c[i][j] = 0.5 * c[i][j] + acc;
+        }
+    }
+}
+"#;

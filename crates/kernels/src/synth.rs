@@ -1,0 +1,127 @@
+//! Synthetic program generator.
+//!
+//! Wu et al. (DAC'22, \[8\]) evaluate on randomly generated DFGs and simple
+//! loops without pragmas. This module reproduces that corpus style for the
+//! Table IV "w/o pragma" comparison: random single/double loops whose
+//! bodies are random arithmetic DAGs over array loads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates one synthetic pragma-free kernel.
+///
+/// The program is guaranteed to pass the HLS-C front-end: a `void` function
+/// named `synth<seed>` over 2–3 float arrays, one or two loop levels, and a
+/// random expression DAG of 3–10 float operations per body.
+///
+/// # Example
+///
+/// ```
+/// let src = kernels::synthetic_kernel(42);
+/// let program = frontc::parse(&src).expect("generated source is valid");
+/// assert_eq!(program.functions.len(), 1);
+/// ```
+pub fn synthetic_kernel(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(seed));
+    let name = format!("synth{seed}");
+    let n = *[16usize, 32, 64].get(rng.gen_range(0..3)).unwrap_or(&32);
+    let n_arrays = rng.gen_range(2..=3usize);
+    let arrays: Vec<String> = (0..n_arrays).map(|i| format!("a{i}")).collect();
+    let two_level = rng.gen_bool(0.4);
+    let inner_n = if two_level { rng.gen_range(4..=16usize) } else { 0 };
+
+    let mut body = String::new();
+    let depth_pad = if two_level { "        " } else { "    " };
+
+    // random expression DAG: a chain of temporaries over random loads
+    let n_ops = rng.gen_range(3..=10usize);
+    let mut temps: Vec<String> = Vec::new();
+    for t in 0..n_ops {
+        let lhs = pick_operand(&mut rng, &arrays, &temps, n, two_level);
+        let rhs = pick_operand(&mut rng, &arrays, &temps, n, two_level);
+        let op = ["+", "-", "*"][rng.gen_range(0..3)];
+        body.push_str(&format!("{depth_pad}    float t{t} = {lhs} {op} {rhs};\n"));
+        temps.push(format!("t{t}"));
+    }
+    let result = temps.last().cloned().unwrap_or_else(|| "0.0".into());
+    let out = &arrays[0];
+    body.push_str(&format!("{depth_pad}    {out}[i] = {result};\n"));
+
+    let params: Vec<String> = arrays.iter().map(|a| format!("float {a}[{n}]")).collect();
+    if two_level {
+        format!(
+            "void {name}({}) {{\n    for (int i = 0; i < {n}; i++) {{\n        for (int j = 0; j < {inner_n}; j++) {{\n{body}        }}\n    }}\n}}\n",
+            params.join(", ")
+        )
+    } else {
+        format!(
+            "void {name}({}) {{\n    for (int i = 0; i < {n}; i++) {{\n{body}    }}\n}}\n",
+            params.join(", ")
+        )
+    }
+}
+
+fn pick_operand(
+    rng: &mut StdRng,
+    arrays: &[String],
+    temps: &[String],
+    n: usize,
+    two_level: bool,
+) -> String {
+    let choice = rng.gen_range(0..10u32);
+    if choice < 5 || temps.is_empty() {
+        // array load with a simple affine index
+        let a = &arrays[rng.gen_range(0..arrays.len())];
+        match rng.gen_range(0..3u32) {
+            0 => format!("{a}[i]"),
+            // reversed access: n-1-i stays within [0, n-1] for all i
+            1 => format!("{a}[{} - i]", n - 1),
+            _ if two_level => format!("{a}[j]"),
+            _ => format!("{a}[i]"),
+        }
+    } else if choice < 8 {
+        temps[rng.gen_range(0..temps.len())].clone()
+    } else {
+        format!("{:.1}", rng.gen_range(0.5..4.0f32))
+    }
+}
+
+/// Generates a corpus of `count` synthetic kernels as `(name, source)`
+/// pairs, all valid HLS-C.
+pub fn synthetic_corpus(count: usize, base_seed: u64) -> Vec<(String, String)> {
+    (0..count)
+        .map(|i| {
+            let seed = base_seed + i as u64;
+            (format!("synth{seed}"), synthetic_kernel(seed))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_parseable_and_lowerable() {
+        for (name, src) in synthetic_corpus(50, 1000) {
+            let program = frontc::parse(&src).unwrap_or_else(|e| panic!("{name}: {e}\n{src}"));
+            let module = hir::lower(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let f = module.function(&name).expect("function present");
+            assert!(!f.loops().is_empty());
+        }
+    }
+
+    #[test]
+    fn corpus_is_diverse() {
+        let corpus = synthetic_corpus(30, 7);
+        let unique: std::collections::HashSet<&String> =
+            corpus.iter().map(|(_, s)| s).collect();
+        assert!(unique.len() > 25, "sources too repetitive");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(synthetic_kernel(5), synthetic_kernel(5));
+        assert_ne!(synthetic_kernel(5), synthetic_kernel(6));
+    }
+}

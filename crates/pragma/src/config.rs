@@ -1,0 +1,446 @@
+//! Pragma configuration types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use frontc::PartitionKind;
+
+/// Identifies a loop by its path of loop indices from the function body.
+///
+/// `[0]` is the first top-level loop, `[0, 1]` the second loop nested
+/// directly inside it, and so on. Only loop statements are counted.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LoopId(Vec<u16>);
+
+impl LoopId {
+    /// The root path (used as a parent for top-level loops).
+    pub fn root() -> Self {
+        LoopId(Vec::new())
+    }
+
+    /// Builds an id from an explicit path.
+    pub fn from_path(path: &[u16]) -> Self {
+        LoopId(path.to_vec())
+    }
+
+    /// The child loop with index `i` under this loop.
+    pub fn child(&self, i: u16) -> LoopId {
+        let mut p = self.0.clone();
+        p.push(i);
+        LoopId(p)
+    }
+
+    /// Parent loop id, or `None` for top-level loops.
+    pub fn parent(&self) -> Option<LoopId> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(LoopId(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Nesting depth (1 for top-level loops).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether `self` is an ancestor of (or equal to) `other`.
+    pub fn contains(&self, other: &LoopId) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Raw path.
+    pub fn path(&self) -> &[u16] {
+        &self.0
+    }
+}
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("<root>");
+        }
+        for (i, seg) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "L{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Unrolling decision for one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Unroll {
+    /// No unrolling (factor 1).
+    #[default]
+    Off,
+    /// Partial unroll by the given factor (> 1).
+    Factor(u32),
+    /// Complete unroll (replicate the body trip-count times).
+    Full,
+}
+
+impl Unroll {
+    /// Effective replication factor given the loop trip count.
+    pub fn factor(&self, trip_count: u64) -> u64 {
+        match self {
+            Unroll::Off => 1,
+            Unroll::Factor(f) => u64::from(*f).min(trip_count.max(1)),
+            Unroll::Full => trip_count.max(1),
+        }
+    }
+
+    /// Whether the loop disappears entirely (full unroll).
+    pub fn is_full(&self, trip_count: u64) -> bool {
+        match self {
+            Unroll::Off => false,
+            Unroll::Factor(f) => u64::from(*f) >= trip_count,
+            Unroll::Full => true,
+        }
+    }
+}
+
+/// Pragma decisions attached to one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LoopPragma {
+    /// `#pragma HLS pipeline`
+    pub pipeline: bool,
+    /// `#pragma HLS unroll`
+    pub unroll: Unroll,
+    /// `#pragma HLS loop_flatten`
+    pub flatten: bool,
+}
+
+/// Partitioning of one array dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayPartition {
+    /// Partition flavour.
+    pub kind: PartitionKind,
+    /// Bank count along this dimension (1 = unpartitioned).
+    pub factor: u32,
+}
+
+impl Default for ArrayPartition {
+    fn default() -> Self {
+        ArrayPartition {
+            kind: PartitionKind::Cyclic,
+            factor: 1,
+        }
+    }
+}
+
+/// A complete pragma configuration for one kernel.
+///
+/// Absent entries mean "no pragma": loops default to [`LoopPragma::default`]
+/// and arrays to unpartitioned.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PragmaConfig {
+    loops: BTreeMap<LoopId, LoopPragma>,
+    /// Per-array, per-dimension partitioning.
+    arrays: BTreeMap<String, Vec<ArrayPartition>>,
+}
+
+impl PragmaConfig {
+    /// An empty (pragma-free) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The pragma set of `loop_id` (default if absent).
+    pub fn loop_pragma(&self, loop_id: &LoopId) -> LoopPragma {
+        self.loops.get(loop_id).copied().unwrap_or_default()
+    }
+
+    /// Sets/clears pipelining on a loop.
+    pub fn set_pipeline(&mut self, loop_id: LoopId, pipeline: bool) {
+        self.loops.entry(loop_id).or_default().pipeline = pipeline;
+    }
+
+    /// Sets the unroll decision of a loop.
+    pub fn set_unroll(&mut self, loop_id: LoopId, unroll: Unroll) {
+        self.loops.entry(loop_id).or_default().unroll = unroll;
+    }
+
+    /// Sets/clears loop flattening on a loop.
+    pub fn set_flatten(&mut self, loop_id: LoopId, flatten: bool) {
+        self.loops.entry(loop_id).or_default().flatten = flatten;
+    }
+
+    /// Sets the partitioning of one array dimension (1-based `dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn set_partition(&mut self, array: impl Into<String>, dim: u32, part: ArrayPartition) {
+        assert!(dim >= 1, "dim is 1-based");
+        let v = self.arrays.entry(array.into()).or_default();
+        let d = dim as usize - 1;
+        if v.len() <= d {
+            v.resize(d + 1, ArrayPartition::default());
+        }
+        v[d] = part;
+    }
+
+    /// Partitioning of `array` along 1-based `dim` (default if absent).
+    pub fn partition(&self, array: &str, dim: u32) -> ArrayPartition {
+        self.arrays
+            .get(array)
+            .and_then(|v| v.get(dim as usize - 1))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total bank count of an array with the given dimensions.
+    ///
+    /// `complete` partitioning along a dimension contributes that dimension's
+    /// size; otherwise the factor (clamped to the dimension size).
+    pub fn array_banks(&self, array: &str, dims: &[usize]) -> usize {
+        dims.iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let p = self.partition(array, i as u32 + 1);
+                match p.kind {
+                    PartitionKind::Complete if p.factor > 1 || self.is_partitioned(array, i) => n,
+                    _ => (p.factor as usize).clamp(1, n.max(1)),
+                }
+            })
+            .product::<usize>()
+            .max(1)
+    }
+
+    fn is_partitioned(&self, array: &str, dim_idx: usize) -> bool {
+        self.arrays
+            .get(array)
+            .and_then(|v| v.get(dim_idx))
+            .is_some()
+    }
+
+    /// Iterates over loops with explicit pragma entries.
+    pub fn loops(&self) -> impl Iterator<Item = (&LoopId, &LoopPragma)> {
+        self.loops.iter()
+    }
+
+    /// Iterates over arrays with explicit partition entries.
+    pub fn arrays(&self) -> impl Iterator<Item = (&str, &[ArrayPartition])> {
+        self.arrays.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Whether this configuration applies any pragma at all.
+    pub fn is_trivial(&self) -> bool {
+        self.loops.values().all(|p| *p == LoopPragma::default())
+            && self
+                .arrays
+                .values()
+                .all(|v| v.iter().all(|p| p.factor <= 1 && p.kind != PartitionKind::Complete))
+    }
+
+    /// A deterministic 64-bit fingerprint of the configuration (used to seed
+    /// the simulated post-route variance per design point).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (id, p) in &self.loops {
+            for seg in id.path() {
+                h.byte(*seg as u8);
+                h.byte((*seg >> 8) as u8);
+            }
+            h.byte(u8::from(p.pipeline));
+            h.byte(u8::from(p.flatten));
+            match p.unroll {
+                Unroll::Off => h.byte(0),
+                Unroll::Factor(f) => {
+                    h.byte(1);
+                    h.u32(f);
+                }
+                Unroll::Full => h.byte(2),
+            }
+            h.byte(0xfe);
+        }
+        for (name, parts) in &self.arrays {
+            for b in name.bytes() {
+                h.byte(b);
+            }
+            for p in parts {
+                h.byte(match p.kind {
+                    PartitionKind::Cyclic => 1,
+                    PartitionKind::Block => 2,
+                    PartitionKind::Complete => 3,
+                });
+                h.u32(p.factor);
+            }
+            h.byte(0xff);
+        }
+        h.finish()
+    }
+}
+
+impl fmt::Display for PragmaConfig {
+    /// Renders the configuration as a compact pragma list, e.g.
+    /// `L0:pipeline L0.L0:unroll=4 a@1:cyclic(4)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                f.write_str(" ")
+            }
+        };
+        for (id, p) in &self.loops {
+            let mut tags = Vec::new();
+            if p.pipeline {
+                tags.push("pipeline".to_string());
+            }
+            if p.flatten {
+                tags.push("flatten".to_string());
+            }
+            match p.unroll {
+                Unroll::Off => {}
+                Unroll::Factor(u) => tags.push(format!("unroll={u}")),
+                Unroll::Full => tags.push("unroll=full".to_string()),
+            }
+            if !tags.is_empty() {
+                sep(f)?;
+                write!(f, "{id}:{}", tags.join("+"))?;
+            }
+        }
+        for (name, parts) in &self.arrays {
+            for (d, p) in parts.iter().enumerate() {
+                if p.factor > 1 || p.kind == PartitionKind::Complete {
+                    sep(f)?;
+                    write!(f, "{name}@{}:{}({})", d + 1, p.kind, p.factor)?;
+                }
+            }
+        }
+        if first {
+            f.write_str("<no pragmas>")?;
+        }
+        Ok(())
+    }
+}
+
+/// Minimal FNV-1a hasher (stable across platforms and runs).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_id_paths() {
+        let root = LoopId::root();
+        let a = root.child(0);
+        let b = a.child(1);
+        assert_eq!(b.path(), &[0, 1]);
+        assert_eq!(b.parent(), Some(a.clone()));
+        assert_eq!(b.depth(), 2);
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert_eq!(b.to_string(), "L0.L1");
+    }
+
+    #[test]
+    fn unroll_factor_clamps_to_trip_count() {
+        assert_eq!(Unroll::Off.factor(10), 1);
+        assert_eq!(Unroll::Factor(4).factor(10), 4);
+        assert_eq!(Unroll::Factor(16).factor(10), 10);
+        assert_eq!(Unroll::Full.factor(10), 10);
+        assert!(Unroll::Factor(16).is_full(10));
+        assert!(!Unroll::Factor(2).is_full(10));
+    }
+
+    #[test]
+    fn bank_counts_multiply_over_dims() {
+        let mut cfg = PragmaConfig::new();
+        cfg.set_partition(
+            "a",
+            1,
+            ArrayPartition {
+                kind: PartitionKind::Cyclic,
+                factor: 4,
+            },
+        );
+        cfg.set_partition(
+            "a",
+            2,
+            ArrayPartition {
+                kind: PartitionKind::Block,
+                factor: 2,
+            },
+        );
+        assert_eq!(cfg.array_banks("a", &[16, 16]), 8);
+        assert_eq!(cfg.array_banks("b", &[16, 16]), 1);
+    }
+
+    #[test]
+    fn complete_partition_uses_dimension_size() {
+        let mut cfg = PragmaConfig::new();
+        cfg.set_partition(
+            "a",
+            1,
+            ArrayPartition {
+                kind: PartitionKind::Complete,
+                factor: 1,
+            },
+        );
+        assert_eq!(cfg.array_banks("a", &[8]), 8);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let mut a = PragmaConfig::new();
+        a.set_pipeline(LoopId::from_path(&[0]), true);
+        let mut b = PragmaConfig::new();
+        b.set_unroll(LoopId::from_path(&[0]), Unroll::Factor(2));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn display_renders_compact_pragma_list() {
+        let mut cfg = PragmaConfig::new();
+        assert_eq!(cfg.to_string(), "<no pragmas>");
+        cfg.set_pipeline(LoopId::from_path(&[0, 1]), true);
+        cfg.set_unroll(LoopId::from_path(&[0]), Unroll::Factor(4));
+        cfg.set_partition(
+            "a",
+            1,
+            ArrayPartition {
+                kind: PartitionKind::Cyclic,
+                factor: 4,
+            },
+        );
+        let text = cfg.to_string();
+        assert!(text.contains("L0:unroll=4"), "{text}");
+        assert!(text.contains("L0.L1:pipeline"), "{text}");
+        assert!(text.contains("a@1:cyclic(4)"), "{text}");
+    }
+
+    #[test]
+    fn trivial_detection() {
+        let mut cfg = PragmaConfig::new();
+        assert!(cfg.is_trivial());
+        cfg.set_pipeline(LoopId::from_path(&[0]), true);
+        assert!(!cfg.is_trivial());
+    }
+}

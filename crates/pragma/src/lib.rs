@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! HLS pragma configurations and design-space enumeration.
+//!
+//! A [`PragmaConfig`] assigns pipelining / unrolling / flattening decisions to
+//! loops (addressed by [`LoopId`] paths) and partitioning decisions to
+//! arrays. A [`DesignSpace`] describes the legal configuration set of one
+//! kernel and enumerates it the way the paper's DSE experiment does
+//! (§IV-D): pragmas applied iteratively from inner to outer loops, unroll
+//! factors from `{1, 2, 4, 8, 16}`, array partitioning factors tied to
+//! unroll factors.
+//!
+//! # Example
+//!
+//! ```
+//! use pragma::{LoopId, PragmaConfig, Unroll};
+//!
+//! let mut cfg = PragmaConfig::default();
+//! let inner = LoopId::from_path(&[0, 0]);
+//! cfg.set_pipeline(inner.clone(), true);
+//! cfg.set_unroll(LoopId::from_path(&[0]), Unroll::Factor(2));
+//! assert!(cfg.loop_pragma(&inner).pipeline);
+//! ```
+
+mod config;
+mod space;
+
+pub use config::{ArrayPartition, LoopId, LoopPragma, PragmaConfig, Unroll};
+pub use frontc::PartitionKind;
+pub use space::{ArrayBinding, DesignSpace, LoopShape};

@@ -1,0 +1,64 @@
+//! Numerical gradient checking utilities.
+//!
+//! Used by this crate's own test suite and by downstream crates (e.g. the GNN
+//! layers) to validate analytic gradients against central finite differences.
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+/// Checks the analytic gradient of `build` against finite differences.
+///
+/// `build` receives a fresh tape and a leaf variable of shape
+/// `rows x cols` (deterministic pseudo-random contents) and must return a
+/// scalar loss variable. The analytic gradient from [`Tape::backward`] is
+/// compared element-wise against a central difference approximation.
+///
+/// # Panics
+///
+/// Panics if any element disagrees beyond a combined absolute/relative
+/// tolerance — which is the desired behaviour inside tests.
+pub fn numeric_grad(rows: usize, cols: usize, build: impl Fn(&mut Tape, Var) -> Var) {
+    // Deterministic, non-degenerate inputs (avoid exact zeros so that
+    // piecewise activations like ReLU are not probed at their kink).
+    let base = Matrix::from_fn(rows, cols, |r, c| {
+        let k = (r * cols + c) as f32;
+        0.35 * (k * 0.7 + 0.4).sin() + 0.13 * (k + 1.0).cos() + 0.21
+    });
+
+    let mut t = Tape::new();
+    let x = t.leaf(base.clone());
+    let loss = build(&mut t, x);
+    assert_eq!(
+        t.value(loss).shape(),
+        (1, 1),
+        "numeric_grad: build must return a scalar loss"
+    );
+    t.backward(loss);
+    let analytic = t.grad(x);
+
+    let eps = 1e-3;
+    for i in 0..rows {
+        for j in 0..cols {
+            let mut plus = base.clone();
+            plus[(i, j)] += eps;
+            let mut minus = base.clone();
+            minus[(i, j)] -= eps;
+            let lp = eval(&build, plus);
+            let lm = eval(&build, minus);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[(i, j)];
+            let tol = 2e-2 * (1.0 + a.abs().max(numeric.abs()));
+            assert!(
+                (a - numeric).abs() <= tol,
+                "gradient mismatch at ({i},{j}): analytic={a}, numeric={numeric}"
+            );
+        }
+    }
+}
+
+fn eval(build: &impl Fn(&mut Tape, Var) -> Var, input: Matrix) -> f32 {
+    let mut t = Tape::new();
+    let x = t.leaf(input);
+    let loss = build(&mut t, x);
+    t.value(loss).item()
+}

@@ -1,0 +1,60 @@
+//! Weight-initialization helpers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Deterministic RNG used for reproducible initialization across runs.
+///
+/// # Example
+///
+/// ```
+/// let mut rng = tensor::init::seeded_rng(42);
+/// let w = tensor::init::xavier(&mut rng, 8, 4);
+/// assert_eq!(w.shape(), (8, 4));
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Xavier/Glorot uniform initialization for a `fan_in x fan_out` weight.
+pub fn xavier(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-bound..bound))
+}
+
+/// Kaiming/He uniform initialization (suited for ReLU networks).
+pub fn kaiming(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-bound..bound))
+}
+
+/// Zero-initialized bias row (`1 x n`).
+pub fn zero_bias(n: usize) -> Matrix {
+    Matrix::zeros(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_is_bounded_and_deterministic() {
+        let mut a = seeded_rng(7);
+        let mut b = seeded_rng(7);
+        let wa = xavier(&mut a, 16, 16);
+        let wb = xavier(&mut b, 16, 16);
+        assert_eq!(wa, wb);
+        let bound = (6.0 / 32.0_f32).sqrt();
+        assert!(wa.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = seeded_rng(1);
+        let w = kaiming(&mut rng, 100, 4);
+        let bound = (6.0 / 100.0_f32).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+}

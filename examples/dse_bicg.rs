@@ -1,0 +1,49 @@
+//! Model-guided design-space exploration of `bicg` (one row of the paper's
+//! Table V): train on the 12 training kernels, sweep bicg's pragma space
+//! with the GNN predictor, and compare the predicted Pareto set against
+//! exhaustive ground truth via ADRS.
+//!
+//! Run with: `cargo run --release --example dse_bicg`
+
+use hier_hls_qor::prelude::*;
+use qor_core::TrainOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training hierarchical model on the 12 training kernels...");
+    let (model, _stats) = HierarchicalModel::train_on_kernels(&TrainOptions::quick())?;
+
+    let func = kernels::lower_kernel("bicg")?;
+    let space = kernels::design_space(&func);
+    let configs = space.enumerate_capped(300);
+    println!("exploring {} bicg configurations...", configs.len());
+
+    let outcome = dse::explore(
+        "bicg",
+        &func,
+        &configs,
+        |f, c| model.predict(f, c),
+        0.0, // our method needs no HLS in the loop
+    )?;
+
+    println!("\nDSE outcome for bicg:");
+    println!("  configurations     : {}", outcome.n_configs);
+    println!("  simulated Vivado   : {:.1} days (exhaustive)", outcome.vivado_days());
+    println!("  model-guided DSE   : {:.2} min", outcome.explore_minutes());
+    println!("  ADRS               : {:.2}%", outcome.adrs_percent);
+
+    // show the predicted Pareto designs at their true QoR
+    let true_pts: Vec<(f64, f64)> = outcome
+        .points
+        .iter()
+        .map(|p| (p.true_qor.latency as f64, dse::area(&p.true_qor)))
+        .collect();
+    let exact = ParetoFront::from_points(&true_pts);
+    println!("  exact Pareto size  : {}", exact.len());
+    println!("\nexact Pareto frontier (latency cycles, area):");
+    let mut pts: Vec<_> = exact.points().to_vec();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for (lat, area) in pts.iter().take(10) {
+        println!("  {:>10.0} cycles  area {:.4}", lat, area);
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Sweeps a kernel's pragma design space with the simulated tool flow and
+//! prints the latency/area trade-off curve — the workload the paper's
+//! intro motivates (choosing pragmas without waiting days for Vivado).
+//!
+//! Run with: `cargo run --release --example pragma_sweep [kernel]`
+
+use hier_hls_qor::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = std::env::args().nth(1).unwrap_or_else(|| "gemm".into());
+    let func = kernels::lower_kernel(&kernel)?;
+    let space = kernels::design_space(&func);
+    let configs = space.enumerate();
+    println!("kernel {kernel}: {} pragma configurations", configs.len());
+
+    let mut points = Vec::new();
+    let mut tool_secs = 0.0;
+    for cfg in &configs {
+        let report = hlsim::evaluate(&func, cfg)?;
+        tool_secs += hlsim::tool_runtime_secs(&report.top);
+        points.push((report.top, cfg));
+    }
+    println!(
+        "exhaustive sweep would cost a real tool flow ~{:.1} days",
+        tool_secs / 86_400.0
+    );
+
+    // Pareto frontier over (latency, area)
+    let objs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|(q, _)| (q.latency as f64, dse::area(q)))
+        .collect();
+    let front = ParetoFront::from_points(&objs);
+    println!("\nPareto-optimal designs ({} of {}):", front.len(), configs.len());
+    let mut rows: Vec<(u64, u64, u64, u64, String)> = front
+        .indices()
+        .iter()
+        .map(|&i| {
+            let (q, cfg) = &points[i];
+            let pragmas: Vec<String> = cfg
+                .loops()
+                .filter(|(_, p)| p.pipeline || p.flatten || p.unroll != pragma::Unroll::Off)
+                .map(|(id, p)| {
+                    let mut tags = Vec::new();
+                    if p.pipeline {
+                        tags.push("pipeline".to_string());
+                    }
+                    if p.flatten {
+                        tags.push("flatten".to_string());
+                    }
+                    match p.unroll {
+                        pragma::Unroll::Off => {}
+                        pragma::Unroll::Factor(f) => tags.push(format!("unroll={f}")),
+                        pragma::Unroll::Full => tags.push("unroll=full".to_string()),
+                    }
+                    format!("{id}:{}", tags.join("+"))
+                })
+                .collect();
+            (q.latency, q.lut, q.ff, q.dsp, pragmas.join(" "))
+        })
+        .collect();
+    rows.sort();
+    for (lat, lut, ff, dsp, pragmas) in rows {
+        println!("  {lat:>9} cyc | {lut:>6} LUT {ff:>6} FF {dsp:>4} DSP | {pragmas}");
+    }
+    Ok(())
+}

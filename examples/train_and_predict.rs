@@ -1,0 +1,57 @@
+//! Trains the hierarchical model on the benchmark suite and uses it to
+//! predict post-route QoR for configurations it has never seen — the
+//! paper's core source-to-post-route flow.
+//!
+//! Run with: `cargo run --release --example train_and_predict`
+//! (add `-- --paper` via env QOR_PAPER=1 for full scale)
+
+use hier_hls_qor::prelude::*;
+use pragma::{LoopId, Unroll};
+use qor_core::TrainOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = if std::env::var("QOR_PAPER").is_ok() {
+        TrainOptions::paper()
+    } else {
+        TrainOptions::quick()
+    };
+
+    println!("training hierarchical model (GNN_p, GNN_np, GNN_g)...");
+    let (model, stats) = HierarchicalModel::train_on_kernels(&opts)?;
+    println!(
+        "dataset sizes: {} pipelined / {} non-pipelined inner loops, {} designs",
+        stats.dataset_sizes.0, stats.dataset_sizes.1, stats.dataset_sizes.2
+    );
+    println!(
+        "test MAPE — GNN_p latency {:.2}%, GNN_np latency {:.2}%, GNN_g latency {:.2}%",
+        stats.pipelined.latency_mape, stats.non_pipelined.latency_mape, stats.global.latency_mape
+    );
+    println!(
+        "GNN_g resources — LUT {:.2}%, FF {:.2}%, DSP {:.2}%",
+        stats.global.lut_mape, stats.global.ff_mape, stats.global.dsp_mape
+    );
+
+    // Predict an unseen kernel (bicg is in the DSE hold-out set) under a
+    // hand-written configuration and compare against the oracle.
+    let func = kernels::lower_kernel("bicg")?;
+    let mut cfg = PragmaConfig::default();
+    cfg.set_pipeline(LoopId::from_path(&[1, 0]), true);
+    cfg.set_unroll(LoopId::from_path(&[1, 0]), Unroll::Factor(2));
+
+    let predicted = model.predict(&func, &cfg);
+    let truth = hlsim::evaluate(&func, &cfg)?.top;
+    println!("\nbicg (unseen kernel), pipelined+unrolled inner loop:");
+    println!(
+        "  predicted: {:>8} cycles, {:>6} LUT, {:>6} FF, {:>3} DSP",
+        predicted.latency, predicted.lut, predicted.ff, predicted.dsp
+    );
+    println!(
+        "  oracle   : {:>8} cycles, {:>6} LUT, {:>6} FF, {:>3} DSP",
+        truth.latency, truth.lut, truth.ff, truth.dsp
+    );
+    println!(
+        "  latency error: {:.1}%",
+        100.0 * (predicted.latency as f64 - truth.latency as f64).abs() / truth.latency as f64
+    );
+    Ok(())
+}

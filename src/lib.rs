@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! # hier-hls-qor
+//!
+//! Hierarchical source-to-post-route QoR prediction for FPGA HLS with graph
+//! neural networks — a full Rust reproduction of the DATE 2024 paper
+//! *"Hierarchical Source-to-Post-Route QoR Prediction in High-Level Synthesis
+//! with GNNs"* (Gao, Zhao, Lin, Guo).
+//!
+//! This façade crate re-exports every subsystem of the workspace:
+//!
+//! * [`frontc`] — HLS-C front-end (lexer, parser, AST, semantic analysis),
+//! * [`hir`] — structured loop-tree IR with affine access analysis,
+//! * [`pragma`] — HLS pragma configurations and design-space enumeration,
+//! * [`cdfg`] — pragma-aware control/data-flow graph construction,
+//! * [`hlsim`] — simulated HLS + place-and-route flow (ground-truth oracle),
+//! * [`tensor`] / [`gnn`] — autograd and GNN layers built from scratch,
+//! * [`qor_core`] — the paper's hierarchical prediction methodology,
+//! * [`dse`] — design-space exploration, Pareto/ADRS, and baselines,
+//! * [`kernels`] — the benchmark suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hier_hls_qor::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Parse a kernel, pick a pragma configuration, and get ground-truth QoR
+//! // from the simulated tool flow.
+//! let program = frontc::parse(kernels::kernel_source("gemm").unwrap())?;
+//! let module = hir::lower(&program)?;
+//! let func = module.function("gemm").unwrap();
+//! let config = PragmaConfig::default();
+//! let report = hlsim::evaluate(func, &config)?;
+//! assert!(report.top.latency > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end model training and DSE runs.
+
+pub use cdfg;
+pub use dse;
+pub use frontc;
+pub use gnn;
+pub use hir;
+pub use hlsim;
+pub use kernels;
+pub use pragma;
+pub use qor_core;
+pub use tensor;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use cdfg::{self, Graph, GraphBuilder};
+    pub use dse::{self, Adrs, ParetoFront};
+    pub use frontc::{self, Program};
+    pub use gnn::{self, ConvKind};
+    pub use hir::{self, Function, Module};
+    pub use hlsim::{self, Qor};
+    pub use kernels::{self};
+    pub use pragma::{self, DesignSpace, PragmaConfig};
+    pub use qor_core::{self, HierarchicalModel};
+    pub use tensor::{self, Matrix};
+}
