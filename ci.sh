@@ -1,0 +1,18 @@
+#!/bin/sh
+# Local CI: everything a pull request must pass, in dependency order.
+# Usage: ./ci.sh
+set -eu
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

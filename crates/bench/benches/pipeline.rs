@@ -1,12 +1,16 @@
-//! Criterion microbenchmarks for the runtime claims of §IV-D: graph
-//! construction, feature annotation, oracle evaluation, model inference and
-//! a training step — i.e. everything on the "tens of minutes instead of
-//! tens of days" critical path.
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+//! Microbenchmarks for the runtime claims of §IV-D: graph construction,
+//! feature annotation, oracle evaluation, model inference and a training
+//! step — i.e. everything on the "tens of minutes instead of tens of days"
+//! critical path.
+//!
+//! Runs on the workspace's own harness (`qor_bench::timing`); criterion is
+//! unavailable in the offline build environment. With `QOR_REPORT=path.json`
+//! the results are also written to the JSON run report as the
+//! `bench/pipeline` table.
 
 use gnn::{Batch, ConvKind, EncoderConfig, GraphData, RegressionModel, TrainConfig};
 use pragma::{LoopId, PragmaConfig, Unroll};
+use qor_bench::timing::{bench, bench_batched, record_suite};
 use qor_core::{graph_to_gnn, HierarchicalModel, TrainOptions};
 use tensor::ParamStore;
 
@@ -17,103 +21,73 @@ fn pragma_config() -> PragmaConfig {
     cfg
 }
 
-fn bench_graph_construction(c: &mut Criterion) {
-    let func = kernels::lower_kernel("gemm").expect("kernel");
-    let cfg = pragma_config();
-    c.bench_function("cdfg/build_gemm_pragma_graph", |b| {
-        b.iter(|| cdfg::GraphBuilder::new(&func, &cfg).build())
-    });
-}
+fn main() {
+    let _obs = obs::init();
+    let mut results = Vec::new();
 
-fn bench_feature_annotation(c: &mut Criterion) {
     let func = kernels::lower_kernel("gemm").expect("kernel");
     let cfg = pragma_config();
+
+    results.push(bench("cdfg/build_gemm_pragma_graph", || {
+        std::hint::black_box(cdfg::GraphBuilder::new(&func, &cfg).build());
+    }));
+
     let graph = cdfg::GraphBuilder::new(&func, &cfg).build();
-    c.bench_function("features/annotate_gemm", |b| {
-        b.iter(|| graph_to_gnn(&graph))
-    });
-}
+    results.push(bench("features/annotate_gemm", || {
+        std::hint::black_box(graph_to_gnn(&graph));
+    }));
 
-fn bench_oracle_evaluation(c: &mut Criterion) {
-    let func = kernels::lower_kernel("gemm").expect("kernel");
-    let cfg = pragma_config();
-    c.bench_function("hlsim/evaluate_gemm", |b| {
-        b.iter(|| hlsim::evaluate(&func, &cfg).expect("evaluates"))
-    });
-}
+    results.push(bench("hlsim/evaluate_gemm", || {
+        std::hint::black_box(hlsim::evaluate(&func, &cfg).expect("evaluates"));
+    }));
 
-fn bench_model_inference(c: &mut Criterion) {
-    let func = kernels::lower_kernel("gemm").expect("kernel");
-    let cfg = pragma_config();
     let model = HierarchicalModel::new(&TrainOptions::quick());
-    c.bench_function("predict/source_to_qor_gemm", |b| {
-        b.iter(|| model.predict(&func, &cfg))
-    });
-}
+    results.push(bench("predict/source_to_qor_gemm", || {
+        std::hint::black_box(model.predict(&func, &cfg));
+    }));
 
-fn bench_design_space_enumeration(c: &mut Criterion) {
-    let func = kernels::lower_kernel("mvt").expect("kernel");
-    let space = kernels::design_space(&func);
-    c.bench_function("dse/enumerate_mvt_space", |b| b.iter(|| space.enumerate()));
-}
+    let mvt = kernels::lower_kernel("mvt").expect("kernel");
+    let space = kernels::design_space(&mvt);
+    results.push(bench("dse/enumerate_mvt_space", || {
+        std::hint::black_box(space.enumerate());
+    }));
 
-fn bench_training_step(c: &mut Criterion) {
     // one mini-batch forward+backward+adam over gemm-sized graphs
-    let func = kernels::lower_kernel("gemm").expect("kernel");
-    let cfg = pragma_config();
-    let graph = cdfg::GraphBuilder::new(&func, &cfg).build();
     let data = graph_to_gnn(&graph);
-    let graphs: Vec<GraphData> = (0..8).map(|_| data.clone()).collect();
-    let pairs: Vec<(GraphData, Vec<f32>)> =
-        graphs.into_iter().map(|g| (g, vec![1.0f32])).collect();
+    let pairs: Vec<(GraphData, Vec<f32>)> = (0..8).map(|_| (data.clone(), vec![1.0f32])).collect();
+    results.push(bench_batched(
+        "train/one_epoch_batch8_sage",
+        || {
+            let mut store = ParamStore::new();
+            let model = RegressionModel::new(
+                &mut store,
+                &EncoderConfig::new(ConvKind::Sage, pairs[0].0.feat_dim(), 16),
+                0,
+                1,
+                3,
+            );
+            (store, model)
+        },
+        |(mut store, model)| {
+            let train_cfg = TrainConfig {
+                epochs: 1,
+                batch_size: 8,
+                ..TrainConfig::default()
+            };
+            std::hint::black_box(gnn::train_regression(
+                &mut store,
+                &model,
+                &pairs,
+                &[],
+                &train_cfg,
+            ));
+        },
+    ));
 
-    c.bench_function("train/one_epoch_batch8_sage", |b| {
-        b.iter_batched(
-            || {
-                let mut store = ParamStore::new();
-                let model = RegressionModel::new(
-                    &mut store,
-                    &EncoderConfig::new(ConvKind::Sage, pairs[0].0.feat_dim(), 16),
-                    0,
-                    1,
-                    3,
-                );
-                (store, model)
-            },
-            |(mut store, model)| {
-                let train_cfg = TrainConfig {
-                    epochs: 1,
-                    batch_size: 8,
-                    ..TrainConfig::default()
-                };
-                gnn::train_regression(&mut store, &model, &pairs, &[], &train_cfg)
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    let graphs: Vec<&GraphData> = std::iter::repeat_n(&data, 16).collect();
+    results.push(bench("gnn/collate_batch16", || {
+        std::hint::black_box(Batch::from_graphs(&graphs, true));
+    }));
+
+    record_suite("pipeline", &results);
 }
-
-fn bench_batch_collation(c: &mut Criterion) {
-    let func = kernels::lower_kernel("gemm").expect("kernel");
-    let cfg = pragma_config();
-    let graph = cdfg::GraphBuilder::new(&func, &cfg).build();
-    let data = graph_to_gnn(&graph);
-    let graphs: Vec<&GraphData> = std::iter::repeat(&data).take(16).collect();
-    c.bench_function("gnn/collate_batch16", |b| {
-        b.iter(|| Batch::from_graphs(&graphs, true))
-    });
-}
-
-criterion_group!(
-    name = pipeline;
-    config = Criterion::default().sample_size(20);
-    targets =
-        bench_graph_construction,
-        bench_feature_annotation,
-        bench_oracle_evaluation,
-        bench_model_inference,
-        bench_design_space_enumeration,
-        bench_training_step,
-        bench_batch_collation
-);
-criterion_main!(pipeline);

@@ -9,6 +9,7 @@
 //! Usage: `cargo run --release -p qor-bench --bin ablation [--paper]`
 
 use dse::{BaselineOptions, FlatGnnBaseline, LabelSpace};
+use obs::Json;
 use qor_bench::{pct, row, Cli};
 use qor_core::HierarchicalModel;
 
@@ -21,26 +22,33 @@ fn pragma_features_post_route(opts: BaselineOptions) -> FlatGnnBaseline {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = obs::init();
     let cli = Cli::parse();
     let opts = cli.train_options();
 
-    eprintln!("generating dataset...");
+    obs::tracef!(1, "generating dataset...");
     let designs = qor_core::generate(&opts.data)?;
 
-    eprintln!("[1/4] full hierarchical model...");
+    obs::tracef!(1, "[1/4] full hierarchical model...");
     let (_full, full_stats) = HierarchicalModel::train_with_designs(&opts, &designs);
 
-    eprintln!("[2/4] flat whole-graph GNN (same graphs, same labels)...");
+    obs::tracef!(
+        1,
+        "[2/4] flat whole-graph GNN (same graphs, same labels)..."
+    );
     let mut flat = FlatGnnBaseline::wu_dse(cli.baseline_options());
     flat.train(&designs);
     let flat_eval = flat.eval_against_post_route(&designs, &designs.test);
 
-    eprintln!("[3/4] pragma-as-features flat GNN (post-route labels)...");
+    obs::tracef!(
+        1,
+        "[3/4] pragma-as-features flat GNN (post-route labels)..."
+    );
     let mut feats = pragma_features_post_route(cli.baseline_options());
     feats.train(&designs);
     let feats_eval = feats.eval_against_post_route(&designs, &designs.test);
 
-    eprintln!("[4/4] shared inner model (no GNN_p/GNN_np split)...");
+    obs::tracef!(1, "[4/4] shared inner model (no GNN_p/GNN_np split)...");
     let mut shared_opts = opts;
     shared_opts.shared_inner = true;
     let (_shared, shared_stats) = HierarchicalModel::train_with_designs(&shared_opts, &designs);
@@ -66,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("flat GNN, pragma-as-features", feats_eval),
         ("hierarchical, shared inner model", shared_stats.global),
     ];
+    let mut report_rows: Vec<Vec<Json>> = Vec::new();
     for (name, e) in rows {
         println!(
             "{}",
@@ -80,7 +89,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &widths
             )
         );
+        report_rows.push(vec![
+            Json::str(name),
+            Json::from(e.latency_mape),
+            Json::from(e.dsp_mape),
+            Json::from(e.lut_mape),
+            Json::from(e.ff_mape),
+        ]);
     }
+    obs::report::record_table(
+        "ablation",
+        &["variant", "latency_mape", "dsp_mape", "lut_mape", "ff_mape"],
+        report_rows,
+    );
     println!(
         "\nseparate vs shared inner (GNN_p latency): {} vs {}",
         pct(full_stats.pipelined.latency_mape),

@@ -16,6 +16,7 @@ use std::process::ExitCode;
 use qor_core::{HierarchicalModel, TrainOptions};
 
 fn main() -> ExitCode {
+    let _obs = obs::init();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("parse") => cmd_parse(&args[1..]),
@@ -142,6 +143,17 @@ fn cmd_estimate(args: &[String]) -> CliResult {
         "  est. tool flow time: {:.1} min",
         hlsim::tool_runtime_secs(&report.top) / 60.0
     );
+    obs::report::record_table(
+        "estimate",
+        &["kernel", "latency_cycles", "lut", "ff", "dsp"],
+        vec![vec![
+            obs::Json::str(func.name.clone()),
+            obs::Json::UInt(report.top.latency),
+            obs::Json::UInt(report.top.lut),
+            obs::Json::UInt(report.top.ff),
+            obs::Json::UInt(report.top.dsp),
+        ]],
+    );
     for (id, lq) in &report.loops {
         println!(
             "  loop {id}: IL={} II={} TC={} {}",
@@ -166,13 +178,16 @@ fn cmd_sweep(args: &[String]) -> CliResult {
         pts.push((q.latency as f64, dse::area(&q)));
     }
     let front = dse::ParetoFront::from_points(&pts);
-    let mut rows: Vec<(u64, f64)> = front
-        .points()
-        .iter()
-        .map(|&(l, a)| (l as u64, a))
-        .collect();
+    let mut rows: Vec<(u64, f64)> = front.points().iter().map(|&(l, a)| (l as u64, a)).collect();
     rows.sort_by_key(|r| r.0);
     println!("Pareto frontier ({} designs):", rows.len());
+    obs::report::record_table(
+        "sweep_pareto",
+        &["latency_cycles", "area"],
+        rows.iter()
+            .map(|&(lat, area)| vec![obs::Json::UInt(lat), obs::Json::Float(area)])
+            .collect(),
+    );
     for (lat, area) in rows {
         println!("  {lat:>10} cycles   area {area:.4}");
     }
@@ -186,7 +201,10 @@ fn cmd_train(args: &[String]) -> CliResult {
     } else {
         TrainOptions::quick()
     };
-    eprintln!("training hierarchical model on the bundled kernel suite...");
+    obs::tracef!(
+        1,
+        "training hierarchical model on the bundled kernel suite..."
+    );
     let (model, stats) = HierarchicalModel::train_on_kernels(&opts)?;
     println!(
         "test MAPE: GNN_p lat {:.2}% | GNN_np lat {:.2}% | GNN_g lat {:.2}% LUT {:.2}% FF {:.2}% DSP {:.2}%",
@@ -215,7 +233,10 @@ fn cmd_predict(args: &[String]) -> CliResult {
     model.load(dir)?;
     let cfg = func.source_pragmas.clone();
     let q = model.predict(&func, &cfg);
-    println!("predicted post-route QoR for {} (no tool flow run):", func.name);
+    println!(
+        "predicted post-route QoR for {} (no tool flow run):",
+        func.name
+    );
     println!("  latency : {:>10} cycles", q.latency);
     println!("  LUT     : {:>10}", q.lut);
     println!("  FF      : {:>10}", q.ff);
@@ -225,6 +246,26 @@ fn cmd_predict(args: &[String]) -> CliResult {
     println!(
         "oracle (for reference): {} cycles, {} LUT, {} FF, {} DSP",
         truth.latency, truth.lut, truth.ff, truth.dsp
+    );
+    obs::report::record_table(
+        "predict",
+        &["source", "latency_cycles", "lut", "ff", "dsp"],
+        vec![
+            vec![
+                obs::Json::str("predicted"),
+                obs::Json::UInt(q.latency),
+                obs::Json::UInt(q.lut),
+                obs::Json::UInt(q.ff),
+                obs::Json::UInt(q.dsp),
+            ],
+            vec![
+                obs::Json::str("oracle"),
+                obs::Json::UInt(truth.latency),
+                obs::Json::UInt(truth.lut),
+                obs::Json::UInt(truth.ff),
+                obs::Json::UInt(truth.dsp),
+            ],
+        ],
     );
     Ok(())
 }

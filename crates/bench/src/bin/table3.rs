@@ -9,19 +9,23 @@
 //! [--designs N] [--epochs N]`
 
 use gnn::ConvKind;
+use obs::Json;
 use qor_bench::{pct, row, Cli};
 use qor_core::HierarchicalModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = obs::init();
     let cli = Cli::parse();
     let opts = cli.train_options();
 
-    eprintln!(
+    obs::tracef!(
+        1,
         "generating dataset ({} designs/kernel, 12 kernels)...",
         opts.data.max_designs_per_kernel
     );
     let designs = qor_core::generate(&opts.data)?;
-    eprintln!(
+    obs::tracef!(
+        1,
         "dataset: {} train / {} val / {} test designs",
         designs.train.len(),
         designs.val.len(),
@@ -55,18 +59,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 scope.spawn(move || {
                     let mut conv_opts = opts;
                     conv_opts.conv = conv;
-                    eprintln!("training hierarchy with {conv}...");
+                    obs::tracef!(1, "training hierarchy with {conv}...");
                     let (_model, stats) =
                         HierarchicalModel::train_with_designs(&conv_opts, designs);
                     (conv, stats)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("training thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("training thread"))
+            .collect()
     });
 
+    let mut report_rows: Vec<Vec<Json>> = Vec::new();
     for (conv, stats) in results {
         let p = stats.pipelined;
+        let np = stats.non_pipelined;
+        let g = stats.global;
+        for (model, lat, il, dsp, lut, ff) in [
+            (
+                "GNN_p",
+                p.latency_mape,
+                Some(p.il_mape),
+                p.dsp_mape,
+                p.lut_mape,
+                p.ff_mape,
+            ),
+            (
+                "GNN_np",
+                np.latency_mape,
+                Some(np.il_mape),
+                np.dsp_mape,
+                np.lut_mape,
+                np.ff_mape,
+            ),
+            (
+                "GNN_g",
+                g.latency_mape,
+                None,
+                g.dsp_mape,
+                g.lut_mape,
+                g.ff_mape,
+            ),
+        ] {
+            report_rows.push(vec![
+                Json::str(conv.to_string()),
+                Json::str(model),
+                Json::from(lat),
+                il.map_or(Json::Null, Json::from),
+                Json::from(dsp),
+                Json::from(lut),
+                Json::from(ff),
+            ]);
+        }
         println!(
             "{}",
             row(
@@ -114,10 +160,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &widths
             )
         );
-        eprintln!(
+        obs::tracef!(
+            1,
             "  dataset sizes: p={} np={} g={}",
-            stats.dataset_sizes.0, stats.dataset_sizes.1, stats.dataset_sizes.2
+            stats.dataset_sizes.0,
+            stats.dataset_sizes.1,
+            stats.dataset_sizes.2
         );
     }
+    obs::report::record_table(
+        "table3",
+        &[
+            "gnn",
+            "model",
+            "latency_mape",
+            "il_mape",
+            "dsp_mape",
+            "lut_mape",
+            "ff_mape",
+        ],
+        report_rows,
+    );
     Ok(())
 }

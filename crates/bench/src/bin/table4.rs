@@ -11,10 +11,12 @@
 //! Usage: `cargo run --release -p qor-bench --bin table4 [--paper]`
 
 use dse::FlatGnnBaseline;
+use obs::Json;
 use qor_bench::{pct, row, Cli, Scale};
 use qor_core::HierarchicalModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = obs::init();
     let cli = Cli::parse();
     let opts = cli.train_options();
 
@@ -23,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scale::Quick => 120,
         Scale::Paper => 400,
     };
-    eprintln!("building synthetic pragma-free corpus ({corpus_size} programs)...");
+    obs::tracef!(
+        1,
+        "building synthetic pragma-free corpus ({corpus_size} programs)..."
+    );
     let mut pairs = Vec::new();
     for (name, src) in kernels::synthetic_corpus(corpus_size, 9000) {
         let module = hir::lower(&frontc::parse(&src)?)?;
@@ -32,19 +37,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let plain = qor_core::generate_from_functions(pairs, &opts.data)?;
 
-    eprintln!("training ours on the pragma-free corpus...");
+    obs::tracef!(1, "training ours on the pragma-free corpus...");
     let (_ours_plain, ours_plain_stats) = HierarchicalModel::train_with_designs(&opts, &plain);
-    eprintln!("training [8] on the pragma-free corpus...");
+    obs::tracef!(1, "training [8] on the pragma-free corpus...");
     let mut wu_plain = FlatGnnBaseline::wu_accuracy(cli.baseline_options());
     wu_plain.train(&plain);
     let wu_plain_eval = wu_plain.eval_against_post_route(&plain, &plain.test);
 
     // ---- w/ pragma: the standard swept dataset
-    eprintln!("generating pragma-swept dataset...");
+    obs::tracef!(1, "generating pragma-swept dataset...");
     let swept = qor_core::generate(&opts.data)?;
-    eprintln!("training ours on the pragma dataset...");
+    obs::tracef!(1, "training ours on the pragma dataset...");
     let (_ours, ours_stats) = HierarchicalModel::train_with_designs(&opts, &swept);
-    eprintln!("training [8] on the pragma dataset (pragma-blind graphs)...");
+    obs::tracef!(
+        1,
+        "training [8] on the pragma dataset (pragma-blind graphs)..."
+    );
     let mut wu = FlatGnnBaseline::wu_accuracy(cli.baseline_options());
     wu.train(&swept);
     let wu_eval = wu.eval_against_post_route(&swept, &swept.test);
@@ -120,6 +128,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ],
             &widths
         )
+    );
+    obs::report::record_table(
+        "table4",
+        &[
+            "method",
+            "configuration",
+            "latency_mape",
+            "dsp_mape",
+            "lut_mape",
+            "ff_mape",
+        ],
+        vec![
+            vec![
+                Json::str("[8]"),
+                Json::str("w/o pragma"),
+                Json::Null,
+                Json::from(wu_plain_eval.dsp_mape),
+                Json::from(wu_plain_eval.lut_mape),
+                Json::from(wu_plain_eval.ff_mape),
+            ],
+            vec![
+                Json::str("ours"),
+                Json::str("w/o pragma"),
+                Json::from(ours_plain_stats.global.latency_mape),
+                Json::from(ours_plain_stats.global.dsp_mape),
+                Json::from(ours_plain_stats.global.lut_mape),
+                Json::from(ours_plain_stats.global.ff_mape),
+            ],
+            vec![
+                Json::str("[8]"),
+                Json::str("w/ pragma"),
+                Json::from(wu_eval.latency_mape),
+                Json::from(wu_eval.dsp_mape),
+                Json::from(wu_eval.lut_mape),
+                Json::from(wu_eval.ff_mape),
+            ],
+            vec![
+                Json::str("ours"),
+                Json::str("w/ pragma"),
+                Json::from(ours_stats.global.latency_mape),
+                Json::from(ours_stats.global.dsp_mape),
+                Json::from(ours_stats.global.lut_mape),
+                Json::from(ours_stats.global.ff_mape),
+            ],
+        ],
     );
     Ok(())
 }

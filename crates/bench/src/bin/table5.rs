@@ -10,21 +10,26 @@
 //! [--dse-configs N]`
 
 use dse::{explore, FlatGnnBaseline, HLS_SECS_PER_DESIGN};
+use obs::Json;
 use qor_bench::{row, Cli};
 use qor_core::HierarchicalModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = obs::init();
     let cli = Cli::parse();
     let opts = cli.train_options();
 
-    eprintln!("generating training dataset...");
+    obs::tracef!(1, "generating training dataset...");
     let designs = qor_core::generate(&opts.data)?;
-    eprintln!("training hierarchical model (ours)...");
+    obs::tracef!(1, "training hierarchical model (ours)...");
     let (ours, _stats) = HierarchicalModel::train_with_designs(&opts, &designs);
-    eprintln!("training Wu et al. [8] (HLS-IR-fed flat GNN)...");
+    obs::tracef!(1, "training Wu et al. [8] (HLS-IR-fed flat GNN)...");
     let mut wu = FlatGnnBaseline::wu_dse(cli.baseline_options());
     wu.train(&designs);
-    eprintln!("training GNN-DSE [6] (pragma features, post-HLS labels)...");
+    obs::tracef!(
+        1,
+        "training GNN-DSE [6] (pragma features, post-HLS labels)..."
+    );
     let mut gnn_dse = FlatGnnBaseline::gnn_dse(cli.baseline_options());
     gnn_dse.train(&designs);
 
@@ -48,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut adrs_sums = [0.0f64; 3];
     let mut n_kernels = 0.0f64;
+    let mut report_rows: Vec<Vec<Json>> = Vec::new();
     for k in kernels::dse_kernels() {
         let func = kernels::lower_kernel(k.name)?;
         let space = kernels::design_space(&func);
@@ -57,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             space.enumerate_capped(cap)
         };
-        eprintln!("exploring {} ({} configs)...", k.name, configs.len());
+        obs::tracef!(1, "exploring {} ({} configs)...", k.name, configs.len());
 
         let ours_out = explore(k.name, &func, &configs, |f, c| ours.predict(f, c), 0.0)?;
         let wu_out = explore(
@@ -73,6 +79,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         adrs_sums[1] += dse_out.adrs_percent;
         adrs_sums[2] += ours_out.adrs_percent;
         n_kernels += 1.0;
+        report_rows.push(vec![
+            Json::str(k.name),
+            Json::UInt(ours_out.n_configs as u64),
+            Json::Float(ours_out.vivado_secs),
+            Json::Float(ours_out.explore_secs),
+            Json::Float(wu_out.adrs_percent),
+            Json::Float(dse_out.adrs_percent),
+            Json::Float(ours_out.adrs_percent),
+        ]);
 
         println!(
             "{}",
@@ -89,7 +104,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &widths
             )
         );
-        eprintln!(
+        obs::tracef!(
+            1,
             "  [8] DSE time (incl. HLS per design): {:.1} h",
             wu_out.explore_secs / 3600.0
         );
@@ -99,6 +115,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         adrs_sums[0] / n_kernels,
         adrs_sums[1] / n_kernels,
         adrs_sums[2] / n_kernels,
+    );
+    obs::report::record_table(
+        "table5",
+        &[
+            "kernel",
+            "n_configs",
+            "vivado_secs",
+            "explore_secs",
+            "wu_adrs_percent",
+            "gnn_dse_adrs_percent",
+            "ours_adrs_percent",
+        ],
+        report_rows,
     );
     Ok(())
 }

@@ -7,6 +7,8 @@
 
 use qor_core::{DataOptions, TrainOptions};
 
+pub mod timing;
+
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

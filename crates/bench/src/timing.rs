@@ -1,0 +1,183 @@
+//! A small self-calibrating micro-benchmark harness.
+//!
+//! Replaces the criterion dependency (unavailable in the offline build
+//! environment) for the `[[bench]]` targets: it warms up, picks an
+//! iteration count so each sample runs for a few milliseconds, collects a
+//! fixed number of samples and reports min/median/mean nanoseconds per
+//! iteration. Results are also recorded in the `obs` run report (table
+//! `bench/<suite>`) when `QOR_REPORT` is set.
+
+use std::time::{Duration, Instant};
+
+use obs::Json;
+
+/// Target wall-clock per sample after calibration.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Rough wall-clock budget per benchmark.
+const BENCH_BUDGET: Duration = Duration::from_millis(1500);
+/// Sample count bounds.
+const MIN_SAMPLES: usize = 5;
+const MAX_SAMPLES: usize = 30;
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Samples collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Minimum over samples.
+    pub min_ns: f64,
+    /// Median over samples.
+    pub median_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    fn from_samples(name: &str, iters: u64, mut per_iter_ns: Vec<f64>) -> BenchResult {
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let n = per_iter_ns.len();
+        let median = if n % 2 == 1 {
+            per_iter_ns[n / 2]
+        } else {
+            (per_iter_ns[n / 2 - 1] + per_iter_ns[n / 2]) / 2.0
+        };
+        BenchResult {
+            name: name.to_string(),
+            samples: n,
+            iters,
+            min_ns: per_iter_ns.first().copied().unwrap_or(0.0),
+            median_ns: median,
+            mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
+        }
+    }
+
+    /// One aligned human-readable line.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<36} {:>14}   (min {}, {} samples x {} iters)",
+            self.name,
+            fmt_ns(self.median_ns),
+            fmt_ns(self.min_ns),
+            self.samples,
+            self.iters,
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times `f`, auto-calibrating iterations per sample; prints one line.
+pub fn bench(name: &str, mut f: impl FnMut()) -> BenchResult {
+    // warmup + calibration
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(20));
+    let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    let per_sample = once * iters as u32;
+    let samples = ((BENCH_BUDGET.as_nanos() / per_sample.as_nanos().max(1)) as usize)
+        .clamp(MIN_SAMPLES, MAX_SAMPLES);
+
+    let mut per_iter_ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let result = BenchResult::from_samples(name, iters, per_iter_ns);
+    println!("{}", result.line());
+    result
+}
+
+/// Like [`bench`], but runs `setup` outside the timed region before every
+/// timed call — for workloads that consume their input (criterion's
+/// `iter_batched`).
+pub fn bench_batched<S>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S),
+) -> BenchResult {
+    // one warmup round
+    f(setup());
+    let mut per_iter_ns = Vec::with_capacity(MIN_SAMPLES * 2);
+    let budget = Instant::now();
+    while per_iter_ns.len() < MAX_SAMPLES
+        && (per_iter_ns.len() < MIN_SAMPLES || budget.elapsed() < BENCH_BUDGET)
+    {
+        let state = setup();
+        let t = Instant::now();
+        f(state);
+        per_iter_ns.push(t.elapsed().as_nanos() as f64);
+    }
+    let result = BenchResult::from_samples(name, 1, per_iter_ns);
+    println!("{}", result.line());
+    result
+}
+
+/// Records a finished suite into the `obs` run report.
+pub fn record_suite(suite: &str, results: &[BenchResult]) {
+    obs::report::record_table(
+        &format!("bench/{suite}"),
+        &["name", "median_ns", "min_ns", "mean_ns", "samples", "iters"],
+        results
+            .iter()
+            .map(|r| {
+                vec![
+                    Json::str(r.name.clone()),
+                    Json::Float(r.median_ns),
+                    Json::Float(r.min_ns),
+                    Json::Float(r.mean_ns),
+                    Json::UInt(r.samples as u64),
+                    Json::UInt(r.iters),
+                ]
+            })
+            .collect(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_statistics() {
+        let mut hits = 0u64;
+        let r = bench("noop", || hits += 1);
+        assert!(r.samples >= MIN_SAMPLES);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.mean_ns * 2.0);
+        assert!(hits > r.iters, "closure must actually run");
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let r = bench_batched(
+            "sleepless",
+            || std::thread::sleep(std::time::Duration::from_millis(1)),
+            |()| {},
+        );
+        // setup sleeps 1ms per sample; the timed body is ~ns
+        assert!(r.median_ns < 500_000.0, "setup leaked into timing: {r:?}");
+    }
+
+    #[test]
+    fn median_of_even_sample_count() {
+        let r = BenchResult::from_samples("m", 1, vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(r.median_ns, 2.5);
+        assert_eq!(r.min_ns, 1.0);
+    }
+}

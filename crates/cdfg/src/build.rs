@@ -73,6 +73,8 @@ impl<'a> GraphBuilder<'a> {
     ///
     /// Panics if a requested subgraph loop does not exist.
     pub fn build(self) -> Graph {
+        let sp = obs::span("cdfg_build");
+        sp.attr("func", self.func.name.as_str());
         let mut em = Emitter {
             func: self.func,
             cfg: self.cfg,
@@ -95,6 +97,10 @@ impl<'a> GraphBuilder<'a> {
                 em.emit_block(&self.func.body, &mut env, &residues, 1, 1, None);
             }
         }
+        sp.attr("nodes", em.graph.nodes.len());
+        sp.attr("edges", em.graph.edges.len());
+        obs::metrics::counter_add("cdfg/graphs_built", 1);
+        obs::metrics::counter_add("cdfg/nodes_emitted", em.graph.nodes.len() as u64);
         em.graph
     }
 }
@@ -310,7 +316,14 @@ impl<'a> Emitter<'a> {
                 env_j.insert(phi, phi_idx);
             }
 
-            self.emit_block(&l.body, &mut env_j, &residues_j, node_inv, node_hw, Some(br));
+            self.emit_block(
+                &l.body,
+                &mut env_j,
+                &residues_j,
+                node_inv,
+                node_hw,
+                Some(br),
+            );
 
             prev_env = Some(env_j.clone());
             last_env = Some(env_j);
@@ -450,8 +463,14 @@ mod tests {
         let mut cfg = PragmaConfig::default();
         cfg.set_unroll(LoopId::from_path(&[0]), Unroll::Factor(4));
         let unrolled = GraphBuilder::new(&f, &cfg).build();
-        assert_eq!(unrolled.count_mnemonic("load"), 4 * base.count_mnemonic("load"));
-        assert_eq!(unrolled.count_mnemonic("store"), 4 * base.count_mnemonic("store"));
+        assert_eq!(
+            unrolled.count_mnemonic("load"),
+            4 * base.count_mnemonic("load")
+        );
+        assert_eq!(
+            unrolled.count_mnemonic("store"),
+            4 * base.count_mnemonic("store")
+        );
     }
 
     #[test]
@@ -477,9 +496,7 @@ mod tests {
         let mem_edges_from_a_ports: usize = g
             .edges
             .iter()
-            .filter(|e| {
-                e.kind == EdgeKind::Memory && g.ports_of("a").contains(&e.src)
-            })
+            .filter(|e| e.kind == EdgeKind::Memory && g.ports_of("a").contains(&e.src))
             .count();
         assert_eq!(mem_edges_from_a_ports, 4);
     }

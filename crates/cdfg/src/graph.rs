@@ -213,14 +213,20 @@ mod tests {
     fn degrees_count_edges() {
         let mut g = Graph::default();
         let a = g.add_node(Node {
-            kind: NodeKind::Instr { op: None, replica: 0 },
+            kind: NodeKind::Instr {
+                op: None,
+                replica: 0,
+            },
             mnemonic: "add",
             loop_path: LoopId::root(),
             invocations: 1,
             hw_weight: 1,
         });
         let b = g.add_node(Node {
-            kind: NodeKind::Instr { op: None, replica: 0 },
+            kind: NodeKind::Instr {
+                op: None,
+                replica: 0,
+            },
             mnemonic: "store",
             loop_path: LoopId::root(),
             invocations: 1,

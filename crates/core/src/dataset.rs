@@ -120,6 +120,8 @@ pub fn generate_from_functions(
     pairs: Vec<(String, Function, Vec<PragmaConfig>)>,
     opts: &DataOptions,
 ) -> Result<LabeledDesigns, Box<dyn std::error::Error>> {
+    let sp = obs::span("dataset_generate");
+    sp.attr("programs", pairs.len());
     let mut out = LabeledDesigns::default();
     let mut rng = tensor::init::seeded_rng(opts.seed);
     for (name, func, mut configs) in pairs {
@@ -163,6 +165,7 @@ pub fn generate_from_functions(
         }
         out.functions.insert(name, func);
     }
+    sp.attr("samples", out.len());
     Ok(out)
 }
 
@@ -195,11 +198,8 @@ mod tests {
             .filter(|k| k.name == "gemm")
             .collect();
         let data = generate_for(&k, &opts).unwrap();
-        let latencies: std::collections::HashSet<u64> = data
-            .train
-            .iter()
-            .map(|s| s.report.top.latency)
-            .collect();
+        let latencies: std::collections::HashSet<u64> =
+            data.train.iter().map(|s| s.report.top.latency).collect();
         assert!(
             latencies.len() > 3,
             "configs must induce different latencies, got {latencies:?}"

@@ -9,9 +9,9 @@ use tensor::Matrix;
 
 /// Operation mnemonics in one-hot order.
 pub const MNEMONICS: &[&str] = &[
-    "add", "sub", "mul", "div", "rem", "fadd", "fsub", "fmul", "fdiv", "icmp", "fcmp", "and",
-    "or", "not", "select", "sqrt", "exp", "abs", "max", "min", "cast", "load", "store", "phi",
-    "param", "br", "port", "super",
+    "add", "sub", "mul", "div", "rem", "fadd", "fsub", "fmul", "fdiv", "icmp", "fcmp", "and", "or",
+    "not", "select", "sqrt", "exp", "abs", "max", "min", "cast", "load", "store", "phi", "param",
+    "br", "port", "super",
 ];
 
 /// Numeric features appended after the one-hot optype:

@@ -47,6 +47,4 @@ pub use features::{
     graph_aggregates, graph_to_gnn, loop_level_features, AGG_DIM, FEATURE_DIM, LOOP_FEATURE_DIM,
 };
 pub use hierarchy::{split_hierarchy, Hierarchy, InnerCategory, InnerLoop};
-pub use model::{
-    HierarchicalModel, InnerEval, GlobalEval, TrainOptions, TrainStats,
-};
+pub use model::{GlobalEval, HierarchicalModel, InnerEval, TrainOptions, TrainStats};

@@ -7,8 +7,8 @@ use gnn::{mape, Batch, ConvKind, Encoder, EncoderConfig, GraphData, Mlp, Normali
 use hir::Function;
 use hlsim::Qor;
 use pragma::{LoopId, PragmaConfig};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use tensor::{AdamConfig, Matrix, ParamStore, Tape, Var};
 
 use crate::dataset::{self, DataOptions, DesignSample, LabeledDesigns};
@@ -309,6 +309,8 @@ impl HierarchicalModel {
 
     /// Trains this model in place, returning test metrics.
     pub fn fit(&mut self, designs: &LabeledDesigns) -> TrainStats {
+        let fit_sp = obs::span("fit");
+        fit_sp.attr("designs", designs.len());
         let opts = self.opts;
         // 1. inner datasets, deduplicated across designs AND across splits
         // (an inner region already seen in training must not re-appear in
@@ -320,8 +322,7 @@ impl HierarchicalModel {
 
         // 2. fit target normalizers, train GNN_p and GNN_np, then freeze
         self.norm_p = Normalizer::fit(&p_train.iter().map(|s| s.y.to_vec()).collect::<Vec<_>>());
-        self.norm_np =
-            Normalizer::fit(&np_train.iter().map(|s| s.y.to_vec()).collect::<Vec<_>>());
+        self.norm_np = Normalizer::fit(&np_train.iter().map(|s| s.y.to_vec()).collect::<Vec<_>>());
         let mut rng = tensor::init::seeded_rng(opts.seed ^ 0xabcd);
         if opts.shared_inner {
             // ablation: one model for all inner loops (both dispatch paths
@@ -393,6 +394,7 @@ impl HierarchicalModel {
     /// End-to-end source-to-post-route prediction for one configured design
     /// — no tool flow involved.
     pub fn predict(&self, func: &Function, cfg: &PragmaConfig) -> Qor {
+        obs::metrics::counter_add("qor/predictions", 1);
         let supers = self.predict_supers(func, cfg);
         let graph = GraphBuilder::new(func, cfg)
             .options(self.opts.graph_options())
@@ -548,8 +550,7 @@ impl HierarchicalModel {
                 return Err(bad());
             }
             let width = vals.len() / 2;
-            let norm =
-                Normalizer::from_stats(vals[..width].to_vec(), vals[width..].to_vec());
+            let norm = Normalizer::from_stats(vals[..width].to_vec(), vals[width..].to_vec());
             match tag {
                 "p" => self.norm_p = norm,
                 "np" => self.norm_np = norm,
@@ -648,6 +649,8 @@ impl HierarchicalModel {
         if test.is_empty() {
             return InnerEval::default();
         }
+        let sp = obs::span("eval_inner");
+        sp.attr("samples", test.len());
         let mut pred = vec![Vec::new(); 5];
         let mut truth = vec![Vec::new(); 5];
         for chunk in test.chunks(64) {
@@ -687,6 +690,8 @@ impl HierarchicalModel {
         if test.is_empty() {
             return GlobalEval::default();
         }
+        let sp = obs::span("eval_global");
+        sp.attr("samples", test.len());
         let mut pred = vec![Vec::new(); 4];
         let mut truth = vec![Vec::new(); 4];
         for chunk in test.chunks(64) {
@@ -768,6 +773,10 @@ fn train_inner(
     if train.is_empty() {
         return;
     }
+    let sp = obs::span("train_inner");
+    sp.attr("model", tag);
+    sp.attr("samples", train.len());
+    sp.attr("epochs", opts.inner_epochs);
     let mut order: Vec<usize> = (0..train.len()).collect();
     for epoch in 0..opts.inner_epochs {
         let adam = AdamConfig {
@@ -777,6 +786,8 @@ fn train_inner(
         order.shuffle(rng);
         let mut total = 0.0;
         let mut batches = 0;
+        let mut ape_sum = 0.0f64;
+        let mut ape_n = 0usize;
         for chunk in order.chunks(opts.batch_size.max(1)) {
             let graphs: Vec<&GraphData> = chunk.iter().map(|&i| &train[i].graph).collect();
             let batch = Batch::from_graphs(&graphs, true);
@@ -804,11 +815,36 @@ fn train_inner(
             let loss = t.add(l12, l3);
             total += t.value(loss).item();
             batches += 1;
+            if obs::collecting() {
+                // per-epoch latency MAPE in normalized (log) space, from the
+                // predictions already on the tape — free when obs is off
+                let latm = t.value(lat);
+                let latt = t.value(t_lat);
+                for r in 0..chunk.len() {
+                    let truth = f64::from(latt[(r, 0)]);
+                    ape_sum +=
+                        f64::from((latm[(r, 0)] - latt[(r, 0)]).abs()) / truth.abs().max(1e-6);
+                    ape_n += 1;
+                }
+            }
             t.backward(loss);
             store.adam_step(&t, &adam);
         }
+        let epoch_loss = total / batches.max(1) as f32;
+        obs::metrics::series_push(
+            &format!("train/{tag}/loss"),
+            epoch as u64,
+            f64::from(epoch_loss),
+        );
+        if ape_n > 0 {
+            obs::metrics::series_push(
+                &format!("train/{tag}/latency_mape"),
+                epoch as u64,
+                100.0 * ape_sum / ape_n as f64,
+            );
+        }
         if opts.log_every > 0 && epoch % opts.log_every == 0 {
-            eprintln!("{tag} epoch {epoch}: loss {:.4}", total / batches.max(1) as f32);
+            obs::tracef!(1, "{tag} epoch {epoch}: loss {epoch_loss:.4}");
         }
     }
 }
@@ -824,6 +860,10 @@ fn train_global(
     if train.is_empty() {
         return;
     }
+    let sp = obs::span("train_global");
+    sp.attr("model", "GNN_g");
+    sp.attr("samples", train.len());
+    sp.attr("epochs", opts.global_epochs);
     let mut order: Vec<usize> = (0..train.len()).collect();
     for epoch in 0..opts.global_epochs {
         let adam = AdamConfig {
@@ -833,6 +873,8 @@ fn train_global(
         order.shuffle(rng);
         let mut total = 0.0;
         let mut batches = 0;
+        let mut ape_sum = 0.0f64;
+        let mut ape_n = 0usize;
         for chunk in order.chunks(opts.batch_size.max(1)) {
             let graphs: Vec<&GraphData> = chunk.iter().map(|&i| &train[i].graph).collect();
             let batch = Batch::from_graphs(&graphs, true);
@@ -855,11 +897,30 @@ fn train_global(
             let loss = t.add(l1, l2);
             total += t.value(loss).item();
             batches += 1;
+            if obs::collecting() {
+                let latm = t.value(lat);
+                let latt = t.value(t_lat);
+                for r in 0..chunk.len() {
+                    let truth = f64::from(latt[(r, 0)]);
+                    ape_sum +=
+                        f64::from((latm[(r, 0)] - latt[(r, 0)]).abs()) / truth.abs().max(1e-6);
+                    ape_n += 1;
+                }
+            }
             t.backward(loss);
             store.adam_step(&t, &adam);
         }
+        let epoch_loss = total / batches.max(1) as f32;
+        obs::metrics::series_push("train/GNN_g/loss", epoch as u64, f64::from(epoch_loss));
+        if ape_n > 0 {
+            obs::metrics::series_push(
+                "train/GNN_g/latency_mape",
+                epoch as u64,
+                100.0 * ape_sum / ape_n as f64,
+            );
+        }
         if opts.log_every > 0 && epoch % opts.log_every == 0 {
-            eprintln!("GNN_g epoch {epoch}: loss {:.4}", total / batches.max(1) as f32);
+            obs::tracef!(1, "GNN_g epoch {epoch}: loss {epoch_loss:.4}");
         }
     }
 }

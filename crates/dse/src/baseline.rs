@@ -2,8 +2,7 @@
 //! (DAC'22, \[6\]), both as flat (non-hierarchical) whole-graph GNNs.
 
 use gnn::{
-    train_regression, ConvKind, EncoderConfig, GraphData, Normalizer, RegressionModel,
-    TrainConfig,
+    train_regression, ConvKind, EncoderConfig, GraphData, Normalizer, RegressionModel, TrainConfig,
 };
 use hir::Function;
 use hlsim::Qor;
@@ -93,7 +92,12 @@ impl FlatGnnBaseline {
         pragma_features: bool,
         labels: LabelSpace,
     ) -> Self {
-        let in_dim = FEATURE_DIM + if pragma_features { PRAGMA_FEATURE_COLS } else { 0 };
+        let in_dim = FEATURE_DIM
+            + if pragma_features {
+                PRAGMA_FEATURE_COLS
+            } else {
+                0
+            };
         let mut store = ParamStore::new();
         let model = RegressionModel::new(
             &mut store,
@@ -179,9 +183,7 @@ impl FlatGnnBaseline {
             x[(i, FEATURE_DIM + 3)] = f32::from(u8::from(inner.pipeline));
             let flatten_any = {
                 let path = node.loop_path.path();
-                (1..=path.len()).any(|d| {
-                    cfg.loop_pragma(&LoopId::from_path(&path[..d])).flatten
-                })
+                (1..=path.len()).any(|d| cfg.loop_pragma(&LoopId::from_path(&path[..d])).flatten)
             };
             x[(i, FEATURE_DIM + 4)] = f32::from(u8::from(flatten_any));
             let tc = func
@@ -359,15 +361,12 @@ mod tests {
         let baseline = FlatGnnBaseline::wu_dse(BaselineOptions::default());
         assert!(baseline.needs_hls());
         // find a config with unrolling: its graph must differ from default
-        let varied = designs
-            .train
-            .iter()
-            .find(|s| {
-                let func = designs.function_of(s);
-                let a = baseline.graph_data(func, &s.config);
-                let b = baseline.graph_data(func, &PragmaConfig::default());
-                a.num_nodes() != b.num_nodes()
-            });
+        let varied = designs.train.iter().find(|s| {
+            let func = designs.function_of(s);
+            let a = baseline.graph_data(func, &s.config);
+            let b = baseline.graph_data(func, &PragmaConfig::default());
+            a.num_nodes() != b.num_nodes()
+        });
         assert!(varied.is_some(), "no config changed the structural graph");
     }
 

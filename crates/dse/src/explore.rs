@@ -86,25 +86,39 @@ pub fn explore(
     mut predict: impl FnMut(&Function, &PragmaConfig) -> Qor,
     hls_secs_per_design: f64,
 ) -> Result<DseOutcome, hlsim::EvalError> {
+    let sp = obs::span("dse_explore");
+    sp.attr("kernel", kernel);
+    sp.attr("configs", configs.len());
+
     // exhaustive oracle sweep (the "Vivado" column)
     let mut points = Vec::with_capacity(configs.len());
     let mut vivado_secs = 0.0;
-    for config in configs {
-        let report = hlsim::evaluate(func, config)?;
-        vivado_secs += hlsim::tool_runtime_secs(&report.top);
-        points.push(DsePoint {
-            config: config.clone(),
-            true_qor: report.top,
-            predicted: Qor::default(),
-        });
+    {
+        let _oracle = obs::span("dse_oracle_sweep");
+        for config in configs {
+            let report = hlsim::evaluate(func, config)?;
+            vivado_secs += hlsim::tool_runtime_secs(&report.top);
+            points.push(DsePoint {
+                config: config.clone(),
+                true_qor: report.top,
+                predicted: Qor::default(),
+            });
+        }
     }
 
     // model predictions (measured)
+    let pred_sp = obs::span("dse_predict_sweep");
     let t0 = Instant::now();
     for p in &mut points {
         p.predicted = predict(func, &p.config);
     }
-    let explore_secs = t0.elapsed().as_secs_f64() + hls_secs_per_design * configs.len() as f64;
+    let inference_secs = t0.elapsed().as_secs_f64();
+    obs::metrics::counter_add("dse/points_evaluated", points.len() as u64);
+    if inference_secs > 0.0 {
+        pred_sp.attr("points_per_sec", points.len() as f64 / inference_secs);
+    }
+    drop(pred_sp);
+    let explore_secs = inference_secs + hls_secs_per_design * configs.len() as f64;
 
     // ADRS of the predicted front at true QoR
     let true_pts: Vec<(f64, f64)> = points
@@ -122,6 +136,12 @@ pub fn explore(
         .map(|&i| true_pts[i])
         .collect();
     let adrs = Adrs::compute(&true_pts, &approx_true);
+    obs::metrics::gauge_set(
+        &format!("dse/{kernel}/pareto_front_size"),
+        predicted_front.indices().len() as f64,
+    );
+    obs::metrics::gauge_set(&format!("dse/{kernel}/adrs_percent"), adrs.percent());
+    sp.attr("adrs_percent", adrs.percent());
 
     Ok(DseOutcome {
         kernel: kernel.to_string(),

@@ -87,7 +87,13 @@ impl From<SemaError> for FrontError {
 /// Returns a [`FrontError`] describing the first lexical, syntactic or
 /// semantic problem found.
 pub fn parse(source: &str) -> Result<Program, FrontError> {
+    let sp = obs::span("parse");
+    sp.attr("source_bytes", source.len());
     let program = parser::parse_program(source)?;
-    sema::check(&program)?;
+    sp.attr("functions", program.functions.len());
+    {
+        let _sema = obs::span("sema");
+        sema::check(&program)?;
+    }
     Ok(program)
 }

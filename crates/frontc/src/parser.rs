@@ -29,10 +29,9 @@ impl std::error::Error for ParseError {}
 ///
 /// Returns the first syntax error encountered.
 pub fn parse_program(source: &str) -> Result<Program, ParseError> {
-    let tokens = Lexer::new(source).tokenize().map_err(|message| ParseError {
-        line: 0,
-        message,
-    })?;
+    let tokens = Lexer::new(source)
+        .tokenize()
+        .map_err(|message| ParseError { line: 0, message })?;
     Parser { tokens, pos: 0 }.program()
 }
 
@@ -622,7 +621,12 @@ void gemm(float a[8][8], float b[8][8], float c[8][8]) {
             panic!()
         };
         // 1 + (2 * 3)
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("expected + at top: {e:?}")
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -640,12 +644,15 @@ void gemm(float a[8][8], float b[8][8], float c[8][8]) {
     #[test]
     fn for_variants() {
         for step in ["i++", "i += 2", "i = i + 2"] {
-            let src = format!("void f(float a[4]) {{ for (int i = 0; i < 4; {step}) {{ a[i] = 0.0; }} }}");
+            let src = format!(
+                "void f(float a[4]) {{ for (int i = 0; i < 4; {step}) {{ a[i] = 0.0; }} }}"
+            );
             assert!(parse_program(&src).is_ok(), "failed for step {step}");
         }
         // inclusive bound
-        let p = parse_program("void f(float a[5]) { for (int i = 0; i <= 4; i++) { a[i] = 0.0; } }")
-            .unwrap();
+        let p =
+            parse_program("void f(float a[5]) { for (int i = 0; i <= 4; i++) { a[i] = 0.0; } }")
+                .unwrap();
         let Stmt::For(l) = &p.functions[0].body[0] else {
             panic!()
         };

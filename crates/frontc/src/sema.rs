@@ -51,10 +51,7 @@ impl<'a> Scope<'a> {
     }
 
     fn lookup(&self, name: &str) -> Option<SymKind> {
-        self.symbols
-            .iter()
-            .rev()
-            .find_map(|m| m.get(name).copied())
+        self.symbols.iter().rev().find_map(|m| m.get(name).copied())
     }
 
     fn declare(&mut self, name: &str, kind: SymKind) -> Result<(), SemaError> {
@@ -176,17 +173,15 @@ fn check_stmt(scope: &mut Scope, stmt: &Stmt) -> Result<(), SemaError> {
             check_block(scope, else_body)?;
             Ok(())
         }
-        Stmt::Return(e) => {
-            match (scope.func.ret, e) {
-                (Type::Void, Some(_)) => scope.error("void function returns a value"),
-                (Type::Void, None) => Ok(()),
-                (_, None) => scope.error("non-void function returns nothing"),
-                (_, Some(e)) => {
-                    check_expr(scope, e)?;
-                    Ok(())
-                }
+        Stmt::Return(e) => match (scope.func.ret, e) {
+            (Type::Void, Some(_)) => scope.error("void function returns a value"),
+            (Type::Void, None) => Ok(()),
+            (_, None) => scope.error("non-void function returns nothing"),
+            (_, Some(e)) => {
+                check_expr(scope, e)?;
+                Ok(())
             }
-        }
+        },
     }
 }
 
@@ -227,9 +222,7 @@ fn check_expr(scope: &mut Scope, expr: &Expr) -> Result<(), SemaError> {
         Expr::IntLit(_) | Expr::FloatLit(_) => Ok(()),
         Expr::Var(name) => match scope.lookup(name) {
             Some(SymKind::Scalar(_)) => Ok(()),
-            Some(SymKind::Array(..)) => {
-                scope.error(format!("array {name:?} used without indices"))
-            }
+            Some(SymKind::Array(..)) => scope.error(format!("array {name:?} used without indices")),
             None => scope.error(format!("unknown variable {name:?}")),
         },
         Expr::ArrayElem { array, indices } => check_array_access(scope, array, indices),
@@ -248,10 +241,7 @@ fn check_expr(scope: &mut Scope, expr: &Expr) -> Result<(), SemaError> {
             check_expr(scope, else_value)
         }
         Expr::Call { name, args } => {
-            let arity = INTRINSICS
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, a)| *a);
+            let arity = INTRINSICS.iter().find(|(n, _)| n == name).map(|(_, a)| *a);
             match arity {
                 Some(a) if a == args.len() => {
                     for arg in args {

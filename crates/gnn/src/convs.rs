@@ -144,10 +144,14 @@ impl Conv {
                 let heads = (0..GAT_HEADS)
                     .map(|h| GatHead {
                         lin: Linear::new(store, &format!("{name}.gat{h}"), in_dim, head_dim, rng),
-                        att_src: store
-                            .add(format!("{name}.gat{h}.att_src"), init::xavier(rng, head_dim, 1)),
-                        att_dst: store
-                            .add(format!("{name}.gat{h}.att_dst"), init::xavier(rng, head_dim, 1)),
+                        att_src: store.add(
+                            format!("{name}.gat{h}.att_src"),
+                            init::xavier(rng, head_dim, 1),
+                        ),
+                        att_dst: store.add(
+                            format!("{name}.gat{h}.att_dst"),
+                            init::xavier(rng, head_dim, 1),
+                        ),
                     })
                     .collect();
                 Conv::Gat { heads }
@@ -199,7 +203,10 @@ impl Conv {
                 let weighted = t.mul_col(msgs, coef);
                 t.scatter_add_rows(weighted, Rc::clone(&batch.gcn_dst), n)
             }
-            Conv::Sage { self_lin, neigh_lin } => {
+            Conv::Sage {
+                self_lin,
+                neigh_lin,
+            } => {
                 let own = self_lin.forward(store, t, x);
                 let gathered = t.gather_rows(x, Rc::clone(&batch.src));
                 let mean = t.segment_mean(gathered, Rc::clone(&batch.dst), n);
@@ -285,12 +292,7 @@ fn degree_scalers(in_deg: &[f32]) -> (Matrix, Matrix) {
     let logs: Vec<f32> = in_deg.iter().map(|d| (d + 1.0).ln()).collect();
     let delta = (logs.iter().sum::<f32>() / logs.len().max(1) as f32).max(1e-3);
     let amp = Matrix::col_vector(&logs.iter().map(|l| l / delta).collect::<Vec<_>>());
-    let att = Matrix::col_vector(
-        &logs
-            .iter()
-            .map(|l| delta / l.max(1e-3))
-            .collect::<Vec<_>>(),
-    );
+    let att = Matrix::col_vector(&logs.iter().map(|l| delta / l.max(1e-3)).collect::<Vec<_>>());
     (amp, att)
 }
 

@@ -54,7 +54,12 @@ impl GraphData {
         for (&s, &d) in src.iter().zip(&dst) {
             assert!(s < n && d < n, "edge ({s},{d}) out of bounds for {n} nodes");
         }
-        GraphData { x, src, dst, g_feats }
+        GraphData {
+            x,
+            src,
+            dst,
+            g_feats,
+        }
     }
 
     /// Number of nodes.

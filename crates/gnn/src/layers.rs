@@ -95,7 +95,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two dimensions are given.
     pub fn new(store: &mut ParamStore, name: &str, dims: &[usize], rng: &mut StdRng) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
@@ -155,7 +158,7 @@ mod tests {
         let xs = Matrix::col_vector(&[-1.0, -0.5, 0.0, 0.5, 1.0]);
         let ys = xs.map(|v| 2.0 * v - 1.0);
         let mut last = f32::INFINITY;
-        for _ in 0..400 {
+        for _ in 0..800 {
             let mut t = Tape::new();
             let x = t.leaf(xs.clone());
             let target = t.leaf(ys.clone());

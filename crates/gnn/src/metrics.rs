@@ -96,4 +96,51 @@ mod tests {
         let pred = [2.0, 2.0, 2.0];
         assert!(r_squared(&pred, &target).abs() < 1e-6);
     }
+
+    #[test]
+    fn empty_slices_yield_zero() {
+        assert_eq!(mape(&[], &[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(r_squared(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mape_with_all_zero_targets_is_zero() {
+        // every target below the 1e-6 guard is skipped; nothing remains
+        let m = mape(&[1.0, -2.0, 3.0], &[0.0, 0.0, 5e-7]);
+        assert_eq!(m, 0.0);
+    }
+
+    #[test]
+    fn mape_is_finite_for_tiny_but_countable_targets() {
+        let m = mape(&[2e-6], &[1e-5]);
+        assert!(m.is_finite());
+        assert!((m - 80.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn r_squared_constant_target_is_zero() {
+        // zero target variance: R² is defined as 0 rather than -inf/NaN
+        let target = [4.0, 4.0, 4.0, 4.0];
+        assert_eq!(r_squared(&[4.0, 4.0, 4.0, 4.0], &target), 0.0);
+        assert_eq!(r_squared(&[0.0, 1.0, 2.0, 3.0], &target), 0.0);
+    }
+
+    #[test]
+    fn r_squared_can_be_negative_for_bad_predictors() {
+        let target = [1.0, 2.0, 3.0];
+        let pred = [30.0, -10.0, 50.0];
+        assert!(r_squared(&pred, &target) < 0.0);
+    }
+
+    #[test]
+    fn rmse_single_element() {
+        assert!((rmse(&[1.5], &[1.0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mape length mismatch")]
+    fn mape_length_mismatch_panics() {
+        mape(&[1.0], &[1.0, 2.0]);
+    }
 }

@@ -150,7 +150,11 @@ mod tests {
             })
             .collect();
         let mean: f32 = transformed.iter().sum::<f32>() / 4.0;
-        let var: f32 = transformed.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = transformed
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-6);
         assert!((var - 1.0).abs() < 1e-4);
     }

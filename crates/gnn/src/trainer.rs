@@ -143,6 +143,11 @@ pub fn train_regression(
     cfg: &TrainConfig,
 ) -> TrainReport {
     assert!(!train.is_empty(), "empty training set");
+    let sp = obs::span("train_regression");
+    sp.attr("samples", train.len());
+    sp.attr("val_samples", val.len());
+    sp.attr("epochs", cfg.epochs);
+    sp.attr("batch_size", cfg.batch_size);
     let out_dim = model.out_dim();
     for (_, y) in train.iter().chain(val) {
         assert_eq!(y.len(), out_dim, "target width mismatch");
@@ -192,9 +197,11 @@ pub fn train_regression(
             store.adam_step(&t, &adam);
         }
         final_loss = epoch_loss / batches.max(1) as f32;
+        obs::metrics::series_push("train/loss", epoch as u64, f64::from(final_loss));
 
         if !val.is_empty() {
             let vm = eval_mape(store, model, val);
+            obs::metrics::series_push("train/val_mape", epoch as u64, f64::from(vm));
             if vm < best_val - 1e-4 {
                 best_val = vm;
                 stall = 0;
@@ -202,15 +209,19 @@ pub fn train_regression(
                 stall += 1;
             }
             if cfg.log_every > 0 && epoch % cfg.log_every == 0 {
-                eprintln!("epoch {epoch}: train_mse={final_loss:.5} val_mape={vm:.2}%");
+                obs::tracef!(
+                    1,
+                    "epoch {epoch}: train_mse={final_loss:.5} val_mape={vm:.2}%"
+                );
             }
             if cfg.patience > 0 && stall >= cfg.patience {
                 break;
             }
         } else if cfg.log_every > 0 && epoch % cfg.log_every == 0 {
-            eprintln!("epoch {epoch}: train_mse={final_loss:.5}");
+            obs::tracef!(1, "epoch {epoch}: train_mse={final_loss:.5}");
         }
     }
+    sp.attr("epochs_run", epochs_run);
 
     TrainReport {
         final_loss,

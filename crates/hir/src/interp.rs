@@ -109,14 +109,15 @@ impl<'a> Ctx<'a> {
     fn operand(&self, o: &Operand, _mem: &Memory) -> Result<f64, InterpError> {
         match o {
             Operand::Const(c) => Ok(*c),
-            Operand::IndVar(l) => self
-                .ind
-                .get(l)
-                .copied()
-                .map(|v| v as f64)
-                .ok_or_else(|| InterpError {
-                    message: format!("induction variable of {l} not bound"),
-                }),
+            Operand::IndVar(l) => {
+                self.ind
+                    .get(l)
+                    .copied()
+                    .map(|v| v as f64)
+                    .ok_or_else(|| InterpError {
+                        message: format!("induction variable of {l} not bound"),
+                    })
+            }
             Operand::Value(id) => self.values.get(id).copied().ok_or_else(|| InterpError {
                 message: format!("value {id:?} used before definition"),
             }),
@@ -172,21 +173,17 @@ impl<'a> Ctx<'a> {
             }
             OpKind::Load { array, access } => {
                 let idx = self.flat_index(array, access, &op.operands, mem)?;
-                let buf = mem
-                    .get(array)
-                    .ok_or_else(|| InterpError {
-                        message: format!("array {array:?} missing"),
-                    })?;
+                let buf = mem.get(array).ok_or_else(|| InterpError {
+                    message: format!("array {array:?} missing"),
+                })?;
                 if idx >= buf.len() {
                     // out-of-bounds speculative loads under a false predicate
                     // read as zero (e.g. fir's guarded `input[n - t]`)
                     if !pred {
                         0.0
                     } else {
-                        return self.err(format!(
-                            "load {array}[{idx}] out of bounds ({})",
-                            buf.len()
-                        ));
+                        return self
+                            .err(format!("load {array}[{idx}] out of bounds ({})", buf.len()));
                     }
                 } else {
                     buf[idx]
@@ -303,19 +300,14 @@ impl<'a> Ctx<'a> {
         dyn_operands: &[Operand],
         mem: &Memory,
     ) -> Result<usize, InterpError> {
-        let info = self
-            .func
-            .array(array)
-            .ok_or_else(|| InterpError {
-                message: format!("unknown array {array:?}"),
-            })?;
+        let info = self.func.array(array).ok_or_else(|| InterpError {
+            message: format!("unknown array {array:?}"),
+        })?;
         let dims = &info.dims;
         let indices: Vec<i64> = match access {
             crate::ir::AccessPattern::Affine(idxs) => idxs
                 .iter()
-                .map(|ix| {
-                    ix.eval(&|l| self.ind.get(l).copied().unwrap_or(0))
-                })
+                .map(|ix| ix.eval(&|l| self.ind.get(l).copied().unwrap_or(0)))
                 .collect(),
             crate::ir::AccessPattern::Dynamic { rank } => {
                 let mut out = Vec::with_capacity(*rank);
@@ -429,7 +421,16 @@ mod tests {
 
     #[test]
     fn all_bundled_kernels_execute() {
-        for k in ["gemm", "atax", "bicg", "mvt", "fir", "spmv", "nn_dist", "stencil2d"] {
+        for k in [
+            "gemm",
+            "atax",
+            "bicg",
+            "mvt",
+            "fir",
+            "spmv",
+            "nn_dist",
+            "stencil2d",
+        ] {
             let src = kernels_source(k);
             let module = lower(&frontc::parse(src).unwrap()).unwrap();
             let f = module.function(k).unwrap();

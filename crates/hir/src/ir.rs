@@ -80,12 +80,7 @@ impl AffineIndex {
 
     /// Evaluates the index for concrete induction-variable values.
     pub fn eval(&self, values: &dyn Fn(&LoopId) -> i64) -> i64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(l, c)| c * values(l))
-                .sum::<i64>()
+        self.constant + self.terms.iter().map(|(l, c)| c * values(l)).sum::<i64>()
     }
 
     /// Whether the index depends on `loop_id`.

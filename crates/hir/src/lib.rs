@@ -38,9 +38,9 @@ mod ir;
 mod lower;
 
 pub use analysis::{array_uses, loop_shapes, recurrences, summarize, ArrayUse, Recurrence};
-pub use ir::{
-    AccessPattern, AffineIndex, ArrayInfo, Block, CmpOp, Function, HirLoop, Item, LoopMeta,
-    Module, Op, OpId, OpKind, Operand, ScalarType,
-};
 pub use interp::{execute, InterpError, Memory};
+pub use ir::{
+    AccessPattern, AffineIndex, ArrayInfo, Block, CmpOp, Function, HirLoop, Item, LoopMeta, Module,
+    Op, OpId, OpKind, Operand, ScalarType,
+};
 pub use lower::{lower, source_config, LowerError};

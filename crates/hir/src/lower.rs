@@ -34,6 +34,8 @@ impl std::error::Error for LowerError {}
 /// Returns a [`LowerError`] for constructs outside the supported subset
 /// (currently: loops nested under `if`).
 pub fn lower(program: &Program) -> Result<Module, LowerError> {
+    let sp = obs::span("hir_lower");
+    sp.attr("functions", program.functions.len());
     let mut functions = Vec::with_capacity(program.functions.len());
     for f in &program.functions {
         functions.push(lower_function(f)?);
@@ -181,10 +183,7 @@ impl<'a> Lowerer<'a> {
     }
 
     fn lookup(&self, name: &str) -> Option<Binding> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).cloned())
+        self.scopes.iter().rev().find_map(|s| s.get(name).cloned())
     }
 
     fn set_scalar(&mut self, name: &str, value: Operand, ty: ScalarType) {
@@ -319,7 +318,11 @@ impl<'a> Lowerer<'a> {
         }
 
         let float = lt == ScalarType::Float || rt == ScalarType::Float;
-        let work_ty = if float { ScalarType::Float } else { ScalarType::Int };
+        let work_ty = if float {
+            ScalarType::Float
+        } else {
+            ScalarType::Int
+        };
         let lv = self.coerce(lv, lt, work_ty);
         let rv = self.coerce(rv, rt, work_ty);
 
@@ -345,7 +348,11 @@ impl<'a> Lowerer<'a> {
                     BinOp::Ne => CmpOp::Ne,
                     _ => unreachable!("arithmetic handled above"),
                 };
-                let kind = if float { OpKind::FCmp(pred) } else { OpKind::ICmp(pred) };
+                let kind = if float {
+                    OpKind::FCmp(pred)
+                } else {
+                    OpKind::ICmp(pred)
+                };
                 (kind, ScalarType::Int)
             }
         };
@@ -455,8 +462,7 @@ impl<'a> Lowerer<'a> {
     }
 
     fn lower_block_inner(&mut self, stmts: &[Stmt], out: &mut Block) -> Result<(), LowerError> {
-        let mut loop_counter: u16 = self
-            .count_existing_loops(out);
+        let mut loop_counter: u16 = self.count_existing_loops(out);
         for stmt in stmts {
             match stmt {
                 Stmt::Decl { name, ty, init } => {
@@ -547,8 +553,7 @@ impl<'a> Lowerer<'a> {
                         elem,
                         dyn_ops,
                     );
-                    let (v, t) =
-                        self.apply_compound(op, Operand::Value(load), elem, rv, rt)?;
+                    let (v, t) = self.apply_compound(op, Operand::Value(load), elem, rv, rt)?;
                     (self.coerce(v, t, elem), elem)
                 };
                 let (access, mut operands) = self.lower_access(array, info_idx, indices)?;
@@ -575,7 +580,11 @@ impl<'a> Lowerer<'a> {
         rt: ScalarType,
     ) -> Result<(Operand, ScalarType), LowerError> {
         let float = ct == ScalarType::Float || rt == ScalarType::Float;
-        let ty = if float { ScalarType::Float } else { ScalarType::Int };
+        let ty = if float {
+            ScalarType::Float
+        } else {
+            ScalarType::Int
+        };
         let a = self.coerce(cur, ct, ty);
         let b = self.coerce(rv, rt, ty);
         let kind = match (op, float) {

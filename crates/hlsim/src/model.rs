@@ -66,6 +66,9 @@ pub struct QorReport {
 ///
 /// Returns [`EvalError`] if the function contains no schedulable work.
 pub fn evaluate(func: &Function, cfg: &PragmaConfig) -> Result<QorReport, EvalError> {
+    let sp = obs::span("hlsim_evaluate");
+    sp.attr("func", func.name.as_str());
+    obs::metrics::counter_add("hlsim/evaluations", 1);
     let lib = OpLibrary::zcu102();
     let mut eval = Evaluator {
         func,
@@ -360,7 +363,11 @@ impl<'a> Evaluator<'a> {
             .collect();
         let ports = self.port_budget();
         let sched = schedule_ops(self.func, &body_ops, self.lib, &ports);
-        let mut body_latency = if body_ops.is_empty() { 0 } else { sched.latency };
+        let mut body_latency = if body_ops.is_empty() {
+            0
+        } else {
+            sched.latency
+        };
         let mut res = self.shared_resources(&body_ops, &sched.peak_units);
 
         // children execute sequentially within one iteration

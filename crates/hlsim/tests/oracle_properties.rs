@@ -1,8 +1,11 @@
 //! Property tests of the ground-truth oracle: monotonicity, determinism,
 //! and consistency of the analytic II with the full evaluation.
+//!
+//! Formerly `proptest`-based; the parameter domains are small and finite, so
+//! the offline rewrite sweeps them exhaustively — strictly more coverage
+//! than the sampled originals.
 
 use pragma::{ArrayPartition, LoopId, PartitionKind, PragmaConfig, Unroll};
-use proptest::prelude::*;
 
 fn vadd_func(n: usize) -> hir::Function {
     let src = format!(
@@ -15,51 +18,64 @@ fn vadd_func(n: usize) -> hir::Function {
         .clone()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Evaluation is a pure function of (kernel, config).
-    #[test]
-    fn oracle_is_deterministic(u_pow in 0u32..5, pipeline in any::<bool>()) {
-        let func = vadd_func(64);
-        let l = LoopId::from_path(&[0]);
-        let mut cfg = PragmaConfig::default();
-        cfg.set_pipeline(l.clone(), pipeline);
-        let u = 2u32.pow(u_pow);
-        if u > 1 {
-            cfg.set_unroll(l.clone(), Unroll::Factor(u));
-        }
-        let a = hlsim::evaluate(&func, &cfg).unwrap();
-        let b = hlsim::evaluate(&func, &cfg).unwrap();
-        prop_assert_eq!(a.top, b.top);
-        prop_assert_eq!(a.loops.len(), b.loops.len());
-    }
-
-    /// The per-loop II recorded by the oracle equals the analytic formula.
-    #[test]
-    fn recorded_ii_matches_analytic_formula(u_pow in 0u32..4, part_pow in 0u32..4) {
-        let func = vadd_func(64);
-        let l = LoopId::from_path(&[0]);
-        let mut cfg = PragmaConfig::default();
-        cfg.set_pipeline(l.clone(), true);
-        let u = 2u32.pow(u_pow);
-        if u > 1 {
-            cfg.set_unroll(l.clone(), Unroll::Factor(u));
-        }
-        let f = 2u32.pow(part_pow);
-        if f > 1 {
-            for arr in ["a", "b", "c"] {
-                cfg.set_partition(arr, 1, ArrayPartition { kind: PartitionKind::Cyclic, factor: f });
+/// Evaluation is a pure function of (kernel, config).
+#[test]
+fn oracle_is_deterministic() {
+    for u_pow in 0u32..5 {
+        for pipeline in [false, true] {
+            let func = vadd_func(64);
+            let l = LoopId::from_path(&[0]);
+            let mut cfg = PragmaConfig::default();
+            cfg.set_pipeline(l.clone(), pipeline);
+            let u = 2u32.pow(u_pow);
+            if u > 1 {
+                cfg.set_unroll(l.clone(), Unroll::Factor(u));
             }
+            let a = hlsim::evaluate(&func, &cfg).unwrap();
+            let b = hlsim::evaluate(&func, &cfg).unwrap();
+            assert_eq!(a.top, b.top);
+            assert_eq!(a.loops.len(), b.loops.len());
         }
-        let report = hlsim::evaluate(&func, &cfg).unwrap();
-        let lq = report.loops.get(&l).expect("loop recorded");
-        prop_assert_eq!(lq.ii, hlsim::analytic_ii(&func, &cfg, &l));
     }
+}
 
-    /// More memory banks never increase the II of a port-bound pipeline.
-    #[test]
-    fn ii_monotone_in_banks(part_pow in 0u32..5) {
+/// The per-loop II recorded by the oracle equals the analytic formula.
+#[test]
+fn recorded_ii_matches_analytic_formula() {
+    for u_pow in 0u32..4 {
+        for part_pow in 0u32..4 {
+            let func = vadd_func(64);
+            let l = LoopId::from_path(&[0]);
+            let mut cfg = PragmaConfig::default();
+            cfg.set_pipeline(l.clone(), true);
+            let u = 2u32.pow(u_pow);
+            if u > 1 {
+                cfg.set_unroll(l.clone(), Unroll::Factor(u));
+            }
+            let f = 2u32.pow(part_pow);
+            if f > 1 {
+                for arr in ["a", "b", "c"] {
+                    cfg.set_partition(
+                        arr,
+                        1,
+                        ArrayPartition {
+                            kind: PartitionKind::Cyclic,
+                            factor: f,
+                        },
+                    );
+                }
+            }
+            let report = hlsim::evaluate(&func, &cfg).unwrap();
+            let lq = report.loops.get(&l).expect("loop recorded");
+            assert_eq!(lq.ii, hlsim::analytic_ii(&func, &cfg, &l));
+        }
+    }
+}
+
+/// More memory banks never increase the II of a port-bound pipeline.
+#[test]
+fn ii_monotone_in_banks() {
+    for part_pow in 0u32..5 {
         let func = vadd_func(64);
         let l = LoopId::from_path(&[0]);
         let base_cfg = {
@@ -73,25 +89,34 @@ proptest! {
             let f = 2u32.pow(part_pow);
             if f > 1 {
                 for arr in ["a", "b", "c"] {
-                    c.set_partition(arr, 1, ArrayPartition { kind: PartitionKind::Cyclic, factor: f });
+                    c.set_partition(
+                        arr,
+                        1,
+                        ArrayPartition {
+                            kind: PartitionKind::Cyclic,
+                            factor: f,
+                        },
+                    );
                 }
             }
             c
         };
         let ii_base = hlsim::analytic_ii(&func, &base_cfg, &l);
         let ii_banked = hlsim::analytic_ii(&func, &banked, &l);
-        prop_assert!(ii_banked <= ii_base, "{ii_banked} > {ii_base}");
+        assert!(ii_banked <= ii_base, "{ii_banked} > {ii_base}");
     }
+}
 
-    /// Latency labels scale with problem size for the same configuration.
-    #[test]
-    fn latency_scales_with_trip_count(n_pow in 3u32..7) {
+/// Latency labels scale with problem size for the same configuration.
+#[test]
+fn latency_scales_with_trip_count() {
+    for n_pow in 3u32..7 {
         let small = vadd_func(8);
         let big = vadd_func(1usize << n_pow);
         let cfg = PragmaConfig::default();
         let a = hlsim::evaluate(&small, &cfg).unwrap().top.latency;
         let b = hlsim::evaluate(&big, &cfg).unwrap().top.latency;
-        prop_assert!(b >= a, "{b} < {a}");
+        assert!(b >= a, "{b} < {a}");
     }
 }
 

@@ -58,22 +58,102 @@ pub fn all() -> &'static [Kernel] {
     use Role::*;
     use Suite::*;
     const KERNELS: &[Kernel] = &[
-        Kernel { name: "gemm", source: sources::GEMM, suite: Polybench, role: Train },
-        Kernel { name: "atax", source: sources::ATAX, suite: Polybench, role: Train },
-        Kernel { name: "gesummv", source: sources::GESUMMV, suite: Polybench, role: Train },
-        Kernel { name: "k2mm", source: sources::K2MM, suite: Polybench, role: Train },
-        Kernel { name: "doitgen", source: sources::DOITGEN, suite: Polybench, role: Train },
-        Kernel { name: "trmm", source: sources::TRMM, suite: Polybench, role: Train },
-        Kernel { name: "fir", source: sources::FIR, suite: MachSuite, role: Train },
-        Kernel { name: "conv1d", source: sources::CONV1D, suite: MachSuite, role: Train },
-        Kernel { name: "stencil2d", source: sources::STENCIL2D, suite: MachSuite, role: Train },
-        Kernel { name: "jacobi1d", source: sources::JACOBI1D, suite: Polybench, role: Train },
-        Kernel { name: "spmv", source: sources::SPMV, suite: MachSuite, role: Train },
-        Kernel { name: "nn_dist", source: sources::NN_DIST, suite: MachSuite, role: Train },
-        Kernel { name: "bicg", source: sources::BICG, suite: Polybench, role: Dse },
-        Kernel { name: "symm", source: sources::SYMM, suite: Polybench, role: Dse },
-        Kernel { name: "mvt", source: sources::MVT, suite: Polybench, role: Dse },
-        Kernel { name: "syrk", source: sources::SYRK, suite: Polybench, role: Dse },
+        Kernel {
+            name: "gemm",
+            source: sources::GEMM,
+            suite: Polybench,
+            role: Train,
+        },
+        Kernel {
+            name: "atax",
+            source: sources::ATAX,
+            suite: Polybench,
+            role: Train,
+        },
+        Kernel {
+            name: "gesummv",
+            source: sources::GESUMMV,
+            suite: Polybench,
+            role: Train,
+        },
+        Kernel {
+            name: "k2mm",
+            source: sources::K2MM,
+            suite: Polybench,
+            role: Train,
+        },
+        Kernel {
+            name: "doitgen",
+            source: sources::DOITGEN,
+            suite: Polybench,
+            role: Train,
+        },
+        Kernel {
+            name: "trmm",
+            source: sources::TRMM,
+            suite: Polybench,
+            role: Train,
+        },
+        Kernel {
+            name: "fir",
+            source: sources::FIR,
+            suite: MachSuite,
+            role: Train,
+        },
+        Kernel {
+            name: "conv1d",
+            source: sources::CONV1D,
+            suite: MachSuite,
+            role: Train,
+        },
+        Kernel {
+            name: "stencil2d",
+            source: sources::STENCIL2D,
+            suite: MachSuite,
+            role: Train,
+        },
+        Kernel {
+            name: "jacobi1d",
+            source: sources::JACOBI1D,
+            suite: Polybench,
+            role: Train,
+        },
+        Kernel {
+            name: "spmv",
+            source: sources::SPMV,
+            suite: MachSuite,
+            role: Train,
+        },
+        Kernel {
+            name: "nn_dist",
+            source: sources::NN_DIST,
+            suite: MachSuite,
+            role: Train,
+        },
+        Kernel {
+            name: "bicg",
+            source: sources::BICG,
+            suite: Polybench,
+            role: Dse,
+        },
+        Kernel {
+            name: "symm",
+            source: sources::SYMM,
+            suite: Polybench,
+            role: Dse,
+        },
+        Kernel {
+            name: "mvt",
+            source: sources::MVT,
+            suite: Polybench,
+            role: Dse,
+        },
+        Kernel {
+            name: "syrk",
+            source: sources::SYRK,
+            suite: Polybench,
+            role: Dse,
+        },
     ];
     KERNELS
 }
@@ -100,6 +180,8 @@ pub fn kernel_source(name: &str) -> Option<&'static str> {
 /// Returns an error if the kernel name is unknown (or, unexpectedly, if a
 /// bundled source fails the front-end).
 pub fn lower_kernel(name: &str) -> Result<Function, Box<dyn std::error::Error>> {
+    let sp = obs::span("kernel_lower");
+    sp.attr("kernel", name);
     let src = kernel_source(name).ok_or_else(|| format!("unknown kernel {name:?}"))?;
     let program = frontc::parse(src)?;
     let module = hir::lower(&program)?;
@@ -124,8 +206,10 @@ pub fn design_space(func: &Function) -> DesignSpace {
         .collect();
 
     // vote: (array, dim) -> loop -> count
-    let mut votes: std::collections::BTreeMap<(String, u32), std::collections::BTreeMap<LoopId, usize>> =
-        Default::default();
+    let mut votes: std::collections::BTreeMap<
+        (String, u32),
+        std::collections::BTreeMap<LoopId, usize>,
+    > = Default::default();
     for op in &func.ops {
         let (array, access) = match &op.kind {
             OpKind::Load { array, access } | OpKind::Store { array, access } => (array, access),

@@ -24,11 +24,17 @@ use rand::{Rng, SeedableRng};
 pub fn synthetic_kernel(seed: u64) -> String {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(seed));
     let name = format!("synth{seed}");
-    let n = *[16usize, 32, 64].get(rng.gen_range(0..3)).unwrap_or(&32);
+    let n = *[16usize, 32, 64]
+        .get(rng.gen_range(0..3usize))
+        .unwrap_or(&32);
     let n_arrays = rng.gen_range(2..=3usize);
     let arrays: Vec<String> = (0..n_arrays).map(|i| format!("a{i}")).collect();
     let two_level = rng.gen_bool(0.4);
-    let inner_n = if two_level { rng.gen_range(4..=16usize) } else { 0 };
+    let inner_n = if two_level {
+        rng.gen_range(4..=16usize)
+    } else {
+        0
+    };
 
     let mut body = String::new();
     let depth_pad = if two_level { "        " } else { "    " };
@@ -39,7 +45,7 @@ pub fn synthetic_kernel(seed: u64) -> String {
     for t in 0..n_ops {
         let lhs = pick_operand(&mut rng, &arrays, &temps, n, two_level);
         let rhs = pick_operand(&mut rng, &arrays, &temps, n, two_level);
-        let op = ["+", "-", "*"][rng.gen_range(0..3)];
+        let op = ["+", "-", "*"][rng.gen_range(0..3usize)];
         body.push_str(&format!("{depth_pad}    float t{t} = {lhs} {op} {rhs};\n"));
         temps.push(format!("t{t}"));
     }
@@ -114,8 +120,7 @@ mod tests {
     #[test]
     fn corpus_is_diverse() {
         let corpus = synthetic_corpus(30, 7);
-        let unique: std::collections::HashSet<&String> =
-            corpus.iter().map(|(_, s)| s).collect();
+        let unique: std::collections::HashSet<&String> = corpus.iter().map(|(_, s)| s).collect();
         assert!(unique.len() > 25, "sources too repetitive");
     }
 

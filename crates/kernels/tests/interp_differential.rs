@@ -13,8 +13,8 @@ fn synthetic_corpus_executes_deterministically() {
     let mut input_dependent = 0usize;
     let corpus = kernels::synthetic_corpus(60, 31_000);
     for (name, src) in &corpus {
-        let module = hir::lower(&frontc::parse(src).unwrap())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let module =
+            hir::lower(&frontc::parse(src).unwrap()).unwrap_or_else(|e| panic!("{name}: {e}"));
         let func = module.function(name).expect("function present");
 
         let mut mem_a = Memory::seeded_for(func, 5);
@@ -24,8 +24,18 @@ fn synthetic_corpus_executes_deterministically() {
         // bitwise comparison: divergent programs legitimately produce NaN,
         // and NaN != NaN would fail a value comparison
         for arr in &func.arrays {
-            let a: Vec<u64> = mem_a.get(&arr.name).unwrap().iter().map(|v| v.to_bits()).collect();
-            let b: Vec<u64> = mem_b.get(&arr.name).unwrap().iter().map(|v| v.to_bits()).collect();
+            let a: Vec<u64> = mem_a
+                .get(&arr.name)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let b: Vec<u64> = mem_b
+                .get(&arr.name)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
             assert_eq!(a, b, "{name}: nondeterministic execution of {}", arr.name);
         }
 

@@ -1,0 +1,208 @@
+//! A global, thread-safe registry of counters, gauges, series and
+//! histograms.
+//!
+//! All recording functions are no-ops while collection is disabled, so
+//! instrumented hot paths pay one relaxed atomic load when observability is
+//! off. Names are free-form; the convention used across the workspace is
+//! `crate.metric` (e.g. `cdfg.nodes_built`) and `stage/metric` for series
+//! (e.g. `train/GNN_p/loss`).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::collecting;
+use crate::json::Json;
+
+/// Number of power-of-two histogram buckets (covers values up to `2^62`).
+const HIST_BUCKETS: usize = 63;
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    /// `(step, value)` pairs in insertion order.
+    Series(Vec<(u64, f64)>),
+    Histogram {
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        /// Bucket `i` counts values `v` with `2^(i-1) <= v < 2^i`
+        /// (bucket 0 counts `v < 1`).
+        buckets: Box<[u64; HIST_BUCKETS]>,
+    },
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+fn with_metric(name: &str, make: impl FnOnce() -> Metric, update: impl FnOnce(&mut Metric)) {
+    let mut reg = REGISTRY.lock().unwrap();
+    let slot = reg.entry(name.to_string()).or_insert_with(make);
+    update(slot);
+}
+
+/// Adds `delta` to the named counter (creating it at zero).
+pub fn counter_add(name: &str, delta: u64) {
+    if !collecting() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::Counter(0),
+        |m| {
+            if let Metric::Counter(v) = m {
+                *v += delta;
+            } else {
+                *m = Metric::Counter(delta);
+            }
+        },
+    );
+}
+
+/// Sets the named gauge to `value`.
+pub fn gauge_set(name: &str, value: f64) {
+    if !collecting() {
+        return;
+    }
+    with_metric(name, || Metric::Gauge(value), |m| *m = Metric::Gauge(value));
+}
+
+/// Appends `(step, value)` to the named series.
+pub fn series_push(name: &str, step: u64, value: f64) {
+    if !collecting() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::Series(Vec::new()),
+        |m| {
+            if let Metric::Series(points) = m {
+                points.push((step, value));
+            } else {
+                *m = Metric::Series(vec![(step, value)]);
+            }
+        },
+    );
+}
+
+/// Records one observation in the named log-bucketed histogram.
+pub fn histogram_record(name: &str, value: f64) {
+    if !collecting() {
+        return;
+    }
+    let bucket = if value < 1.0 {
+        0
+    } else {
+        ((value.log2().floor() as usize) + 1).min(HIST_BUCKETS - 1)
+    };
+    with_metric(
+        name,
+        || Metric::Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Box::new([0; HIST_BUCKETS]),
+        },
+        |m| {
+            if !matches!(m, Metric::Histogram { .. }) {
+                *m = Metric::Histogram {
+                    count: 0,
+                    sum: 0.0,
+                    min: f64::INFINITY,
+                    max: f64::NEG_INFINITY,
+                    buckets: Box::new([0; HIST_BUCKETS]),
+                };
+            }
+            if let Metric::Histogram {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } = m
+            {
+                *count += 1;
+                *sum += value;
+                *min = min.min(value);
+                *max = max.max(value);
+                buckets[bucket] += 1;
+            }
+        },
+    );
+}
+
+/// Reads a counter's current value (0 if absent); test and report support.
+pub fn counter_value(name: &str) -> u64 {
+    match REGISTRY.lock().unwrap().get(name) {
+        Some(Metric::Counter(v)) => *v,
+        _ => 0,
+    }
+}
+
+/// Number of points currently in a series (0 if absent).
+pub fn series_len(name: &str) -> usize {
+    match REGISTRY.lock().unwrap().get(name) {
+        Some(Metric::Series(points)) => points.len(),
+        _ => 0,
+    }
+}
+
+/// Serializes the registry as one JSON object keyed by metric name.
+pub(crate) fn registry_json() -> Json {
+    let reg = REGISTRY.lock().unwrap();
+    Json::Obj(
+        reg.iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(v) => Json::obj(vec![
+                        ("type", Json::str("counter")),
+                        ("value", Json::UInt(*v)),
+                    ]),
+                    Metric::Gauge(v) => Json::obj(vec![
+                        ("type", Json::str("gauge")),
+                        ("value", Json::Float(*v)),
+                    ]),
+                    Metric::Series(points) => Json::obj(vec![
+                        ("type", Json::str("series")),
+                        (
+                            "steps",
+                            Json::Arr(points.iter().map(|&(s, _)| Json::UInt(s)).collect()),
+                        ),
+                        (
+                            "values",
+                            Json::Arr(points.iter().map(|&(_, v)| Json::Float(v)).collect()),
+                        ),
+                    ]),
+                    Metric::Histogram {
+                        count,
+                        sum,
+                        min,
+                        max,
+                        buckets,
+                    } => {
+                        // trailing empty buckets are elided
+                        let last = buckets.iter().rposition(|&b| b > 0).map_or(0, |i| i + 1);
+                        Json::obj(vec![
+                            ("type", Json::str("histogram")),
+                            ("count", Json::UInt(*count)),
+                            ("sum", Json::Float(*sum)),
+                            ("min", Json::Float(*min)),
+                            ("max", Json::Float(*max)),
+                            (
+                                "log2_buckets",
+                                Json::Arr(buckets[..last].iter().map(|&b| Json::UInt(b)).collect()),
+                            ),
+                        ])
+                    }
+                };
+                (name.clone(), value)
+            })
+            .collect(),
+    )
+}
+
+/// Clears all metrics (test support).
+pub(crate) fn reset() {
+    REGISTRY.lock().unwrap().clear();
+}

@@ -1,0 +1,98 @@
+//! Run-report assembly: span forest + metrics + named tables, serialized to
+//! JSON on demand or when the [`Session`] guard drops.
+
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::{metrics, span, trace_level};
+
+static TABLES: Mutex<Vec<(String, Json)>> = Mutex::new(Vec::new());
+
+/// Records a named result table (benchmark binaries use this to mirror
+/// their human-readable tables into the JSON report).
+///
+/// `rows` are emitted as objects keyed by `headers`; extra cells beyond the
+/// header count are dropped, missing cells are `null`.
+pub fn record_table(name: &str, headers: &[&str], rows: Vec<Vec<Json>>) {
+    if !crate::collecting() {
+        return;
+    }
+    let rows_json = Json::Arr(
+        rows.into_iter()
+            .map(|row| {
+                let mut cells = row.into_iter();
+                Json::Obj(
+                    headers
+                        .iter()
+                        .map(|h| (h.to_string(), cells.next().unwrap_or(Json::Null)))
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    TABLES.lock().unwrap().push((name.to_string(), rows_json));
+}
+
+/// Assembles the full run report as a JSON value.
+pub fn report_json() -> Json {
+    let tables = TABLES.lock().unwrap();
+    let mut fields = vec![
+        (
+            "meta".to_string(),
+            Json::obj(vec![
+                ("schema", Json::str("qor-obs/1")),
+                ("trace_level", Json::UInt(u64::from(trace_level()))),
+            ]),
+        ),
+        ("spans".to_string(), span::forest_json()),
+        ("metrics".to_string(), metrics::registry_json()),
+    ];
+    if !tables.is_empty() {
+        fields.push((
+            "tables".to_string(),
+            Json::Obj(tables.iter().cloned().collect()),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// Writes the current run report to `path`.
+///
+/// # Errors
+///
+/// Returns any filesystem error.
+pub fn write_report(path: &str) -> std::io::Result<()> {
+    let mut out = report_json().to_string();
+    out.push('\n');
+    std::fs::write(path, out)
+}
+
+/// Process-level observability session. Create one at the top of `main`;
+/// when it drops, the run report is written if `QOR_REPORT=path` is set.
+#[must_use = "the report is written when the session guard drops"]
+pub struct Session {
+    path: Option<String>,
+}
+
+impl Session {
+    pub(crate) fn new(path: Option<String>) -> Session {
+        Session { path }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(path) = &self.path {
+            if let Err(e) = write_report(path) {
+                eprintln!("[obs] failed to write run report to {path}: {e}");
+            } else if trace_level() >= 1 {
+                eprintln!("[obs] run report written to {path}");
+            }
+        }
+    }
+}
+
+/// Clears recorded tables (test support).
+pub(crate) fn reset() {
+    TABLES.lock().unwrap().clear();
+}

@@ -230,10 +230,10 @@ impl PragmaConfig {
     /// Whether this configuration applies any pragma at all.
     pub fn is_trivial(&self) -> bool {
         self.loops.values().all(|p| *p == LoopPragma::default())
-            && self
-                .arrays
-                .values()
-                .all(|v| v.iter().all(|p| p.factor <= 1 && p.kind != PartitionKind::Complete))
+            && self.arrays.values().all(|v| {
+                v.iter()
+                    .all(|p| p.factor <= 1 && p.kind != PartitionKind::Complete)
+            })
     }
 
     /// A deterministic 64-bit fingerprint of the configuration (used to seed

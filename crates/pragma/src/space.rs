@@ -128,6 +128,7 @@ impl DesignSpace {
     /// * unroll factors above the trip count collapse to full unrolling,
     /// * duplicate configurations (by fingerprint) are pruned.
     pub fn enumerate(&self) -> Vec<PragmaConfig> {
+        let sp = obs::span("pragma_enumerate");
         let mut per_root: Vec<Vec<Assignment>> = Vec::new();
         for root in &self.roots {
             per_root.push(self.enumerate_loop(root, false));
@@ -160,6 +161,7 @@ impl DesignSpace {
                 out.push(cfg);
             }
         }
+        sp.attr("configs", out.len());
         out
     }
 
@@ -243,7 +245,11 @@ impl DesignSpace {
             if u64::from(f) > node.trip_count {
                 continue;
             }
-            let unroll = if f == 1 { Unroll::Off } else { Unroll::Factor(f) };
+            let unroll = if f == 1 {
+                Unroll::Off
+            } else {
+                Unroll::Factor(f)
+            };
             let mut assignment = vec![(
                 node.id.clone(),
                 LoopPragma {
@@ -280,7 +286,11 @@ impl DesignSpace {
             if u64::from(f) > node.trip_count {
                 continue;
             }
-            let unroll = if f == 1 { Unroll::Off } else { Unroll::Factor(f) };
+            let unroll = if f == 1 {
+                Unroll::Off
+            } else {
+                Unroll::Factor(f)
+            };
             for children in &child_combos {
                 let mut assignment = vec![(
                     node.id.clone(),

@@ -161,6 +161,7 @@ impl ParamStore {
     /// The tape must have had [`Tape::backward`] run. Parameters bound more
     /// than once on the tape have their gradients summed.
     pub fn adam_step(&mut self, tape: &Tape, cfg: &AdamConfig) {
+        obs::metrics::counter_add("tensor/adam_steps", 1);
         self.step += 1;
         let t = self.step as f32;
         let bc1 = 1.0 - cfg.beta1.powf(t);

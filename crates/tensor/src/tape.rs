@@ -235,7 +235,9 @@ impl Tape {
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
-        let value = self.nodes[x.0].value.map(|v| if v > 0.0 { v } else { alpha * v });
+        let value = self.nodes[x.0]
+            .value
+            .map(|v| if v > 0.0 { v } else { alpha * v });
         self.push(Op::LeakyRelu(x, alpha), value)
     }
 
@@ -839,7 +841,9 @@ mod tests {
     #[test]
     fn numcheck_matmul() {
         numeric_grad(3, 4, |t, x| {
-            let w = t.leaf(Matrix::from_fn(4, 2, |r, c| 0.1 * (r as f32) - 0.2 * c as f32 + 0.05));
+            let w = t.leaf(Matrix::from_fn(4, 2, |r, c| {
+                0.1 * (r as f32) - 0.2 * c as f32 + 0.05
+            }));
             let y = t.matmul(x, w);
             t.mean_all(y)
         });

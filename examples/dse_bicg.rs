@@ -27,8 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nDSE outcome for bicg:");
     println!("  configurations     : {}", outcome.n_configs);
-    println!("  simulated Vivado   : {:.1} days (exhaustive)", outcome.vivado_days());
-    println!("  model-guided DSE   : {:.2} min", outcome.explore_minutes());
+    println!(
+        "  simulated Vivado   : {:.1} days (exhaustive)",
+        outcome.vivado_days()
+    );
+    println!(
+        "  model-guided DSE   : {:.2} min",
+        outcome.explore_minutes()
+    );
     println!("  ADRS               : {:.2}%", outcome.adrs_percent);
 
     // show the predicted Pareto designs at their true QoR

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(q, _)| (q.latency as f64, dse::area(q)))
         .collect();
     let front = ParetoFront::from_points(&objs);
-    println!("\nPareto-optimal designs ({} of {}):", front.len(), configs.len());
+    println!(
+        "\nPareto-optimal designs ({} of {}):",
+        front.len(),
+        configs.len()
+    );
     let mut rows: Vec<(u64, u64, u64, u64, String)> = front
         .indices()
         .iter()

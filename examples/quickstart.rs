@@ -20,7 +20,11 @@ void dot(float a[64], float b[64], float out[1]) {
     let program = frontc::parse(source)?;
     let module = hir::lower(&program)?;
     let func = module.function("dot").expect("kernel present");
-    println!("lowered `dot`: {} ops, {} loop(s)", func.ops.len(), func.loops().len());
+    println!(
+        "lowered `dot`: {} ops, {} loop(s)",
+        func.ops.len(),
+        func.loops().len()
+    );
 
     // 2. A pragma configuration: pipeline the loop, unroll by 4, and
     //    partition the arrays to feed the unrolled lanes.

@@ -36,7 +36,9 @@ fn source_to_qor_pipeline() {
 fn oracle_orders_designs_sanely() {
     // pipelining + unrolling + partitioning must beat the naive design
     let func = kernels::lower_kernel("mvt").unwrap();
-    let naive = hlsim::evaluate(&func, &PragmaConfig::default()).unwrap().top;
+    let naive = hlsim::evaluate(&func, &PragmaConfig::default())
+        .unwrap()
+        .top;
 
     let mut cfg = PragmaConfig::default();
     for nest in 0..2u16 {

@@ -1,124 +1,153 @@
-//! Property-based tests of cross-crate invariants.
+//! Randomized and exhaustive tests of cross-crate invariants.
+//!
+//! Formerly `proptest`-based; the offline build environment has no crates.io
+//! access, so random instances now come from the workspace's seeded in-tree
+//! RNG (deterministic per seed) and small finite domains are swept
+//! exhaustively.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use hier_hls_qor::prelude::*;
 use pragma::{ArrayPartition, LoopId, PartitionKind, Unroll};
 
 // ------------------------------------------------------------- Pareto/ADRS
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_points(rng: &mut StdRng, n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|_| (rng.gen_range(1.0..1e6f64), rng.gen_range(0.001..10.0f64)))
+        .collect()
+}
 
-    /// No point on a Pareto front dominates another front point.
-    #[test]
-    fn pareto_front_is_mutually_nondominated(
-        pts in prop::collection::vec((1.0f64..1e6, 0.001f64..10.0), 1..40)
-    ) {
+/// No point on a Pareto front dominates another front point.
+#[test]
+fn pareto_front_is_mutually_nondominated() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..40usize);
+        let pts = random_points(&mut rng, n);
         let front = ParetoFront::from_points(&pts);
         let fp = front.points();
         for (i, a) in fp.iter().enumerate() {
             for (j, b) in fp.iter().enumerate() {
                 if i != j {
                     let dominates = a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
-                    prop_assert!(!dominates, "{a:?} dominates {b:?}");
+                    assert!(!dominates, "{a:?} dominates {b:?}");
                 }
             }
         }
     }
+}
 
-    /// Every input point is dominated by (or equal to) some front point.
-    #[test]
-    fn pareto_front_covers_all_points(
-        pts in prop::collection::vec((1.0f64..1e6, 0.001f64..10.0), 1..40)
-    ) {
+/// Every input point is dominated by (or equal to) some front point.
+#[test]
+fn pareto_front_covers_all_points() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..40usize);
+        let pts = random_points(&mut rng, n);
         let front = ParetoFront::from_points(&pts);
         for p in &pts {
             let covered = front.points().iter().any(|f| f.0 <= p.0 && f.1 <= p.1);
-            prop_assert!(covered, "{p:?} not covered");
+            assert!(covered, "{p:?} not covered");
         }
     }
+}
 
-    /// ADRS of any superset of the exact front is zero, and ADRS is
-    /// non-negative in general.
-    #[test]
-    fn adrs_properties(
-        pts in prop::collection::vec((1.0f64..1e6, 0.001f64..10.0), 2..30),
-        extra in prop::collection::vec((1.0f64..1e6, 0.001f64..10.0), 0..10)
-    ) {
+/// ADRS of any superset of the exact front is zero, and ADRS is
+/// non-negative in general.
+#[test]
+fn adrs_properties() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..64 {
+        let n = rng.gen_range(2..30usize);
+        let pts = random_points(&mut rng, n);
+        let n_extra = rng.gen_range(0..10usize);
+        let extra = random_points(&mut rng, n_extra);
         let mut superset = pts.clone();
         superset.extend(extra.iter().copied());
-        prop_assert_eq!(Adrs::compute(&pts, &superset).percent(), 0.0);
-        prop_assert!(Adrs::compute(&pts, &extra).percent() >= 0.0);
+        assert_eq!(Adrs::compute(&pts, &superset).percent(), 0.0);
+        assert!(Adrs::compute(&pts, &extra).percent() >= 0.0);
     }
 }
 
 // ------------------------------------------------- bank analysis vs brute force
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The static bank-candidate analysis must over-approximate the banks
-    /// actually touched by a cyclic-partitioned 1-D access `c*i + k`.
-    #[test]
-    fn bank_candidates_cover_actual_banks(
-        coeff in 0i64..5,
-        offset in 0i64..8,
-        factor_pow in 1u32..4, // factor in {2,4,8}
-        unroll_pow in 0u32..4, // unroll in {1,2,4,8}
-        replica in 0u32..8,
-    ) {
-        let n = 64usize;
-        let factor = 2u32.pow(factor_pow);
-        let unroll = 2u32.pow(unroll_pow);
-        let replica = replica % unroll;
-
-        let i = LoopId::from_path(&[0]);
-        let array = hir::ArrayInfo {
-            name: "a".into(),
-            elem: hir::ScalarType::Float,
-            dims: vec![n],
-        };
-        let mut cfg = PragmaConfig::default();
-        cfg.set_partition("a", 1, ArrayPartition { kind: PartitionKind::Cyclic, factor });
-
-        let idx = hir::AffineIndex { terms: vec![(i.clone(), coeff)], constant: offset };
-        let access = hir::AccessPattern::Affine(vec![idx.clone()]);
-        let mut residues = std::collections::HashMap::new();
-        if unroll > 1 {
-            residues.insert(i.clone(), (replica, unroll));
-        }
-        let candidates = cdfg::bank_candidates(&array, &cfg, &access, &residues);
-
-        // brute force: iterate all i with the replica's residue and record
-        // the banks actually touched
-        let m = i64::from(factor);
-        for iv in 0..(n as i64) {
-            if unroll > 1 && (iv % i64::from(unroll)) != i64::from(replica) {
-                continue;
+/// The static bank-candidate analysis must over-approximate the banks
+/// actually touched by a cyclic-partitioned 1-D access `c*i + k`.
+/// The parameter domain is small, so it is swept exhaustively.
+#[test]
+fn bank_candidates_cover_actual_banks() {
+    for coeff in 0i64..5 {
+        for offset in 0i64..8 {
+            for factor_pow in 1u32..4 {
+                for unroll_pow in 0u32..4 {
+                    let unroll = 2u32.pow(unroll_pow);
+                    for replica in 0..unroll {
+                        check_bank_coverage(coeff, offset, 2u32.pow(factor_pow), unroll, replica);
+                    }
+                }
             }
-            let linear = coeff * iv + offset;
-            if linear < 0 || linear >= n as i64 {
-                continue;
-            }
-            let bank = (linear.rem_euclid(m)) as u32;
-            prop_assert!(
-                candidates.contains(&bank),
-                "bank {bank} touched but not predicted (candidates {candidates:?})"
-            );
         }
+    }
+}
+
+fn check_bank_coverage(coeff: i64, offset: i64, factor: u32, unroll: u32, replica: u32) {
+    let n = 64usize;
+    let i = LoopId::from_path(&[0]);
+    let array = hir::ArrayInfo {
+        name: "a".into(),
+        elem: hir::ScalarType::Float,
+        dims: vec![n],
+    };
+    let mut cfg = PragmaConfig::default();
+    cfg.set_partition(
+        "a",
+        1,
+        ArrayPartition {
+            kind: PartitionKind::Cyclic,
+            factor,
+        },
+    );
+
+    let idx = hir::AffineIndex {
+        terms: vec![(i.clone(), coeff)],
+        constant: offset,
+    };
+    let access = hir::AccessPattern::Affine(vec![idx.clone()]);
+    let mut residues = std::collections::HashMap::new();
+    if unroll > 1 {
+        residues.insert(i.clone(), (replica, unroll));
+    }
+    let candidates = cdfg::bank_candidates(&array, &cfg, &access, &residues);
+
+    // brute force: iterate all i with the replica's residue and record
+    // the banks actually touched
+    let m = i64::from(factor);
+    for iv in 0..(n as i64) {
+        if unroll > 1 && (iv % i64::from(unroll)) != i64::from(replica) {
+            continue;
+        }
+        let linear = coeff * iv + offset;
+        if linear < 0 || linear >= n as i64 {
+            continue;
+        }
+        let bank = (linear.rem_euclid(m)) as u32;
+        assert!(
+            candidates.contains(&bank),
+            "bank {bank} touched but not predicted (candidates {candidates:?}, \
+             coeff={coeff} offset={offset} factor={factor} unroll={unroll} replica={replica})"
+        );
     }
 }
 
 // --------------------------------------------------------- graph invariants
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Unrolling by `u` multiplies load/store node counts by exactly `u`
-    /// (for a single-level loop with affine accesses, under the node cap).
-    #[test]
-    fn unroll_replication_count(u_pow in 0u32..5) {
+/// Unrolling by `u` multiplies load/store node counts by exactly `u`
+/// (for a single-level loop with affine accesses, under the node cap).
+#[test]
+fn unroll_replication_count() {
+    for u_pow in 0u32..5 {
         let u = 2u32.pow(u_pow);
         let src = "void k(float a[32], float b[32]) {
             for (int i = 0; i < 32; i++) { b[i] = a[i] + 1.0; }
@@ -131,20 +160,22 @@ proptest! {
             cfg.set_unroll(LoopId::from_path(&[0]), Unroll::Factor(u));
         }
         let g = GraphBuilder::new(func, &cfg).build();
-        prop_assert_eq!(
+        assert_eq!(
             g.count_mnemonic("load"),
             base.count_mnemonic("load") * u as usize
         );
-        prop_assert_eq!(
+        assert_eq!(
             g.count_mnemonic("store"),
             base.count_mnemonic("store") * u as usize
         );
     }
+}
 
-    /// Total invocation mass of memory ops is invariant under unrolling —
-    /// the same work is done, just spatially.
-    #[test]
-    fn invocation_mass_invariant(u_pow in 0u32..6) {
+/// Total invocation mass of memory ops is invariant under unrolling —
+/// the same work is done, just spatially.
+#[test]
+fn invocation_mass_invariant() {
+    for u_pow in 0u32..6 {
         let u = 2u32.pow(u_pow);
         let src = "void k(float a[32], float b[32]) {
             for (int i = 0; i < 32; i++) { b[i] = a[i] * 2.0; }
@@ -162,20 +193,18 @@ proptest! {
             .filter(|n| n.mnemonic == "load")
             .map(|n| n.invocations)
             .sum();
-        prop_assert_eq!(mass, 32);
+        assert_eq!(mass, 32);
     }
 }
 
 // ------------------------------------------------------------ oracle sanity
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The oracle is monotone in unrolling for pipelined elementwise loops:
-    /// more parallel lanes never increase latency (with matching
-    /// partitioning), and never decrease area.
-    #[test]
-    fn oracle_monotone_in_unroll(u_pow in 0u32..4) {
+/// The oracle is monotone in unrolling for pipelined elementwise loops:
+/// more parallel lanes never increase latency (with matching
+/// partitioning), and never decrease area.
+#[test]
+fn oracle_monotone_in_unroll() {
+    for u_pow in 0u32..4 {
         let u = 2u32.pow(u_pow);
         let src = "void k(float a[64], float b[64]) {
             for (int i = 0; i < 64; i++) { b[i] = a[i] + 1.0; }
@@ -193,7 +222,10 @@ proptest! {
                     cfg.set_partition(
                         arr,
                         1,
-                        ArrayPartition { kind: PartitionKind::Cyclic, factor },
+                        ArrayPartition {
+                            kind: PartitionKind::Cyclic,
+                            factor,
+                        },
                     );
                 }
             }
@@ -201,14 +233,16 @@ proptest! {
         };
         let base = build(1);
         let wide = build(u);
-        prop_assert!(wide.latency <= base.latency);
-        prop_assert!(wide.lut >= base.lut || u == 1);
+        assert!(wide.latency <= base.latency);
+        assert!(wide.lut >= base.lut || u == 1);
     }
+}
 
-    /// Design-space enumeration never yields duplicate fingerprints and
-    /// always contains the pragma-free design.
-    #[test]
-    fn design_space_well_formed(tc_pow in 2u32..6) {
+/// Design-space enumeration never yields duplicate fingerprints and
+/// always contains the pragma-free design.
+#[test]
+fn design_space_well_formed() {
+    for tc_pow in 2u32..6 {
         let tc = 2u64.pow(tc_pow);
         let inner = pragma::LoopShape::leaf(LoopId::from_path(&[0, 0]), tc);
         let root = pragma::LoopShape::nest(LoopId::from_path(&[0]), tc, true, vec![inner]);
@@ -218,7 +252,7 @@ proptest! {
         let len_before = fps.len();
         fps.sort_unstable();
         fps.dedup();
-        prop_assert_eq!(fps.len(), len_before);
-        prop_assert!(configs.iter().any(|c| c.is_trivial()));
+        assert_eq!(fps.len(), len_before);
+        assert!(configs.iter().any(|c| c.is_trivial()));
     }
 }
