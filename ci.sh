@@ -6,13 +6,33 @@ set -eu
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test"
-cargo test -q --workspace
+# The determinism contract says results are byte-identical for any worker
+# count, so the whole suite must pass on both the legacy sequential path
+# (QOR_THREADS=1) and a genuinely parallel one (QOR_THREADS=4).
+echo "==> cargo test (QOR_THREADS=1)"
+QOR_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test (QOR_THREADS=4)"
+QOR_THREADS=4 cargo test -q --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Library crates expose typed errors (qor_core::QorError, kernels::KernelError);
+# Box<dyn Error> is only tolerated inside comments (doctest scaffolding) and
+# in binary main() signatures, which live outside these trees.
+echo "==> typed-error gate"
+violations=$(grep -rn 'Box<dyn std::error::Error>' \
+    crates/core/src crates/dse/src crates/gnn/src \
+    crates/kernels/src crates/tensor/src \
+    | grep -vE '^[^:]+:[0-9]+:[[:space:]]*//' || true)
+if [ -n "$violations" ]; then
+    echo "public APIs must use typed errors, not Box<dyn Error>:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
 
 echo "CI green."

@@ -30,28 +30,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let designs = qor_core::generate(&opts.data)?;
 
     obs::tracef!(1, "[1/4] full hierarchical model...");
-    let (_full, full_stats) = HierarchicalModel::train_with_designs(&opts, &designs);
+    let (_full, full_stats) = HierarchicalModel::train_with_designs(&opts, &designs)?;
 
     obs::tracef!(
         1,
         "[2/4] flat whole-graph GNN (same graphs, same labels)..."
     );
     let mut flat = FlatGnnBaseline::wu_dse(cli.baseline_options());
-    flat.train(&designs);
-    let flat_eval = flat.eval_against_post_route(&designs, &designs.test);
+    flat.train(&designs)?;
+    let flat_eval = flat.eval_against_post_route(&designs, &designs.test)?;
 
     obs::tracef!(
         1,
         "[3/4] pragma-as-features flat GNN (post-route labels)..."
     );
     let mut feats = pragma_features_post_route(cli.baseline_options());
-    feats.train(&designs);
-    let feats_eval = feats.eval_against_post_route(&designs, &designs.test);
+    feats.train(&designs)?;
+    let feats_eval = feats.eval_against_post_route(&designs, &designs.test)?;
 
     obs::tracef!(1, "[4/4] shared inner model (no GNN_p/GNN_np split)...");
-    let mut shared_opts = opts;
-    shared_opts.shared_inner = true;
-    let (_shared, shared_stats) = HierarchicalModel::train_with_designs(&shared_opts, &designs);
+    let shared_opts = opts.with_shared_inner(true);
+    let (_shared, shared_stats) = HierarchicalModel::train_with_designs(&shared_opts, &designs)?;
 
     let widths = [34usize, 9, 8, 8, 8];
     println!("\nAblation: application-level test MAPE (post-route labels)\n");

@@ -1,0 +1,138 @@
+//! Measures `QOR_THREADS=1` vs `QOR_THREADS=N` wall-clock for the three
+//! parallel stages (dataset generation, hierarchical training, DSE), and
+//! asserts the determinism contract along the way: every stage must produce
+//! identical results at both worker counts.
+//!
+//! `N` defaults to [`std::thread::available_parallelism`] and can be raised
+//! with `--threads N` to measure oversubscription on small machines.
+//!
+//! Usage: `cargo run --release -p qor-bench --bin scaling [--threads N]
+//! [--designs N] [--epochs N]`
+
+use std::time::Instant;
+
+use obs::Json;
+use qor_bench::{row, Cli};
+use qor_core::{dataset, HierarchicalModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = obs::init();
+    let cli = Cli::parse();
+    let opts = cli.train_options();
+
+    let workers = cli.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(2)
+    });
+
+    let kernels: Vec<_> = kernels::training_kernels().collect();
+    let mut rows: Vec<Vec<Json>> = Vec::new();
+    let widths = [10usize, 14, 14, 9];
+    println!("\nScaling: wall-clock per stage, 1 vs {workers} workers\n");
+    println!(
+        "{}",
+        row(
+            &[
+                "Stage".into(),
+                "1 thread (s)".into(),
+                format!("{workers} threads (s)"),
+                "Speedup".into(),
+            ],
+            &widths
+        )
+    );
+
+    // stage 1: dataset generation (parallel hlsim sweeps)
+    let gen = |threads| {
+        par::set_threads(Some(threads));
+        let t0 = Instant::now();
+        let designs = dataset::generate_for(&kernels, &opts.data).expect("dataset");
+        (t0.elapsed().as_secs_f64(), designs)
+    };
+    let (gen_1, designs_1) = gen(1);
+    let (gen_n, designs_n) = gen(workers);
+    assert_eq!(designs_1.len(), designs_n.len());
+    for (a, b) in designs_1.train.iter().zip(&designs_n.train) {
+        assert_eq!(a.report, b.report, "dataset labels must not vary");
+    }
+
+    // stage 2: hierarchical training (parallel micro-batch backward)
+    let fit = |threads| {
+        par::set_threads(Some(threads));
+        let t0 = Instant::now();
+        let (_, stats) =
+            HierarchicalModel::train_with_designs(&opts, &designs_1).expect("training");
+        (t0.elapsed().as_secs_f64(), stats)
+    };
+    let (fit_1, stats_1) = fit(1);
+    let (fit_n, stats_n) = fit(workers);
+    assert_eq!(stats_1, stats_n, "training stats must not vary");
+
+    // stage 3: DSE (parallel oracle + predict sweeps)
+    let func = kernels::lower_kernel("mvt")?;
+    let configs = kernels::design_space(&func).enumerate_capped(cli.dse_cap().max(1));
+    let sweep = |threads| {
+        par::set_threads(Some(threads));
+        let t0 = Instant::now();
+        let out = dse::explore(
+            "mvt",
+            &func,
+            &configs,
+            |f, c| hlsim::evaluate(f, c).expect("oracle").top,
+            0.0,
+        )
+        .expect("explore");
+        (t0.elapsed().as_secs_f64(), out)
+    };
+    let (dse_1, out_1) = sweep(1);
+    let (dse_n, out_n) = sweep(workers);
+    assert_eq!(out_1.pareto.indices(), out_n.pareto.indices());
+    assert_eq!(
+        out_1.adrs.value().to_bits(),
+        out_n.adrs.value().to_bits(),
+        "ADRS must be bit-identical"
+    );
+    par::set_threads(None);
+
+    for (stage, t1, tn) in [
+        ("dataset", gen_1, gen_n),
+        ("training", fit_1, fit_n),
+        ("dse", dse_1, dse_n),
+    ] {
+        let speedup = t1 / tn.max(1e-9);
+        println!(
+            "{}",
+            row(
+                &[
+                    stage.into(),
+                    format!("{t1:.2}"),
+                    format!("{tn:.2}"),
+                    format!("{speedup:.2}x"),
+                ],
+                &widths
+            )
+        );
+        rows.push(vec![
+            Json::str(stage),
+            Json::UInt(workers as u64),
+            Json::Float(t1),
+            Json::Float(tn),
+            Json::Float(speedup),
+        ]);
+    }
+    obs::report::record_table(
+        "scaling",
+        &[
+            "stage",
+            "threads",
+            "secs_1_thread",
+            "secs_n_threads",
+            "speedup",
+        ],
+        rows,
+    );
+    println!("\ndeterminism: all three stages identical at 1 and {workers} workers");
+    Ok(())
+}

@@ -57,11 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|conv| {
                 let designs = &designs;
                 scope.spawn(move || {
-                    let mut conv_opts = opts;
-                    conv_opts.conv = conv;
+                    let conv_opts = opts.with_conv(conv);
                     obs::tracef!(1, "training hierarchy with {conv}...");
                     let (_model, stats) =
-                        HierarchicalModel::train_with_designs(&conv_opts, designs);
+                        HierarchicalModel::train_with_designs(&conv_opts, designs)
+                            .expect("training on a generated dataset");
                     (conv, stats)
                 })
             })

@@ -38,24 +38,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plain = qor_core::generate_from_functions(pairs, &opts.data)?;
 
     obs::tracef!(1, "training ours on the pragma-free corpus...");
-    let (_ours_plain, ours_plain_stats) = HierarchicalModel::train_with_designs(&opts, &plain);
+    let (_ours_plain, ours_plain_stats) = HierarchicalModel::train_with_designs(&opts, &plain)?;
     obs::tracef!(1, "training [8] on the pragma-free corpus...");
     let mut wu_plain = FlatGnnBaseline::wu_accuracy(cli.baseline_options());
-    wu_plain.train(&plain);
-    let wu_plain_eval = wu_plain.eval_against_post_route(&plain, &plain.test);
+    wu_plain.train(&plain)?;
+    let wu_plain_eval = wu_plain.eval_against_post_route(&plain, &plain.test)?;
 
     // ---- w/ pragma: the standard swept dataset
     obs::tracef!(1, "generating pragma-swept dataset...");
     let swept = qor_core::generate(&opts.data)?;
     obs::tracef!(1, "training ours on the pragma dataset...");
-    let (_ours, ours_stats) = HierarchicalModel::train_with_designs(&opts, &swept);
+    let (_ours, ours_stats) = HierarchicalModel::train_with_designs(&opts, &swept)?;
     obs::tracef!(
         1,
         "training [8] on the pragma dataset (pragma-blind graphs)..."
     );
     let mut wu = FlatGnnBaseline::wu_accuracy(cli.baseline_options());
-    wu.train(&swept);
-    let wu_eval = wu.eval_against_post_route(&swept, &swept.test);
+    wu.train(&swept)?;
+    let wu_eval = wu.eval_against_post_route(&swept, &swept.test)?;
 
     let widths = [8usize, 14, 9, 8, 8, 8];
     println!("\nTable IV: Comparison of prediction error (MAPE)\n");

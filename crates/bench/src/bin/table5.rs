@@ -22,16 +22,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     obs::tracef!(1, "generating training dataset...");
     let designs = qor_core::generate(&opts.data)?;
     obs::tracef!(1, "training hierarchical model (ours)...");
-    let (ours, _stats) = HierarchicalModel::train_with_designs(&opts, &designs);
+    let (ours, _stats) = HierarchicalModel::train_with_designs(&opts, &designs)?;
     obs::tracef!(1, "training Wu et al. [8] (HLS-IR-fed flat GNN)...");
     let mut wu = FlatGnnBaseline::wu_dse(cli.baseline_options());
-    wu.train(&designs);
+    wu.train(&designs)?;
     obs::tracef!(
         1,
         "training GNN-DSE [6] (pragma features, post-HLS labels)..."
     );
     let mut gnn_dse = FlatGnnBaseline::gnn_dse(cli.baseline_options());
-    gnn_dse.train(&designs);
+    gnn_dse.train(&designs)?;
 
     let widths = [8usize, 8, 12, 10, 9, 9, 9];
     println!("\nTable V: DSE results on unseen applications\n");
@@ -75,18 +75,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         let dse_out = explore(k.name, &func, &configs, |f, c| gnn_dse.predict(f, c), 0.0)?;
 
-        adrs_sums[0] += wu_out.adrs_percent;
-        adrs_sums[1] += dse_out.adrs_percent;
-        adrs_sums[2] += ours_out.adrs_percent;
+        adrs_sums[0] += wu_out.adrs_percent();
+        adrs_sums[1] += dse_out.adrs_percent();
+        adrs_sums[2] += ours_out.adrs_percent();
         n_kernels += 1.0;
         report_rows.push(vec![
             Json::str(k.name),
             Json::UInt(ours_out.n_configs as u64),
             Json::Float(ours_out.vivado_secs),
             Json::Float(ours_out.explore_secs),
-            Json::Float(wu_out.adrs_percent),
-            Json::Float(dse_out.adrs_percent),
-            Json::Float(ours_out.adrs_percent),
+            Json::Float(wu_out.adrs_percent()),
+            Json::Float(dse_out.adrs_percent()),
+            Json::Float(ours_out.adrs_percent()),
         ]);
 
         println!(
@@ -97,9 +97,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     format!("{}", ours_out.n_configs),
                     format!("{:.0} days", ours_out.vivado_days()),
                     format!("{:.2} min", ours_out.explore_minutes()),
-                    format!("{:.2}", wu_out.adrs_percent),
-                    format!("{:.2}", dse_out.adrs_percent),
-                    format!("{:.2}", ours_out.adrs_percent),
+                    format!("{:.2}", wu_out.adrs_percent()),
+                    format!("{:.2}", dse_out.adrs_percent()),
+                    format!("{:.2}", ours_out.adrs_percent()),
                 ],
                 &widths
             )

@@ -5,7 +5,7 @@
 //! quick scale that reproduces the tables' *shape* in minutes. See
 //! `EXPERIMENTS.md` at the repository root for recorded outputs.
 
-use qor_core::{DataOptions, TrainOptions};
+use qor_core::TrainOptions;
 
 pub mod timing;
 
@@ -29,6 +29,8 @@ pub struct Cli {
     pub epochs: Option<usize>,
     /// Optional cap on DSE configurations per kernel.
     pub dse_configs: Option<usize>,
+    /// Optional worker-count override (the `scaling` binary's upper point).
+    pub threads: Option<usize>,
 }
 
 impl Default for Cli {
@@ -38,6 +40,7 @@ impl Default for Cli {
             designs: None,
             epochs: None,
             dse_configs: None,
+            threads: None,
         }
     }
 }
@@ -46,7 +49,7 @@ impl Cli {
     /// Parses `std::env::args`.
     ///
     /// Recognized flags: `--paper`, `--quick`, `--designs N`, `--epochs N`,
-    /// `--dse-configs N`.
+    /// `--dse-configs N`, `--threads N`.
     pub fn parse() -> Self {
         let mut cli = Cli::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +70,10 @@ impl Cli {
                     i += 1;
                     cli.dse_configs = args.get(i).and_then(|v| v.parse().ok());
                 }
+                "--threads" => {
+                    i += 1;
+                    cli.threads = args.get(i).and_then(|v| v.parse().ok());
+                }
                 other => eprintln!("ignoring unknown flag {other:?}"),
             }
             i += 1;
@@ -81,14 +88,10 @@ impl Cli {
             Scale::Paper => TrainOptions::paper(),
         };
         if let Some(d) = self.designs {
-            opts.data = DataOptions {
-                max_designs_per_kernel: d,
-                ..opts.data
-            };
+            opts = opts.with_max_designs(d);
         }
         if let Some(e) = self.epochs {
-            opts.inner_epochs = e;
-            opts.global_epochs = e;
+            opts = opts.with_epochs(e);
         }
         opts
     }
@@ -149,6 +152,7 @@ mod tests {
             designs: Some(10),
             epochs: Some(3),
             dse_configs: Some(25),
+            threads: Some(4),
         };
         let opts = cli.train_options();
         assert_eq!(opts.data.max_designs_per_kernel, 10);

@@ -7,6 +7,8 @@ use hlsim::QorReport;
 use pragma::PragmaConfig;
 use rand::seq::SliceRandom;
 
+use crate::error::QorError;
+
 /// Dataset-generation options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DataOptions {
@@ -62,12 +64,14 @@ impl LabeledDesigns {
 
     /// The function of a sample.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the kernel was not registered (cannot happen for datasets
-    /// built by [`generate`]).
-    pub fn function_of(&self, sample: &DesignSample) -> &Function {
-        &self.functions[&sample.kernel]
+    /// Returns [`QorError::UnknownKernel`] if the sample's kernel was never
+    /// registered (cannot happen for datasets built by [`generate`]).
+    pub fn function_of(&self, sample: &DesignSample) -> Result<&Function, QorError> {
+        self.functions
+            .get(&sample.kernel)
+            .ok_or_else(|| QorError::UnknownKernel(sample.kernel.clone()))
     }
 }
 
@@ -81,7 +85,7 @@ impl LabeledDesigns {
 /// # Errors
 ///
 /// Propagates kernel lowering or evaluation failures.
-pub fn generate(opts: &DataOptions) -> Result<LabeledDesigns, Box<dyn std::error::Error>> {
+pub fn generate(opts: &DataOptions) -> Result<LabeledDesigns, QorError> {
     let kernels: Vec<_> = kernels::training_kernels().collect();
     generate_for(&kernels, opts)
 }
@@ -94,7 +98,7 @@ pub fn generate(opts: &DataOptions) -> Result<LabeledDesigns, Box<dyn std::error
 pub fn generate_for(
     kernel_list: &[&kernels::Kernel],
     opts: &DataOptions,
-) -> Result<LabeledDesigns, Box<dyn std::error::Error>> {
+) -> Result<LabeledDesigns, QorError> {
     let mut pairs = Vec::with_capacity(kernel_list.len());
     for k in kernel_list {
         let func = kernels::lower_kernel(k.name)?;
@@ -119,18 +123,22 @@ pub fn generate_for(
 pub fn generate_from_functions(
     pairs: Vec<(String, Function, Vec<PragmaConfig>)>,
     opts: &DataOptions,
-) -> Result<LabeledDesigns, Box<dyn std::error::Error>> {
+) -> Result<LabeledDesigns, QorError> {
     let sp = obs::span("dataset_generate");
     sp.attr("programs", pairs.len());
     let mut out = LabeledDesigns::default();
     let mut rng = tensor::init::seeded_rng(opts.seed);
     for (name, func, mut configs) in pairs {
+        // all RNG draws stay on this sequential path so the stream is
+        // identical for any worker count; only the pure per-config
+        // evaluations below fan out
         configs.shuffle(&mut rng);
         let n = configs.len();
         // single-config programs (synthetic corpora) are split across
         // programs rather than within
         if n == 1 {
             use rand::Rng;
+            let bucket = rng.gen_range(0..10);
             let config = configs.pop().expect("one config");
             let report = hlsim::evaluate(&func, &config)?;
             let sample = DesignSample {
@@ -138,7 +146,7 @@ pub fn generate_from_functions(
                 config,
                 report,
             };
-            match rng.gen_range(0..10) {
+            match bucket {
                 0..=7 => out.train.push(sample),
                 8 => out.val.push(sample),
                 _ => out.test.push(sample),
@@ -146,10 +154,12 @@ pub fn generate_from_functions(
             out.functions.insert(name, func);
             continue;
         }
+        let reports = par::try_map("dataset/evaluate", &configs, |_, config| {
+            hlsim::evaluate(&func, config).map_err(QorError::from)
+        })?;
         let n_train = (n * 8) / 10;
         let n_val = (n * 9) / 10 - n_train;
-        for (i, config) in configs.into_iter().enumerate() {
-            let report = hlsim::evaluate(&func, &config)?;
+        for (i, (config, report)) in configs.into_iter().zip(reports).enumerate() {
             let sample = DesignSample {
                 kernel: name.clone(),
                 config,

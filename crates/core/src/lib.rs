@@ -36,6 +36,7 @@
 //! ```
 
 pub mod dataset;
+pub mod error;
 pub mod features;
 pub mod hierarchy;
 mod model;
@@ -43,6 +44,7 @@ mod model;
 pub use dataset::{
     generate, generate_for, generate_from_functions, DataOptions, DesignSample, LabeledDesigns,
 };
+pub use error::QorError;
 pub use features::{
     graph_aggregates, graph_to_gnn, loop_level_features, AGG_DIM, FEATURE_DIM, LOOP_FEATURE_DIM,
 };

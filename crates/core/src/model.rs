@@ -9,9 +9,10 @@ use hlsim::Qor;
 use pragma::{LoopId, PragmaConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use tensor::{AdamConfig, Matrix, ParamStore, Tape, Var};
+use tensor::{AdamConfig, GradSet, Matrix, ParamStore, Tape, Var};
 
 use crate::dataset::{self, DataOptions, DesignSample, LabeledDesigns};
+use crate::error::QorError;
 use crate::features::{
     graph_aggregates, graph_to_gnn, loop_level_features, AGG_DIM, FEATURE_DIM, LOOP_FEATURE_DIM,
 };
@@ -94,6 +95,77 @@ impl TrainOptions {
             log_every: 25,
             shared_inner: false,
         }
+    }
+
+    /// Sets the epoch budget for **both** the inner models and `GNN_g`.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.inner_epochs = epochs;
+        self.global_epochs = epochs;
+        self
+    }
+
+    /// Sets the weight-init/shuffle seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the propagation-layer family for all three models.
+    #[must_use]
+    pub fn with_conv(mut self, conv: ConvKind) -> Self {
+        self.conv = conv;
+        self
+    }
+
+    /// Sets the hidden width.
+    #[must_use]
+    pub fn with_hidden(mut self, hidden: usize) -> Self {
+        self.hidden = hidden;
+        self
+    }
+
+    /// Sets the mini-batch size (graphs).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the Adam learning rate.
+    #[must_use]
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Sets the per-kernel design cap for dataset generation (0 = unlimited).
+    #[must_use]
+    pub fn with_max_designs(mut self, max_designs_per_kernel: usize) -> Self {
+        self.data.max_designs_per_kernel = max_designs_per_kernel;
+        self
+    }
+
+    /// Sets the dataset split/shuffle seed.
+    #[must_use]
+    pub fn with_data_seed(mut self, seed: u64) -> Self {
+        self.data.seed = seed;
+        self
+    }
+
+    /// Sets the progress print period in epochs (0 = silent).
+    #[must_use]
+    pub fn with_log_every(mut self, log_every: usize) -> Self {
+        self.log_every = log_every;
+        self
+    }
+
+    /// Toggles the shared-inner-model ablation.
+    #[must_use]
+    pub fn with_shared_inner(mut self, shared_inner: bool) -> Self {
+        self.shared_inner = shared_inner;
+        self
     }
 
     fn encoder_config(&self) -> EncoderConfig {
@@ -292,23 +364,34 @@ impl HierarchicalModel {
     /// # Errors
     ///
     /// Propagates dataset-generation failures.
-    pub fn train_on_kernels(
-        opts: &TrainOptions,
-    ) -> Result<(Self, TrainStats), Box<dyn std::error::Error>> {
+    pub fn train_on_kernels(opts: &TrainOptions) -> Result<(Self, TrainStats), QorError> {
         let designs = dataset::generate(&opts.data)?;
-        Ok(Self::train_with_designs(opts, &designs))
+        Self::train_with_designs(opts, &designs)
     }
 
     /// Trains on an existing labeled dataset (used by the benchmark
     /// binaries to reuse one sweep across model variants).
-    pub fn train_with_designs(opts: &TrainOptions, designs: &LabeledDesigns) -> (Self, TrainStats) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QorError::UnknownKernel`] if a design references a kernel
+    /// the dataset never registered.
+    pub fn train_with_designs(
+        opts: &TrainOptions,
+        designs: &LabeledDesigns,
+    ) -> Result<(Self, TrainStats), QorError> {
         let mut model = Self::new(opts);
-        let stats = model.fit(designs);
-        (model, stats)
+        let stats = model.fit(designs)?;
+        Ok((model, stats))
     }
 
     /// Trains this model in place, returning test metrics.
-    pub fn fit(&mut self, designs: &LabeledDesigns) -> TrainStats {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QorError::UnknownKernel`] if a design references a kernel
+    /// the dataset never registered.
+    pub fn fit(&mut self, designs: &LabeledDesigns) -> Result<TrainStats, QorError> {
         let fit_sp = obs::span("fit");
         fit_sp.attr("designs", designs.len());
         let opts = self.opts;
@@ -316,9 +399,9 @@ impl HierarchicalModel {
         // (an inner region already seen in training must not re-appear in
         // the test set)
         let mut seen = HashSet::new();
-        let (p_train, np_train) = self.inner_samples(designs, &designs.train, &mut seen);
-        let (p_val, np_val) = self.inner_samples(designs, &designs.val, &mut seen);
-        let (p_test, np_test) = self.inner_samples(designs, &designs.test, &mut seen);
+        let (p_train, np_train) = self.inner_samples(designs, &designs.train, &mut seen)?;
+        let (p_val, np_val) = self.inner_samples(designs, &designs.val, &mut seen)?;
+        let (p_test, np_test) = self.inner_samples(designs, &designs.test, &mut seen)?;
 
         // 2. fit target normalizers, train GNN_p and GNN_np, then freeze
         self.norm_p = Normalizer::fit(&p_train.iter().map(|s| s.y.to_vec()).collect::<Vec<_>>());
@@ -366,8 +449,8 @@ impl HierarchicalModel {
         let _ = (&p_val, &np_val); // early stopping is handled by epochs here
 
         // 3. global dataset from frozen inner predictions
-        let g_train = self.global_samples(designs, &designs.train);
-        let g_test = self.global_samples(designs, &designs.test);
+        let g_train = self.global_samples(designs, &designs.train)?;
+        let g_test = self.global_samples(designs, &designs.test)?;
         self.norm_g = Normalizer::fit(&g_train.iter().map(|s| s.y.to_vec()).collect::<Vec<_>>());
         train_global(
             &mut self.store_g,
@@ -379,7 +462,7 @@ impl HierarchicalModel {
         );
 
         let (np_store, np_model, np_norm) = self.inner_model_for(false);
-        TrainStats {
+        Ok(TrainStats {
             pipelined: self.eval_inner(&self.store_p, &self.model_p, &self.norm_p, &p_test),
             non_pipelined: self.eval_inner(np_store, np_model, np_norm, &np_test),
             global: self.eval_global(&g_test),
@@ -388,7 +471,7 @@ impl HierarchicalModel {
                 np_train.len() + np_test.len() + np_val.len(),
                 designs.len(),
             ),
-        }
+        })
     }
 
     /// End-to-end source-to-post-route prediction for one configured design
@@ -568,11 +651,11 @@ impl HierarchicalModel {
         designs: &LabeledDesigns,
         subset: &[DesignSample],
         seen: &mut HashSet<u64>,
-    ) -> (Vec<InnerSample>, Vec<InnerSample>) {
+    ) -> Result<(Vec<InnerSample>, Vec<InnerSample>), QorError> {
         let mut p = Vec::new();
         let mut np = Vec::new();
         for sample in subset {
-            let func = designs.function_of(sample);
+            let func = designs.function_of(sample)?;
             let hierarchy = split_hierarchy(func, &sample.config);
             for inner in &hierarchy.inner {
                 let Some(lq) = sample.report.loops.get(&inner.id) else {
@@ -607,36 +690,35 @@ impl HierarchicalModel {
                 }
             }
         }
-        (p, np)
+        Ok((p, np))
     }
 
     fn global_samples(
         &self,
         designs: &LabeledDesigns,
         subset: &[DesignSample],
-    ) -> Vec<GlobalSample> {
-        subset
-            .iter()
-            .map(|sample| {
-                let func = designs.function_of(sample);
-                let supers = self.predict_supers(func, &sample.config);
-                let graph = GraphBuilder::new(func, &sample.config)
-                    .options(self.opts.graph_options())
-                    .condense(supers)
-                    .build();
-                let mut data = graph_to_gnn(&graph);
-                data.g_feats = graph_aggregates(&graph);
-                GlobalSample {
-                    graph: data,
-                    y: [
-                        log1p(sample.report.top.latency as f64),
-                        log1p(sample.report.top.lut as f64),
-                        log1p(sample.report.top.ff as f64),
-                        log1p(sample.report.top.dsp as f64),
-                    ],
-                }
+    ) -> Result<Vec<GlobalSample>, QorError> {
+        // inner inference per design is pure given the frozen inner models,
+        // so the condensation sweep fans out
+        par::try_map("core/global_samples", subset, |_, sample| {
+            let func = designs.function_of(sample)?;
+            let supers = self.predict_supers(func, &sample.config);
+            let graph = GraphBuilder::new(func, &sample.config)
+                .options(self.opts.graph_options())
+                .condense(supers)
+                .build();
+            let mut data = graph_to_gnn(&graph);
+            data.g_feats = graph_aggregates(&graph);
+            Ok(GlobalSample {
+                graph: data,
+                y: [
+                    log1p(sample.report.top.latency as f64),
+                    log1p(sample.report.top.lut as f64),
+                    log1p(sample.report.top.ff as f64),
+                    log1p(sample.report.top.dsp as f64),
+                ],
             })
-            .collect()
+        })
     }
 
     fn eval_inner(
@@ -789,46 +871,69 @@ fn train_inner(
         let mut ape_sum = 0.0f64;
         let mut ape_n = 0usize;
         for chunk in order.chunks(opts.batch_size.max(1)) {
-            let graphs: Vec<&GraphData> = chunk.iter().map(|&i| &train[i].graph).collect();
-            let batch = Batch::from_graphs(&graphs, true);
-            let mut y_il = Matrix::zeros(chunk.len(), 1);
-            let mut y_lat = Matrix::zeros(chunk.len(), 1);
-            let mut y_res = Matrix::zeros(chunk.len(), 3);
-            for (r, &i) in chunk.iter().enumerate() {
-                let mut y = train[i].y;
-                norm.transform(&mut y);
-                y_il[(r, 0)] = y[0];
-                y_lat[(r, 0)] = y[1];
-                y_res[(r, 0)] = y[2];
-                y_res[(r, 1)] = y[3];
-                y_res[(r, 2)] = y[4];
-            }
-            let mut t = Tape::new();
-            let (il, lat, res) = model.forward(store, &mut t, &batch);
-            let t_il = t.leaf(y_il);
-            let t_lat = t.leaf(y_lat);
-            let t_res = t.leaf(y_res);
-            let l1 = t.mse(il, t_il);
-            let l2 = t.mse(lat, t_lat);
-            let l3 = t.mse(res, t_res);
-            let l12 = t.add(l1, l2);
-            let loss = t.add(l12, l3);
-            total += t.value(loss).item();
-            batches += 1;
-            if obs::collecting() {
-                // per-epoch latency MAPE in normalized (log) space, from the
-                // predictions already on the tape — free when obs is off
-                let latm = t.value(lat);
-                let latt = t.value(t_lat);
-                for r in 0..chunk.len() {
-                    let truth = f64::from(latt[(r, 0)]);
-                    ape_sum +=
-                        f64::from((latm[(r, 0)] - latt[(r, 0)]).abs()) / truth.abs().max(1e-6);
-                    ape_n += 1;
+            // fixed micro-batch geometry: the same chunks are formed for any
+            // worker count, and losses/gradients are merged in chunk order,
+            // so the update is bit-identical to the sequential path
+            let micros: Vec<&[usize]> = chunk.chunks(gnn::MICRO_BATCH).collect();
+            let weight = chunk.len() as f32;
+            let shared: &ParamStore = store;
+            let parts = par::map("core/train_inner", &micros, |_, ids| {
+                let graphs: Vec<&GraphData> = ids.iter().map(|&i| &train[i].graph).collect();
+                let batch = Batch::from_graphs(&graphs, true);
+                let mut y_il = Matrix::zeros(ids.len(), 1);
+                let mut y_lat = Matrix::zeros(ids.len(), 1);
+                let mut y_res = Matrix::zeros(ids.len(), 3);
+                for (r, &i) in ids.iter().enumerate() {
+                    let mut y = train[i].y;
+                    norm.transform(&mut y);
+                    y_il[(r, 0)] = y[0];
+                    y_lat[(r, 0)] = y[1];
+                    y_res[(r, 0)] = y[2];
+                    y_res[(r, 1)] = y[3];
+                    y_res[(r, 2)] = y[4];
+                }
+                let mut t = Tape::new();
+                let (il, lat, res) = model.forward(shared, &mut t, &batch);
+                let t_il = t.leaf(y_il);
+                let t_lat = t.leaf(y_lat);
+                let t_res = t.leaf(y_res);
+                let l1 = t.mse(il, t_il);
+                let l2 = t.mse(lat, t_lat);
+                let l3 = t.mse(res, t_res);
+                let l12 = t.add(l1, l2);
+                let l123 = t.add(l12, l3);
+                let loss = t.scale(l123, ids.len() as f32 / weight);
+                let mut micro_ape = (0.0f64, 0usize);
+                if obs::collecting() {
+                    // per-epoch latency MAPE in normalized (log) space, from
+                    // the predictions already on the tape — free when obs is
+                    // off
+                    let latm = t.value(lat);
+                    let latt = t.value(t_lat);
+                    for r in 0..ids.len() {
+                        let truth = f64::from(latt[(r, 0)]);
+                        micro_ape.0 +=
+                            f64::from((latm[(r, 0)] - latt[(r, 0)]).abs()) / truth.abs().max(1e-6);
+                        micro_ape.1 += 1;
+                    }
+                }
+                t.backward(loss);
+                (t.value(loss).item(), micro_ape, shared.grads_of(&t))
+            });
+            let mut grads: Option<GradSet> = None;
+            for (l, (a_sum, a_n), g) in parts {
+                total += l;
+                ape_sum += a_sum;
+                ape_n += a_n;
+                match &mut grads {
+                    Some(acc) => acc.accumulate(&g),
+                    slot @ None => *slot = Some(g),
                 }
             }
-            t.backward(loss);
-            store.adam_step(&t, &adam);
+            batches += 1;
+            if let Some(g) = grads {
+                store.adam_step_with(g, &adam);
+            }
         }
         let epoch_loss = total / batches.max(1) as f32;
         obs::metrics::series_push(
@@ -876,39 +981,59 @@ fn train_global(
         let mut ape_sum = 0.0f64;
         let mut ape_n = 0usize;
         for chunk in order.chunks(opts.batch_size.max(1)) {
-            let graphs: Vec<&GraphData> = chunk.iter().map(|&i| &train[i].graph).collect();
-            let batch = Batch::from_graphs(&graphs, true);
-            let mut y_lat = Matrix::zeros(chunk.len(), 1);
-            let mut y_res = Matrix::zeros(chunk.len(), 3);
-            for (r, &i) in chunk.iter().enumerate() {
-                let mut y = train[i].y;
-                norm.transform(&mut y);
-                y_lat[(r, 0)] = y[0];
-                y_res[(r, 0)] = y[1];
-                y_res[(r, 1)] = y[2];
-                y_res[(r, 2)] = y[3];
-            }
-            let mut t = Tape::new();
-            let (lat, res) = model.forward(store, &mut t, &batch);
-            let t_lat = t.leaf(y_lat);
-            let t_res = t.leaf(y_res);
-            let l1 = t.mse(lat, t_lat);
-            let l2 = t.mse(res, t_res);
-            let loss = t.add(l1, l2);
-            total += t.value(loss).item();
-            batches += 1;
-            if obs::collecting() {
-                let latm = t.value(lat);
-                let latt = t.value(t_lat);
-                for r in 0..chunk.len() {
-                    let truth = f64::from(latt[(r, 0)]);
-                    ape_sum +=
-                        f64::from((latm[(r, 0)] - latt[(r, 0)]).abs()) / truth.abs().max(1e-6);
-                    ape_n += 1;
+            // same fixed-geometry micro-batching as `train_inner`
+            let micros: Vec<&[usize]> = chunk.chunks(gnn::MICRO_BATCH).collect();
+            let weight = chunk.len() as f32;
+            let shared: &ParamStore = store;
+            let parts = par::map("core/train_global", &micros, |_, ids| {
+                let graphs: Vec<&GraphData> = ids.iter().map(|&i| &train[i].graph).collect();
+                let batch = Batch::from_graphs(&graphs, true);
+                let mut y_lat = Matrix::zeros(ids.len(), 1);
+                let mut y_res = Matrix::zeros(ids.len(), 3);
+                for (r, &i) in ids.iter().enumerate() {
+                    let mut y = train[i].y;
+                    norm.transform(&mut y);
+                    y_lat[(r, 0)] = y[0];
+                    y_res[(r, 0)] = y[1];
+                    y_res[(r, 1)] = y[2];
+                    y_res[(r, 2)] = y[3];
+                }
+                let mut t = Tape::new();
+                let (lat, res) = model.forward(shared, &mut t, &batch);
+                let t_lat = t.leaf(y_lat);
+                let t_res = t.leaf(y_res);
+                let l1 = t.mse(lat, t_lat);
+                let l2 = t.mse(res, t_res);
+                let l12 = t.add(l1, l2);
+                let loss = t.scale(l12, ids.len() as f32 / weight);
+                let mut micro_ape = (0.0f64, 0usize);
+                if obs::collecting() {
+                    let latm = t.value(lat);
+                    let latt = t.value(t_lat);
+                    for r in 0..ids.len() {
+                        let truth = f64::from(latt[(r, 0)]);
+                        micro_ape.0 +=
+                            f64::from((latm[(r, 0)] - latt[(r, 0)]).abs()) / truth.abs().max(1e-6);
+                        micro_ape.1 += 1;
+                    }
+                }
+                t.backward(loss);
+                (t.value(loss).item(), micro_ape, shared.grads_of(&t))
+            });
+            let mut grads: Option<GradSet> = None;
+            for (l, (a_sum, a_n), g) in parts {
+                total += l;
+                ape_sum += a_sum;
+                ape_n += a_n;
+                match &mut grads {
+                    Some(acc) => acc.accumulate(&g),
+                    slot @ None => *slot = Some(g),
                 }
             }
-            t.backward(loss);
-            store.adam_step(&t, &adam);
+            batches += 1;
+            if let Some(g) = grads {
+                store.adam_step_with(g, &adam);
+            }
         }
         let epoch_loss = total / batches.max(1) as f32;
         obs::metrics::series_push("train/GNN_g/loss", epoch as u64, f64::from(epoch_loss));
@@ -956,7 +1081,7 @@ mod tests {
         let opts = tiny_opts();
         let k: Vec<_> = kernels::training_kernels().take(3).collect();
         let designs = dataset::generate_for(&k, &opts.data).unwrap();
-        let (model, stats) = HierarchicalModel::train_with_designs(&opts, &designs);
+        let (model, stats) = HierarchicalModel::train_with_designs(&opts, &designs).unwrap();
         assert!(stats.dataset_sizes.2 > 0);
         assert!(stats.global.n > 0);
         assert!(stats.global.latency_mape.is_finite());

@@ -7,7 +7,7 @@ use gnn::{
 use hir::Function;
 use hlsim::Qor;
 use pragma::{LoopId, PragmaConfig};
-use qor_core::{graph_aggregates, graph_to_gnn, GlobalEval, AGG_DIM, FEATURE_DIM};
+use qor_core::{graph_aggregates, graph_to_gnn, GlobalEval, QorError, AGG_DIM, FEATURE_DIM};
 use tensor::{Matrix, ParamStore};
 
 /// Which labels the baseline trains on.
@@ -196,9 +196,14 @@ impl FlatGnnBaseline {
     }
 
     /// Trains on the labeled designs.
-    pub fn train(&mut self, designs: &qor_core::LabeledDesigns) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QorError::UnknownKernel`] if a design references a kernel
+    /// the dataset never registered.
+    pub fn train(&mut self, designs: &qor_core::LabeledDesigns) -> Result<(), QorError> {
         let to_sample = |s: &qor_core::DesignSample| {
-            let func = designs.function_of(s);
+            let func = designs.function_of(s)?;
             let g = self.graph_data(func, &s.config);
             let q = match self.labels {
                 LabelSpace::PostRoute => s.report.top,
@@ -210,10 +215,18 @@ impl FlatGnnBaseline {
                 log1p(q.ff as f64),
                 log1p(q.dsp as f64),
             ];
-            (g, y)
+            Ok((g, y))
         };
-        let mut train: Vec<_> = designs.train.iter().map(to_sample).collect();
-        let mut val: Vec<_> = designs.val.iter().map(to_sample).collect();
+        let mut train: Vec<_> = designs
+            .train
+            .iter()
+            .map(to_sample)
+            .collect::<Result<_, QorError>>()?;
+        let mut val: Vec<_> = designs
+            .val
+            .iter()
+            .map(to_sample)
+            .collect::<Result<_, QorError>>()?;
         self.norm = Normalizer::fit(&train.iter().map(|(_, y)| y.clone()).collect::<Vec<_>>());
         for (_, y) in train.iter_mut().chain(val.iter_mut()) {
             self.norm.transform(y);
@@ -226,6 +239,7 @@ impl FlatGnnBaseline {
             ..TrainConfig::default()
         };
         train_regression(&mut self.store, &self.model, &train, &val, &cfg);
+        Ok(())
     }
 
     /// Predicts QoR for one configured design.
@@ -245,15 +259,20 @@ impl FlatGnnBaseline {
     /// MAPE against **post-route truth** on a design subset (Table IV
     /// protocol — even post-HLS-trained models are judged against the
     /// post-route reference).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QorError::UnknownKernel`] if a design references a kernel
+    /// the dataset never registered.
     pub fn eval_against_post_route(
         &self,
         designs: &qor_core::LabeledDesigns,
         subset: &[qor_core::DesignSample],
-    ) -> GlobalEval {
+    ) -> Result<GlobalEval, QorError> {
         let mut pred = vec![Vec::new(); 4];
         let mut truth = vec![Vec::new(); 4];
         for s in subset {
-            let func = designs.function_of(s);
+            let func = designs.function_of(s)?;
             let q = self.predict(func, &s.config);
             let t = s.report.top;
             let pa = [q.latency, q.lut, q.ff, q.dsp];
@@ -263,13 +282,13 @@ impl FlatGnnBaseline {
                 truth[m].push(ta[m] as f32);
             }
         }
-        GlobalEval {
+        Ok(GlobalEval {
             latency_mape: gnn::mape(&pred[0], &truth[0]),
             lut_mape: gnn::mape(&pred[1], &truth[1]),
             ff_mape: gnn::mape(&pred[2], &truth[2]),
             dsp_mape: gnn::mape(&pred[3], &truth[3]),
             n: subset.len(),
-        }
+        })
     }
 }
 
@@ -348,7 +367,7 @@ mod tests {
         let designs = tiny_designs();
         let baseline = FlatGnnBaseline::wu_accuracy(BaselineOptions::default());
         let s0 = &designs.train[0];
-        let func = designs.function_of(s0);
+        let func = designs.function_of(s0).unwrap();
         let g_default = baseline.graph_data(func, &PragmaConfig::default());
         let g_cfg = baseline.graph_data(func, &s0.config);
         assert_eq!(g_default.num_nodes(), g_cfg.num_nodes());
@@ -362,7 +381,7 @@ mod tests {
         assert!(baseline.needs_hls());
         // find a config with unrolling: its graph must differ from default
         let varied = designs.train.iter().find(|s| {
-            let func = designs.function_of(s);
+            let func = designs.function_of(s).unwrap();
             let a = baseline.graph_data(func, &s.config);
             let b = baseline.graph_data(func, &PragmaConfig::default());
             a.num_nodes() != b.num_nodes()
@@ -379,7 +398,7 @@ mod tests {
             .iter()
             .find(|s| !s.config.is_trivial())
             .expect("some pragma'd design");
-        let func = designs.function_of(with_pragma);
+        let func = designs.function_of(with_pragma).unwrap();
         let a = baseline.graph_data(func, &with_pragma.config);
         let b = baseline.graph_data(func, &PragmaConfig::default());
         assert_eq!(a.num_nodes(), b.num_nodes(), "structure is pragma-blind");
@@ -393,8 +412,10 @@ mod tests {
             epochs: 5,
             ..BaselineOptions::default()
         });
-        baseline.train(&designs);
-        let eval = baseline.eval_against_post_route(&designs, &designs.test);
+        baseline.train(&designs).unwrap();
+        let eval = baseline
+            .eval_against_post_route(&designs, &designs.test)
+            .unwrap();
         assert!(eval.latency_mape.is_finite());
         assert!(eval.n > 0);
     }

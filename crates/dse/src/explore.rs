@@ -5,6 +5,7 @@ use std::time::Instant;
 use hir::Function;
 use hlsim::Qor;
 use pragma::PragmaConfig;
+use qor_core::QorError;
 
 use crate::pareto::{Adrs, ParetoFront};
 
@@ -37,8 +38,12 @@ pub struct DsePoint {
 }
 
 /// Outcome of one DSE run (one row of Table V).
+///
+/// Unlike the loose percentage the old `DseOutcome` carried, the Pareto
+/// front and ADRS are returned as their typed forms so downstream code can
+/// inspect the front's indices/points or convert the ADRS however it needs.
 #[derive(Debug, Clone)]
-pub struct DseOutcome {
+pub struct ExploreOutcome {
     /// Kernel name.
     pub kernel: String,
     /// Number of design configurations.
@@ -48,13 +53,22 @@ pub struct DseOutcome {
     /// Wall-clock of the model-guided exploration (measured inference time
     /// plus any simulated HLS invocations the predictor requires).
     pub explore_secs: f64,
-    /// ADRS of the predicted Pareto set, in percent.
-    pub adrs_percent: f64,
+    /// The front the *predictor* considers Pareto-optimal (indices into
+    /// [`ExploreOutcome::points`], point coordinates in predicted
+    /// latency/area space).
+    pub pareto: ParetoFront,
+    /// ADRS of the predicted front scored at true QoR.
+    pub adrs: Adrs,
     /// All explored points (for plotting / inspection).
     pub points: Vec<DsePoint>,
 }
 
-impl DseOutcome {
+impl ExploreOutcome {
+    /// ADRS of the predicted Pareto set, in percent.
+    pub fn adrs_percent(&self) -> f64 {
+        self.adrs.percent()
+    }
+
     /// Simulated exhaustive tool time, in days.
     pub fn vivado_days(&self) -> f64 {
         self.vivado_secs / 86_400.0
@@ -83,20 +97,25 @@ pub fn explore(
     kernel: &str,
     func: &Function,
     configs: &[PragmaConfig],
-    mut predict: impl FnMut(&Function, &PragmaConfig) -> Qor,
+    predict: impl Fn(&Function, &PragmaConfig) -> Qor + Sync,
     hls_secs_per_design: f64,
-) -> Result<DseOutcome, hlsim::EvalError> {
+) -> Result<ExploreOutcome, QorError> {
     let sp = obs::span("dse_explore");
     sp.attr("kernel", kernel);
     sp.attr("configs", configs.len());
 
-    // exhaustive oracle sweep (the "Vivado" column)
-    let mut points = Vec::with_capacity(configs.len());
+    // exhaustive oracle sweep (the "Vivado" column); tool seconds are summed
+    // in config order after the parallel map so the total is bit-identical
+    // for any worker count
+    let mut points;
     let mut vivado_secs = 0.0;
     {
         let _oracle = obs::span("dse_oracle_sweep");
-        for config in configs {
-            let report = hlsim::evaluate(func, config)?;
+        let reports = par::try_map("dse/oracle", configs, |_, config| {
+            hlsim::evaluate(func, config).map_err(QorError::from)
+        })?;
+        points = Vec::with_capacity(configs.len());
+        for (config, report) in configs.iter().zip(reports) {
             vivado_secs += hlsim::tool_runtime_secs(&report.top);
             points.push(DsePoint {
                 config: config.clone(),
@@ -109,8 +128,9 @@ pub fn explore(
     // model predictions (measured)
     let pred_sp = obs::span("dse_predict_sweep");
     let t0 = Instant::now();
-    for p in &mut points {
-        p.predicted = predict(func, &p.config);
+    let predictions = par::map("dse/predict", configs, |_, config| predict(func, config));
+    for (p, q) in points.iter_mut().zip(predictions) {
+        p.predicted = q;
     }
     let inference_secs = t0.elapsed().as_secs_f64();
     obs::metrics::counter_add("dse/points_evaluated", points.len() as u64);
@@ -143,12 +163,13 @@ pub fn explore(
     obs::metrics::gauge_set(&format!("dse/{kernel}/adrs_percent"), adrs.percent());
     sp.attr("adrs_percent", adrs.percent());
 
-    Ok(DseOutcome {
+    Ok(ExploreOutcome {
         kernel: kernel.to_string(),
         n_configs: configs.len(),
         vivado_secs,
         explore_secs,
-        adrs_percent: adrs.percent(),
+        pareto: predicted_front,
+        adrs,
         points,
     })
 }
@@ -171,7 +192,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(outcome.n_configs, 24);
-        assert_eq!(outcome.adrs_percent, 0.0, "oracle must be exact");
+        assert_eq!(outcome.adrs_percent(), 0.0, "oracle must be exact");
         assert!(outcome.vivado_secs > outcome.explore_secs);
     }
 
@@ -196,9 +217,9 @@ mod tests {
         )
         .unwrap();
         assert!(
-            outcome.adrs_percent > 1.0,
+            outcome.adrs_percent() > 1.0,
             "garbage predictor must have high ADRS, got {}",
-            outcome.adrs_percent
+            outcome.adrs_percent()
         );
     }
 

@@ -35,5 +35,5 @@ mod explore;
 mod pareto;
 
 pub use baseline::{BaselineOptions, FlatGnnBaseline, LabelSpace};
-pub use explore::{area, explore, DseOutcome, DsePoint, HLS_SECS_PER_DESIGN};
+pub use explore::{area, explore, DsePoint, ExploreOutcome, HLS_SECS_PER_DESIGN};
 pub use pareto::{Adrs, ParetoFront};

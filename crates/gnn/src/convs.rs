@@ -1,8 +1,8 @@
 //! Graph convolution layers: GCN, GraphSAGE, GAT, TransformerConv, PNA.
 
 use std::fmt;
-use std::rc::Rc;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
@@ -198,18 +198,18 @@ impl Conv {
         match self {
             Conv::Gcn { lin } => {
                 let xw = lin.forward(store, t, x);
-                let msgs = t.gather_rows(xw, Rc::clone(&batch.gcn_src));
+                let msgs = t.gather_rows(xw, Arc::clone(&batch.gcn_src));
                 let coef = t.leaf(batch.gcn_coef.clone());
                 let weighted = t.mul_col(msgs, coef);
-                t.scatter_add_rows(weighted, Rc::clone(&batch.gcn_dst), n)
+                t.scatter_add_rows(weighted, Arc::clone(&batch.gcn_dst), n)
             }
             Conv::Sage {
                 self_lin,
                 neigh_lin,
             } => {
                 let own = self_lin.forward(store, t, x);
-                let gathered = t.gather_rows(x, Rc::clone(&batch.src));
-                let mean = t.segment_mean(gathered, Rc::clone(&batch.dst), n);
+                let gathered = t.gather_rows(x, Arc::clone(&batch.src));
+                let mean = t.segment_mean(gathered, Arc::clone(&batch.dst), n);
                 let neigh = neigh_lin.forward(store, t, mean);
                 t.add(own, neigh)
             }
@@ -221,14 +221,14 @@ impl Conv {
                     let a_dst = t.param(store, head.att_dst);
                     let alpha_src = t.matmul(xw, a_src); // [N,1]
                     let alpha_dst = t.matmul(xw, a_dst); // [N,1]
-                    let es = t.gather_rows(alpha_src, Rc::clone(&batch.src));
-                    let ed = t.gather_rows(alpha_dst, Rc::clone(&batch.dst));
+                    let es = t.gather_rows(alpha_src, Arc::clone(&batch.src));
+                    let ed = t.gather_rows(alpha_dst, Arc::clone(&batch.dst));
                     let logits_raw = t.add(es, ed);
                     let logits = t.leaky_relu(logits_raw, 0.2);
-                    let att = t.segment_softmax(logits, Rc::clone(&batch.dst), n);
-                    let msgs = t.gather_rows(xw, Rc::clone(&batch.src));
+                    let att = t.segment_softmax(logits, Arc::clone(&batch.dst), n);
+                    let msgs = t.gather_rows(xw, Arc::clone(&batch.src));
                     let weighted = t.mul_col(msgs, att);
-                    outs.push(t.scatter_add_rows(weighted, Rc::clone(&batch.dst), n));
+                    outs.push(t.scatter_add_rows(weighted, Arc::clone(&batch.dst), n));
                 }
                 t.concat_cols(&outs)
             }
@@ -238,16 +238,16 @@ impl Conv {
                     let q = head.q.forward(store, t, x);
                     let k = head.k.forward(store, t, x);
                     let v = head.v.forward(store, t, x);
-                    let qd = t.gather_rows(q, Rc::clone(&batch.dst));
-                    let ks = t.gather_rows(k, Rc::clone(&batch.src));
+                    let qd = t.gather_rows(q, Arc::clone(&batch.dst));
+                    let ks = t.gather_rows(k, Arc::clone(&batch.src));
                     let qk = t.mul(qd, ks);
                     let dots = t.sum_cols(qk);
                     let scale = 1.0 / (head.q.out_dim() as f32).sqrt();
                     let logits = t.scale(dots, scale);
-                    let att = t.segment_softmax(logits, Rc::clone(&batch.dst), n);
-                    let msgs = t.gather_rows(v, Rc::clone(&batch.src));
+                    let att = t.segment_softmax(logits, Arc::clone(&batch.dst), n);
+                    let msgs = t.gather_rows(v, Arc::clone(&batch.src));
                     let weighted = t.mul_col(msgs, att);
-                    outs.push(t.scatter_add_rows(weighted, Rc::clone(&batch.dst), n));
+                    outs.push(t.scatter_add_rows(weighted, Arc::clone(&batch.dst), n));
                 }
                 let attended = t.concat_cols(&outs);
                 let skipped = skip.forward(store, t, x);
@@ -255,15 +255,15 @@ impl Conv {
             }
             Conv::Pna { pre, post } => {
                 let h = pre.forward(store, t, x);
-                let msgs = t.gather_rows(h, Rc::clone(&batch.src));
+                let msgs = t.gather_rows(h, Arc::clone(&batch.src));
                 // aggregators over incoming messages
-                let mean = t.segment_mean(msgs, Rc::clone(&batch.dst), n);
-                let maxv = t.segment_max(msgs, Rc::clone(&batch.dst), n);
+                let mean = t.segment_mean(msgs, Arc::clone(&batch.dst), n);
+                let maxv = t.segment_max(msgs, Arc::clone(&batch.dst), n);
                 let neg = t.scale(msgs, -1.0);
-                let negmax = t.segment_max(neg, Rc::clone(&batch.dst), n);
+                let negmax = t.segment_max(neg, Arc::clone(&batch.dst), n);
                 let minv = t.scale(negmax, -1.0);
                 let sq = t.mul(msgs, msgs);
-                let mean_sq = t.segment_mean(sq, Rc::clone(&batch.dst), n);
+                let mean_sq = t.segment_mean(sq, Arc::clone(&batch.dst), n);
                 let mean2 = t.mul(mean, mean);
                 let var = t.sub(mean_sq, mean2);
                 let var_pos = t.relu(var);
@@ -392,8 +392,8 @@ impl Encoder {
     /// pool would carry.
     pub fn forward_pooled(&self, store: &ParamStore, t: &mut Tape, batch: &Batch) -> Var {
         let nodes = self.forward_nodes(store, t, batch);
-        let mean = t.segment_mean(nodes, Rc::clone(&batch.graph_of_node), batch.n_graphs);
-        let max = t.segment_max(nodes, Rc::clone(&batch.graph_of_node), batch.n_graphs);
+        let mean = t.segment_mean(nodes, Arc::clone(&batch.graph_of_node), batch.n_graphs);
+        let max = t.segment_max(nodes, Arc::clone(&batch.graph_of_node), batch.n_graphs);
         let mut counts = vec![0u32; batch.n_graphs];
         for &g in batch.graph_of_node.iter() {
             counts[g as usize] += 1;

@@ -1,6 +1,6 @@
 //! Graph containers and mini-batch collation.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tensor::Matrix;
 
@@ -89,19 +89,19 @@ pub struct Batch {
     /// Stacked node features, `total_nodes x feat_dim`.
     pub x: Matrix,
     /// Edge sources (after offsetting/mirroring).
-    pub src: Rc<Vec<u32>>,
+    pub src: Arc<Vec<u32>>,
     /// Edge destinations (after offsetting/mirroring).
-    pub dst: Rc<Vec<u32>>,
+    pub dst: Arc<Vec<u32>>,
     /// Graph id of each node.
-    pub graph_of_node: Rc<Vec<u32>>,
+    pub graph_of_node: Arc<Vec<u32>>,
     /// Number of graphs in the batch.
     pub n_graphs: usize,
     /// In-degree (message count) per node, excluding self-loops.
     pub in_deg: Vec<f32>,
     /// GCN edge list including self-loops.
-    pub gcn_src: Rc<Vec<u32>>,
+    pub gcn_src: Arc<Vec<u32>>,
     /// GCN edge destinations including self-loops.
-    pub gcn_dst: Rc<Vec<u32>>,
+    pub gcn_dst: Arc<Vec<u32>>,
     /// Symmetric normalization coefficient per GCN edge.
     pub gcn_coef: Matrix,
     /// Stacked graph-level features, `n_graphs x g_feat_dim` (may be `n x 0`).
@@ -182,13 +182,13 @@ impl Batch {
 
         Batch {
             x,
-            src: Rc::new(src),
-            dst: Rc::new(dst),
-            graph_of_node: Rc::new(graph_of_node),
+            src: Arc::new(src),
+            dst: Arc::new(dst),
+            graph_of_node: Arc::new(graph_of_node),
             n_graphs: graphs.len(),
             in_deg,
-            gcn_src: Rc::new(gcn_src),
-            gcn_dst: Rc::new(gcn_dst),
+            gcn_src: Arc::new(gcn_src),
+            gcn_dst: Arc::new(gcn_dst),
             gcn_coef: coef,
             g_feats,
         }

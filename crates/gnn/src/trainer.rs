@@ -1,8 +1,16 @@
 //! Generic graph-regression model and training loop.
+//!
+//! Training is data-parallel over fixed-width micro-batches: each optimizer
+//! step splits its mini-batch into [`MICRO_BATCH`]-sized slices, runs
+//! forward/backward per slice on the `par` worker pool, and accumulates the
+//! slice gradients in slice order before one Adam update. Because the slice
+//! geometry and the reduction order depend only on the batch — never on the
+//! worker count — losses and weights are bit-identical for any
+//! `QOR_THREADS` setting.
 
 use rand::seq::SliceRandom;
 
-use tensor::{init, AdamConfig, Matrix, ParamStore, Tape, Var};
+use tensor::{init, AdamConfig, GradSet, Matrix, ParamStore, Tape, Var};
 
 use crate::convs::{Encoder, EncoderConfig};
 use crate::graph::{Batch, GraphData};
@@ -125,6 +133,61 @@ pub struct TrainReport {
     pub best_val_mape: f32,
     /// Epochs actually run.
     pub epochs_run: usize,
+    /// Mean training loss of every epoch, in order (the determinism
+    /// contract's witness: bit-identical across `QOR_THREADS` settings).
+    pub epoch_losses: Vec<f32>,
+}
+
+/// Fixed micro-batch width for data-parallel gradient computation.
+///
+/// A constant (rather than `batch_size / workers`) so the floating-point
+/// reduction tree is a function of the batch alone and results cannot drift
+/// with the worker count.
+pub const MICRO_BATCH: usize = 8;
+
+/// One optimizer step over `chunk` (indices into `train`): micro-batched
+/// data-parallel forward/backward, ordered gradient accumulation, one Adam
+/// update. Returns the batch loss.
+fn step_minibatch(
+    store: &mut ParamStore,
+    model: &RegressionModel,
+    train: &[(GraphData, Vec<f32>)],
+    chunk: &[usize],
+    out_dim: usize,
+    adam: &AdamConfig,
+) -> f32 {
+    let micros: Vec<&[usize]> = chunk.chunks(MICRO_BATCH).collect();
+    let total = chunk.len() as f32;
+    let shared: &ParamStore = store;
+    let parts: Vec<(f32, GradSet)> = par::map("train/micro_batch", &micros, |_, ids| {
+        let graphs: Vec<&GraphData> = ids.iter().map(|&i| &train[i].0).collect();
+        let batch = Batch::from_graphs(&graphs, true);
+        let mut targets = Matrix::zeros(ids.len(), out_dim);
+        for (r, &i) in ids.iter().enumerate() {
+            targets.row_mut(r).copy_from_slice(&train[i].1);
+        }
+        let mut t = Tape::new();
+        let pred = model.forward(shared, &mut t, &batch);
+        let tv = t.leaf(targets);
+        let mse = t.mse(pred, tv);
+        // weight so the micro losses sum to the mini-batch MSE
+        let loss = t.scale(mse, ids.len() as f32 / total);
+        t.backward(loss);
+        (t.value(loss).item(), shared.grads_of(&t))
+    });
+    let mut batch_loss = 0.0f32;
+    let mut grads: Option<GradSet> = None;
+    for (l, g) in parts {
+        batch_loss += l;
+        match &mut grads {
+            Some(acc) => acc.accumulate(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+    if let Some(g) = grads {
+        store.adam_step_with(g, adam);
+    }
+    batch_loss
 }
 
 /// Trains `model` on `(graph, target-vector)` pairs with MSE loss.
@@ -159,6 +222,7 @@ pub fn train_regression(
     let mut stall = 0usize;
     let mut final_loss = f32::NAN;
     let mut epochs_run = 0;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
     for epoch in 0..cfg.epochs {
         // step LR schedule: 1x -> 0.3x -> 0.1x, with gradient clipping
@@ -181,22 +245,11 @@ pub fn train_regression(
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
-            let graphs: Vec<&GraphData> = chunk.iter().map(|&i| &train[i].0).collect();
-            let batch = Batch::from_graphs(&graphs, true);
-            let mut targets = Matrix::zeros(chunk.len(), out_dim);
-            for (r, &i) in chunk.iter().enumerate() {
-                targets.row_mut(r).copy_from_slice(&train[i].1);
-            }
-            let mut t = Tape::new();
-            let pred = model.forward(store, &mut t, &batch);
-            let tv = t.leaf(targets);
-            let loss = t.mse(pred, tv);
-            epoch_loss += t.value(loss).item();
+            epoch_loss += step_minibatch(store, model, train, chunk, out_dim, &adam);
             batches += 1;
-            t.backward(loss);
-            store.adam_step(&t, &adam);
         }
         final_loss = epoch_loss / batches.max(1) as f32;
+        epoch_losses.push(final_loss);
         obs::metrics::series_push("train/loss", epoch as u64, f64::from(final_loss));
 
         if !val.is_empty() {
@@ -227,6 +280,7 @@ pub fn train_regression(
         final_loss,
         best_val_mape: if val.is_empty() { f32::NAN } else { best_val },
         epochs_run,
+        epoch_losses,
     }
 }
 
@@ -239,15 +293,23 @@ pub fn eval_mape(
     if data.is_empty() {
         return 0.0;
     }
-    let mut preds = Vec::new();
-    let mut targets = Vec::new();
-    for chunk in data.chunks(64) {
+    let chunks: Vec<&[(GraphData, Vec<f32>)]> = data.chunks(64).collect();
+    let parts = par::map("gnn/eval_mape", &chunks, |_, chunk| {
         let graphs: Vec<&GraphData> = chunk.iter().map(|(g, _)| g).collect();
         let out = model.predict(store, &graphs);
+        let mut preds = Vec::new();
+        let mut targets = Vec::new();
         for (r, (_, y)) in chunk.iter().enumerate() {
             preds.extend_from_slice(out.row(r));
             targets.extend_from_slice(y);
         }
+        (preds, targets)
+    });
+    let mut preds = Vec::new();
+    let mut targets = Vec::new();
+    for (p, t) in parts {
+        preds.extend(p);
+        targets.extend(t);
     }
     mape(&preds, &targets)
 }

@@ -22,6 +22,54 @@ pub use synth::{synthetic_corpus, synthetic_kernel};
 use hir::{AccessPattern, Function, OpKind};
 use pragma::{ArrayBinding, DesignSpace, LoopId};
 
+/// Failure while parsing or lowering a bundled kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// The requested kernel name is not in the bundled set.
+    UnknownKernel(String),
+    /// The kernel source parsed but does not define the named top function.
+    MissingFunction(String),
+    /// The bundled source failed the front-end.
+    Front(frontc::FrontError),
+    /// The checked program failed HIR lowering.
+    Lower(hir::LowerError),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::UnknownKernel(name) => write!(f, "unknown kernel {name:?}"),
+            KernelError::MissingFunction(name) => {
+                write!(f, "kernel source does not define {name:?}")
+            }
+            KernelError::Front(e) => write!(f, "{e}"),
+            KernelError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelError::Front(e) => Some(e),
+            KernelError::Lower(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<frontc::FrontError> for KernelError {
+    fn from(e: frontc::FrontError) -> Self {
+        KernelError::Front(e)
+    }
+}
+
+impl From<hir::LowerError> for KernelError {
+    fn from(e: hir::LowerError) -> Self {
+        KernelError::Lower(e)
+    }
+}
+
 /// Which benchmark suite a kernel imitates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
@@ -177,17 +225,17 @@ pub fn kernel_source(name: &str) -> Option<&'static str> {
 ///
 /// # Errors
 ///
-/// Returns an error if the kernel name is unknown (or, unexpectedly, if a
-/// bundled source fails the front-end).
-pub fn lower_kernel(name: &str) -> Result<Function, Box<dyn std::error::Error>> {
+/// Returns [`KernelError::UnknownKernel`] if the name is not in the bundled
+/// set (or, unexpectedly, a front-end/lowering error for a bundled source).
+pub fn lower_kernel(name: &str) -> Result<Function, KernelError> {
     let sp = obs::span("kernel_lower");
     sp.attr("kernel", name);
-    let src = kernel_source(name).ok_or_else(|| format!("unknown kernel {name:?}"))?;
+    let src = kernel_source(name).ok_or_else(|| KernelError::UnknownKernel(name.to_string()))?;
     let program = frontc::parse(src)?;
     let module = hir::lower(&program)?;
     let f = module
         .function(name)
-        .ok_or_else(|| format!("kernel source does not define {name:?}"))?;
+        .ok_or_else(|| KernelError::MissingFunction(name.to_string()))?;
     Ok(f.clone())
 }
 

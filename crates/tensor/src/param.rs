@@ -64,6 +64,43 @@ impl AdamConfig {
     }
 }
 
+/// Per-parameter gradients extracted from one or more tapes, aligned with
+/// the [`ParamStore`] that produced them.
+///
+/// `None` entries are parameters no gradient reached. Accumulation is
+/// position-wise and order-sensitive only in the floating-point sense:
+/// callers that need bit-reproducible results must accumulate sets in a
+/// deterministic order (the `par` executor's ordered merge provides one).
+#[derive(Debug, Clone)]
+pub struct GradSet {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl GradSet {
+    /// Adds `other` into `self`, position-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets come from stores of different sizes.
+    pub fn accumulate(&mut self, other: &GradSet) {
+        assert_eq!(self.grads.len(), other.grads.len(), "gradient set mismatch");
+        for (a, b) in self.grads.iter_mut().zip(&other.grads) {
+            match (a, b) {
+                (Some(ga), Some(gb)) => ga.add_assign(gb),
+                (slot @ None, Some(gb)) => *slot = Some(gb.clone()),
+                (_, None) => {}
+            }
+        }
+    }
+
+    /// Scales every gradient by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            *g = g.scale(s);
+        }
+    }
+}
+
 /// Collection of named trainable parameters.
 ///
 /// Models store [`ParamId`] handles; the values (and the Adam moments) live
@@ -156,18 +193,14 @@ impl ParamStore {
         self.step
     }
 
-    /// Applies one Adam update using the gradients recorded on `tape`.
+    /// Collects the per-parameter gradients recorded on `tape` into a
+    /// [`GradSet`] aligned with this store.
     ///
     /// The tape must have had [`Tape::backward`] run. Parameters bound more
-    /// than once on the tape have their gradients summed.
-    pub fn adam_step(&mut self, tape: &Tape, cfg: &AdamConfig) {
-        obs::metrics::counter_add("tensor/adam_steps", 1);
-        self.step += 1;
-        let t = self.step as f32;
-        let bc1 = 1.0 - cfg.beta1.powf(t);
-        let bc2 = 1.0 - cfg.beta2.powf(t);
-        // Sum gradients per parameter id (a parameter may be bound to several
-        // tape variables, e.g. when a layer is applied twice).
+    /// than once on the tape have their gradients summed. Gradient sets from
+    /// several tapes (e.g. data-parallel micro-batches) can be combined with
+    /// [`GradSet::accumulate`] and applied with [`ParamStore::adam_step_with`].
+    pub fn grads_of(&self, tape: &Tape) -> GradSet {
         let mut grads: Vec<Option<Matrix>> = vec![None; self.entries.len()];
         for &(id, var) in tape.bindings() {
             let g = tape.grad(var);
@@ -176,6 +209,38 @@ impl ParamStore {
                 slot @ None => *slot = Some(g),
             }
         }
+        GradSet { grads }
+    }
+
+    /// Applies one Adam update using the gradients recorded on `tape`.
+    ///
+    /// The tape must have had [`Tape::backward`] run. Parameters bound more
+    /// than once on the tape have their gradients summed.
+    pub fn adam_step(&mut self, tape: &Tape, cfg: &AdamConfig) {
+        let grads = self.grads_of(tape);
+        self.adam_step_with(grads, cfg);
+    }
+
+    /// Applies one Adam update from an explicit gradient set (the
+    /// data-parallel entry point: accumulate micro-batch gradients in a
+    /// fixed order, then step once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` was built against a store with a different number
+    /// of parameters.
+    pub fn adam_step_with(&mut self, grads: GradSet, cfg: &AdamConfig) {
+        assert_eq!(
+            grads.grads.len(),
+            self.entries.len(),
+            "gradient set does not match this store"
+        );
+        obs::metrics::counter_add("tensor/adam_steps", 1);
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - cfg.beta1.powf(t);
+        let bc2 = 1.0 - cfg.beta2.powf(t);
+        let mut grads = grads.grads;
         // global gradient-norm clipping
         if cfg.clip > 0.0 {
             let norm: f32 = grads

@@ -1,6 +1,6 @@
 //! Dynamic computation tape with reverse-mode differentiation.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::matrix::Matrix;
 use crate::param::{ParamId, ParamStore};
@@ -13,7 +13,7 @@ use crate::param::{ParamId, ParamStore};
 pub struct Var(pub(crate) usize);
 
 /// Index list shared between forward and backward passes.
-type Idx = Rc<Vec<u32>>;
+type Idx = Arc<Vec<u32>>;
 
 /// Recorded operation descriptors. Some payload fields exist only for
 /// forward-pass bookkeeping and are not re-read during backward; they are
@@ -294,7 +294,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
-    pub fn gather_rows(&mut self, x: Var, idx: Rc<Vec<u32>>) -> Var {
+    pub fn gather_rows(&mut self, x: Var, idx: Arc<Vec<u32>>) -> Var {
         let xm = &self.nodes[x.0].value;
         let cols = xm.cols();
         let mut out = Matrix::zeros(idx.len(), cols);
@@ -314,7 +314,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `idx.len() != x.rows()` or an index exceeds `n_out`.
-    pub fn scatter_add_rows(&mut self, x: Var, idx: Rc<Vec<u32>>, n_out: usize) -> Var {
+    pub fn scatter_add_rows(&mut self, x: Var, idx: Arc<Vec<u32>>, n_out: usize) -> Var {
         let xm = &self.nodes[x.0].value;
         assert_eq!(idx.len(), xm.rows(), "scatter index length mismatch");
         let cols = xm.cols();
@@ -334,7 +334,7 @@ impl Tape {
     /// Segment mean: averages the rows of `x` belonging to each segment.
     ///
     /// Empty segments yield zero rows.
-    pub fn segment_mean(&mut self, x: Var, seg: Rc<Vec<u32>>, n_seg: usize) -> Var {
+    pub fn segment_mean(&mut self, x: Var, seg: Arc<Vec<u32>>, n_seg: usize) -> Var {
         let xm = &self.nodes[x.0].value;
         assert_eq!(seg.len(), xm.rows(), "segment index length mismatch");
         let cols = xm.cols();
@@ -363,7 +363,7 @@ impl Tape {
     /// Segment max: per-(segment, column) maximum of the rows of `x`.
     ///
     /// Empty segments yield zero rows (no gradient flows to them).
-    pub fn segment_max(&mut self, x: Var, seg: Rc<Vec<u32>>, n_seg: usize) -> Var {
+    pub fn segment_max(&mut self, x: Var, seg: Arc<Vec<u32>>, n_seg: usize) -> Var {
         let xm = &self.nodes[x.0].value;
         assert_eq!(seg.len(), xm.rows(), "segment index length mismatch");
         let cols = xm.cols();
@@ -398,7 +398,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `x` is not a column vector.
-    pub fn segment_softmax(&mut self, x: Var, seg: Rc<Vec<u32>>, n_seg: usize) -> Var {
+    pub fn segment_softmax(&mut self, x: Var, seg: Arc<Vec<u32>>, n_seg: usize) -> Var {
         let xm = &self.nodes[x.0].value;
         assert_eq!(xm.cols(), 1, "segment_softmax expects a column vector");
         assert_eq!(seg.len(), xm.rows(), "segment index length mismatch");
@@ -628,7 +628,7 @@ impl Tape {
                 Step::Many(grads)
             }
             Op::GatherRows(x, idx) => {
-                let (x, idx) = (*x, Rc::clone(idx));
+                let (x, idx) = (*x, Arc::clone(idx));
                 let xm = &self.nodes[x.0].value;
                 let mut dx = Matrix::zeros(xm.rows(), xm.cols());
                 for (e, &s) in idx.iter().enumerate() {
@@ -640,7 +640,7 @@ impl Tape {
                 Step::One(x, dx)
             }
             Op::ScatterAddRows(x, idx, _) => {
-                let (x, idx) = (*x, Rc::clone(idx));
+                let (x, idx) = (*x, Arc::clone(idx));
                 let xm = &self.nodes[x.0].value;
                 let mut dx = Matrix::zeros(xm.rows(), xm.cols());
                 for (e, &d) in idx.iter().enumerate() {
@@ -649,7 +649,7 @@ impl Tape {
                 Step::One(x, dx)
             }
             Op::SegmentMean(x, seg, _) => {
-                let (x, seg) = (*x, Rc::clone(seg));
+                let (x, seg) = (*x, Arc::clone(seg));
                 let counts = self.nodes[i].aux.clone();
                 let xm = &self.nodes[x.0].value;
                 let mut dx = Matrix::zeros(xm.rows(), xm.cols());
@@ -679,7 +679,7 @@ impl Tape {
                 Step::One(x, dx)
             }
             Op::SegmentSoftmax(x, seg, n_seg) => {
-                let (x, seg, n_seg) = (*x, Rc::clone(seg), *n_seg);
+                let (x, seg, n_seg) = (*x, Arc::clone(seg), *n_seg);
                 let ym = &self.nodes[i].value;
                 // dL/dx_e = y_e * (g_e - sum_{j in seg} y_j g_j)
                 let mut seg_dot = vec![0.0f32; n_seg];
@@ -801,7 +801,7 @@ mod tests {
     fn segment_softmax_sums_to_one() {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::col_vector(&[1.0, 2.0, 3.0, -1.0]));
-        let seg = Rc::new(vec![0u32, 0, 1, 1]);
+        let seg = Arc::new(vec![0u32, 0, 1, 1]);
         let y = t.segment_softmax(x, seg, 2);
         let v = t.value(y);
         assert!(approx(v[(0, 0)] + v[(1, 0)], 1.0, 1e-6));
@@ -811,10 +811,10 @@ mod tests {
 
     #[test]
     fn scatter_gather_roundtrip_gradient() {
-        let idx = Rc::new(vec![0u32, 1, 0]);
+        let idx = Arc::new(vec![0u32, 1, 0]);
         let mut t = Tape::new();
         let x = t.leaf(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
-        let s = t.scatter_add_rows(x, Rc::clone(&idx), 2);
+        let s = t.scatter_add_rows(x, Arc::clone(&idx), 2);
         let l = t.mean_all(s);
         t.backward(l);
         // every input row contributes exactly once to the sum
@@ -828,7 +828,7 @@ mod tests {
     fn segment_max_selects_winner() {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::from_vec(3, 1, vec![1.0, 5.0, 3.0]));
-        let seg = Rc::new(vec![0u32, 0, 1]);
+        let seg = Arc::new(vec![0u32, 0, 1]);
         let y = t.segment_max(x, seg, 2);
         assert_eq!(t.value(y).as_slice(), &[5.0, 3.0]);
         let l = t.mean_all(y);
@@ -883,20 +883,20 @@ mod tests {
 
     #[test]
     fn numcheck_gather_scatter() {
-        let idx = Rc::new(vec![1u32, 0, 1, 1]);
+        let idx = Arc::new(vec![1u32, 0, 1, 1]);
         numeric_grad(2, 3, move |t, x| {
-            let gathered = t.gather_rows(x, Rc::clone(&idx));
-            let scattered = t.scatter_add_rows(gathered, Rc::new(vec![0, 0, 1, 1]), 2);
+            let gathered = t.gather_rows(x, Arc::clone(&idx));
+            let scattered = t.scatter_add_rows(gathered, Arc::new(vec![0, 0, 1, 1]), 2);
             t.mean_all(scattered)
         });
     }
 
     #[test]
     fn numcheck_segment_mean_max() {
-        let seg = Rc::new(vec![0u32, 0, 1, 2]);
+        let seg = Arc::new(vec![0u32, 0, 1, 2]);
         numeric_grad(4, 2, move |t, x| {
-            let m = t.segment_mean(x, Rc::clone(&seg), 3);
-            let mx = t.segment_max(x, Rc::clone(&seg), 3);
+            let m = t.segment_mean(x, Arc::clone(&seg), 3);
+            let mx = t.segment_max(x, Arc::clone(&seg), 3);
             let c = t.concat_cols(&[m, mx]);
             t.mean_all(c)
         });
@@ -904,9 +904,9 @@ mod tests {
 
     #[test]
     fn numcheck_segment_softmax() {
-        let seg = Rc::new(vec![0u32, 0, 0, 1, 1]);
+        let seg = Arc::new(vec![0u32, 0, 0, 1, 1]);
         numeric_grad(5, 1, move |t, x| {
-            let sm = t.segment_softmax(x, Rc::clone(&seg), 2);
+            let sm = t.segment_softmax(x, Arc::clone(&seg), 2);
             // weight by a fixed vector so the loss is not constant (softmax
             // rows sum to one)
             let w = t.leaf(Matrix::col_vector(&[0.9, -0.3, 0.4, 1.2, -0.8]));

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  model-guided DSE   : {:.2} min",
         outcome.explore_minutes()
     );
-    println!("  ADRS               : {:.2}%", outcome.adrs_percent);
+    println!("  ADRS               : {:.2}%", outcome.adrs_percent());
 
     // show the predicted Pareto designs at their true QoR
     let true_pts: Vec<(f64, f64)> = outcome

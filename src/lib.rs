@@ -45,20 +45,34 @@ pub use gnn;
 pub use hir;
 pub use hlsim;
 pub use kernels;
+pub use obs;
+pub use par;
 pub use pragma;
 pub use qor_core;
 pub use tensor;
 
+// One-stop pipeline entry points: lower a kernel, sweep its pragma space
+// into a labeled dataset, train the hierarchy, explore — without importing
+// the individual crates.
+pub use dse::{explore, ExploreOutcome};
+pub use kernels::lower_kernel;
+pub use qor_core::{
+    generate, HierarchicalModel, LabeledDesigns, QorError, TrainOptions, TrainStats,
+};
+
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use cdfg::{self, Graph, GraphBuilder};
-    pub use dse::{self, Adrs, ParetoFront};
+    pub use dse::{self, explore, Adrs, ExploreOutcome, ParetoFront};
     pub use frontc::{self, Program};
     pub use gnn::{self, ConvKind};
     pub use hir::{self, Function, Module};
     pub use hlsim::{self, Qor};
-    pub use kernels::{self};
+    pub use kernels::{self, lower_kernel};
+    pub use par::{self};
     pub use pragma::{self, DesignSpace, PragmaConfig};
-    pub use qor_core::{self, HierarchicalModel};
+    pub use qor_core::{
+        self, generate, HierarchicalModel, LabeledDesigns, QorError, TrainOptions, TrainStats,
+    };
     pub use tensor::{self, Matrix};
 }

@@ -3,19 +3,14 @@
 
 use hier_hls_qor::prelude::*;
 use pragma::{LoopId, Unroll};
-use qor_core::{DataOptions, TrainOptions};
+use qor_core::TrainOptions;
 
 fn tiny_opts() -> TrainOptions {
-    TrainOptions {
-        inner_epochs: 10,
-        global_epochs: 10,
-        hidden: 16,
-        data: DataOptions {
-            max_designs_per_kernel: 10,
-            seed: 21,
-        },
-        ..TrainOptions::quick()
-    }
+    TrainOptions::quick()
+        .with_epochs(10)
+        .with_hidden(16)
+        .with_max_designs(10)
+        .with_data_seed(21)
 }
 
 #[test]
@@ -88,22 +83,14 @@ fn trained_model_beats_wild_guessing_on_unseen_kernel() {
 fn dse_with_trained_model_improves_over_random_subset() {
     // needs enough training for the predicted front not to collapse to a
     // single point (constant predictions dedup to one design)
-    let opts = TrainOptions {
-        inner_epochs: 30,
-        global_epochs: 30,
-        data: DataOptions {
-            max_designs_per_kernel: 30,
-            seed: 21,
-        },
-        ..tiny_opts()
-    };
+    let opts = tiny_opts().with_epochs(30).with_max_designs(30);
     let (model, _) = HierarchicalModel::train_on_kernels(&opts).unwrap();
     let func = kernels::lower_kernel("bicg").unwrap();
     let configs = kernels::design_space(&func).enumerate_capped(60);
 
     let outcome = dse::explore("bicg", &func, &configs, |f, c| model.predict(f, c), 0.0).unwrap();
     assert_eq!(outcome.n_configs, 60);
-    assert!(outcome.adrs_percent.is_finite());
+    assert!(outcome.adrs_percent().is_finite());
     assert!(outcome.vivado_secs > 0.0);
 
     // reference: pretending the worst corner of the space is Pareto-optimal
@@ -120,9 +107,9 @@ fn dse_with_trained_model_improves_over_random_subset() {
         .expect("non-empty");
     let worst_adrs = Adrs::compute(&true_pts, &[worst]).percent();
     assert!(
-        outcome.adrs_percent < worst_adrs,
+        outcome.adrs_percent() < worst_adrs,
         "model DSE ({:.2}%) should beat the worst-corner reference ({:.2}%)",
-        outcome.adrs_percent,
+        outcome.adrs_percent(),
         worst_adrs
     );
 }
@@ -136,8 +123,8 @@ fn baselines_train_and_differ_from_ours() {
         epochs: 8,
         ..Default::default()
     });
-    wu.train(&designs);
-    let wu_eval = wu.eval_against_post_route(&designs, &designs.test);
+    wu.train(&designs).unwrap();
+    let wu_eval = wu.eval_against_post_route(&designs, &designs.test).unwrap();
     assert!(wu_eval.n > 0);
 
     // pragma-blind [8] predicts the same value for every config of a kernel;
