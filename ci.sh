@@ -21,6 +21,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Checkpoint gate: a saved model must reload bit-exactly (differential
+# round-trip) and every corrupted byte/truncation must fail typed.
+echo "==> checkpoint round-trip gate"
+cargo test -q --release -p serve --test checkpoint_roundtrip --test corrupt
+
+# Serving smoke gate: checkpoint round-trip through the live HTTP path.
+echo "==> qor-serve --self-test"
+./target/release/qor-serve --self-test
+
 # Library crates expose typed errors (qor_core::QorError, kernels::KernelError);
 # Box<dyn Error> is only tolerated inside comments (doctest scaffolding) and
 # in binary main() signatures, which live outside these trees.

@@ -22,6 +22,12 @@ pub enum QorError {
     Io(std::io::Error),
     /// Tensor/graph dimension mismatch.
     Shape(String),
+    /// A persisted artifact (checkpoint) is malformed: bad magic, truncated
+    /// records, or a content-checksum mismatch.
+    Corrupt(String),
+    /// A persisted artifact was written by a format version this build does
+    /// not understand.
+    UnsupportedVersion(u32),
 }
 
 impl fmt::Display for QorError {
@@ -33,6 +39,10 @@ impl fmt::Display for QorError {
             QorError::UnknownKernel(name) => write!(f, "unknown kernel {name:?}"),
             QorError::Io(e) => write!(f, "io: {e}"),
             QorError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            QorError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+            QorError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
         }
     }
 }
@@ -73,6 +83,15 @@ impl From<std::io::Error> for QorError {
     }
 }
 
+impl From<tensor::ImportError> for QorError {
+    fn from(e: tensor::ImportError) -> Self {
+        match e {
+            tensor::ImportError::ShapeMismatch { .. } => QorError::Shape(e.to_string()),
+            tensor::ImportError::UnknownParam(_) => QorError::Corrupt(e.to_string()),
+        }
+    }
+}
+
 impl From<kernels::KernelError> for QorError {
     fn from(e: kernels::KernelError) -> Self {
         match e {
@@ -93,6 +112,19 @@ mod tests {
         let e: QorError = kernels::KernelError::UnknownKernel("nope".into()).into();
         assert!(matches!(e, QorError::UnknownKernel(ref n) if n == "nope"));
         assert_eq!(e.to_string(), "unknown kernel \"nope\"");
+    }
+
+    #[test]
+    fn import_error_maps_by_variant() {
+        let e: QorError = tensor::ImportError::UnknownParam("w".into()).into();
+        assert!(matches!(e, QorError::Corrupt(_)));
+        let e: QorError = tensor::ImportError::ShapeMismatch {
+            name: "w".into(),
+            expected: (2, 2),
+            found: (1, 1),
+        }
+        .into();
+        assert!(matches!(e, QorError::Shape(_)));
     }
 
     #[test]

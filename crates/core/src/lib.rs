@@ -38,8 +38,10 @@
 pub mod dataset;
 pub mod error;
 pub mod features;
+mod hash;
 pub mod hierarchy;
 mod model;
+mod session;
 
 pub use dataset::{
     generate, generate_for, generate_from_functions, DataOptions, DesignSample, LabeledDesigns,
@@ -48,5 +50,9 @@ pub use error::QorError;
 pub use features::{
     graph_aggregates, graph_to_gnn, loop_level_features, AGG_DIM, FEATURE_DIM, LOOP_FEATURE_DIM,
 };
+pub use hash::{fnv1a, Fnv1aHasher, FnvBuildHasher};
 pub use hierarchy::{split_hierarchy, Hierarchy, InnerCategory, InnerLoop};
-pub use model::{GlobalEval, HierarchicalModel, InnerEval, TrainOptions, TrainStats};
+pub use model::{
+    GlobalEval, HierarchicalModel, InnerEval, PreparedDesign, TrainOptions, TrainStats, BANKS,
+};
+pub use session::{CacheStats, Session, DEFAULT_CACHE_CAP};

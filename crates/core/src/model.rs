@@ -1,6 +1,7 @@
 //! The hierarchical model: `GNN_p`, `GNN_np`, `GNN_g` (paper §III-C/D).
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 use cdfg::{GraphBuilder, GraphOptions, SuperFeatures};
 use gnn::{mape, Batch, ConvKind, Encoder, EncoderConfig, GraphData, Mlp, Normalizer};
@@ -313,6 +314,61 @@ struct GlobalSample {
     y: [f32; 4],
 }
 
+/// Stable checkpoint bank names, in serialization order: `GNN_p`,
+/// `GNN_np`, `GNN_g`.
+pub const BANKS: [&str; 3] = ["gnn_p", "gnn_np", "gnn_g"];
+
+// -------------------------------------------------------------- prepared
+
+/// The weight-independent front half of one design's prediction: the
+/// hierarchy split, per-inner-loop subgraph construction and feature
+/// annotation, which dominate end-to-end inference cost.
+///
+/// Built once by [`HierarchicalModel::prepare`] and replayed by
+/// [`HierarchicalModel::predict_prepared`], which only pays the GNN
+/// forward passes. [`crate::Session`] memoizes these per
+/// `(kernel source, pragma config)` for DSE-style repeated queries.
+#[derive(Debug, Clone)]
+pub struct PreparedDesign {
+    func: Arc<Function>,
+    cfg: PragmaConfig,
+    inner: Vec<PreparedInner>,
+}
+
+impl PreparedDesign {
+    /// The lowered function this design was prepared from.
+    pub fn function(&self) -> &Arc<Function> {
+        &self.func
+    }
+
+    /// The pragma configuration baked into the prepared graphs.
+    pub fn config(&self) -> &PragmaConfig {
+        &self.cfg
+    }
+
+    /// Number of inner-hierarchy loops with prepared subgraphs.
+    pub fn num_inner(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Total prepared-graph nodes (rough memory-footprint proxy).
+    pub fn num_nodes(&self) -> usize {
+        self.inner.iter().map(|i| i.data.num_nodes()).sum()
+    }
+}
+
+/// One inner loop's prepared subgraph plus the loop constants the
+/// super-node condensation needs.
+#[derive(Debug, Clone)]
+struct PreparedInner {
+    id: LoopId,
+    pipelined: bool,
+    data: GraphData,
+    tc: u64,
+    unroll: u64,
+    ii: f64,
+}
+
 // ----------------------------------------------------------------- model
 
 /// The full hierarchical source-to-post-route QoR predictor.
@@ -478,7 +534,113 @@ impl HierarchicalModel {
     /// — no tool flow involved.
     pub fn predict(&self, func: &Function, cfg: &PragmaConfig) -> Qor {
         obs::metrics::counter_add("qor/predictions", 1);
-        let supers = self.predict_supers(func, cfg);
+        let inner = self.prepare_inner(func, cfg);
+        self.forward_design(func, cfg, &inner)
+    }
+
+    /// Builds the weight-independent front half of a prediction: the
+    /// hierarchy split plus every inner loop's subgraph and feature
+    /// annotation.
+    ///
+    /// The result depends only on the function, the pragma configuration
+    /// and the model's `graph_max_nodes` option — never on the weights —
+    /// so it can be cached across queries and replayed with
+    /// [`HierarchicalModel::predict_prepared`] for a bit-identical result.
+    pub fn prepare(&self, func: Arc<Function>, cfg: PragmaConfig) -> PreparedDesign {
+        let inner = self.prepare_inner(&func, &cfg);
+        PreparedDesign { func, cfg, inner }
+    }
+
+    /// Predicts from a prepared front half, paying only the GNN forward
+    /// passes (inner models, condensation, global model).
+    ///
+    /// Bit-identical to [`HierarchicalModel::predict`] on the same
+    /// function/configuration: both run exactly the same graph
+    /// construction and floating-point operations in the same order.
+    pub fn predict_prepared(&self, prepared: &PreparedDesign) -> Qor {
+        obs::metrics::counter_add("qor/predictions", 1);
+        self.forward_design(&prepared.func, &prepared.cfg, &prepared.inner)
+    }
+
+    /// Predicts the QoR of every inner-hierarchy loop and packages it as
+    /// super-node features (the condensation inputs).
+    pub fn predict_supers(
+        &self,
+        func: &Function,
+        cfg: &PragmaConfig,
+    ) -> BTreeMap<LoopId, SuperFeatures> {
+        self.supers_of(&self.prepare_inner(func, cfg))
+    }
+
+    /// The front half shared by [`HierarchicalModel::predict`] and
+    /// [`HierarchicalModel::prepare`]: subgraph construction + feature
+    /// annotation + the analytic loop constants, all weight-independent.
+    fn prepare_inner(&self, func: &Function, cfg: &PragmaConfig) -> Vec<PreparedInner> {
+        let hierarchy = split_hierarchy(func, cfg);
+        hierarchy
+            .inner
+            .iter()
+            .map(|inner| {
+                let graph = GraphBuilder::new(func, cfg)
+                    .options(self.opts.graph_options())
+                    .subgraph(inner.id.clone())
+                    .build();
+                let mut data = graph_to_gnn(&graph);
+                data.g_feats = loop_level_features(func, cfg, &inner.id, inner.pipelined);
+                data.g_feats.extend(graph_aggregates(&graph));
+                let meta = func.loop_meta(&inner.id);
+                let tc = meta.map(|m| m.trip_count).unwrap_or(1).max(1);
+                let unroll = cfg.loop_pragma(&inner.id).unroll.factor(tc);
+                PreparedInner {
+                    id: inner.id.clone(),
+                    pipelined: inner.pipelined,
+                    data,
+                    tc,
+                    unroll,
+                    ii: hlsim::analytic_ii(func, cfg, &inner.id) as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Inner-model forward passes over prepared subgraphs, producing the
+    /// super-node features.
+    fn supers_of(&self, inner: &[PreparedInner]) -> BTreeMap<LoopId, SuperFeatures> {
+        let mut out = BTreeMap::new();
+        for pi in inner {
+            let (store, model, norm) = self.inner_model_for(pi.pipelined);
+            let batch = Batch::from_graphs(&[&pi.data], true);
+            let mut t = Tape::new();
+            let (il, lat, res) = model.forward(store, &mut t, &batch);
+            let resm = t.value(res).clone();
+            let mut y = [
+                t.value(il)[(0, 0)],
+                t.value(lat)[(0, 0)],
+                resm[(0, 0)],
+                resm[(0, 1)],
+                resm[(0, 2)],
+            ];
+            norm.inverse(&mut y);
+            out.insert(
+                pi.id.clone(),
+                SuperFeatures {
+                    latency: expm1(y[1]),
+                    il: expm1(y[0]),
+                    ii: pi.ii,
+                    tc: pi.tc.div_ceil(pi.unroll.max(1)) as f64,
+                    lut: expm1(y[2]),
+                    ff: expm1(y[3]),
+                    dsp: expm1(y[4]),
+                },
+            );
+        }
+        out
+    }
+
+    /// The weight-dependent back half: inner forwards, condensation and the
+    /// global model.
+    fn forward_design(&self, func: &Function, cfg: &PragmaConfig, inner: &[PreparedInner]) -> Qor {
+        let supers = self.supers_of(inner);
         let graph = GraphBuilder::new(func, cfg)
             .options(self.opts.graph_options())
             .condense(supers)
@@ -504,62 +666,65 @@ impl HierarchicalModel {
         }
     }
 
-    /// Predicts the QoR of every inner-hierarchy loop and packages it as
-    /// super-node features (the condensation inputs).
-    pub fn predict_supers(
-        &self,
-        func: &Function,
-        cfg: &PragmaConfig,
-    ) -> BTreeMap<LoopId, SuperFeatures> {
-        let hierarchy = split_hierarchy(func, cfg);
-        let mut out = BTreeMap::new();
-        for inner in &hierarchy.inner {
-            let graph = GraphBuilder::new(func, cfg)
-                .options(self.opts.graph_options())
-                .subgraph(inner.id.clone())
-                .build();
-            let mut data = graph_to_gnn(&graph);
-            data.g_feats = loop_level_features(func, cfg, &inner.id, inner.pipelined);
-            data.g_feats.extend(graph_aggregates(&graph));
-
-            let (store, model, norm) = self.inner_model_for(inner.pipelined);
-            let batch = Batch::from_graphs(&[&data], true);
-            let mut t = Tape::new();
-            let (il, lat, res) = model.forward(store, &mut t, &batch);
-            let resm = t.value(res).clone();
-            let mut y = [
-                t.value(il)[(0, 0)],
-                t.value(lat)[(0, 0)],
-                resm[(0, 0)],
-                resm[(0, 1)],
-                resm[(0, 2)],
-            ];
-            norm.inverse(&mut y);
-            let il = expm1(y[0]);
-            let lat = expm1(y[1]);
-
-            let meta = func.loop_meta(&inner.id);
-            let tc = meta.map(|m| m.trip_count).unwrap_or(1).max(1);
-            let unroll = cfg.loop_pragma(&inner.id).unroll.factor(tc);
-            out.insert(
-                inner.id.clone(),
-                SuperFeatures {
-                    latency: lat,
-                    il,
-                    ii: hlsim::analytic_ii(func, cfg, &inner.id) as f64,
-                    tc: tc.div_ceil(unroll.max(1)) as f64,
-                    lut: expm1(y[2]),
-                    ff: expm1(y[3]),
-                    dsp: expm1(y[4]),
-                },
-            );
-        }
-        out
-    }
-
     /// The training options this model was built with.
     pub fn options(&self) -> &TrainOptions {
         &self.opts
+    }
+
+    /// The three parameter banks as `(name, store)`, in [`BANKS`] order.
+    ///
+    /// Checkpoint serializers iterate this; the names are part of the
+    /// on-disk format and must stay stable.
+    pub fn banks(&self) -> [(&'static str, &ParamStore); 3] {
+        [
+            (BANKS[0], &self.store_p),
+            (BANKS[1], &self.store_np),
+            (BANKS[2], &self.store_g),
+        ]
+    }
+
+    /// Mutable bank access, in [`BANKS`] order (checkpoint restore).
+    pub fn banks_mut(&mut self) -> [(&'static str, &mut ParamStore); 3] {
+        [
+            (BANKS[0], &mut self.store_p),
+            (BANKS[1], &mut self.store_np),
+            (BANKS[2], &mut self.store_g),
+        ]
+    }
+
+    /// The target normalizer attached to a bank of [`BANKS`].
+    pub fn normalizer(&self, bank: &str) -> Option<&Normalizer> {
+        match bank {
+            b if b == BANKS[0] => Some(&self.norm_p),
+            b if b == BANKS[1] => Some(&self.norm_np),
+            b if b == BANKS[2] => Some(&self.norm_g),
+            _ => None,
+        }
+    }
+
+    /// Replaces the target normalizer of a bank (checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// [`QorError::Corrupt`] for an unknown bank name and
+    /// [`QorError::Shape`] when the normalizer dimension does not match the
+    /// bank's target width (5 for the inner models, 4 for `GNN_g`).
+    pub fn set_normalizer(&mut self, bank: &str, norm: Normalizer) -> Result<(), QorError> {
+        let slot = match bank {
+            b if b == BANKS[0] => &mut self.norm_p,
+            b if b == BANKS[1] => &mut self.norm_np,
+            b if b == BANKS[2] => &mut self.norm_g,
+            _ => return Err(QorError::Corrupt(format!("unknown bank {bank:?}"))),
+        };
+        if norm.dim() != slot.dim() {
+            return Err(QorError::Shape(format!(
+                "normalizer for bank {bank:?} has dim {}, expected {}",
+                norm.dim(),
+                slot.dim()
+            )));
+        }
+        *slot = norm;
+        Ok(())
     }
 
     /// Selects the inner model for a loop: `GNN_p`, `GNN_np`, or the shared
@@ -1125,6 +1290,45 @@ mod tests {
         let after = restored.predict(&func, &cfg);
         assert_eq!(before, after);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prepared_prediction_is_bit_identical_to_direct() {
+        let model = HierarchicalModel::new(&tiny_opts());
+        let func = Arc::new(kernels::lower_kernel("mvt").unwrap());
+        let mut cfg = PragmaConfig::default();
+        cfg.set_pipeline(LoopId::from_path(&[0, 0]), true);
+        let direct = model.predict(&func, &cfg);
+        let prepared = model.prepare(func.clone(), cfg.clone());
+        assert!(prepared.num_inner() > 0);
+        assert!(prepared.num_nodes() > 0);
+        assert_eq!(model.predict_prepared(&prepared), direct);
+        // replay is stable
+        assert_eq!(model.predict_prepared(&prepared), direct);
+    }
+
+    #[test]
+    fn banks_and_normalizers_are_addressable() {
+        let mut model = HierarchicalModel::new(&tiny_opts());
+        let names: Vec<&str> = model.banks().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, BANKS.to_vec());
+        for (_, store) in model.banks() {
+            assert!(!store.is_empty());
+        }
+        assert_eq!(model.normalizer("gnn_p").unwrap().dim(), 5);
+        assert_eq!(model.normalizer("gnn_g").unwrap().dim(), 4);
+        assert!(model.normalizer("nope").is_none());
+
+        let norm = Normalizer::identity(4);
+        model.set_normalizer("gnn_g", norm.clone()).unwrap();
+        assert!(matches!(
+            model.set_normalizer("gnn_p", norm.clone()),
+            Err(QorError::Shape(_))
+        ));
+        assert!(matches!(
+            model.set_normalizer("bogus", norm),
+            Err(QorError::Corrupt(_))
+        ));
     }
 
     #[test]

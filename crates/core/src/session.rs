@@ -1,0 +1,422 @@
+//! Inference sessions: a trained model plus memoized front halves.
+//!
+//! End-to-end prediction splits into an expensive, weight-independent
+//! front half (`lower` → hierarchy split → CDFG subgraph construction →
+//! feature annotation; see [`HierarchicalModel::prepare`]) and a cheap GNN
+//! forward pass. DSE-style workloads query the same kernel under thousands
+//! of pragma configurations — and frequently revisit configurations — so a
+//! [`Session`] memoizes both layers:
+//!
+//! * **Kernel cache** — lowered [`Function`]s keyed by an FNV-1a hash of
+//!   `(top name, source)`. Unbounded: a serving process sees a handful of
+//!   kernels, each a few kilobytes of IR.
+//! * **Prepared cache** — [`PreparedDesign`] front halves keyed by an
+//!   FNV-1a hash of `(kernel hash, pragma fingerprint)`, with
+//!   least-recently-used eviction. Capacity comes from the
+//!   `QOR_CACHE_CAP` environment variable (default
+//!   [`DEFAULT_CACHE_CAP`]; `0` disables caching).
+//!
+//! Both hash layers use [`crate::Fnv1aHasher`], so keys are stable across
+//! processes (std's `RandomState` is randomized per process and would make
+//! hit patterns irreproducible).
+//!
+//! Hit/miss/eviction counts are kept in session-local atomics (exported by
+//! [`Session::stats`]) and mirrored into the `obs` metrics registry under
+//! `session/cache/*` and `session/kernel/*` whenever collection is on.
+//!
+//! A `Session` is `Sync`: the caches sit behind a mutex, the model is
+//! immutable, and prepared designs are shared as [`Arc`]s — so a server
+//! (or `par::map` fan-out) can serve predictions from many threads.
+
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hir::Function;
+use hlsim::Qor;
+use pragma::PragmaConfig;
+
+use crate::error::QorError;
+use crate::hash::{Fnv1aHasher, FnvBuildHasher};
+use crate::model::{HierarchicalModel, PreparedDesign};
+
+/// Prepared-cache capacity when `QOR_CACHE_CAP` is not set.
+pub const DEFAULT_CACHE_CAP: usize = 256;
+
+/// Point-in-time cache statistics of a [`Session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Prepared-design cache hits.
+    pub hits: u64,
+    /// Prepared-design cache misses (front half recomputed).
+    pub misses: u64,
+    /// Prepared designs evicted by the LRU policy.
+    pub evictions: u64,
+    /// Lowered-kernel cache hits.
+    pub kernel_hits: u64,
+    /// Lowered-kernel cache misses (parse + lower paid).
+    pub kernel_misses: u64,
+    /// Prepared designs currently cached.
+    pub len: usize,
+    /// Prepared-cache capacity (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of all lookups (both cache layers) answered from cache,
+    /// in `0..=1`; zero when nothing was looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits + self.kernel_hits;
+        let total = hits + self.misses + self.kernel_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct State {
+    /// LRU tick; strictly increasing under the lock, so eviction order is
+    /// total and deterministic.
+    tick: u64,
+    prepared: HashMap<u64, (u64, Arc<PreparedDesign>), FnvBuildHasher>,
+    kernels: HashMap<u64, Arc<Function>, FnvBuildHasher>,
+}
+
+/// A loaded model plus memoized inference front halves (see the
+/// [module docs](self)).
+pub struct Session {
+    model: HierarchicalModel,
+    capacity: usize,
+    state: Mutex<State>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    kernel_hits: AtomicU64,
+    kernel_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        write!(
+            f,
+            "Session {{ capacity: {}, cached: {}, hits: {}, misses: {} }}",
+            stats.capacity, stats.len, stats.hits, stats.misses
+        )
+    }
+}
+
+impl Session {
+    /// Wraps a model with the capacity from `QOR_CACHE_CAP` (default
+    /// [`DEFAULT_CACHE_CAP`]).
+    pub fn new(model: HierarchicalModel) -> Self {
+        let capacity = std::env::var("QOR_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CACHE_CAP);
+        Self::with_capacity(model, capacity)
+    }
+
+    /// Wraps a model with an explicit prepared-cache capacity
+    /// (`0` disables the prepared cache; the kernel cache always runs).
+    pub fn with_capacity(model: HierarchicalModel, capacity: usize) -> Self {
+        Session {
+            model,
+            capacity,
+            state: Mutex::new(State::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            kernel_hits: AtomicU64::new(0),
+            kernel_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &HierarchicalModel {
+        &self.model
+    }
+
+    /// Current cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        let len = self.state.lock().unwrap().prepared.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            kernel_hits: self.kernel_hits.load(Ordering::Relaxed),
+            kernel_misses: self.kernel_misses.load(Ordering::Relaxed),
+            len,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every cached kernel and prepared design (counters are kept:
+    /// they are cumulative over the session's lifetime).
+    pub fn clear(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.prepared.clear();
+        state.kernels.clear();
+    }
+
+    /// Predicts the QoR of a bundled benchmark kernel under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`QorError::UnknownKernel`] when the name is not in the bundled
+    /// set; otherwise as [`Session::predict_source`].
+    pub fn predict_kernel(&self, kernel: &str, cfg: &PragmaConfig) -> Result<Qor, QorError> {
+        let source = kernels::kernel_source(kernel)
+            .ok_or_else(|| QorError::UnknownKernel(kernel.to_string()))?;
+        self.predict_source(kernel, source, cfg)
+    }
+
+    /// Predicts the QoR of `top` in an arbitrary HLS-C `source` under
+    /// `cfg`, caching the lowered function and the prepared front half.
+    ///
+    /// # Errors
+    ///
+    /// Front-end/lowering errors for broken sources and
+    /// [`QorError::UnknownKernel`] when `source` does not define `top`.
+    pub fn predict_source(
+        &self,
+        top: &str,
+        source: &str,
+        cfg: &PragmaConfig,
+    ) -> Result<Qor, QorError> {
+        let khash = kernel_key(top, source);
+        let func = self.function_cached(khash, top, source)?;
+        let prepared = self.prepared_cached(khash, &func, cfg);
+        Ok(self.model.predict_prepared(&prepared))
+    }
+
+    /// The lowered function of a bundled kernel, from cache when warm
+    /// (DSE oracles need the [`Function`] itself).
+    ///
+    /// # Errors
+    ///
+    /// [`QorError::UnknownKernel`] for names outside the bundled set.
+    pub fn kernel_function(&self, kernel: &str) -> Result<Arc<Function>, QorError> {
+        let source = kernels::kernel_source(kernel)
+            .ok_or_else(|| QorError::UnknownKernel(kernel.to_string()))?;
+        self.function_cached(kernel_key(kernel, source), kernel, source)
+    }
+
+    fn function_cached(
+        &self,
+        khash: u64,
+        top: &str,
+        source: &str,
+    ) -> Result<Arc<Function>, QorError> {
+        if let Some(func) = self.state.lock().unwrap().kernels.get(&khash) {
+            self.kernel_hits.fetch_add(1, Ordering::Relaxed);
+            obs::metrics::counter_add("session/kernel/hits", 1);
+            return Ok(func.clone());
+        }
+        // lower outside the lock: parsing is the expensive part, and two
+        // racing threads produce identical functions anyway
+        self.kernel_misses.fetch_add(1, Ordering::Relaxed);
+        obs::metrics::counter_add("session/kernel/misses", 1);
+        let program = frontc::parse(source)?;
+        let module = hir::lower(&program)?;
+        let func = Arc::new(
+            module
+                .function(top)
+                .ok_or_else(|| QorError::UnknownKernel(top.to_string()))?
+                .clone(),
+        );
+        self.state
+            .lock()
+            .unwrap()
+            .kernels
+            .entry(khash)
+            .or_insert_with(|| func.clone());
+        Ok(func)
+    }
+
+    fn prepared_cached(
+        &self,
+        khash: u64,
+        func: &Arc<Function>,
+        cfg: &PragmaConfig,
+    ) -> Arc<PreparedDesign> {
+        let key = design_key(khash, cfg);
+        if self.capacity > 0 {
+            let mut state = self.state.lock().unwrap();
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some((last_used, prepared)) = state.prepared.get_mut(&key) {
+                *last_used = tick;
+                let prepared = prepared.clone();
+                drop(state);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::metrics::counter_add("session/cache/hits", 1);
+                return prepared;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::metrics::counter_add("session/cache/misses", 1);
+        // prepare outside the lock so concurrent misses don't serialize;
+        // racing threads compute bit-identical prepared designs
+        let prepared = Arc::new(self.model.prepare(func.clone(), cfg.clone()));
+        if self.capacity > 0 {
+            let mut state = self.state.lock().unwrap();
+            state.tick += 1;
+            let tick = state.tick;
+            state.prepared.insert(key, (tick, prepared.clone()));
+            while state.prepared.len() > self.capacity {
+                // O(len) scan; capacities are small enough that a heap
+                // would cost more in bookkeeping than it saves
+                let oldest = state
+                    .prepared
+                    .iter()
+                    .min_by_key(|(_, (last_used, _))| *last_used)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty map");
+                state.prepared.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                obs::metrics::counter_add("session/cache/evictions", 1);
+            }
+            obs::metrics::gauge_set("session/cache/size", state.prepared.len() as f64);
+        }
+        prepared
+    }
+}
+
+/// Stable key of a kernel: FNV-1a over `top NUL source`.
+fn kernel_key(top: &str, source: &str) -> u64 {
+    let mut h = Fnv1aHasher::new();
+    h.write(top.as_bytes());
+    h.write(&[0]);
+    h.write(source.as_bytes());
+    h.finish()
+}
+
+/// Stable key of a `(kernel, pragma config)` pair.
+fn design_key(khash: u64, cfg: &PragmaConfig) -> u64 {
+    let mut h = Fnv1aHasher::new();
+    h.write_u64(khash);
+    h.write_u64(cfg.fingerprint());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TrainOptions;
+    use pragma::LoopId;
+
+    fn tiny_session(capacity: usize) -> Session {
+        let opts = TrainOptions::quick().with_hidden(12).with_epochs(1);
+        Session::with_capacity(HierarchicalModel::new(&opts), capacity)
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_and_match() {
+        let session = tiny_session(8);
+        let cfg = PragmaConfig::default();
+        let first = session.predict_kernel("gemm", &cfg).unwrap();
+        let second = session.predict_kernel("gemm", &cfg).unwrap();
+        assert_eq!(first, second);
+        let stats = session.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.kernel_misses, 1);
+        assert_eq!(stats.kernel_hits, 1);
+        assert!(stats.hit_rate() > 0.4);
+    }
+
+    #[test]
+    fn cached_prediction_matches_direct_model_path() {
+        let session = tiny_session(8);
+        let func = kernels::lower_kernel("mvt").unwrap();
+        let mut cfg = PragmaConfig::default();
+        cfg.set_pipeline(LoopId::from_path(&[0, 0]), true);
+        let direct = session.model().predict(&func, &cfg);
+        // twice: once through the miss path, once through the hit path
+        assert_eq!(session.predict_kernel("mvt", &cfg).unwrap(), direct);
+        assert_eq!(session.predict_kernel("mvt", &cfg).unwrap(), direct);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let session = tiny_session(2);
+        let space = kernels::design_space(&kernels::lower_kernel("mvt").unwrap());
+        let configs = space.enumerate_capped(3);
+        assert_eq!(configs.len(), 3);
+        session.predict_kernel("mvt", &configs[0]).unwrap(); // {0}
+        session.predict_kernel("mvt", &configs[1]).unwrap(); // {0,1}
+        session.predict_kernel("mvt", &configs[0]).unwrap(); // touch 0
+        session.predict_kernel("mvt", &configs[2]).unwrap(); // evicts 1
+        session.predict_kernel("mvt", &configs[0]).unwrap(); // still cached
+        let stats = session.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.len, 2);
+        // config 1 was evicted: querying it again misses
+        session.predict_kernel("mvt", &configs[1]).unwrap();
+        assert_eq!(session.stats().misses, 4);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_prepared_cache() {
+        let session = tiny_session(0);
+        let cfg = PragmaConfig::default();
+        let a = session.predict_kernel("gemm", &cfg).unwrap();
+        let b = session.predict_kernel("gemm", &cfg).unwrap();
+        assert_eq!(a, b);
+        let stats = session.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.len, 0);
+        assert_eq!(stats.kernel_hits, 1, "kernel cache still active");
+    }
+
+    #[test]
+    fn unknown_kernel_and_missing_top_are_typed() {
+        let session = tiny_session(4);
+        assert!(matches!(
+            session.predict_kernel("nope", &PragmaConfig::default()),
+            Err(QorError::UnknownKernel(_))
+        ));
+        let src = "void f(float a[4]) { for (int i = 0; i < 4; i++) { a[i] = a[i]; } }";
+        assert!(matches!(
+            session.predict_source("g", src, &PragmaConfig::default()),
+            Err(QorError::UnknownKernel(_))
+        ));
+    }
+
+    #[test]
+    fn arbitrary_sources_are_cached_by_content() {
+        let session = tiny_session(4);
+        let src =
+            "void f(float a[8], float b[8]) { for (int i = 0; i < 8; i++) { b[i] = a[i] * 2.0; } }";
+        let cfg = PragmaConfig::default();
+        let q1 = session.predict_source("f", src, &cfg).unwrap();
+        let q2 = session.predict_source("f", src, &cfg).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(session.stats().kernel_hits, 1);
+        // same top name, different body: a distinct cache entry
+        let src2 =
+            "void f(float a[8], float b[8]) { for (int i = 0; i < 8; i++) { b[i] = a[i] + 1.0; } }";
+        session.predict_source("f", src2, &cfg).unwrap();
+        assert_eq!(session.stats().kernel_misses, 2);
+    }
+
+    #[test]
+    fn clear_empties_caches_but_keeps_counters() {
+        let session = tiny_session(4);
+        let cfg = PragmaConfig::default();
+        session.predict_kernel("gemm", &cfg).unwrap();
+        session.clear();
+        assert_eq!(session.stats().len, 0);
+        session.predict_kernel("gemm", &cfg).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.misses, 2, "cleared entry must be recomputed");
+        assert_eq!(stats.kernel_misses, 2);
+    }
+}

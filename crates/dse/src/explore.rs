@@ -5,7 +5,7 @@ use std::time::Instant;
 use hir::Function;
 use hlsim::Qor;
 use pragma::PragmaConfig;
-use qor_core::QorError;
+use qor_core::{QorError, Session};
 
 use crate::pareto::{Adrs, ParetoFront};
 
@@ -104,26 +104,7 @@ pub fn explore(
     sp.attr("kernel", kernel);
     sp.attr("configs", configs.len());
 
-    // exhaustive oracle sweep (the "Vivado" column); tool seconds are summed
-    // in config order after the parallel map so the total is bit-identical
-    // for any worker count
-    let mut points;
-    let mut vivado_secs = 0.0;
-    {
-        let _oracle = obs::span("dse_oracle_sweep");
-        let reports = par::try_map("dse/oracle", configs, |_, config| {
-            hlsim::evaluate(func, config).map_err(QorError::from)
-        })?;
-        points = Vec::with_capacity(configs.len());
-        for (config, report) in configs.iter().zip(reports) {
-            vivado_secs += hlsim::tool_runtime_secs(&report.top);
-            points.push(DsePoint {
-                config: config.clone(),
-                true_qor: report.top,
-                predicted: Qor::default(),
-            });
-        }
-    }
+    let (mut points, vivado_secs) = oracle_sweep(func, configs)?;
 
     // model predictions (measured)
     let pred_sp = obs::span("dse_predict_sweep");
@@ -140,7 +121,90 @@ pub fn explore(
     drop(pred_sp);
     let explore_secs = inference_secs + hls_secs_per_design * configs.len() as f64;
 
-    // ADRS of the predicted front at true QoR
+    let outcome = score(kernel, points, vivado_secs, explore_secs);
+    sp.attr("adrs_percent", outcome.adrs_percent());
+    Ok(outcome)
+}
+
+/// Runs model-guided DSE over `configs` of a bundled kernel through a
+/// caching [`Session`].
+///
+/// Unlike [`explore`] with a bare `model.predict` closure — which re-runs
+/// the lowering → CDFG → feature front half for every pragma point — the
+/// session memoizes that front half, so sweeps that revisit configurations
+/// (and the kernel lowering itself) pay it once. Check
+/// [`Session::stats`] after the sweep to observe the hit rate.
+///
+/// # Errors
+///
+/// [`QorError::UnknownKernel`] for names outside the bundled set;
+/// otherwise propagates oracle evaluation failures.
+pub fn explore_with_session(
+    session: &Session,
+    kernel: &str,
+    configs: &[PragmaConfig],
+    hls_secs_per_design: f64,
+) -> Result<ExploreOutcome, QorError> {
+    let sp = obs::span("dse_explore_session");
+    sp.attr("kernel", kernel);
+    sp.attr("configs", configs.len());
+
+    let func = session.kernel_function(kernel)?;
+    let (mut points, vivado_secs) = oracle_sweep(&func, configs)?;
+
+    let pred_sp = obs::span("dse_predict_sweep");
+    let t0 = Instant::now();
+    let predictions = par::try_map("dse/predict", configs, |_, config| {
+        session.predict_kernel(kernel, config)
+    })?;
+    for (p, q) in points.iter_mut().zip(predictions) {
+        p.predicted = q;
+    }
+    let inference_secs = t0.elapsed().as_secs_f64();
+    obs::metrics::counter_add("dse/points_evaluated", points.len() as u64);
+    if inference_secs > 0.0 {
+        pred_sp.attr("points_per_sec", points.len() as f64 / inference_secs);
+    }
+    drop(pred_sp);
+    let explore_secs = inference_secs + hls_secs_per_design * configs.len() as f64;
+
+    let outcome = score(kernel, points, vivado_secs, explore_secs);
+    sp.attr("adrs_percent", outcome.adrs_percent());
+    Ok(outcome)
+}
+
+/// Exhaustive oracle sweep (the "Vivado" column). Tool seconds are summed
+/// in config order after the parallel map so the total is bit-identical for
+/// any worker count.
+fn oracle_sweep(
+    func: &Function,
+    configs: &[PragmaConfig],
+) -> Result<(Vec<DsePoint>, f64), QorError> {
+    let _oracle = obs::span("dse_oracle_sweep");
+    let reports = par::try_map("dse/oracle", configs, |_, config| {
+        hlsim::evaluate(func, config).map_err(QorError::from)
+    })?;
+    let mut points = Vec::with_capacity(configs.len());
+    let mut vivado_secs = 0.0;
+    for (config, report) in configs.iter().zip(reports) {
+        vivado_secs += hlsim::tool_runtime_secs(&report.top);
+        points.push(DsePoint {
+            config: config.clone(),
+            true_qor: report.top,
+            predicted: Qor::default(),
+        });
+    }
+    Ok((points, vivado_secs))
+}
+
+/// Scores a fully-predicted sweep: the predicted Pareto set evaluated at
+/// true QoR (the standard ADRS protocol), packaged as an outcome.
+fn score(
+    kernel: &str,
+    points: Vec<DsePoint>,
+    vivado_secs: f64,
+    explore_secs: f64,
+) -> ExploreOutcome {
     let true_pts: Vec<(f64, f64)> = points
         .iter()
         .map(|p| (p.true_qor.latency as f64, area(&p.true_qor)))
@@ -161,17 +225,16 @@ pub fn explore(
         predicted_front.indices().len() as f64,
     );
     obs::metrics::gauge_set(&format!("dse/{kernel}/adrs_percent"), adrs.percent());
-    sp.attr("adrs_percent", adrs.percent());
 
-    Ok(ExploreOutcome {
+    ExploreOutcome {
         kernel: kernel.to_string(),
-        n_configs: configs.len(),
+        n_configs: points.len(),
         vivado_secs,
         explore_secs,
         pareto: predicted_front,
         adrs,
         points,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +300,54 @@ mod tests {
         )
         .unwrap();
         assert!(outcome.explore_secs >= HLS_SECS_PER_DESIGN * 10.0);
+    }
+
+    #[test]
+    fn session_sweep_matches_the_closure_path_and_reuses_the_lowering() {
+        use qor_core::{HierarchicalModel, TrainOptions};
+
+        let opts = TrainOptions::quick().with_hidden(10).with_seed(7);
+        let func = kernels::lower_kernel("mvt").unwrap();
+        let configs = kernels::design_space(&func).enumerate_capped(12);
+
+        // closure path: re-lowers nothing but re-prepares every point
+        let reference = HierarchicalModel::new(&opts);
+        let baseline =
+            explore("mvt", &func, &configs, |f, c| reference.predict(f, c), 0.0).unwrap();
+
+        let session = Session::with_capacity(HierarchicalModel::new(&opts), 64);
+        let cached = explore_with_session(&session, "mvt", &configs, 0.0).unwrap();
+
+        assert_eq!(baseline.points.len(), cached.points.len());
+        for (a, b) in baseline.points.iter().zip(&cached.points) {
+            assert_eq!(a.predicted, b.predicted, "session prediction diverges");
+            assert_eq!(a.true_qor, b.true_qor);
+        }
+        assert_eq!(baseline.adrs_percent(), cached.adrs_percent());
+
+        // the kernel was lowered exactly once (the oracle's `kernel_function`
+        // lookup misses; every per-point predict then hits); a second sweep
+        // hits the prepared cache throughout
+        let stats = session.stats();
+        assert_eq!(stats.kernel_misses, 1);
+        assert_eq!(stats.kernel_hits, configs.len() as u64);
+        explore_with_session(&session, "mvt", &configs, 0.0).unwrap();
+        let stats = session.stats();
+        assert_eq!(
+            stats.hits,
+            configs.len() as u64,
+            "second sweep must be all hits"
+        );
+    }
+
+    #[test]
+    fn session_sweep_rejects_unknown_kernels() {
+        use qor_core::{HierarchicalModel, TrainOptions};
+        let session = Session::new(HierarchicalModel::new(
+            &TrainOptions::quick().with_hidden(8),
+        ));
+        let err = explore_with_session(&session, "no_such_kernel", &[], 0.0).unwrap_err();
+        assert!(matches!(err, QorError::UnknownKernel(_)), "{err:?}");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`explore`] — evaluates a predictor over a design space, extracts the
 //!   predicted Pareto set, and scores it (with simulated Vivado / HLS time
 //!   accounting for the "DSE time" columns of Table V).
+//! * [`explore_with_session`] — the same sweep through a caching
+//!   [`qor_core::Session`], so the lowering and prepared front halves are
+//!   paid once instead of per pragma point.
 //! * [`FlatGnnBaseline`] — Wu et al. (DAC'22, \[8\]): a single whole-graph
 //!   GNN without hierarchy. Pragma-blind for the accuracy comparison
 //!   (Table IV) and HLS-IR-fed (pragma-transformed graphs, with per-design
@@ -35,5 +38,7 @@ mod explore;
 mod pareto;
 
 pub use baseline::{BaselineOptions, FlatGnnBaseline, LabelSpace};
-pub use explore::{area, explore, DsePoint, ExploreOutcome, HLS_SECS_PER_DESIGN};
+pub use explore::{
+    area, explore, explore_with_session, DsePoint, ExploreOutcome, HLS_SECS_PER_DESIGN,
+};
 pub use pareto::{Adrs, ParetoFront};

@@ -37,6 +37,25 @@ impl ConvKind {
             ConvKind::Pna,
         ]
     }
+
+    /// Stable one-byte serialization code (checkpoint format).
+    ///
+    /// Codes are append-only: existing values must never be renumbered, or
+    /// previously written checkpoints would silently change architecture.
+    pub fn code(self) -> u8 {
+        match self {
+            ConvKind::Gcn => 0,
+            ConvKind::Gat => 1,
+            ConvKind::Sage => 2,
+            ConvKind::Transformer => 3,
+            ConvKind::Pna => 4,
+        }
+    }
+
+    /// Inverse of [`ConvKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<ConvKind> {
+        ConvKind::all().into_iter().find(|k| k.code() == code)
+    }
 }
 
 impl fmt::Display for ConvKind {
@@ -497,6 +516,18 @@ mod tests {
             assert_eq!(parsed, kind);
         }
         assert!("bogus".parse::<ConvKind>().is_err());
+    }
+
+    #[test]
+    fn conv_kind_codes_round_trip_and_are_stable() {
+        for kind in ConvKind::all() {
+            assert_eq!(ConvKind::from_code(kind.code()), Some(kind));
+        }
+        // the on-disk contract: these exact numbers are in checkpoints
+        assert_eq!(ConvKind::Gcn.code(), 0);
+        assert_eq!(ConvKind::Sage.code(), 2);
+        assert_eq!(ConvKind::Pna.code(), 4);
+        assert_eq!(ConvKind::from_code(250), None);
     }
 
     #[test]

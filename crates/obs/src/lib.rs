@@ -274,6 +274,34 @@ mod tests {
     }
 
     #[test]
+    fn metric_snapshot_covers_every_kind() {
+        let _l = isolated();
+        metrics::counter_add("snap.count", 3);
+        metrics::gauge_set("snap.gauge", 2.5);
+        metrics::series_push("snap/series", 0, 1.0);
+        metrics::series_push("snap/series", 7, 4.0);
+        metrics::histogram_record("snap.hist", 2.0);
+        let snaps = metrics::snapshot();
+        let get = |n: &str| snaps.iter().find(|(k, _)| k == n).map(|(_, s)| *s);
+        assert_eq!(get("snap.count"), Some(metrics::Snapshot::Counter(3)));
+        assert_eq!(get("snap.gauge"), Some(metrics::Snapshot::Gauge(2.5)));
+        assert_eq!(
+            get("snap/series"),
+            Some(metrics::Snapshot::SeriesLast(7, 4.0))
+        );
+        assert!(matches!(
+            get("snap.hist"),
+            Some(metrics::Snapshot::Histogram { count: 1, .. })
+        ));
+        // names come back sorted (BTreeMap order)
+        let names: Vec<&str> = snaps.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        test_support::force_collection(false);
+    }
+
+    #[test]
     fn disabled_collection_records_nothing() {
         let _l = isolated();
         test_support::force_collection(false);

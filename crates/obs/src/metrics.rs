@@ -132,6 +132,63 @@ pub fn histogram_record(name: &str, value: f64) {
     );
 }
 
+/// Point-in-time value of one metric, for exporters (e.g. the `serve`
+/// crate's Prometheus endpoint).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Snapshot {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Instantaneous gauge.
+    Gauge(f64),
+    /// Latest point of a series, as `(step, value)`.
+    SeriesLast(u64, f64),
+    /// Histogram summary (bucket detail stays in the JSON report).
+    Histogram {
+        /// Observation count.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+        /// Smallest observation.
+        min: f64,
+        /// Largest observation.
+        max: f64,
+    },
+}
+
+/// Snapshots every registered metric in name order.
+///
+/// Like [`counter_value`], this reads whatever the registry holds
+/// regardless of [`crate::collecting`] — when collection is off the
+/// registry is simply empty. Empty series are skipped.
+pub fn snapshot() -> Vec<(String, Snapshot)> {
+    let reg = REGISTRY.lock().unwrap();
+    reg.iter()
+        .filter_map(|(name, metric)| {
+            let snap = match metric {
+                Metric::Counter(v) => Snapshot::Counter(*v),
+                Metric::Gauge(v) => Snapshot::Gauge(*v),
+                Metric::Series(points) => {
+                    let &(step, value) = points.last()?;
+                    Snapshot::SeriesLast(step, value)
+                }
+                Metric::Histogram {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    ..
+                } => Snapshot::Histogram {
+                    count: *count,
+                    sum: *sum,
+                    min: *min,
+                    max: *max,
+                },
+            };
+            Some((name.clone(), snap))
+        })
+        .collect()
+}
+
 /// Reads a counter's current value (0 if absent); test and report support.
 pub fn counter_value(name: &str) -> u64 {
     match REGISTRY.lock().unwrap().get(name) {

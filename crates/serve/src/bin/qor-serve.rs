@@ -1,0 +1,252 @@
+//! `qor-serve` — the QoR-prediction inference server.
+//!
+//! ```text
+//! qor-serve [--addr HOST:PORT] [--checkpoint FILE | --train-quick]
+//!           [--save FILE] [--cache-cap N] [--self-test]
+//! ```
+//!
+//! Model source (first match wins):
+//!
+//! * `--checkpoint FILE` — load a checkpoint written by `--save` or
+//!   `serve::checkpoint::save_model_file`.
+//! * `--train-quick` — train on the bundled kernels with
+//!   `TrainOptions::quick()` (a few minutes), then serve.
+//! * neither — serve an untrained model (weights at init); useful only for
+//!   smoke tests.
+//!
+//! `--save FILE` writes the model (after loading/training) as a checkpoint
+//! and keeps serving. `--self-test` skips the network-facing loop: it binds
+//! an ephemeral port, drives the full request matrix against itself
+//! (health, single + batched predictions, cache-hit verification, metrics,
+//! clean shutdown) and exits non-zero on any mismatch — this is the CI
+//! server gate.
+
+use std::process::ExitCode;
+
+use qor_core::{HierarchicalModel, Session, TrainOptions};
+use serve::http::client_request;
+use serve::Server;
+
+struct Args {
+    addr: String,
+    checkpoint: Option<String>,
+    train_quick: bool,
+    save: Option<String>,
+    cache_cap: Option<usize>,
+    self_test: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7845".to_string(),
+        checkpoint: None,
+        train_quick: false,
+        save: None,
+        cache_cap: None,
+        self_test: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--train-quick" => args.train_quick = true,
+            "--save" => args.save = Some(value("--save")?),
+            "--cache-cap" => {
+                args.cache_cap = Some(
+                    value("--cache-cap")?
+                        .parse()
+                        .map_err(|_| "--cache-cap must be an integer".to_string())?,
+                )
+            }
+            "--self-test" => args.self_test = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: qor-serve [--addr HOST:PORT] [--checkpoint FILE | --train-quick] \
+                     [--save FILE] [--cache-cap N] [--self-test]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_model(args: &Args) -> Result<HierarchicalModel, String> {
+    if let Some(path) = &args.checkpoint {
+        eprintln!("loading checkpoint {path}");
+        return serve::load_model_file(path).map_err(|e| format!("loading {path}: {e}"));
+    }
+    if args.train_quick {
+        eprintln!("training on bundled kernels (quick profile)");
+        let (model, stats) = HierarchicalModel::train_on_kernels(&TrainOptions::quick())
+            .map_err(|e| format!("training: {e}"))?;
+        eprintln!(
+            "trained: GNN_g latency MAPE {:.2}% over {} test designs",
+            stats.global.latency_mape, stats.global.n
+        );
+        return Ok(model);
+    }
+    eprintln!("serving an UNTRAINED model (pass --checkpoint or --train-quick)");
+    Ok(HierarchicalModel::new(&TrainOptions::quick()))
+}
+
+fn main() -> ExitCode {
+    let _obs = obs::init();
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("qor-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.self_test {
+        return match self_test() {
+            Ok(()) => {
+                println!("self-test ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("self-test FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let model = match build_model(&args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("qor-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.save {
+        if let Err(e) = serve::save_model_file(path, &model) {
+            eprintln!("qor-serve: saving {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("checkpoint written to {path}");
+    }
+    let session = match args.cache_cap {
+        Some(cap) => Session::with_capacity(model, cap),
+        None => Session::new(model),
+    };
+    let server = match Server::bind(&args.addr, session) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("qor-serve: binding {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("listening on http://{addr}"),
+        Err(_) => eprintln!("listening on {}", args.addr),
+    }
+    server.run();
+    ExitCode::SUCCESS
+}
+
+/// End-to-end smoke test against an in-process server (the CI gate; no
+/// curl in the build environment).
+fn self_test() -> Result<(), String> {
+    use pragma::{LoopId, PragmaConfig};
+    use serve::json;
+
+    let io = |e: std::io::Error| format!("io: {e}");
+
+    // 1. checkpoint round-trip must be bit-exact
+    let opts = TrainOptions::quick().with_hidden(12);
+    let model = HierarchicalModel::new(&opts);
+    let func =
+        std::sync::Arc::new(kernels::lower_kernel("mvt").map_err(|e| format!("lower mvt: {e}"))?);
+    let mut cfg = PragmaConfig::default();
+    cfg.set_pipeline(LoopId::from_path(&[0]), true);
+    let direct = model.predict(&func, &cfg);
+    let restored = serve::load_model(&serve::save_model(&model))
+        .map_err(|e| format!("checkpoint round-trip: {e}"))?;
+    if restored.predict(&func, &cfg) != direct {
+        return Err("restored model diverges from the saved one".into());
+    }
+    println!("checkpoint round-trip: bit-exact");
+
+    // 2. serve the model and drive the endpoints
+    let handle = Server::bind("127.0.0.1:0", Session::with_capacity(model, 64))
+        .map_err(io)?
+        .spawn()
+        .map_err(io)?;
+    let addr = handle.addr();
+    let result = (|| {
+        let (status, body) = client_request(addr, "GET", "/healthz", None).map_err(io)?;
+        if status != 200 || !body.contains("\"ok\"") {
+            return Err(format!("healthz: status {status}, body {body}"));
+        }
+
+        // the response qor must equal the library-path prediction bit-exactly
+        let latency_of = |body: &str| -> Result<u64, String> {
+            let doc = json::parse(body).map_err(|e| format!("response: {e}"))?;
+            json::field(&doc, "qor")
+                .and_then(|q| json::field(q, "latency"))
+                .and_then(json::as_u64)
+                .ok_or_else(|| format!("no qor.latency in {body}"))
+        };
+        let request = r#"{"kernel":"mvt","config":{"loops":[{"loop":[0],"pipeline":true}]}}"#;
+        let (status, first) =
+            client_request(addr, "POST", "/predict", Some(request)).map_err(io)?;
+        if status != 200 {
+            return Err(format!("predict: status {status}, body {first}"));
+        }
+        if latency_of(&first)? != direct.latency {
+            return Err(format!(
+                "server prediction diverges from the library path: {} vs {}",
+                latency_of(&first)?,
+                direct.latency
+            ));
+        }
+        let (status, second) =
+            client_request(addr, "POST", "/predict", Some(request)).map_err(io)?;
+        if status != 200 || latency_of(&second)? != direct.latency {
+            return Err(format!("repeat predict: status {status}, body {second}"));
+        }
+        println!(
+            "single predict: matches library path ({} cycles)",
+            direct.latency
+        );
+
+        let batch = r#"{"requests":[{"kernel":"mvt","config":{"loops":[{"loop":[0],"pipeline":true}]}},{"kernel":"bicg"},{"kernel":"mvt","config":{"loops":[{"loop":[0],"pipeline":true}]}}]}"#;
+        let (status, body) = client_request(addr, "POST", "/predict", Some(batch)).map_err(io)?;
+        if status != 200 || body.matches("\"qor\"").count() != 3 {
+            return Err(format!("batch predict: status {status}, body {body}"));
+        }
+
+        let (status, metrics) = client_request(addr, "GET", "/metrics", None).map_err(io)?;
+        if status != 200 || !metrics.contains("qor_session_cache_hits_total") {
+            return Err(format!("metrics: status {status}"));
+        }
+
+        let (status, _) =
+            client_request(addr, "POST", "/predict", Some("{not json")).map_err(io)?;
+        if status != 400 {
+            return Err(format!("bad body must 400, got {status}"));
+        }
+        let (status, _) = client_request(addr, "GET", "/nope", None).map_err(io)?;
+        if status != 404 {
+            return Err(format!("unknown route must 404, got {status}"));
+        }
+        Ok(())
+    })();
+    let stats = handle.stats();
+    handle.shutdown();
+    result?;
+    if stats.hits == 0 {
+        return Err("server session recorded no cache hits".into());
+    }
+    println!(
+        "cache: {} hits / {} misses over {} predictions",
+        stats.hits,
+        stats.misses,
+        stats.hits + stats.misses
+    );
+    Ok(())
+}

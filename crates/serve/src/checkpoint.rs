@@ -1,0 +1,530 @@
+//! Versioned, checksummed binary checkpoints for the hierarchical model.
+//!
+//! # Format (version 1)
+//!
+//! All integers are little-endian. A checkpoint is one contiguous byte
+//! stream:
+//!
+//! | field      | size        | value                                     |
+//! |------------|-------------|-------------------------------------------|
+//! | magic      | 8           | `"QORCKPT\0"`                             |
+//! | version    | u32         | `1`                                       |
+//! | kind       | u8          | `0` = full model, `1` = single bank       |
+//! | payload    | …           | kind-specific records (below)             |
+//! | checksum   | u64         | FNV-1a over every preceding byte          |
+//!
+//! A **full model** payload is a [`TrainOptions`] record (enough to rebuild
+//! the architecture with [`HierarchicalModel::new`]) followed by a bank
+//! count and that many bank records in [`qor_core::BANKS`] order. A
+//! **single bank** payload is one bank record. A bank record is:
+//!
+//! | field        | size             | value                             |
+//! |--------------|------------------|-----------------------------------|
+//! | name         | u16 len + bytes  | `gnn_p` / `gnn_np` / `gnn_g`      |
+//! | normalizer   | u32 dim + 2·dim f32 | target means then stds         |
+//! | tensor count | u32              | number of parameter tensors       |
+//! | tensors      | …                | name, dtype u8 (`0` = f32), rows  |
+//! |              |                  | u32, cols u32, rows·cols f32      |
+//!
+//! Tensors appear in [`tensor::ParamStore`] registration order, which is
+//! deterministic for a given architecture.
+//!
+//! # Guarantees
+//!
+//! * **Bit-exact round-trip**: weights and normalizer statistics are stored
+//!   as raw IEEE-754 bits, so a loaded model produces bit-identical
+//!   predictions to the model that was saved.
+//! * **No panics on malformed input**: the checksum is verified over the
+//!   whole stream before any record is parsed, so truncation and bit flips
+//!   surface as [`QorError::Corrupt`]; an unknown version as
+//!   [`QorError::UnsupportedVersion`]; tensors whose shapes do not match
+//!   the rebuilt architecture as [`QorError::Shape`].
+//! * **Versioned**: readers reject versions they do not understand instead
+//!   of misparsing them. [`ConvKind::code`] values are append-only for the
+//!   same reason.
+
+use gnn::{ConvKind, Normalizer};
+use qor_core::{fnv1a, DataOptions, HierarchicalModel, QorError, TrainOptions, BANKS};
+use tensor::{Matrix, ParamStore};
+
+/// Leading magic bytes of every checkpoint.
+pub const MAGIC: [u8; 8] = *b"QORCKPT\0";
+
+/// The format version this build writes (and the only one it reads).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// `kind` byte of a full-model checkpoint.
+const KIND_MODEL: u8 = 0;
+/// `kind` byte of a single-bank checkpoint.
+const KIND_BANK: u8 = 1;
+/// The only tensor dtype of format version 1.
+const DTYPE_F32: u8 = 0;
+
+// ------------------------------------------------------------------ encode
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "name too long for format");
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_options(out: &mut Vec<u8>, opts: &TrainOptions) {
+    out.push(opts.conv.code());
+    put_u32(out, opts.hidden as u32);
+    put_u32(out, opts.inner_epochs as u32);
+    put_u32(out, opts.global_epochs as u32);
+    put_u32(out, opts.batch_size as u32);
+    put_f32(out, opts.lr);
+    put_u64(out, opts.seed);
+    put_u32(out, opts.data.max_designs_per_kernel as u32);
+    put_u64(out, opts.data.seed);
+    put_u32(out, opts.graph_max_nodes as u32);
+    put_u32(out, opts.log_every as u32);
+    out.push(u8::from(opts.shared_inner));
+}
+
+fn put_bank(out: &mut Vec<u8>, name: &str, store: &ParamStore, norm: &Normalizer) {
+    put_str(out, name);
+    put_u32(out, norm.dim() as u32);
+    for v in norm.mean() {
+        put_f32(out, *v);
+    }
+    for v in norm.std() {
+        put_f32(out, *v);
+    }
+    let count = store.entries().count();
+    put_u32(out, count as u32);
+    for (pname, m) in store.entries() {
+        put_str(out, pname);
+        out.push(DTYPE_F32);
+        put_u32(out, m.rows() as u32);
+        put_u32(out, m.cols() as u32);
+        for v in m.as_slice() {
+            put_f32(out, *v);
+        }
+    }
+}
+
+fn seal(mut out: Vec<u8>) -> Vec<u8> {
+    let sum = fnv1a(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+fn header(kind: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    out.push(kind);
+    out
+}
+
+/// Encodes a full model (architecture, weights, normalizers) as a
+/// checkpoint byte stream.
+pub fn save_model(model: &HierarchicalModel) -> Vec<u8> {
+    let _sp = obs::span("checkpoint_save");
+    let mut out = header(KIND_MODEL);
+    put_options(&mut out, model.options());
+    put_u32(&mut out, BANKS.len() as u32);
+    for (name, store) in model.banks() {
+        let norm = model.normalizer(name).expect("bank has a normalizer");
+        put_bank(&mut out, name, store, norm);
+    }
+    obs::metrics::counter_add("checkpoint/saves", 1);
+    seal(out)
+}
+
+/// Encodes one parameter bank (`gnn_p`, `gnn_np` or `gnn_g`) with its
+/// target normalizer.
+///
+/// # Errors
+///
+/// [`QorError::Corrupt`] for an unknown bank name.
+pub fn save_bank(model: &HierarchicalModel, bank: &str) -> Result<Vec<u8>, QorError> {
+    let (_, store) = model
+        .banks()
+        .into_iter()
+        .find(|(name, _)| *name == bank)
+        .ok_or_else(|| QorError::Corrupt(format!("unknown bank {bank:?}")))?;
+    let norm = model.normalizer(bank).expect("bank has a normalizer");
+    let mut out = header(KIND_BANK);
+    put_bank(&mut out, bank, store, norm);
+    Ok(seal(out))
+}
+
+/// Writes a full-model checkpoint to `path`.
+///
+/// # Errors
+///
+/// [`QorError::Io`] on filesystem failure.
+pub fn save_model_file(
+    path: impl AsRef<std::path::Path>,
+    model: &HierarchicalModel,
+) -> Result<(), QorError> {
+    std::fs::write(path, save_model(model))?;
+    Ok(())
+}
+
+// ------------------------------------------------------------------ decode
+
+/// A bounds-checked reader over the verified payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], QorError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                QorError::Corrupt(format!(
+                    "truncated checkpoint: {what} at offset {}",
+                    self.pos
+                ))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, QorError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, QorError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, QorError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, QorError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, QorError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self, n: usize, what: &str) -> Result<Vec<f32>, QorError> {
+        let bytes = self.take(
+            n.checked_mul(4)
+                .ok_or_else(|| QorError::Corrupt(format!("{what}: element count overflow")))?,
+            what,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn str(&mut self, what: &str) -> Result<&'a str, QorError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| QorError::Corrupt(format!("{what}: name is not UTF-8")))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Verifies magic, version and checksum; returns `(kind, payload)`.
+fn open(bytes: &[u8]) -> Result<(u8, Cursor<'_>), QorError> {
+    let min = MAGIC.len() + 4 + 1 + 8;
+    if bytes.len() < min {
+        return Err(QorError::Corrupt(format!(
+            "checkpoint too short: {} bytes, need at least {min}",
+            bytes.len()
+        )));
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(QorError::Corrupt("bad checkpoint magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(QorError::UnsupportedVersion(version));
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    let actual = fnv1a(body);
+    if stored != actual {
+        return Err(QorError::Corrupt(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        )));
+    }
+    let kind = bytes[12];
+    Ok((
+        kind,
+        Cursor {
+            buf: &body[13..],
+            pos: 0,
+        },
+    ))
+}
+
+fn read_options(c: &mut Cursor<'_>) -> Result<TrainOptions, QorError> {
+    let code = c.u8("conv kind")?;
+    let conv = ConvKind::from_code(code)
+        .ok_or_else(|| QorError::Corrupt(format!("unknown conv kind code {code}")))?;
+    let hidden = c.u32("hidden")? as usize;
+    let inner_epochs = c.u32("inner_epochs")? as usize;
+    let global_epochs = c.u32("global_epochs")? as usize;
+    let batch_size = c.u32("batch_size")? as usize;
+    let lr = c.f32("lr")?;
+    let seed = c.u64("seed")?;
+    let max_designs_per_kernel = c.u32("max_designs_per_kernel")? as usize;
+    let data_seed = c.u64("data seed")?;
+    let graph_max_nodes = c.u32("graph_max_nodes")? as usize;
+    let log_every = c.u32("log_every")? as usize;
+    let shared_inner = match c.u8("shared_inner")? {
+        0 => false,
+        1 => true,
+        b => return Err(QorError::Corrupt(format!("bad shared_inner byte {b}"))),
+    };
+    if hidden == 0 || hidden > 1 << 16 {
+        return Err(QorError::Corrupt(format!(
+            "implausible hidden width {hidden}"
+        )));
+    }
+    Ok(TrainOptions {
+        conv,
+        hidden,
+        inner_epochs,
+        global_epochs,
+        batch_size,
+        lr,
+        seed,
+        data: DataOptions {
+            max_designs_per_kernel,
+            seed: data_seed,
+        },
+        graph_max_nodes,
+        log_every,
+        shared_inner,
+    })
+}
+
+/// Reads one bank record into the matching bank of `model`; returns the
+/// bank name.
+fn read_bank_into(c: &mut Cursor<'_>, model: &mut HierarchicalModel) -> Result<String, QorError> {
+    let bank = c.str("bank name")?.to_string();
+    if !BANKS.contains(&bank.as_str()) {
+        return Err(QorError::Corrupt(format!("unknown bank {bank:?}")));
+    }
+    let dim = c.u32("normalizer dim")? as usize;
+    if dim > 1 << 10 {
+        return Err(QorError::Corrupt(format!(
+            "implausible normalizer dim {dim}"
+        )));
+    }
+    let mean = c.f32s(dim, "normalizer means")?;
+    let std = c.f32s(dim, "normalizer stds")?;
+    model.set_normalizer(&bank, Normalizer::from_stats(mean, std))?;
+
+    let count = c.u32("tensor count")? as usize;
+    let store = model
+        .banks_mut()
+        .into_iter()
+        .find(|(name, _)| *name == bank)
+        .map(|(_, store)| store)
+        .expect("bank name validated above");
+    let expected = store.entries().count();
+    if count != expected {
+        return Err(QorError::Corrupt(format!(
+            "bank {bank:?} has {count} tensors, architecture expects {expected}"
+        )));
+    }
+    for _ in 0..count {
+        let pname = c.str("tensor name")?.to_string();
+        let dtype = c.u8("tensor dtype")?;
+        if dtype != DTYPE_F32 {
+            return Err(QorError::Corrupt(format!(
+                "tensor {pname:?}: unknown dtype {dtype}"
+            )));
+        }
+        let rows = c.u32("tensor rows")? as usize;
+        let cols = c.u32("tensor cols")? as usize;
+        let len = rows
+            .checked_mul(cols)
+            .ok_or_else(|| QorError::Corrupt(format!("tensor {pname:?}: shape overflow")))?;
+        let data = c.f32s(len, "tensor data")?;
+        store.import(&pname, Matrix::from_vec(rows, cols, data))?;
+    }
+    Ok(bank)
+}
+
+/// Decodes a full-model checkpoint, rebuilding the architecture from the
+/// stored [`TrainOptions`] and restoring all weights and normalizers.
+///
+/// # Errors
+///
+/// [`QorError::Corrupt`] for malformed bytes (bad magic, truncation,
+/// checksum mismatch, unknown records), [`QorError::UnsupportedVersion`]
+/// for future format versions, [`QorError::Shape`] for tensor records that
+/// do not match the rebuilt architecture. Never panics.
+pub fn load_model(bytes: &[u8]) -> Result<HierarchicalModel, QorError> {
+    let _sp = obs::span("checkpoint_load");
+    let (kind, mut c) = open(bytes)?;
+    if kind != KIND_MODEL {
+        return Err(QorError::Corrupt(format!(
+            "expected a model checkpoint, found kind {kind}"
+        )));
+    }
+    let opts = read_options(&mut c)?;
+    let mut model = HierarchicalModel::new(&opts);
+    let banks = c.u32("bank count")? as usize;
+    if banks != BANKS.len() {
+        return Err(QorError::Corrupt(format!(
+            "model checkpoint has {banks} banks, expected {}",
+            BANKS.len()
+        )));
+    }
+    let mut seen = Vec::with_capacity(banks);
+    for _ in 0..banks {
+        let name = read_bank_into(&mut c, &mut model)?;
+        if seen.contains(&name) {
+            return Err(QorError::Corrupt(format!("duplicate bank {name:?}")));
+        }
+        seen.push(name);
+    }
+    if !c.done() {
+        return Err(QorError::Corrupt(format!(
+            "{} trailing bytes after the last record",
+            c.buf.len() - c.pos
+        )));
+    }
+    obs::metrics::counter_add("checkpoint/loads", 1);
+    Ok(model)
+}
+
+/// Decodes a single-bank checkpoint into the matching bank of an existing
+/// model (weights and normalizer); returns the bank name restored.
+///
+/// # Errors
+///
+/// As [`load_model`], plus [`QorError::Corrupt`] when the stream is a
+/// full-model checkpoint.
+pub fn load_bank_into(bytes: &[u8], model: &mut HierarchicalModel) -> Result<String, QorError> {
+    let (kind, mut c) = open(bytes)?;
+    if kind != KIND_BANK {
+        return Err(QorError::Corrupt(format!(
+            "expected a bank checkpoint, found kind {kind}"
+        )));
+    }
+    let name = read_bank_into(&mut c, model)?;
+    if !c.done() {
+        return Err(QorError::Corrupt(format!(
+            "{} trailing bytes after the last record",
+            c.buf.len() - c.pos
+        )));
+    }
+    Ok(name)
+}
+
+/// Reads a full-model checkpoint from `path`.
+///
+/// # Errors
+///
+/// [`QorError::Io`] on filesystem failure; otherwise as [`load_model`].
+pub fn load_model_file(path: impl AsRef<std::path::Path>) -> Result<HierarchicalModel, QorError> {
+    let bytes = std::fs::read(path)?;
+    load_model(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> HierarchicalModel {
+        HierarchicalModel::new(&TrainOptions::quick().with_hidden(10).with_seed(3))
+    }
+
+    #[test]
+    fn model_checkpoint_round_trips_options_and_weights() {
+        let model = tiny_model();
+        let bytes = save_model(&model);
+        assert_eq!(&bytes[..8], &MAGIC);
+        let restored = load_model(&bytes).unwrap();
+        assert_eq!(restored.options(), model.options());
+        for ((_, a), (_, b)) in model.banks().into_iter().zip(restored.banks()) {
+            let av: Vec<_> = a.entries().collect();
+            let bv: Vec<_> = b.entries().collect();
+            assert_eq!(av.len(), bv.len());
+            for ((an, am), (bn, bm)) in av.iter().zip(&bv) {
+                assert_eq!(an, bn);
+                assert_eq!(am.as_slice(), bm.as_slice(), "weights differ in {an}");
+            }
+        }
+        for bank in BANKS {
+            assert_eq!(model.normalizer(bank), restored.normalizer(bank));
+        }
+    }
+
+    #[test]
+    fn bank_checkpoint_round_trips_one_bank() {
+        let model = tiny_model();
+        let bytes = save_bank(&model, "gnn_np").unwrap();
+        // restore into a differently-seeded model: only gnn_np converges
+        let mut other = HierarchicalModel::new(&TrainOptions::quick().with_hidden(10).with_seed(9));
+        let name = load_bank_into(&bytes, &mut other).unwrap();
+        assert_eq!(name, "gnn_np");
+        let src: Vec<_> = model.banks()[1]
+            .1
+            .entries()
+            .map(|(_, m)| m.clone())
+            .collect();
+        let dst: Vec<_> = other.banks()[1]
+            .1
+            .entries()
+            .map(|(_, m)| m.clone())
+            .collect();
+        for (a, b) in src.iter().zip(&dst) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        assert!(matches!(
+            save_bank(&model, "gnn_x"),
+            Err(QorError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoints_are_deterministic() {
+        let model = tiny_model();
+        assert_eq!(save_model(&model), save_model(&model));
+    }
+
+    #[test]
+    fn model_and_bank_kinds_do_not_cross_load() {
+        let model = tiny_model();
+        let bank = save_bank(&model, "gnn_p").unwrap();
+        assert!(matches!(load_model(&bank), Err(QorError::Corrupt(_))));
+        let full = save_model(&model);
+        let mut m = tiny_model();
+        assert!(matches!(
+            load_bank_into(&full, &mut m),
+            Err(QorError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,423 @@
+//! A recursive-descent JSON parser producing [`obs::Json`] values.
+//!
+//! `obs` ships the workspace's write-only JSON value (run reports never
+//! parse); the server needs the other direction for request bodies. The
+//! parser is strict RFC 8259: no trailing commas, no comments, one value
+//! per document. Nesting depth is capped so adversarial bodies cannot
+//! overflow the stack.
+
+use obs::Json;
+
+/// Maximum nesting depth accepted by [`parse`].
+const MAX_DEPTH: usize = 64;
+
+/// A parse failure with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// [`JsonError`] with the byte offset of the first violation.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xd800..0xdc00).contains(&hi) {
+                                // surrogate pair: a low surrogate must follow
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else if (0xdc00..0xe000).contains(&hi) {
+                                return Err(self.err("unpaired surrogate"));
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?,
+                            );
+                        }
+                        c => {
+                            return Err(self.err(format!("bad escape \\{}", c as char)));
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("control character in string"));
+                }
+                Some(_) => {
+                    // copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid)
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).unwrap());
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| self.err("short \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            p.pos > s
+        };
+        if !digits(self) {
+            return Err(self.err("expected digits"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !digits(self) {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err("unparseable number"))
+    }
+}
+
+// -------------------------------------------------------------- accessors
+
+/// Looks up a field of an object (first match; `None` for non-objects).
+pub fn field<'a>(value: &'a Json, key: &str) -> Option<&'a Json> {
+    match value {
+        Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// The string payload, if this is a string.
+pub fn as_str(value: &Json) -> Option<&str> {
+    match value {
+        Json::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// The value as a `u64`, accepting any non-negative integral number.
+pub fn as_u64(value: &Json) -> Option<u64> {
+    match value {
+        Json::UInt(v) => Some(*v),
+        Json::Int(v) => u64::try_from(*v).ok(),
+        Json::Float(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+/// The boolean payload, if this is a boolean.
+pub fn as_bool(value: &Json) -> Option<bool> {
+    match value {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+/// The element list, if this is an array.
+pub fn as_array(value: &Json) -> Option<&[Json]> {
+    match value {
+        Json::Arr(items) => Some(items),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("2.5e1").unwrap(), Json::Float(25.0));
+        assert_eq!(parse(r#""hi""#).unwrap(), Json::Str("hi".into()));
+        assert_eq!(
+            parse("[1, 2]").unwrap(),
+            Json::Arr(vec![Json::UInt(1), Json::UInt(2)])
+        );
+        let obj = parse(r#"{"a": 1, "b": [true, null]}"#).unwrap();
+        assert_eq!(as_u64(field(&obj, "a").unwrap()), Some(1));
+        assert_eq!(as_array(field(&obj, "b").unwrap()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn round_trips_through_the_obs_writer() {
+        let doc = r#"{"kernel":"mvt","config":{"loops":[{"loop":[0,1],"pipeline":true}]},"x":-3,"y":1.5,"s":"a\"b\\c\nd"}"#;
+        let parsed = parse(doc).unwrap();
+        let reparsed = parse(&parsed.to_string()).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        assert_eq!(
+            parse(r#""aA\té😀""#).unwrap(),
+            Json::Str("aA\t\u{e9}\u{1f600}".into())
+        );
+        assert!(parse(r#""\ud800""#).is_err(), "unpaired surrogate");
+        assert!(parse("\"a\nb\"").is_err(), "raw control character");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_offsets() {
+        for doc in [
+            "",
+            "{",
+            "[1,",
+            "[1,]",
+            r#"{"a" 1}"#,
+            "tru",
+            "1.2.3",
+            "01x",
+            "[1] extra",
+            r#"{"a":}"#,
+        ] {
+            let err = parse(doc).unwrap_err();
+            assert!(err.offset <= doc.len(), "{doc:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_blocks_stack_abuse() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("deep"), "{err}");
+        // within the limit is fine
+        let ok = "[".repeat(32) + "1" + &"]".repeat(32);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn numbers_keep_their_natural_types() {
+        assert_eq!(
+            as_u64(&parse("18446744073709551615").unwrap()),
+            Some(u64::MAX)
+        );
+        assert!(matches!(
+            parse("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN)
+        ));
+        // too large for both integer types: falls back to float
+        assert!(matches!(
+            parse("99999999999999999999").unwrap(),
+            Json::Float(_)
+        ));
+        assert_eq!(as_u64(&Json::Float(3.0)), Some(3));
+        assert_eq!(as_u64(&Json::Float(3.5)), None);
+        assert_eq!(as_u64(&Json::Int(-1)), None);
+    }
+}

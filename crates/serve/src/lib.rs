@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Model serving: versioned checkpoints and a std-only batch-inference
+//! HTTP server.
+//!
+//! The paper's headline use case is replacing hours-long HLS + place &
+//! route runs with millisecond model inference inside a DSE loop. This
+//! crate packages the trained [`qor_core::HierarchicalModel`] for that
+//! role:
+//!
+//! * [`checkpoint`] — a versioned, checksummed binary format that
+//!   round-trips all three GNN banks (and the full hierarchical model)
+//!   bit-exactly, and rejects corrupt or future-format files with typed
+//!   [`qor_core::QorError`]s instead of panicking.
+//! * [`server`] — an HTTP/1.1 server over raw `std::net` (the build is
+//!   offline; no hyper) with `POST /predict` (single and batched),
+//!   `GET /healthz`, and a Prometheus `GET /metrics`. All predictions go
+//!   through one shared [`qor_core::Session`], so repeated pragma
+//!   configurations are answered from the memoized front half.
+//! * [`http`] / [`json`] — the minimal substrates the server stands on:
+//!   bounded request parsing and a strict JSON parser for request bodies
+//!   (`obs::Json` is write-only).
+//!
+//! The `qor-serve` binary wires these together; `qor-serve --self-test`
+//! runs an in-process end-to-end smoke test (bind, predict twice, verify
+//! the cache hit, clean shutdown) used by CI.
+
+pub mod checkpoint;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use checkpoint::{
+    load_bank_into, load_model, load_model_file, save_bank, save_model, save_model_file,
+    FORMAT_VERSION, MAGIC,
+};
+pub use server::{Server, ServerHandle};
+
+// the server shares one Session across connection threads
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<qor_core::Session>();
+};

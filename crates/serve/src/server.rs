@@ -1,0 +1,599 @@
+//! The batch-inference HTTP server: routes, request decoding, and the
+//! Prometheus exposition endpoint.
+//!
+//! # Endpoints
+//!
+//! | route           | method | body                                       |
+//! |-----------------|--------|--------------------------------------------|
+//! | `/healthz`      | GET    | — → `{"status":"ok", ...}`                 |
+//! | `/metrics`      | GET    | — → Prometheus text exposition             |
+//! | `/predict`      | POST   | one prediction request, or `{"requests":[…]}` for a batch |
+//!
+//! A prediction request names a bundled kernel (`{"kernel":"mvt"}`) or
+//! carries inline source (`{"source":"void f(...){...}","top":"f"}`), plus
+//! an optional pragma `"config"`:
+//!
+//! ```json
+//! {"kernel": "mvt",
+//!  "config": {"loops":  [{"loop": [0,0], "pipeline": true, "unroll": 4}],
+//!             "arrays": [{"array": "a", "dim": 1, "kind": "cyclic", "factor": 2}]}}
+//! ```
+//!
+//! `"unroll"` accepts a factor (`0`/`1` = off) or `"full"`. Responses carry
+//! the predicted QoR plus the session's cumulative cache statistics, so a
+//! client can observe its own hit rate; batches are fanned out through the
+//! deterministic `par` executor and return results in request order.
+//!
+//! The server answers every prediction through one shared
+//! [`qor_core::Session`], so repeated configurations skip the front half of
+//! the pipeline regardless of which connection or batch they arrive on.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use obs::Json;
+use pragma::{ArrayPartition, LoopId, PartitionKind, PragmaConfig, Unroll};
+use qor_core::{CacheStats, QorError, Session};
+
+use crate::http::{self, ParseError, Request};
+use crate::json;
+
+/// Shared state behind the accept loop and all connection threads.
+struct ServeState {
+    session: Session,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    predictions: AtomicU64,
+    client_errors: AtomicU64,
+}
+
+/// A bound (not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+}
+
+/// Handle to a running server: address + clean shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    join: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and wraps the
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, session: Session) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServeState {
+                session,
+                shutdown: AtomicBool::new(false),
+                requests: AtomicU64::new(0),
+                predictions: AtomicU64::new(0),
+                client_errors: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the calling thread until
+    /// [`ServerHandle::shutdown`] (or [`Server::spawn`]'s handle) flags it.
+    pub fn run(self) {
+        let addr = self.listener.local_addr().ok();
+        obs::tracef!(1, "qor-serve listening on {addr:?}");
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || handle_connection(stream, &state));
+                }
+                Err(e) => obs::tracef!(1, "accept failed: {e}"),
+            }
+        }
+    }
+
+    /// Moves the accept loop onto a background thread and returns a
+    /// shutdown handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let join = std::thread::spawn(move || self.run());
+        Ok(ServerHandle { addr, state, join })
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Cumulative cache statistics of the server's session.
+    pub fn stats(&self) -> CacheStats {
+        self.state.session.stats()
+    }
+
+    /// Flags shutdown, wakes the accept loop with a self-connection, and
+    /// joins the server thread.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // the accept loop only observes the flag on its next connection
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.join.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServeState) {
+    let request = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(ParseError::Closed) => return, // shutdown poke or dropped peer
+        Err(e @ (ParseError::Malformed(_) | ParseError::TooLarge(_))) => {
+            state.client_errors.fetch_add(1, Ordering::Relaxed);
+            let body = error_json(&e.to_string());
+            let status = if matches!(e, ParseError::TooLarge(_)) {
+                413
+            } else {
+                400
+            };
+            let reason = if status == 413 {
+                "Payload Too Large"
+            } else {
+                "Bad Request"
+            };
+            let _ = http::write_response(
+                &mut stream,
+                status,
+                reason,
+                "application/json",
+                body.as_bytes(),
+            );
+            return;
+        }
+        Err(ParseError::Io(_)) => return,
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    obs::metrics::counter_add("serve/http/requests", 1);
+
+    let (status, reason, content_type, body) = route(state, &request);
+    if status >= 400 {
+        state.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = http::write_response(&mut stream, status, reason, content_type, body.as_bytes());
+}
+
+fn route(state: &ServeState, request: &Request) -> (u16, &'static str, &'static str, String) {
+    let method = request.method.as_str();
+    match request.path.as_str() {
+        "/healthz" if method == "GET" => (200, "OK", "application/json", healthz(state)),
+        "/metrics" if method == "GET" => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            render_metrics(state),
+        ),
+        "/predict" if method == "POST" => match predict_route(state, &request.body) {
+            Ok(body) => (200, "OK", "application/json", body),
+            Err(msg) => (400, "Bad Request", "application/json", error_json(&msg)),
+        },
+        "/healthz" | "/metrics" | "/predict" => (
+            405,
+            "Method Not Allowed",
+            "application/json",
+            error_json("method not allowed"),
+        ),
+        _ => (
+            404,
+            "Not Found",
+            "application/json",
+            error_json("no such route"),
+        ),
+    }
+}
+
+fn healthz(state: &ServeState) -> String {
+    Json::obj(vec![
+        ("status", Json::str("ok")),
+        (
+            "requests",
+            Json::UInt(state.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "predictions",
+            Json::UInt(state.predictions.load(Ordering::Relaxed)),
+        ),
+        ("cache", cache_json(&state.session.stats())),
+    ])
+    .to_string()
+}
+
+fn error_json(message: &str) -> String {
+    Json::obj(vec![("error", Json::str(message))]).to_string()
+}
+
+// ------------------------------------------------------------- predictions
+
+/// One decoded prediction request.
+struct PredictRequest {
+    kernel: Option<String>,
+    source: Option<(String, String)>, // (top, source)
+    cfg: PragmaConfig,
+}
+
+fn predict_route(state: &ServeState, body: &[u8]) -> Result<String, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+
+    if let Some(batch) = json::field(&doc, "requests") {
+        let items = json::as_array(batch).ok_or("\"requests\" must be an array")?;
+        let decoded: Vec<PredictRequest> = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| decode_request(item).map_err(|e| format!("request {i}: {e}")))
+            .collect::<Result<_, _>>()?;
+        // fan the batch through the deterministic executor: results come
+        // back in request order for any worker count
+        let results = par::map("serve/predict", &decoded, |_, req| predict_one(state, req));
+        let results: Vec<Json> = results
+            .into_iter()
+            .map(|r| match r {
+                Ok(qor) => Json::obj(vec![("qor", qor_json(&qor))]),
+                Err(e) => Json::obj(vec![("error", Json::str(e.to_string()))]),
+            })
+            .collect();
+        Ok(Json::obj(vec![
+            ("results", Json::Arr(results)),
+            ("cache", cache_json(&state.session.stats())),
+        ])
+        .to_string())
+    } else {
+        let req = decode_request(&doc)?;
+        let qor = predict_one(state, &req).map_err(|e| e.to_string())?;
+        Ok(Json::obj(vec![
+            ("qor", qor_json(&qor)),
+            ("cache", cache_json(&state.session.stats())),
+        ])
+        .to_string())
+    }
+}
+
+fn predict_one(state: &ServeState, req: &PredictRequest) -> Result<hlsim::Qor, QorError> {
+    state.predictions.fetch_add(1, Ordering::Relaxed);
+    if let Some(kernel) = &req.kernel {
+        state.session.predict_kernel(kernel, &req.cfg)
+    } else {
+        let (top, source) = req
+            .source
+            .as_ref()
+            .expect("decode guarantees one of the two");
+        state.session.predict_source(top, source, &req.cfg)
+    }
+}
+
+fn decode_request(doc: &Json) -> Result<PredictRequest, String> {
+    let kernel = json::field(doc, "kernel")
+        .map(|v| {
+            json::as_str(v)
+                .map(str::to_string)
+                .ok_or("\"kernel\" must be a string")
+        })
+        .transpose()?;
+    let source = match json::field(doc, "source") {
+        Some(v) => {
+            let source = json::as_str(v).ok_or("\"source\" must be a string")?;
+            let top = json::field(doc, "top")
+                .and_then(json::as_str)
+                .ok_or("inline \"source\" requires a \"top\" function name")?;
+            Some((top.to_string(), source.to_string()))
+        }
+        None => None,
+    };
+    if kernel.is_some() == source.is_some() {
+        return Err("provide exactly one of \"kernel\" or \"source\"".into());
+    }
+    let cfg = match json::field(doc, "config") {
+        Some(c) => decode_config(c)?,
+        None => PragmaConfig::default(),
+    };
+    Ok(PredictRequest {
+        kernel,
+        source,
+        cfg,
+    })
+}
+
+fn decode_config(doc: &Json) -> Result<PragmaConfig, String> {
+    let mut cfg = PragmaConfig::default();
+    if let Some(loops) = json::field(doc, "loops") {
+        for (i, entry) in json::as_array(loops)
+            .ok_or("\"loops\" must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let at = |msg: &str| format!("loops[{i}]: {msg}");
+            let path = json::field(entry, "loop").ok_or_else(|| at("missing \"loop\" path"))?;
+            let segs: Vec<u16> = json::as_array(path)
+                .ok_or_else(|| at("\"loop\" must be an array of indices"))?
+                .iter()
+                .map(|s| {
+                    json::as_u64(s)
+                        .and_then(|v| u16::try_from(v).ok())
+                        .ok_or_else(|| at("loop index out of range"))
+                })
+                .collect::<Result<_, _>>()?;
+            let id = LoopId::from_path(&segs);
+            if let Some(v) = json::field(entry, "pipeline") {
+                cfg.set_pipeline(
+                    id.clone(),
+                    json::as_bool(v).ok_or_else(|| at("\"pipeline\" must be a boolean"))?,
+                );
+            }
+            if let Some(v) = json::field(entry, "flatten") {
+                cfg.set_flatten(
+                    id.clone(),
+                    json::as_bool(v).ok_or_else(|| at("\"flatten\" must be a boolean"))?,
+                );
+            }
+            if let Some(v) = json::field(entry, "unroll") {
+                let unroll = match (json::as_str(v), json::as_u64(v)) {
+                    (Some("full"), _) => Unroll::Full,
+                    (_, Some(0 | 1)) => Unroll::Off,
+                    (_, Some(f)) if f <= u64::from(u32::MAX) => Unroll::Factor(f as u32),
+                    _ => return Err(at("\"unroll\" must be a factor or \"full\"")),
+                };
+                cfg.set_unroll(id.clone(), unroll);
+            }
+        }
+    }
+    if let Some(arrays) = json::field(doc, "arrays") {
+        for (i, entry) in json::as_array(arrays)
+            .ok_or("\"arrays\" must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let at = |msg: &str| format!("arrays[{i}]: {msg}");
+            let array = json::field(entry, "array")
+                .and_then(json::as_str)
+                .ok_or_else(|| at("missing \"array\" name"))?;
+            let dim = json::field(entry, "dim")
+                .and_then(json::as_u64)
+                .and_then(|v| u32::try_from(v).ok())
+                .filter(|&d| d >= 1)
+                .ok_or_else(|| at("\"dim\" must be a 1-based integer"))?;
+            let kind = match json::field(entry, "kind").and_then(json::as_str) {
+                Some("cyclic") | None => PartitionKind::Cyclic,
+                Some("block") => PartitionKind::Block,
+                Some("complete") => PartitionKind::Complete,
+                Some(other) => return Err(at(&format!("unknown partition kind {other:?}"))),
+            };
+            let factor = json::field(entry, "factor")
+                .map(|v| {
+                    json::as_u64(v)
+                        .and_then(|f| u32::try_from(f).ok())
+                        .ok_or_else(|| at("\"factor\" must be an integer"))
+                })
+                .transpose()?
+                .unwrap_or(1);
+            cfg.set_partition(array, dim, ArrayPartition { kind, factor });
+        }
+    }
+    Ok(cfg)
+}
+
+fn qor_json(qor: &hlsim::Qor) -> Json {
+    Json::obj(vec![
+        ("latency", Json::UInt(qor.latency)),
+        ("lut", Json::UInt(qor.lut)),
+        ("ff", Json::UInt(qor.ff)),
+        ("dsp", Json::UInt(qor.dsp)),
+    ])
+}
+
+fn cache_json(stats: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("hits", Json::UInt(stats.hits)),
+        ("misses", Json::UInt(stats.misses)),
+        ("evictions", Json::UInt(stats.evictions)),
+        ("kernel_hits", Json::UInt(stats.kernel_hits)),
+        ("kernel_misses", Json::UInt(stats.kernel_misses)),
+        ("len", Json::UInt(stats.len as u64)),
+        ("capacity", Json::UInt(stats.capacity as u64)),
+    ])
+}
+
+// ----------------------------------------------------------------- metrics
+
+/// Renders the `/metrics` body: server/session gauges first (always live,
+/// independent of whether `obs` collection is enabled), then whatever the
+/// `obs` registry holds, names sanitized to the Prometheus charset and
+/// prefixed `qor_`.
+fn render_metrics(state: &ServeState) -> String {
+    let mut out = String::new();
+    let stats = state.session.stats();
+    let mut put = |name: &str, kind: &str, value: String| {
+        out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+    };
+    put(
+        "qor_http_requests_total",
+        "counter",
+        state.requests.load(Ordering::Relaxed).to_string(),
+    );
+    put(
+        "qor_http_client_errors_total",
+        "counter",
+        state.client_errors.load(Ordering::Relaxed).to_string(),
+    );
+    put(
+        "qor_predictions_total",
+        "counter",
+        state.predictions.load(Ordering::Relaxed).to_string(),
+    );
+    put(
+        "qor_session_cache_hits_total",
+        "counter",
+        stats.hits.to_string(),
+    );
+    put(
+        "qor_session_cache_misses_total",
+        "counter",
+        stats.misses.to_string(),
+    );
+    put(
+        "qor_session_cache_evictions_total",
+        "counter",
+        stats.evictions.to_string(),
+    );
+    put(
+        "qor_session_kernel_hits_total",
+        "counter",
+        stats.kernel_hits.to_string(),
+    );
+    put(
+        "qor_session_kernel_misses_total",
+        "counter",
+        stats.kernel_misses.to_string(),
+    );
+    put("qor_session_cache_size", "gauge", stats.len.to_string());
+    put(
+        "qor_session_cache_capacity",
+        "gauge",
+        stats.capacity.to_string(),
+    );
+
+    for (name, snap) in obs::metrics::snapshot() {
+        // the session/* counters above are authoritative; their obs mirrors
+        // only move while collection is on and would shadow them
+        if name.starts_with("session/") {
+            continue;
+        }
+        let name = sanitize_metric_name(&name);
+        match snap {
+            obs::metrics::Snapshot::Counter(v) => {
+                put(&format!("qor_{name}_total"), "counter", v.to_string());
+            }
+            obs::metrics::Snapshot::Gauge(v) | obs::metrics::Snapshot::SeriesLast(_, v) => {
+                put(&format!("qor_{name}"), "gauge", format_float(v));
+            }
+            obs::metrics::Snapshot::Histogram { count, sum, .. } => {
+                put(&format!("qor_{name}_count"), "counter", count.to_string());
+                put(&format!("qor_{name}_sum"), "counter", format_float(sum));
+            }
+        }
+    }
+    out
+}
+
+fn format_float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "NaN".to_string()
+    }
+}
+
+/// Maps an obs metric name (`dse/mvt/adrs_percent`, `cdfg.nodes_built`)
+/// onto the Prometheus charset `[a-zA-Z0-9_]`.
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_decoding_covers_loops_and_arrays() {
+        let doc = json::parse(
+            r#"{"loops":[{"loop":[0,1],"pipeline":true,"unroll":4},
+                        {"loop":[0],"unroll":"full","flatten":true}],
+                "arrays":[{"array":"a","dim":1,"kind":"cyclic","factor":2},
+                          {"array":"b","dim":2,"kind":"complete"}]}"#,
+        )
+        .unwrap();
+        let cfg = decode_config(&doc).unwrap();
+        let p01 = cfg.loop_pragma(&LoopId::from_path(&[0, 1]));
+        assert!(p01.pipeline);
+        assert_eq!(p01.unroll, Unroll::Factor(4));
+        let p0 = cfg.loop_pragma(&LoopId::from_path(&[0]));
+        assert!(p0.flatten);
+        assert_eq!(p0.unroll, Unroll::Full);
+        assert_eq!(
+            cfg.partition("a", 1),
+            ArrayPartition {
+                kind: PartitionKind::Cyclic,
+                factor: 2
+            }
+        );
+        assert_eq!(cfg.partition("b", 2).kind, PartitionKind::Complete);
+    }
+
+    #[test]
+    fn config_decoding_rejects_bad_shapes() {
+        for (doc, needle) in [
+            (r#"{"loops":[{"pipeline":true}]}"#, "loop"),
+            (r#"{"loops":[{"loop":[0],"unroll":"half"}]}"#, "unroll"),
+            (r#"{"loops":[{"loop":[99999999]}]}"#, "index"),
+            (r#"{"arrays":[{"dim":1}]}"#, "array"),
+            (r#"{"arrays":[{"array":"a","dim":0}]}"#, "dim"),
+            (
+                r#"{"arrays":[{"array":"a","dim":1,"kind":"diagonal"}]}"#,
+                "kind",
+            ),
+        ] {
+            let parsed = json::parse(doc).unwrap();
+            let err = decode_config(&parsed).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn request_decoding_requires_exactly_one_input_form() {
+        let both = json::parse(r#"{"kernel":"mvt","source":"void f(){}","top":"f"}"#).unwrap();
+        assert!(decode_request(&both).is_err());
+        let neither = json::parse(r#"{"config":{}}"#).unwrap();
+        assert!(decode_request(&neither).is_err());
+        let source_without_top = json::parse(r#"{"source":"void f(){}"}"#).unwrap();
+        assert!(decode_request(&source_without_top).is_err());
+        let ok = json::parse(r#"{"kernel":"mvt"}"#).unwrap();
+        assert!(decode_request(&ok).is_ok());
+    }
+
+    #[test]
+    fn metric_names_sanitize_to_prometheus_charset() {
+        assert_eq!(
+            sanitize_metric_name("dse/mvt/adrs_percent"),
+            "dse_mvt_adrs_percent"
+        );
+        assert_eq!(sanitize_metric_name("cdfg.nodes_built"), "cdfg_nodes_built");
+        assert_eq!(sanitize_metric_name("2fast"), "_2fast");
+    }
+}

@@ -1,0 +1,122 @@
+//! Differential round-trip tests: a checkpointed model must predict
+//! bit-identically to the in-memory model it was saved from — for each of
+//! the three GNN banks individually and for the full hierarchical
+//! composition. This suite is the CI checkpoint gate.
+
+use std::sync::Arc;
+
+use gnn::Normalizer;
+use pragma::{LoopId, PragmaConfig, Unroll};
+use qor_core::{HierarchicalModel, TrainOptions, BANKS};
+
+fn opts(seed: u64) -> TrainOptions {
+    TrainOptions::quick().with_hidden(14).with_seed(seed)
+}
+
+/// A model whose normalizers are NOT identity, so their restore path is
+/// actually exercised (untrained models carry identity normalizers, which
+/// would round-trip trivially).
+fn distinctive_model(seed: u64) -> HierarchicalModel {
+    let mut model = HierarchicalModel::new(&opts(seed));
+    for (bank, dim) in BANKS.iter().zip([5usize, 5, 4]) {
+        let mean: Vec<f32> = (0..dim)
+            .map(|i| 0.25 + i as f32 * 0.5 + seed as f32)
+            .collect();
+        let std: Vec<f32> = (0..dim).map(|i| 1.0 + i as f32 * 0.125).collect();
+        model
+            .set_normalizer(bank, Normalizer::from_stats(mean, std))
+            .unwrap();
+    }
+    model
+}
+
+/// Kernel/config pairs spanning pipelined, unrolled and partitioned inner
+/// loops across several benchmark kernels.
+fn probe_designs() -> Vec<(Arc<hir::Function>, PragmaConfig)> {
+    let mut designs = Vec::new();
+    for kernel in ["mvt", "bicg", "gemm", "syrk"] {
+        let func = Arc::new(kernels::lower_kernel(kernel).unwrap());
+        designs.push((func.clone(), PragmaConfig::default()));
+        let mut piped = PragmaConfig::default();
+        piped.set_pipeline(LoopId::from_path(&[0]), true);
+        designs.push((func.clone(), piped));
+        let mut unrolled = PragmaConfig::default();
+        unrolled.set_unroll(LoopId::from_path(&[0]), Unroll::Factor(4));
+        unrolled.set_pipeline(LoopId::from_path(&[1]), true);
+        designs.push((func, unrolled));
+    }
+    designs
+}
+
+#[test]
+fn full_model_round_trip_is_bit_exact() {
+    let model = distinctive_model(3);
+    let bytes = serve::save_model(&model);
+    let restored = serve::load_model(&bytes).unwrap();
+    assert_eq!(restored.options(), model.options());
+    for (func, cfg) in probe_designs() {
+        let direct = model.predict(&func, &cfg);
+        let loaded = restored.predict(&func, &cfg);
+        assert_eq!(direct, loaded, "{}: {cfg}", func.name);
+        // super-node features feeding GNN_g must also agree exactly
+        let a = model.predict_supers(&func, &cfg);
+        let b = restored.predict_supers(&func, &cfg);
+        assert_eq!(a, b, "{}: supers diverge under {cfg}", func.name);
+    }
+}
+
+#[test]
+fn file_round_trip_is_bit_exact() {
+    let model = distinctive_model(5);
+    let dir = std::env::temp_dir().join(format!("qor-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.qorckpt");
+    serve::save_model_file(&path, &model).unwrap();
+    let restored = serve::load_model_file(&path).unwrap();
+    for (func, cfg) in probe_designs() {
+        assert_eq!(model.predict(&func, &cfg), restored.predict(&func, &cfg));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn each_bank_restores_independently_and_composes() {
+    let source = distinctive_model(3);
+    // a differently-seeded model starts with different weights everywhere…
+    let mut target = distinctive_model(9);
+    let (f, cfg) = &probe_designs()[1];
+    assert_ne!(
+        source.predict(f, cfg),
+        target.predict(f, cfg),
+        "seeds must produce distinguishable models for this test to bite"
+    );
+    // …and converges to the source bank by bank
+    for bank in BANKS {
+        let bytes = serve::save_bank(&source, bank).unwrap();
+        let restored = serve::load_bank_into(&bytes, &mut target).unwrap();
+        assert_eq!(restored, bank);
+    }
+    for (func, cfg) in probe_designs() {
+        assert_eq!(
+            source.predict(&func, &cfg),
+            target.predict(&func, &cfg),
+            "{}: models diverge after restoring all banks ({cfg})",
+            func.name
+        );
+    }
+}
+
+#[test]
+fn session_over_a_restored_model_matches_the_library_path() {
+    let model = distinctive_model(7);
+    let restored = serve::load_model(&serve::save_model(&model)).unwrap();
+    let session = qor_core::Session::with_capacity(restored, 16);
+    let mut cfg = PragmaConfig::default();
+    cfg.set_pipeline(LoopId::from_path(&[0]), true);
+    let func = Arc::new(kernels::lower_kernel("mvt").unwrap());
+    let direct = model.predict(&func, &cfg);
+    // miss path, then hit path: both must equal the in-memory prediction
+    assert_eq!(session.predict_kernel("mvt", &cfg).unwrap(), direct);
+    assert_eq!(session.predict_kernel("mvt", &cfg).unwrap(), direct);
+    assert_eq!(session.stats().hits, 1);
+}

@@ -1,0 +1,218 @@
+//! End-to-end server tests: an in-process `Server` driven over real TCP by
+//! the std-only client in `serve::http`. Verifies that HTTP predictions are
+//! bit-identical to the library path, that repeated queries hit the session
+//! cache, and that error paths return proper statuses.
+
+use std::sync::Arc;
+
+use obs::Json;
+use pragma::{LoopId, PragmaConfig};
+use qor_core::{HierarchicalModel, Session, TrainOptions};
+use serve::http::client_request;
+use serve::{json, Server};
+
+fn model() -> HierarchicalModel {
+    HierarchicalModel::new(&TrainOptions::quick().with_hidden(12).with_seed(4))
+}
+
+fn pipelined() -> PragmaConfig {
+    let mut cfg = PragmaConfig::default();
+    cfg.set_pipeline(LoopId::from_path(&[0]), true);
+    cfg
+}
+
+fn spawn_server() -> serve::ServerHandle {
+    Server::bind("127.0.0.1:0", Session::with_capacity(model(), 32))
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+fn qor_field(doc: &Json, root: &str) -> (u64, u64, u64, u64) {
+    let q = json::field(doc, root).expect("qor object");
+    let get = |k: &str| json::as_u64(json::field(q, k).unwrap()).unwrap();
+    (get("latency"), get("lut"), get("ff"), get("dsp"))
+}
+
+#[test]
+fn healthz_reports_ok() {
+    let handle = spawn_server();
+    let (status, body) = client_request(handle.addr(), "GET", "/healthz", None).unwrap();
+    handle.shutdown();
+    assert_eq!(status, 200);
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(
+        json::field(&doc, "status").and_then(json::as_str),
+        Some("ok")
+    );
+}
+
+#[test]
+fn single_prediction_matches_library_path_and_repeats_hit_the_cache() {
+    // the reference model is a *separate* instance with identical options:
+    // weight init is seeded, so predictions must agree bit-for-bit
+    let reference = model();
+    let func = Arc::new(kernels::lower_kernel("mvt").unwrap());
+    let expected = reference.predict(&func, &pipelined());
+
+    let handle = spawn_server();
+    let body = r#"{"kernel":"mvt","config":{"loops":[{"loop":[0],"pipeline":true}]}}"#;
+    let (status, first) = client_request(handle.addr(), "POST", "/predict", Some(body)).unwrap();
+    assert_eq!(status, 200, "{first}");
+    let (_, second) = client_request(handle.addr(), "POST", "/predict", Some(body)).unwrap();
+    let stats = handle.stats();
+    handle.shutdown();
+
+    let first = json::parse(&first).unwrap();
+    let second = json::parse(&second).unwrap();
+    for doc in [&first, &second] {
+        assert_eq!(
+            qor_field(doc, "qor"),
+            (expected.latency, expected.lut, expected.ff, expected.dsp),
+            "server prediction diverges from the library path"
+        );
+    }
+    assert_eq!(stats.hits, 1, "second identical query must hit");
+    assert_eq!(stats.misses, 1);
+    // the response's cache object exposes the same counters
+    let cache = json::field(&second, "cache").unwrap();
+    assert_eq!(json::field(cache, "hits").and_then(json::as_u64), Some(1));
+}
+
+#[test]
+fn batched_predictions_preserve_order_and_reuse_the_cache() {
+    let reference = model();
+    let mvt = Arc::new(kernels::lower_kernel("mvt").unwrap());
+    let bicg = Arc::new(kernels::lower_kernel("bicg").unwrap());
+    let expect_mvt = reference.predict(&mvt, &pipelined());
+    let expect_mvt_plain = reference.predict(&mvt, &PragmaConfig::default());
+    let expect_bicg = reference.predict(&bicg, &PragmaConfig::default());
+
+    let handle = spawn_server();
+    let body = r#"{"requests":[
+        {"kernel":"mvt","config":{"loops":[{"loop":[0],"pipeline":true}]}},
+        {"kernel":"bicg"},
+        {"kernel":"mvt"},
+        {"kernel":"mvt","config":{"loops":[{"loop":[0],"pipeline":true}]}},
+        {"kernel":"nope"}
+    ]}"#;
+    let (status, response) = client_request(handle.addr(), "POST", "/predict", Some(body)).unwrap();
+    let stats = handle.stats();
+    handle.shutdown();
+
+    assert_eq!(status, 200, "{response}");
+    let doc = json::parse(&response).unwrap();
+    let results = json::as_array(json::field(&doc, "results").unwrap()).unwrap();
+    assert_eq!(results.len(), 5);
+    for (i, expected) in [expect_mvt, expect_bicg, expect_mvt_plain, expect_mvt]
+        .iter()
+        .enumerate()
+    {
+        assert_eq!(
+            qor_field(&results[i], "qor"),
+            (expected.latency, expected.lut, expected.ff, expected.dsp),
+            "batch result {i} diverges"
+        );
+    }
+    // per-item failures do not fail the batch
+    let err = json::field(&results[4], "error")
+        .and_then(json::as_str)
+        .unwrap();
+    assert!(err.contains("nope"), "{err}");
+    // requests 0 and 3 share a design; the kernel repeats three more times
+    assert!(
+        stats.hits >= 1,
+        "repeated design in one batch must hit: {stats:?}"
+    );
+    assert!(stats.kernel_hits >= 2);
+}
+
+#[test]
+fn inline_source_predictions_work() {
+    let handle = spawn_server();
+    let body = r#"{"top":"f","source":"void f(float a[16], float b[16]) { for (int i = 0; i < 16; i++) { b[i] = a[i] * 3.0; } }"}"#;
+    let (status, response) = client_request(handle.addr(), "POST", "/predict", Some(body)).unwrap();
+    let (_, repeat) = client_request(handle.addr(), "POST", "/predict", Some(body)).unwrap();
+    let stats = handle.stats();
+    handle.shutdown();
+    assert_eq!(status, 200, "{response}");
+    // an untrained model may predict ~0, so assert structure + determinism
+    let doc = json::parse(&response).unwrap();
+    let again = json::parse(&repeat).unwrap();
+    assert_eq!(qor_field(&doc, "qor"), qor_field(&again, "qor"));
+    assert_eq!(stats.kernel_misses, 1, "inline source must be cached too");
+    assert_eq!(stats.kernel_hits, 1);
+}
+
+#[test]
+fn metrics_expose_cache_counters_in_prometheus_format() {
+    let handle = spawn_server();
+    let body = r#"{"kernel":"mvt"}"#;
+    for _ in 0..2 {
+        client_request(handle.addr(), "POST", "/predict", Some(body)).unwrap();
+    }
+    let (status, text) = client_request(handle.addr(), "GET", "/metrics", None).unwrap();
+    handle.shutdown();
+    assert_eq!(status, 200);
+    assert!(
+        text.contains("# TYPE qor_session_cache_hits_total counter"),
+        "{text}"
+    );
+    let hits_line = text
+        .lines()
+        .find(|l| l.starts_with("qor_session_cache_hits_total "))
+        .unwrap();
+    assert_eq!(hits_line, "qor_session_cache_hits_total 1");
+    assert!(text.contains("qor_predictions_total 2"), "{text}");
+    // every sample line uses the Prometheus charset
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let name = line.split_whitespace().next().unwrap();
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name {name:?}"
+        );
+    }
+}
+
+#[test]
+fn error_paths_return_proper_statuses() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+    let cases = [
+        ("POST", "/predict", Some("{not json"), 400),
+        ("POST", "/predict", Some(r#"{"config":{}}"#), 400),
+        (
+            "POST",
+            "/predict",
+            Some(r#"{"kernel":"mvt","config":{"loops":[{"loop":[0],"unroll":"half"}]}}"#),
+            400,
+        ),
+        (
+            "POST",
+            "/predict",
+            Some(r#"{"kernel":"no_such_kernel"}"#),
+            400,
+        ),
+        ("GET", "/predict", None, 405),
+        ("POST", "/healthz", None, 405),
+        ("GET", "/no_such_route", None, 404),
+    ];
+    for (method, path, body, expected) in cases {
+        let (status, response) = client_request(addr, method, path, body).unwrap();
+        assert_eq!(status, expected, "{method} {path}: {response}");
+        let doc = json::parse(&response).unwrap();
+        assert!(json::field(&doc, "error").is_some(), "{response}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_idempotent_for_clients() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+    let (status, _) = client_request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
+    // the listener is gone: clients now fail to connect instead of hanging
+    assert!(client_request(addr, "GET", "/healthz", None).is_err());
+}

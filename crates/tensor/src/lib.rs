@@ -39,5 +39,5 @@ pub mod check;
 pub mod init;
 
 pub use matrix::Matrix;
-pub use param::{AdamConfig, GradSet, ParamId, ParamStore};
+pub use param::{AdamConfig, GradSet, ImportError, ParamId, ParamStore};
 pub use tape::{Tape, Var};

@@ -17,6 +17,41 @@ struct Entry {
     v: Matrix,
 }
 
+/// Failure importing a parameter value by name (checkpoint restore).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// No parameter is registered under this name.
+    UnknownParam(String),
+    /// The imported value's shape differs from the registered parameter.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape the store registered.
+        expected: (usize, usize),
+        /// Shape the import carried.
+        found: (usize, usize),
+    },
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::UnknownParam(name) => write!(f, "unknown parameter {name:?}"),
+            ImportError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parameter {name:?} expects shape {}x{}, import has {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
 /// Adam hyper-parameters.
 ///
 /// # Example
@@ -272,6 +307,42 @@ impl ParamStore {
         }
     }
 
+    /// Iterates `(name, value)` pairs in registration order.
+    ///
+    /// This is the weight-export entry point for external serializers
+    /// (e.g. the `serve` checkpoint format); registration order is stable
+    /// for a fixed model architecture, so exported record order is too.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.entries.iter().map(|e| (e.name.as_str(), &e.value))
+    }
+
+    /// Replaces the value of the named parameter (weight import).
+    ///
+    /// Adam moments are left untouched: importing restores *inference*
+    /// state, matching the plain-text snapshot semantics of
+    /// [`ParamStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImportError::UnknownParam`] for an unregistered name and
+    /// [`ImportError::ShapeMismatch`] when the shapes disagree.
+    pub fn import(&mut self, name: &str, value: Matrix) -> Result<(), ImportError> {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.name == name)
+            .ok_or_else(|| ImportError::UnknownParam(name.to_string()))?;
+        if entry.value.shape() != value.shape() {
+            return Err(ImportError::ShapeMismatch {
+                name: name.to_string(),
+                expected: entry.value.shape(),
+                found: value.shape(),
+            });
+        }
+        entry.value = value;
+        Ok(())
+    }
+
     /// Serializes all parameter values as a plain text snapshot.
     ///
     /// Format: one `name rows cols v0 v1 ...` line per parameter. Adam
@@ -383,6 +454,38 @@ mod tests {
         store.add("a", Matrix::zeros(2, 2));
         let snapshot = b"paramstore v1 1\na 1 1 3.5\n";
         assert!(store.load(&snapshot[..]).is_err());
+    }
+
+    #[test]
+    fn entries_export_in_registration_order() {
+        let mut store = ParamStore::new();
+        store.add("w1", Matrix::zeros(2, 3));
+        store.add("w0", Matrix::zeros(1, 1));
+        let names: Vec<&str> = store.entries().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["w1", "w0"]);
+        let shapes: Vec<(usize, usize)> = store.entries().map(|(_, m)| m.shape()).collect();
+        assert_eq!(shapes, vec![(2, 3), (1, 1)]);
+    }
+
+    #[test]
+    fn import_replaces_values_and_rejects_mismatches() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::zeros(1, 2));
+        store
+            .import("w", Matrix::from_vec(1, 2, vec![4.0, 5.0]))
+            .unwrap();
+        assert_eq!(store.value(w).as_slice(), &[4.0, 5.0]);
+
+        assert_eq!(
+            store.import("nope", Matrix::zeros(1, 2)),
+            Err(ImportError::UnknownParam("nope".into()))
+        );
+        assert!(matches!(
+            store.import("w", Matrix::zeros(2, 1)),
+            Err(ImportError::ShapeMismatch { .. })
+        ));
+        // failed imports must not clobber the value
+        assert_eq!(store.value(w).as_slice(), &[4.0, 5.0]);
     }
 
     #[test]

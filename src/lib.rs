@@ -16,7 +16,9 @@
 //! * [`tensor`] / [`gnn`] — autograd and GNN layers built from scratch,
 //! * [`qor_core`] — the paper's hierarchical prediction methodology,
 //! * [`dse`] — design-space exploration, Pareto/ADRS, and baselines,
-//! * [`kernels`] — the benchmark suite.
+//! * [`kernels`] — the benchmark suite,
+//! * [`serve`] — versioned model checkpoints plus a std-only cached
+//!   batch-inference HTTP server (`qor-serve`).
 //!
 //! # Quickstart
 //!
@@ -49,21 +51,23 @@ pub use obs;
 pub use par;
 pub use pragma;
 pub use qor_core;
+pub use serve;
 pub use tensor;
 
 // One-stop pipeline entry points: lower a kernel, sweep its pragma space
 // into a labeled dataset, train the hierarchy, explore — without importing
 // the individual crates.
-pub use dse::{explore, ExploreOutcome};
+pub use dse::{explore, explore_with_session, ExploreOutcome};
 pub use kernels::lower_kernel;
 pub use qor_core::{
-    generate, HierarchicalModel, LabeledDesigns, QorError, TrainOptions, TrainStats,
+    generate, HierarchicalModel, LabeledDesigns, QorError, Session, TrainOptions, TrainStats,
 };
+pub use serve::{load_model_file, save_model_file};
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use cdfg::{self, Graph, GraphBuilder};
-    pub use dse::{self, explore, Adrs, ExploreOutcome, ParetoFront};
+    pub use dse::{self, explore, explore_with_session, Adrs, ExploreOutcome, ParetoFront};
     pub use frontc::{self, Program};
     pub use gnn::{self, ConvKind};
     pub use hir::{self, Function, Module};
@@ -72,7 +76,9 @@ pub mod prelude {
     pub use par::{self};
     pub use pragma::{self, DesignSpace, PragmaConfig};
     pub use qor_core::{
-        self, generate, HierarchicalModel, LabeledDesigns, QorError, TrainOptions, TrainStats,
+        self, generate, CacheStats, HierarchicalModel, LabeledDesigns, QorError, Session,
+        TrainOptions, TrainStats,
     };
+    pub use serve::{self, load_model, load_model_file, save_model, save_model_file, Server};
     pub use tensor::{self, Matrix};
 }

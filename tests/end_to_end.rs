@@ -115,6 +115,42 @@ fn dse_with_trained_model_improves_over_random_subset() {
 }
 
 #[test]
+fn dse_through_a_session_reuses_the_front_half() {
+    obs::test_support::force_collection(true);
+    let session = Session::with_capacity(HierarchicalModel::new(&tiny_opts()), 128);
+    let func = kernels::lower_kernel("mvt").unwrap();
+    let configs = kernels::design_space(&func).enumerate_capped(20);
+
+    let kernel_hits_before = obs::metrics::counter_value("session/kernel/hits");
+    let cache_hits_before = obs::metrics::counter_value("session/cache/hits");
+    let first = explore_with_session(&session, "mvt", &configs, 0.0).unwrap();
+    let second = explore_with_session(&session, "mvt", &configs, 0.0).unwrap();
+    let kernel_hits = obs::metrics::counter_value("session/kernel/hits") - kernel_hits_before;
+    let cache_hits = obs::metrics::counter_value("session/cache/hits") - cache_hits_before;
+    obs::test_support::force_collection(false);
+
+    // the session lowered mvt once and reused it for every pragma point;
+    // the second sweep hit the prepared cache for every design
+    let stats = session.stats();
+    assert_eq!(stats.kernel_misses, 1, "{stats:?}");
+    assert!(
+        stats.hit_rate() > 0.0,
+        "DSE must reuse cached work: {stats:?}"
+    );
+    assert_eq!(stats.hits, configs.len() as u64);
+    // the obs mirrors agree with the session-local counters
+    assert_eq!(kernel_hits, stats.kernel_hits);
+    assert_eq!(cache_hits, stats.hits);
+
+    // sweeps are deterministic, and ad-hoc queries reuse the same cache
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(a.predicted, b.predicted);
+    }
+    let again = session.predict_kernel("mvt", &configs[3]).unwrap();
+    assert_eq!(again, first.points[3].predicted);
+}
+
+#[test]
 fn baselines_train_and_differ_from_ours() {
     let opts = tiny_opts();
     let designs = qor_core::generate(&opts.data).unwrap();
