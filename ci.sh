@@ -30,6 +30,15 @@ cargo test -q --release -p serve --test checkpoint_roundtrip --test corrupt
 echo "==> qor-serve --self-test"
 ./target/release/qor-serve --self-test
 
+# Search smoke gate: budget accounting, snapshot determinism, mid-run
+# resume, and corruption typing — on both executor paths, because the
+# engine fans evaluation batches through `par`.
+echo "==> qor-search --self-test (QOR_THREADS=1)"
+QOR_THREADS=1 ./target/release/qor-search --self-test
+
+echo "==> qor-search --self-test (QOR_THREADS=4)"
+QOR_THREADS=4 ./target/release/qor-search --self-test
+
 # Library crates expose typed errors (qor_core::QorError, kernels::KernelError);
 # Box<dyn Error> is only tolerated inside comments (doctest scaffolding) and
 # in binary main() signatures, which live outside these trees.

@@ -1,0 +1,114 @@
+//! Heuristic vs exhaustive DSE: runs every `crates/search` strategy at a
+//! 25% evaluation budget against the exhaustively-swept reference front
+//! and reports ADRS per kernel.
+//!
+//! Both sides score designs with the same analytic QoR oracle (`hlsim`),
+//! so the table isolates the *search* quality: how close each heuristic
+//! gets to the true Pareto front while evaluating a quarter of the space.
+//! Runs are seed-deterministic; re-running reproduces the table exactly.
+//!
+//! Usage: `cargo run --release -p qor-bench --bin dse_search`
+
+use std::sync::Arc;
+
+use obs::Json;
+use qor_bench::row;
+use qor_core::QorError;
+use search::{OracleEval, SearchOptions, SearchRun, StrategyKind};
+
+const KERNELS: [&str; 4] = ["fir", "bicg", "mvt", "symm"];
+const UNROLL_FACTORS: [u32; 3] = [1, 2, 4];
+const SEED: u64 = 42;
+const BATCH: usize = 8;
+
+fn exhaustive_points(func: &hir::Function, factors: &[u32]) -> Result<Vec<(f64, f64)>, QorError> {
+    let mut space = kernels::design_space(func);
+    space.unroll_factors = factors.to_vec();
+    let configs = space.enumerate();
+    let reports = par::try_map("bench/dse_search/oracle", &configs, |_, c| {
+        hlsim::evaluate(func, c).map_err(QorError::from)
+    })?;
+    Ok(reports
+        .iter()
+        .map(|r| (r.top.latency as f64, dse::area(&r.top)))
+        .collect())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = obs::init();
+
+    let widths = [8usize, 8, 9, 7, 6, 6, 8];
+    println!("\nHeuristic vs exhaustive DSE (seed {SEED}, 25% budget)\n");
+    println!(
+        "{}",
+        row(
+            &[
+                "Kernel".into(),
+                "#Config".into(),
+                "Strategy".into(),
+                "Budget".into(),
+                "Evals".into(),
+                "Front".into(),
+                "ADRS".into(),
+            ],
+            &widths
+        )
+    );
+
+    let mut report_rows: Vec<Vec<Json>> = Vec::new();
+    for kernel in KERNELS {
+        let func = Arc::new(kernels::lower_kernel(kernel)?);
+        let all = exhaustive_points(&func, &UNROLL_FACTORS)?;
+        let exact_front = dse::ParetoFront::from_points(&all);
+        let budget = ((all.len() as u64) / 4).max(1);
+
+        for strategy in StrategyKind::all() {
+            let opts = SearchOptions::new(kernel, strategy, budget)
+                .with_seed(SEED)
+                .with_batch(BATCH)
+                .with_unroll_factors(UNROLL_FACTORS.to_vec());
+            let mut run = SearchRun::for_kernel(opts)?;
+            let outcome = run.run(&OracleEval::new(Arc::clone(&func)))?;
+            let adrs = dse::Adrs::compute(&all, &run.front_points());
+
+            println!(
+                "{}",
+                row(
+                    &[
+                        kernel.into(),
+                        format!("{}", all.len()),
+                        strategy.name().into(),
+                        format!("{budget}"),
+                        format!("{}", outcome.spent),
+                        format!("{}/{}", outcome.front.len(), exact_front.len()),
+                        format!("{:.2}%", adrs.percent()),
+                    ],
+                    &widths
+                )
+            );
+            report_rows.push(vec![
+                Json::str(kernel),
+                Json::UInt(all.len() as u64),
+                Json::str(strategy.name()),
+                Json::UInt(budget),
+                Json::UInt(outcome.spent),
+                Json::UInt(outcome.front.len() as u64),
+                Json::Float(adrs.percent()),
+            ]);
+        }
+    }
+    obs::report::record_table(
+        "dse_search",
+        &[
+            "kernel",
+            "n_configs",
+            "strategy",
+            "budget",
+            "evals",
+            "front_size",
+            "adrs_percent",
+        ],
+        report_rows,
+    );
+    Ok(())
+}

@@ -42,6 +42,7 @@ mod hash;
 pub mod hierarchy;
 mod model;
 mod session;
+pub mod wire;
 
 pub use dataset::{
     generate, generate_for, generate_from_functions, DataOptions, DesignSample, LabeledDesigns,

@@ -113,12 +113,14 @@ impl std::fmt::Debug for Session {
 impl Session {
     /// Wraps a model with the capacity from `QOR_CACHE_CAP` (default
     /// [`DEFAULT_CACHE_CAP`]).
+    ///
+    /// `QOR_CACHE_CAP=0` is a *valid* setting, not an error: it cleanly
+    /// disables the prepared cache — every lookup misses, nothing is
+    /// stored, and the LRU eviction path never runs — while the kernel
+    /// cache stays active. Unset or unparsable values fall back to the
+    /// default.
     pub fn new(model: HierarchicalModel) -> Self {
-        let capacity = std::env::var("QOR_CACHE_CAP")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(DEFAULT_CACHE_CAP);
-        Self::with_capacity(model, capacity)
+        Self::with_capacity(model, env_cache_cap())
     }
 
     /// Wraps a model with an explicit prepared-cache capacity
@@ -287,6 +289,17 @@ impl Session {
     }
 }
 
+/// Prepared-cache capacity from the `QOR_CACHE_CAP` environment variable.
+///
+/// `"0"` deliberately parses to a capacity of zero (caching disabled);
+/// only an unset or unparsable value falls back to [`DEFAULT_CACHE_CAP`].
+fn env_cache_cap() -> usize {
+    match std::env::var("QOR_CACHE_CAP") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(DEFAULT_CACHE_CAP),
+        Err(_) => DEFAULT_CACHE_CAP,
+    }
+}
+
 /// Stable key of a kernel: FNV-1a over `top NUL source`.
 fn kernel_key(top: &str, source: &str) -> u64 {
     let mut h = Fnv1aHasher::new();
@@ -374,6 +387,38 @@ mod tests {
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.len, 0);
         assert_eq!(stats.kernel_hits, 1, "kernel cache still active");
+    }
+
+    #[test]
+    fn cache_cap_env_var_zero_disables_caching_without_churn() {
+        // the only test in this binary that touches QOR_CACHE_CAP or calls
+        // Session::new, so the process-global env var cannot race; all
+        // sub-cases run sequentially inside this one test for the same
+        // reason
+        let opts = TrainOptions::quick().with_hidden(12).with_epochs(1);
+        let model = || HierarchicalModel::new(&opts);
+
+        std::env::set_var("QOR_CACHE_CAP", "0");
+        let session = Session::new(model());
+        assert_eq!(session.stats().capacity, 0);
+        let cfg = PragmaConfig::default();
+        let a = session.predict_kernel("gemm", &cfg).unwrap();
+        let b = session.predict_kernel("gemm", &cfg).unwrap();
+        assert_eq!(a, b, "disabled cache must not change predictions");
+        let stats = session.stats();
+        assert_eq!(stats.hits, 0, "all lookups must miss");
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 0, "no eviction churn with cap 0");
+        assert_eq!(stats.len, 0, "nothing may be stored");
+
+        std::env::set_var("QOR_CACHE_CAP", " 3 ");
+        assert_eq!(Session::new(model()).stats().capacity, 3);
+
+        std::env::set_var("QOR_CACHE_CAP", "not-a-number");
+        assert_eq!(Session::new(model()).stats().capacity, DEFAULT_CACHE_CAP);
+
+        std::env::remove_var("QOR_CACHE_CAP");
+        assert_eq!(Session::new(model()).stats().capacity, DEFAULT_CACHE_CAP);
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub use baseline::{BaselineOptions, FlatGnnBaseline, LabelSpace};
 pub use explore::{
     area, explore, explore_with_session, DsePoint, ExploreOutcome, HLS_SECS_PER_DESIGN,
 };
-pub use pareto::{Adrs, ParetoFront};
+pub use pareto::{Adrs, ParetoAccumulator, ParetoFront};

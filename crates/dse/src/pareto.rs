@@ -20,28 +20,12 @@ pub struct ParetoFront {
 impl ParetoFront {
     /// Extracts the non-dominated subset of `points`.
     pub fn from_points(points: &[(f64, f64)]) -> Self {
-        let mut indices = Vec::new();
+        let mut acc = ParetoAccumulator::new();
         for (i, p) in points.iter().enumerate() {
-            let dominated = points
-                .iter()
-                .enumerate()
-                .any(|(j, q)| j != i && dominates(*q, *p));
-            if !dominated {
-                indices.push(i);
-            }
+            acc.push(i as u64, *p);
         }
-        // drop exact duplicates, keeping the first occurrence
-        let mut seen = Vec::new();
-        indices.retain(|&i| {
-            let p = points[i];
-            if seen.contains(&p) {
-                false
-            } else {
-                seen.push(p);
-                true
-            }
-        });
-        let kept = indices.iter().map(|&i| points[i]).collect();
+        let indices = acc.entries().map(|(key, _)| *key as usize).collect();
+        let kept = acc.entries().map(|(_, p)| *p).collect();
         ParetoFront {
             indices,
             points: kept,
@@ -72,6 +56,88 @@ impl ParetoFront {
 /// `q` dominates `p`: no worse in both objectives, strictly better in one.
 fn dominates(q: (f64, f64), p: (f64, f64)) -> bool {
     q.0 <= p.0 && q.1 <= p.1 && (q.0 < p.0 || q.1 < p.1)
+}
+
+/// An incremental Pareto front: points arrive one at a time, each tagged
+/// with a caller-chosen `u64` key (a slice index, a pragma fingerprint, …),
+/// and the accumulator maintains the current non-dominated set.
+///
+/// This is the single home of the dominance logic: the exhaustive sweep's
+/// [`ParetoFront::from_points`] replays a slice through it with indices as
+/// keys, and the budgeted search engine in `crates/search` feeds it scored
+/// candidates as they are evaluated. Surviving entries keep their insertion
+/// order, so for index keys the front lists indices in ascending order —
+/// exactly the order the batch extraction historically produced.
+///
+/// # Example
+///
+/// ```
+/// use dse::ParetoAccumulator;
+/// let mut acc = ParetoAccumulator::new();
+/// assert!(acc.push(10, (2.0, 2.0)));
+/// assert!(acc.push(11, (1.0, 1.0))); // dominates and evicts key 10
+/// assert!(!acc.push(12, (3.0, 3.0))); // dominated: rejected
+/// assert_eq!(acc.keys(), vec![11]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParetoAccumulator {
+    entries: Vec<(u64, (f64, f64))>,
+}
+
+impl ParetoAccumulator {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoAccumulator::default()
+    }
+
+    /// Offers one point to the front.
+    ///
+    /// Returns `true` when the point joins the front (evicting any entries
+    /// it dominates); `false` when it is dominated by — or exactly equal
+    /// to — a current member. Ties (equal points) keep the first-seen key.
+    pub fn push(&mut self, key: u64, point: (f64, f64)) -> bool {
+        if self
+            .entries
+            .iter()
+            .any(|(_, q)| dominates(*q, point) || *q == point)
+        {
+            return false;
+        }
+        self.entries.retain(|(_, q)| !dominates(point, *q));
+        self.entries.push((key, point));
+        true
+    }
+
+    /// Current front entries as `(key, point)` pairs, in insertion order of
+    /// the surviving points.
+    pub fn entries(&self) -> impl Iterator<Item = &(u64, (f64, f64))> {
+        self.entries.iter()
+    }
+
+    /// Keys of the current front, in insertion order.
+    pub fn keys(&self) -> Vec<u64> {
+        self.entries.iter().map(|(k, _)| *k).collect()
+    }
+
+    /// Points of the current front, in insertion order.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.entries.iter().map(|(_, p)| *p).collect()
+    }
+
+    /// Number of points currently on the front.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty (nothing pushed yet).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 /// Average distance from reference set (paper §IV-D):

@@ -1,0 +1,114 @@
+//! Hand-computed ADRS cases and seeded property tests tying the
+//! incremental [`ParetoAccumulator`] to the batch
+//! [`ParetoFront::from_points`] extraction.
+
+use dse::{Adrs, ParetoAccumulator, ParetoFront};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn adrs_hand_computed_two_point_front() {
+    // exact front: {(10,4), (20,2)}; approximate: {(12,4), (30,2)}
+    //   gamma (10,4): min over omega of max(0, rel. regressions)
+    //     vs (12,4): max(0.2, 0) = 0.2; vs (30,2): max(2.0, -0.5) = 2.0 → 0.2
+    //   gamma (20,2): vs (12,4): max(-0.4, 1.0) = 1.0; vs (30,2): 0.5 → 0.5
+    // ADRS = (0.2 + 0.5) / 2 = 0.35
+    let gamma = [(10.0, 4.0), (20.0, 2.0)];
+    let omega = [(12.0, 4.0), (30.0, 2.0)];
+    let adrs = Adrs::compute(&gamma, &omega);
+    assert!((adrs.value() - 0.35).abs() < 1e-12, "got {}", adrs.value());
+    assert!((adrs.percent() - 35.0).abs() < 1e-9);
+}
+
+#[test]
+fn adrs_front_equal_to_reference_is_exactly_zero() {
+    let pts = [(10.0, 4.0), (20.0, 2.0), (15.0, 3.0)];
+    assert_eq!(Adrs::compute(&pts, &pts).value(), 0.0);
+    // the reference extraction drops dominated points, so a superset
+    // reference with interior points scores the same
+    let with_dominated = [(10.0, 4.0), (20.0, 2.0), (15.0, 3.0), (50.0, 50.0)];
+    assert_eq!(Adrs::compute(&with_dominated, &pts).value(), 0.0);
+}
+
+#[test]
+fn adrs_empty_sets_are_degenerate_zero() {
+    assert_eq!(Adrs::compute(&[], &[]).value(), 0.0);
+    assert_eq!(Adrs::compute(&[], &[(1.0, 1.0)]).value(), 0.0);
+    assert_eq!(Adrs::compute(&[(1.0, 1.0)], &[]).value(), 0.0);
+}
+
+#[test]
+fn adrs_single_gamma_picks_the_nearest_omega() {
+    let gamma = [(100.0, 1.0)];
+    let omega = [(110.0, 1.0), (200.0, 0.5), (100.0, 3.0)];
+    // distances: 0.1, max(1.0, -0.5)=1.0, max(0, 2.0)=2.0 → min 0.1
+    let adrs = Adrs::compute(&gamma, &omega);
+    assert!((adrs.value() - 0.1).abs() < 1e-12);
+}
+
+/// Random point clouds on a small integer grid (so duplicates and exact
+/// dominance ties are likely): replaying through the accumulator must
+/// reproduce the batch extraction exactly — same indices, same points,
+/// same order.
+#[test]
+fn accumulator_matches_batch_extraction_on_random_clouds() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for case in 0..200 {
+        let n = rng.gen_range(0..40usize);
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0..8u32) as f64, rng.gen_range(0..8u32) as f64))
+            .collect();
+
+        let front = ParetoFront::from_points(&points);
+        let mut acc = ParetoAccumulator::new();
+        for (i, p) in points.iter().enumerate() {
+            acc.push(i as u64, *p);
+        }
+
+        let acc_indices: Vec<usize> = acc.keys().iter().map(|&k| k as usize).collect();
+        assert_eq!(
+            acc_indices,
+            front.indices(),
+            "case {case}: indices diverge for {points:?}"
+        );
+        assert_eq!(
+            acc.points(),
+            front.points(),
+            "case {case}: points diverge for {points:?}"
+        );
+        assert_eq!(acc.len(), front.len());
+        assert_eq!(acc.is_empty(), front.is_empty());
+
+        // front invariants: mutually non-dominated, and every input point
+        // is dominated-or-equal by some front member
+        let fp = acc.points();
+        for (i, a) in fp.iter().enumerate() {
+            for (j, b) in fp.iter().enumerate() {
+                if i != j {
+                    let dominates = a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
+                    assert!(!dominates, "case {case}: front not minimal");
+                }
+            }
+        }
+        for p in &points {
+            assert!(
+                fp.iter().any(|f| f.0 <= p.0 && f.1 <= p.1),
+                "case {case}: {p:?} not covered by the front"
+            );
+        }
+    }
+}
+
+#[test]
+fn accumulator_push_reports_membership_and_clear_resets() {
+    let mut acc = ParetoAccumulator::new();
+    assert!(acc.push(1, (5.0, 5.0)));
+    assert!(!acc.push(2, (5.0, 5.0)), "exact duplicate must be rejected");
+    assert!(!acc.push(3, (6.0, 5.0)), "dominated point must be rejected");
+    assert!(acc.push(4, (1.0, 9.0)), "incomparable point must join");
+    assert!(acc.push(5, (0.5, 0.5)), "dominating point must evict");
+    assert_eq!(acc.keys(), vec![5]);
+    acc.clear();
+    assert!(acc.is_empty());
+    assert!(acc.push(6, (9.0, 9.0)), "cleared front accepts anything");
+}

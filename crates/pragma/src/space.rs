@@ -183,8 +183,15 @@ impl DesignSpace {
         out
     }
 
-    /// Derives array partitioning from the loop unroll factors via bindings.
-    fn apply_bindings(&self, cfg: &mut PragmaConfig) {
+    /// Derives array partitioning from the loop unroll factors via bindings
+    /// (cyclic partitioning, factor = effective unroll factor).
+    ///
+    /// Public so heuristic explorers that synthesize configurations outside
+    /// [`DesignSpace::enumerate`] (the genome decoder in `crates/search`)
+    /// land in exactly the same configuration space as the exhaustive
+    /// enumeration — partitioning is always *derived*, never an independent
+    /// search dimension.
+    pub fn apply_bindings(&self, cfg: &mut PragmaConfig) {
         for b in &self.bindings {
             let pragma = cfg.loop_pragma(&b.loop_id);
             let tc = self

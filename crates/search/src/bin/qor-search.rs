@@ -1,0 +1,163 @@
+//! `qor-search` — budgeted heuristic DSE from the command line.
+//!
+//! ```text
+//! qor-search [--kernel NAME] [--strategy random|anneal|genetic]
+//!            [--budget N] [--seed N] [--batch N]
+//!            [--save FILE] [--resume FILE] [--self-test]
+//! ```
+//!
+//! Runs one budgeted search over a bundled kernel's pragma space, scoring
+//! candidates with an untrained quick-profile predictor session (train and
+//! serve real models with `qor-serve`; this binary is about the search
+//! loop). `--save` writes the finished run as a resumable `.qorjob`;
+//! `--resume` continues a previous one (flags other than `--save` are then
+//! taken from the file). `--self-test` is the CI gate: it exercises all
+//! three strategies on a tiny space, checking budget discipline, seed
+//! determinism, mid-run resume, and corruption detection.
+
+use std::process::ExitCode;
+
+use qor_core::{HierarchicalModel, Session, TrainOptions};
+use search::{SearchOptions, SearchRun, SessionEval, StrategyKind};
+use std::sync::Arc;
+
+struct Args {
+    kernel: String,
+    strategy: StrategyKind,
+    budget: u64,
+    seed: u64,
+    batch: usize,
+    save: Option<String>,
+    resume: Option<String>,
+    self_test: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        kernel: "fir".to_string(),
+        strategy: StrategyKind::Anneal,
+        budget: 32,
+        seed: 0,
+        batch: 8,
+        save: None,
+        resume: None,
+        self_test: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--kernel" => args.kernel = value("--kernel")?,
+            "--strategy" => {
+                let name = value("--strategy")?;
+                args.strategy = StrategyKind::parse(&name)
+                    .ok_or_else(|| format!("unknown strategy {name:?} (random|anneal|genetic)"))?;
+            }
+            "--budget" => {
+                args.budget = value("--budget")?
+                    .parse()
+                    .map_err(|_| "--budget must be an integer".to_string())?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--batch" => {
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|_| "--batch must be an integer".to_string())?
+            }
+            "--save" => args.save = Some(value("--save")?),
+            "--resume" => args.resume = Some(value("--resume")?),
+            "--self-test" => args.self_test = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: qor-search [--kernel NAME] [--strategy random|anneal|genetic] \
+                     [--budget N] [--seed N] [--batch N] [--save FILE] [--resume FILE] \
+                     [--self-test]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let _obs = obs::init();
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("qor-search: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.self_test {
+        return match search::self_test() {
+            Ok(()) => {
+                println!("self-test ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("self-test FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("qor-search: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut run = match &args.resume {
+        Some(path) => {
+            let run = search::load_job_file(std::path::Path::new(path))
+                .map_err(|e| format!("resuming {path}: {e}"))?;
+            obs::tracef!(
+                1,
+                "resumed {path}: kernel {}, strategy {}, {}/{} evaluations",
+                run.options().kernel,
+                run.options().strategy,
+                run.spent(),
+                run.options().budget
+            );
+            run
+        }
+        None => {
+            let opts = SearchOptions::new(&args.kernel, args.strategy, args.budget)
+                .with_seed(args.seed)
+                .with_batch(args.batch);
+            SearchRun::for_kernel(opts).map_err(|e| format!("{}: {e}", args.kernel))?
+        }
+    };
+    let kernel = run.options().kernel.clone();
+    let model = HierarchicalModel::new(&TrainOptions::quick().with_hidden(12).with_seed(7));
+    let session = Arc::new(Session::with_capacity(model, 256));
+    let eval = SessionEval::new(session, &kernel);
+    let outcome = run.run(&eval).map_err(|e| format!("search: {e}"))?;
+
+    println!(
+        "kernel {kernel}, strategy {}, {} evaluations over {} iterations",
+        run.options().strategy,
+        outcome.spent,
+        outcome.iterations
+    );
+    println!("pareto front ({} designs):", outcome.front.len());
+    println!("{:>18}  {:>12}  {:>10}", "fingerprint", "latency", "area");
+    for (fp, lat, area) in &outcome.front {
+        println!("{fp:#018x}  {lat:>12.0}  {area:>10.4}");
+    }
+    if let Some(path) = &args.save {
+        search::save_job_file(&run, std::path::Path::new(path))
+            .map_err(|e| format!("saving {path}: {e}"))?;
+        obs::tracef!(1, "job written to {path}");
+    }
+    Ok(())
+}

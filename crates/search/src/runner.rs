@@ -1,0 +1,389 @@
+//! Background job runner for HTTP-served search jobs.
+//!
+//! A [`JobRunner`] owns a shared predictor [`Session`] and a table of
+//! jobs. [`JobRunner::submit`] validates the request *synchronously* (bad
+//! kernels or degenerate spaces fail before a job id is handed out), then
+//! drives the run on a detached thread, publishing progress after every
+//! step and honoring cancellation between steps. Aggregate counters
+//! (submitted / completed / failed / cancelled, total evaluations, busy
+//! time) feed the server's `/metrics` endpoint.
+//!
+//! When a jobs directory is configured, every finished or in-flight step
+//! also persists a `.qorjob` snapshot, so a killed server can resume its
+//! jobs offline with `qor-search --resume`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use qor_core::{QorError, Session};
+
+use crate::engine::{SearchOptions, SearchRun, SessionEval};
+use crate::job;
+
+/// Lifecycle state of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The worker thread is still stepping.
+    Running,
+    /// The budget was exhausted (or the space ran dry) without error.
+    Done,
+    /// An evaluation failed; see [`JobProgress::error`].
+    Failed,
+    /// The job was cancelled via [`JobRunner::delete`].
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Stable lowercase name for HTTP payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Publicly visible snapshot of one job's progress.
+#[derive(Debug, Clone)]
+pub struct JobProgress {
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Kernel under search.
+    pub kernel: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Evaluation budget.
+    pub budget: u64,
+    /// Budget spent so far.
+    pub spent: u64,
+    /// Ask/tell iterations executed.
+    pub iterations: u64,
+    /// Incumbent front as `(fingerprint, latency, area)`, sorted by
+    /// `(latency, area)`.
+    pub front: Vec<(u64, f64, f64)>,
+    /// Failure message when [`JobStatus::Failed`].
+    pub error: Option<String>,
+}
+
+/// One tracked job: its id, cancellation flag, and latest progress.
+struct JobHandle {
+    cancel: AtomicBool,
+    progress: Mutex<JobProgress>,
+}
+
+/// Aggregate runner counters for `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunnerStats {
+    /// Jobs accepted by [`JobRunner::submit`].
+    pub submitted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs that stopped on an evaluation error.
+    pub failed: u64,
+    /// Jobs cancelled mid-run.
+    pub cancelled: u64,
+    /// Total candidate evaluations across all jobs.
+    pub evaluations: u64,
+    /// Evaluations per busy second (0 until something ran).
+    pub evals_per_sec: f64,
+}
+
+/// Background search-job executor (see the [module docs](self)).
+pub struct JobRunner {
+    session: Arc<Session>,
+    jobs: Mutex<BTreeMap<String, Arc<JobHandle>>>,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    evaluations: AtomicU64,
+    busy_nanos: AtomicU64,
+    jobs_dir: Option<PathBuf>,
+}
+
+impl JobRunner {
+    /// A runner scoring candidates through `session`.
+    pub fn new(session: Arc<Session>) -> Arc<JobRunner> {
+        Arc::new(JobRunner {
+            session,
+            jobs: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            evaluations: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            jobs_dir: None,
+        })
+    }
+
+    /// A runner that additionally persists a `.qorjob` snapshot per job
+    /// into `dir` after every step.
+    pub fn with_jobs_dir(session: Arc<Session>, dir: PathBuf) -> Arc<JobRunner> {
+        let mut runner = JobRunner::new(session);
+        Arc::get_mut(&mut runner)
+            .expect("fresh runner is uniquely owned")
+            .jobs_dir = Some(dir);
+        runner
+    }
+
+    /// Validates `opts` and starts the job on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// [`QorError::UnknownKernel`] / [`QorError::Shape`] when the request
+    /// does not describe a searchable space (nothing is enqueued).
+    pub fn submit(self: &Arc<Self>, opts: SearchOptions) -> Result<String, QorError> {
+        let run = SearchRun::for_kernel(opts)?;
+        let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let handle = Arc::new(JobHandle {
+            cancel: AtomicBool::new(false),
+            progress: Mutex::new(JobProgress {
+                status: JobStatus::Running,
+                kernel: run.options().kernel.clone(),
+                strategy: run.options().strategy.name().to_string(),
+                budget: run.options().budget,
+                spent: 0,
+                iterations: 0,
+                front: Vec::new(),
+                error: None,
+            }),
+        });
+        self.jobs.lock().unwrap().insert(id.clone(), handle.clone());
+
+        let runner = Arc::clone(self);
+        let thread_id = id.clone();
+        std::thread::Builder::new()
+            .name(format!("qor-dse-{id}"))
+            .spawn(move || runner.drive(&thread_id, handle, run))
+            .expect("spawning a job thread");
+        Ok(id)
+    }
+
+    /// Drives one job to completion on the worker thread.
+    fn drive(&self, id: &str, handle: Arc<JobHandle>, mut run: SearchRun) {
+        let eval = SessionEval::new(self.session.clone(), &run.options().kernel);
+        let mut stalled = 0u32;
+        let final_status = loop {
+            if handle.cancel.load(Ordering::Relaxed) {
+                break JobStatus::Cancelled;
+            }
+            if run.is_done() {
+                break JobStatus::Done;
+            }
+            let t0 = std::time::Instant::now();
+            match run.step(&eval) {
+                Ok(report) => {
+                    self.busy_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    self.evaluations
+                        .fetch_add(report.evaluated as u64, Ordering::Relaxed);
+                    if report.evaluated == 0 {
+                        stalled += 1;
+                        if stalled >= 64 {
+                            break JobStatus::Done;
+                        }
+                    } else {
+                        stalled = 0;
+                    }
+                    self.publish(&handle, &run, JobStatus::Running, None);
+                    self.persist(id, &run);
+                }
+                Err(e) => {
+                    self.busy_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    self.publish(&handle, &run, JobStatus::Failed, Some(e.to_string()));
+                    self.failed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        };
+        match final_status {
+            JobStatus::Done => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            JobStatus::Cancelled => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        self.publish(&handle, &run, final_status, None);
+        self.persist(id, &run);
+    }
+
+    fn publish(
+        &self,
+        handle: &JobHandle,
+        run: &SearchRun,
+        status: JobStatus,
+        error: Option<String>,
+    ) {
+        let outcome = run.outcome();
+        let mut progress = handle.progress.lock().unwrap();
+        progress.status = status;
+        progress.spent = outcome.spent;
+        progress.iterations = outcome.iterations;
+        progress.front = outcome.front;
+        progress.error = error;
+    }
+
+    fn persist(&self, id: &str, run: &SearchRun) {
+        if let Some(dir) = &self.jobs_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let _ = job::save_job_file(run, &dir.join(format!("{id}.qorjob")));
+        }
+    }
+
+    /// Latest progress of a job, or `None` for unknown ids.
+    pub fn get(&self, id: &str) -> Option<JobProgress> {
+        let handle = self.jobs.lock().unwrap().get(id).cloned()?;
+        let progress = handle.progress.lock().unwrap().clone();
+        Some(progress)
+    }
+
+    /// Cancels (if running) and forgets a job. Returns `false` for
+    /// unknown ids.
+    pub fn delete(&self, id: &str) -> bool {
+        let handle = self.jobs.lock().unwrap().remove(id);
+        match handle {
+            Some(handle) => {
+                handle.cancel.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids of all tracked jobs, in submission order.
+    pub fn ids(&self) -> Vec<String> {
+        self.jobs.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// Aggregate counters for `/metrics`.
+    pub fn stats(&self) -> RunnerStats {
+        let evaluations = self.evaluations.load(Ordering::Relaxed);
+        let busy = self.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        RunnerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            evaluations,
+            evals_per_sec: if busy > 0.0 {
+                evaluations as f64 / busy
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Blocks until job `id` leaves [`JobStatus::Running`] (test helper;
+    /// polls with a short sleep). Returns the final progress, or `None`
+    /// when the id is unknown or the wait exceeds `timeout`.
+    pub fn wait(&self, id: &str, timeout: std::time::Duration) -> Option<JobProgress> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let progress = self.get(id)?;
+            if progress.status != JobStatus::Running {
+                return Some(progress);
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use qor_core::{HierarchicalModel, TrainOptions};
+    use std::time::Duration;
+
+    fn runner() -> Arc<JobRunner> {
+        let opts = TrainOptions::quick().with_hidden(8).with_seed(3);
+        JobRunner::new(Arc::new(Session::with_capacity(
+            HierarchicalModel::new(&opts),
+            64,
+        )))
+    }
+
+    #[test]
+    fn submit_runs_to_done_and_counts() {
+        let runner = runner();
+        let opts = SearchOptions::new("fir", StrategyKind::Random, 8)
+            .with_seed(1)
+            .with_batch(4)
+            .with_unroll_factors(vec![1, 2, 4]);
+        let id = runner.submit(opts).unwrap();
+        let progress = runner.wait(&id, Duration::from_secs(30)).unwrap();
+        assert_eq!(progress.status, JobStatus::Done);
+        assert!(progress.spent <= 8);
+        assert!(!progress.front.is_empty());
+        let stats = runner.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.evaluations > 0);
+        assert!(stats.evals_per_sec > 0.0);
+    }
+
+    #[test]
+    fn bad_submissions_fail_synchronously() {
+        let runner = runner();
+        let err = runner
+            .submit(SearchOptions::new("nope", StrategyKind::Random, 4))
+            .unwrap_err();
+        assert!(matches!(err, QorError::UnknownKernel(_)));
+        assert_eq!(runner.stats().submitted, 0);
+        assert!(runner.ids().is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_and_delete_lifecycle() {
+        let runner = runner();
+        assert!(runner.get("job-404").is_none());
+        assert!(!runner.delete("job-404"));
+        let opts = SearchOptions::new("fir", StrategyKind::Genetic, 6)
+            .with_seed(2)
+            .with_batch(3)
+            .with_unroll_factors(vec![1, 4]);
+        let id = runner.submit(opts).unwrap();
+        runner.wait(&id, Duration::from_secs(30)).unwrap();
+        assert!(runner.delete(&id));
+        assert!(runner.get(&id).is_none(), "deleted job must be forgotten");
+    }
+
+    #[test]
+    fn jobs_dir_persists_resumable_snapshots() {
+        let dir = std::env::temp_dir().join(format!("qor-jobs-{}", std::process::id()));
+        let opts = TrainOptions::quick().with_hidden(8).with_seed(3);
+        let runner = JobRunner::with_jobs_dir(
+            Arc::new(Session::with_capacity(HierarchicalModel::new(&opts), 64)),
+            dir.clone(),
+        );
+        let id = runner
+            .submit(
+                SearchOptions::new("fir", StrategyKind::Anneal, 6)
+                    .with_seed(4)
+                    .with_batch(3)
+                    .with_unroll_factors(vec![1, 4]),
+            )
+            .unwrap();
+        let progress = runner.wait(&id, Duration::from_secs(30)).unwrap();
+        assert_eq!(progress.status, JobStatus::Done);
+        let path = dir.join(format!("{id}.qorjob"));
+        let restored = crate::job::load_job_file(&path).unwrap();
+        assert_eq!(restored.spent(), progress.spent);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,557 @@
+//! Search strategies behind one ask/tell interface.
+//!
+//! A [`Strategy`] proposes a batch of genomes ([`Strategy::ask`]), the
+//! engine scores them, and the strategy observes the scores
+//! ([`Strategy::tell`]) to steer the next batch. Three heuristics are
+//! provided:
+//!
+//! * [`StrategyKind::Random`] — uniform sampling, the budget baseline,
+//! * [`StrategyKind::Anneal`] — simulated annealing over pragma-neighbor
+//!   moves (flip a pipeline, step an unroll factor, step a bound
+//!   partition factor, toggle a chain flatten), one chain per batch slot,
+//!   each chain scalarizing (latency, area) with its own weight so the
+//!   ensemble spreads across the Pareto front,
+//! * [`StrategyKind::Genetic`] — a (μ+λ) genetic loop with tournament
+//!   selection on non-dominated rank, single-point crossover, and
+//!   per-gene mutation.
+//!
+//! All strategies draw randomness only from the engine's [`StdRng`], so a
+//! run is fully determined by its seed, and all expose
+//! [`Strategy::save_state`] so a mid-run job snapshot resumes the exact
+//! trajectory.
+
+use crate::space::{Genome, SpaceModel};
+use qor_core::wire::{put_f64, put_u32, put_u64, Cursor};
+use qor_core::QorError;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which heuristic a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Uniform random sampling.
+    Random,
+    /// Simulated annealing over pragma-neighbor moves.
+    Anneal,
+    /// Genetic search with crossover and mutation.
+    Genetic,
+}
+
+impl StrategyKind {
+    /// Stable lowercase name (used in HTTP payloads and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Random => "random",
+            StrategyKind::Anneal => "anneal",
+            StrategyKind::Genetic => "genetic",
+        }
+    }
+
+    /// Stable on-disk code for `.qorjob` files.
+    pub fn code(self) -> u8 {
+        match self {
+            StrategyKind::Random => 0,
+            StrategyKind::Anneal => 1,
+            StrategyKind::Genetic => 2,
+        }
+    }
+
+    /// Inverse of [`StrategyKind::code`].
+    ///
+    /// # Errors
+    ///
+    /// [`QorError::Corrupt`] for unknown codes.
+    pub fn from_code(code: u8) -> Result<StrategyKind, QorError> {
+        match code {
+            0 => Ok(StrategyKind::Random),
+            1 => Ok(StrategyKind::Anneal),
+            2 => Ok(StrategyKind::Genetic),
+            other => Err(QorError::Corrupt(format!("unknown strategy code {other}"))),
+        }
+    }
+
+    /// Parses a [`StrategyKind::name`].
+    pub fn parse(name: &str) -> Option<StrategyKind> {
+        match name {
+            "random" => Some(StrategyKind::Random),
+            "anneal" => Some(StrategyKind::Anneal),
+            "genetic" => Some(StrategyKind::Genetic),
+            _ => None,
+        }
+    }
+
+    /// All strategies, for sweeps and self-tests.
+    pub fn all() -> [StrategyKind; 3] {
+        [
+            StrategyKind::Random,
+            StrategyKind::Anneal,
+            StrategyKind::Genetic,
+        ]
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scale-free scalarization of a `(latency, area)` point: a convex
+/// combination of log-latency and log-area. Logs keep the two objectives
+/// comparable even though raw latency is O(10^4) cycles and raw area is
+/// O(10^-2) of the device.
+pub fn cost(lambda: f64, point: (f64, f64)) -> f64 {
+    lambda * point.0.max(1.0).ln() + (1.0 - lambda) * point.1.max(1e-12).ln()
+}
+
+/// One heuristic's ask/tell state machine (see the [module docs](self)).
+pub trait Strategy: Send {
+    /// Which heuristic this is.
+    fn kind(&self) -> StrategyKind;
+
+    /// Proposes up to `batch` genomes to evaluate next.
+    fn ask(&mut self, model: &SpaceModel, batch: usize, rng: &mut StdRng) -> Vec<Genome>;
+
+    /// Observes the scores for the genomes from the last [`Strategy::ask`],
+    /// aligned one-to-one (`None` = not evaluated, e.g. budget-truncated).
+    fn tell(
+        &mut self,
+        model: &SpaceModel,
+        scored: &[(Genome, Option<(f64, f64)>)],
+        rng: &mut StdRng,
+    );
+
+    /// Serializes the strategy's internal state for `.qorjob` snapshots.
+    fn save_state(&self, out: &mut Vec<u8>);
+}
+
+/// Builds a fresh strategy of the given kind.
+pub fn build(kind: StrategyKind) -> Box<dyn Strategy> {
+    match kind {
+        StrategyKind::Random => Box::new(RandomSearch),
+        StrategyKind::Anneal => Box::new(Anneal::new()),
+        StrategyKind::Genetic => Box::new(Genetic::new()),
+    }
+}
+
+/// Rebuilds a strategy from a [`Strategy::save_state`] payload.
+///
+/// # Errors
+///
+/// [`QorError::Corrupt`] on truncated or malformed state.
+pub fn load_state(kind: StrategyKind, c: &mut Cursor<'_>) -> Result<Box<dyn Strategy>, QorError> {
+    match kind {
+        StrategyKind::Random => Ok(Box::new(RandomSearch)),
+        StrategyKind::Anneal => Ok(Box::new(Anneal::load(c)?)),
+        StrategyKind::Genetic => Ok(Box::new(Genetic::load(c)?)),
+    }
+}
+
+// ----------------------------------------------------------------- random
+
+/// Uniform random sampling; stateless.
+struct RandomSearch;
+
+impl Strategy for RandomSearch {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Random
+    }
+
+    fn ask(&mut self, model: &SpaceModel, batch: usize, rng: &mut StdRng) -> Vec<Genome> {
+        (0..batch).map(|_| model.random_genome(rng)).collect()
+    }
+
+    fn tell(
+        &mut self,
+        _model: &SpaceModel,
+        _scored: &[(Genome, Option<(f64, f64)>)],
+        _rng: &mut StdRng,
+    ) {
+    }
+
+    fn save_state(&self, _out: &mut Vec<u8>) {}
+}
+
+// ----------------------------------------------------------------- anneal
+
+/// Initial annealing temperature (in units of log-cost).
+const ANNEAL_T0: f64 = 0.5;
+/// Per-iteration geometric cooling factor.
+const ANNEAL_COOLING: f64 = 0.95;
+/// Temperature floor so late iterations still accept exact ties.
+const ANNEAL_T_MIN: f64 = 1e-3;
+
+/// One Metropolis chain: its scalarization weight, its current genome and
+/// that genome's cost (`None` until the chain's first evaluation lands).
+struct Chain {
+    lambda: f64,
+    genome: Genome,
+    cost: Option<f64>,
+}
+
+/// Simulated annealing, one chain per batch slot; each chain walks
+/// pragma-neighbor moves under its own latency/area weight.
+struct Anneal {
+    iter: u64,
+    chains: Vec<Chain>,
+}
+
+impl Anneal {
+    fn new() -> Anneal {
+        Anneal {
+            iter: 0,
+            chains: Vec::new(),
+        }
+    }
+
+    fn temperature(&self) -> f64 {
+        (ANNEAL_T0 * ANNEAL_COOLING.powf(self.iter as f64)).max(ANNEAL_T_MIN)
+    }
+
+    fn load(c: &mut Cursor<'_>) -> Result<Anneal, QorError> {
+        let iter = c.u64("anneal iter")?;
+        let n = c.u32("anneal chain count")?;
+        let mut chains = Vec::new();
+        for _ in 0..n {
+            let lambda = c.f64("chain lambda")?;
+            let raw = c.f64("chain cost")?;
+            let genome = Genome::decode_from(c)?;
+            chains.push(Chain {
+                lambda,
+                genome,
+                cost: if raw.is_nan() { None } else { Some(raw) },
+            });
+        }
+        Ok(Anneal { iter, chains })
+    }
+}
+
+impl Strategy for Anneal {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Anneal
+    }
+
+    fn ask(&mut self, model: &SpaceModel, batch: usize, rng: &mut StdRng) -> Vec<Genome> {
+        if self.chains.is_empty() {
+            // seed the ensemble: chain i scalarizes with λ = (i+1)/(batch+1)
+            self.chains = (0..batch)
+                .map(|i| Chain {
+                    lambda: (i + 1) as f64 / (batch + 1) as f64,
+                    genome: model.random_genome(rng),
+                    cost: None,
+                })
+                .collect();
+            return self.chains.iter().map(|ch| ch.genome.clone()).collect();
+        }
+        self.chains
+            .iter()
+            .map(|ch| model.neighbor(&ch.genome, rng))
+            .collect()
+    }
+
+    fn tell(
+        &mut self,
+        _model: &SpaceModel,
+        scored: &[(Genome, Option<(f64, f64)>)],
+        rng: &mut StdRng,
+    ) {
+        let t = self.temperature();
+        for (chain, (genome, point)) in self.chains.iter_mut().zip(scored) {
+            let Some(point) = point else { continue };
+            let proposed = cost(chain.lambda, *point);
+            let accept = match chain.cost {
+                None => true,
+                Some(current) => {
+                    let delta = proposed - current;
+                    delta <= 0.0 || rng.gen_bool((-delta / t).exp().min(1.0))
+                }
+            };
+            if accept {
+                chain.genome = genome.clone();
+                chain.cost = Some(proposed);
+            }
+        }
+        self.iter += 1;
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.iter);
+        put_u32(out, self.chains.len() as u32);
+        for ch in &self.chains {
+            put_f64(out, ch.lambda);
+            put_f64(out, ch.cost.unwrap_or(f64::NAN));
+            ch.genome.encode(out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- genetic
+
+/// Crossover probability per offspring.
+const GA_CROSSOVER_P: f64 = 0.9;
+/// Tournament size for parent selection.
+const GA_TOURNAMENT: usize = 2;
+
+/// One scored population member.
+struct Member {
+    genome: Genome,
+    point: (f64, f64),
+}
+
+/// (μ+λ) genetic search: parents survive alongside offspring, selection
+/// pressure comes from non-dominated rank with a balanced-cost tiebreak.
+struct Genetic {
+    generation: u64,
+    population: Vec<Member>,
+}
+
+impl Genetic {
+    fn new() -> Genetic {
+        Genetic {
+            generation: 0,
+            population: Vec::new(),
+        }
+    }
+
+    fn load(c: &mut Cursor<'_>) -> Result<Genetic, QorError> {
+        let generation = c.u64("ga generation")?;
+        let n = c.u32("ga population count")?;
+        let mut population = Vec::new();
+        for _ in 0..n {
+            let genome = Genome::decode_from(c)?;
+            let lat = c.f64("member latency")?;
+            let area = c.f64("member area")?;
+            population.push(Member {
+                genome,
+                point: (lat, area),
+            });
+        }
+        Ok(Genetic {
+            generation,
+            population,
+        })
+    }
+
+    /// Non-dominated ranks: rank 0 is the Pareto front of the set, rank 1
+    /// the front of the remainder, and so on (O(n^2) peeling; populations
+    /// are batch-sized).
+    fn ranks(points: &[(f64, f64)]) -> Vec<u32> {
+        fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+            a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+        }
+        let mut rank = vec![u32::MAX; points.len()];
+        let mut level = 0;
+        loop {
+            let unranked: Vec<usize> = (0..points.len()).filter(|&i| rank[i] == u32::MAX).collect();
+            if unranked.is_empty() {
+                return rank;
+            }
+            // the front of the *remaining* set, judged against the set as
+            // it stood at the start of this level (not mutated mid-pass)
+            for &i in &unranked {
+                let dominated = unranked
+                    .iter()
+                    .any(|&j| j != i && dominates(points[j], points[i]));
+                if !dominated {
+                    rank[i] = level;
+                }
+            }
+            level += 1;
+        }
+    }
+
+    /// Tournament winner index by (rank, balanced cost).
+    fn select(&self, ranks: &[u32], rng: &mut StdRng) -> usize {
+        let mut best = rng.gen_range(0..self.population.len());
+        for _ in 1..GA_TOURNAMENT {
+            let i = rng.gen_range(0..self.population.len());
+            let key = |ix: usize| (ranks[ix], cost(0.5, self.population[ix].point));
+            let (rb, cb) = key(best);
+            let (ri, ci) = key(i);
+            if (ri, ci) < (rb, cb) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl Strategy for Genetic {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Genetic
+    }
+
+    fn ask(&mut self, model: &SpaceModel, batch: usize, rng: &mut StdRng) -> Vec<Genome> {
+        if self.population.is_empty() {
+            return (0..batch).map(|_| model.random_genome(rng)).collect();
+        }
+        let ranks = Genetic::ranks(&self.population.iter().map(|m| m.point).collect::<Vec<_>>());
+        let mutation_rate = 1.0 / model.genome_len().max(1) as f64;
+        (0..batch)
+            .map(|_| {
+                let a = self.select(&ranks, rng);
+                let mut child = if rng.gen_bool(GA_CROSSOVER_P) {
+                    let b = self.select(&ranks, rng);
+                    model.crossover(&self.population[a].genome, &self.population[b].genome, rng)
+                } else {
+                    self.population[a].genome.clone()
+                };
+                model.mutate(&mut child, mutation_rate, rng);
+                child
+            })
+            .collect()
+    }
+
+    fn tell(
+        &mut self,
+        _model: &SpaceModel,
+        scored: &[(Genome, Option<(f64, f64)>)],
+        _rng: &mut StdRng,
+    ) {
+        let batch = scored.len().max(1);
+        for (genome, point) in scored {
+            if let Some(point) = point {
+                self.population.push(Member {
+                    genome: genome.clone(),
+                    point: *point,
+                });
+            }
+        }
+        if self.population.len() > batch {
+            // (μ+λ) survival: best `batch` by (rank, balanced cost), stable
+            let ranks =
+                Genetic::ranks(&self.population.iter().map(|m| m.point).collect::<Vec<_>>());
+            let mut order: Vec<usize> = (0..self.population.len()).collect();
+            order.sort_by(|&a, &b| {
+                (ranks[a], cost(0.5, self.population[a].point))
+                    .partial_cmp(&(ranks[b], cost(0.5, self.population[b].point)))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            order.truncate(batch);
+            order.sort_unstable();
+            let mut keep = Vec::with_capacity(batch);
+            let mut members = std::mem::take(&mut self.population);
+            for (i, m) in members.drain(..).enumerate() {
+                if order.contains(&i) {
+                    keep.push(m);
+                }
+            }
+            self.population = keep;
+        }
+        self.generation += 1;
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.generation);
+        put_u32(out, self.population.len() as u32);
+        for m in &self.population {
+            m.genome.encode(out);
+            put_f64(out, m.point.0);
+            put_f64(out, m.point.1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn model() -> SpaceModel {
+        let func = kernels::lower_kernel("fir").unwrap();
+        let mut space = kernels::design_space(&func);
+        space.unroll_factors = vec![1, 2, 4];
+        SpaceModel::new(space).unwrap()
+    }
+
+    #[test]
+    fn kind_codes_round_trip_and_reject_garbage() {
+        for kind in StrategyKind::all() {
+            assert_eq!(StrategyKind::from_code(kind.code()).unwrap(), kind);
+            assert_eq!(StrategyKind::parse(kind.name()), Some(kind));
+        }
+        assert!(matches!(
+            StrategyKind::from_code(9),
+            Err(QorError::Corrupt(_))
+        ));
+        assert_eq!(StrategyKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn ranks_peel_fronts_and_handle_duplicates() {
+        let pts = [(1.0, 3.0), (3.0, 1.0), (2.0, 2.0), (4.0, 4.0), (4.0, 4.0)];
+        let ranks = Genetic::ranks(&pts);
+        assert_eq!(&ranks[..3], &[0, 0, 0]);
+        assert_eq!(ranks[3], ranks[4]);
+        assert!(ranks[3] > 0);
+    }
+
+    #[test]
+    fn cost_prefers_dominating_points_at_any_weight() {
+        let better = (100.0, 0.02);
+        let worse = (200.0, 0.04);
+        for lambda in [0.1, 0.5, 0.9] {
+            assert!(cost(lambda, better) < cost(lambda, worse));
+        }
+    }
+
+    /// Every strategy's state must round-trip through save/load such that
+    /// the continuation emits the same proposals.
+    #[test]
+    fn save_load_state_resumes_the_same_proposals() {
+        let m = model();
+        for kind in StrategyKind::all() {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut s = build(kind);
+            for _ in 0..3 {
+                let asked = s.ask(&m, 4, &mut rng);
+                let scored: Vec<_> = asked
+                    .iter()
+                    .enumerate()
+                    .map(|(i, g)| (g.clone(), Some((100.0 + i as f64, 0.01 * (i + 1) as f64))))
+                    .collect();
+                s.tell(&m, &scored, &mut rng);
+            }
+            let mut state = Vec::new();
+            s.save_state(&mut state);
+            let mut c = Cursor::new(&state);
+            let mut restored = load_state(kind, &mut c).unwrap();
+            assert!(c.done(), "{kind}: trailing state bytes");
+
+            let mut rng_a = StdRng::seed_from_u64(7);
+            let mut rng_b = StdRng::seed_from_u64(7);
+            assert_eq!(
+                s.ask(&m, 4, &mut rng_a),
+                restored.ask(&m, 4, &mut rng_b),
+                "{kind}: restored strategy diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_strategy_state_is_typed_corrupt() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [StrategyKind::Anneal, StrategyKind::Genetic] {
+            let mut s = build(kind);
+            let asked = s.ask(&m, 3, &mut rng);
+            let scored: Vec<_> = asked
+                .iter()
+                .map(|g| (g.clone(), Some((50.0, 0.5))))
+                .collect();
+            s.tell(&m, &scored, &mut rng);
+            let mut state = Vec::new();
+            s.save_state(&mut state);
+            for len in 0..state.len() {
+                let mut c = Cursor::new(&state[..len]);
+                match load_state(kind, &mut c) {
+                    Err(QorError::Corrupt(_)) => {}
+                    Ok(_) if c.done() => panic!("{kind}: truncation to {len} parsed fully"),
+                    Ok(_) => {} // prefix parsed; job loader rejects trailing bytes
+                    Err(other) => panic!("{kind}: unexpected error {other:?}"),
+                }
+            }
+        }
+    }
+}

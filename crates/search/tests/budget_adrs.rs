@@ -1,0 +1,121 @@
+//! Acceptance tests: heuristics at 25% budget vs the exhaustive front,
+//! and thread-count independence of a seeded run.
+
+use std::sync::Arc;
+
+use qor_core::{HierarchicalModel, QorError, Session, TrainOptions};
+use search::{OracleEval, SearchOptions, SearchRun, SessionEval, StrategyKind};
+
+/// ADRS ceiling (percent) each strategy must reach on `mvt` at a 25%
+/// budget with seed 42. Observed values at the time of writing: random
+/// 11.2%, anneal 19.2%, genetic 6.5%; the bound carries a ~2x margin
+/// because it guards the *mechanism* (the heuristics must home in on the
+/// front), not a benchmark score. The run is fully seed-deterministic, so
+/// the margin only absorbs intentional strategy evolution.
+const ADRS_BOUND_PERCENT: f64 = 40.0;
+
+/// Exhaustive oracle sweep of `kernel` with the given unroll factors:
+/// every `(latency, area)` point in evaluation order.
+fn exhaustive_points(kernel: &str, factors: &[u32]) -> Vec<(f64, f64)> {
+    let func = kernels::lower_kernel(kernel).unwrap();
+    let mut space = kernels::design_space(&func);
+    space.unroll_factors = factors.to_vec();
+    let configs = space.enumerate();
+    let reports = par::try_map("test/oracle", &configs, |_, c| {
+        hlsim::evaluate(&func, c).map_err(QorError::from)
+    })
+    .unwrap();
+    reports
+        .iter()
+        .map(|r| (r.top.latency as f64, dse::area(&r.top)))
+        .collect()
+}
+
+#[test]
+fn every_strategy_reaches_the_adrs_bound_at_quarter_budget() {
+    let kernel = "mvt";
+    let factors = [1u32, 2, 4];
+    let all = exhaustive_points(kernel, &factors);
+    assert_eq!(all.len(), 441, "mvt space size drifted; re-tune the bound");
+    let budget = (all.len() as u64) / 4; // 25% of the enumerable space
+
+    let func = Arc::new(kernels::lower_kernel(kernel).unwrap());
+    let eval = OracleEval::new(func);
+    for strategy in StrategyKind::all() {
+        let opts = SearchOptions::new(kernel, strategy, budget)
+            .with_seed(42)
+            .with_batch(8)
+            .with_unroll_factors(factors.to_vec());
+        let mut run = SearchRun::for_kernel(opts).unwrap();
+        let outcome = run.run(&eval).unwrap();
+        assert!(
+            outcome.spent <= budget,
+            "{strategy}: spent {} over budget {budget}",
+            outcome.spent
+        );
+        let adrs = dse::Adrs::compute(&all, &run.front_points());
+        assert!(
+            adrs.percent() <= ADRS_BOUND_PERCENT,
+            "{strategy}: ADRS {:.2}% above the {ADRS_BOUND_PERCENT}% bound \
+             at {budget}/{} evaluations",
+            adrs.percent(),
+            all.len()
+        );
+        println!(
+            "{strategy}: {} evals, front {}, ADRS {:.2}%",
+            outcome.spent,
+            outcome.front.len(),
+            adrs.percent()
+        );
+    }
+}
+
+#[test]
+fn heuristics_beat_nothing_and_full_budget_is_exact() {
+    // sanity anchor for the bound above: at 100% budget every strategy
+    // must enumerate enough to reach ADRS 0 (random with a huge budget
+    // sees the whole space; see duplicate-handling in the engine)
+    let kernel = "fir";
+    let factors = [1u32, 4];
+    let all = exhaustive_points(kernel, &factors);
+    let func = Arc::new(kernels::lower_kernel(kernel).unwrap());
+    let eval = OracleEval::new(func);
+    let opts = SearchOptions::new(kernel, StrategyKind::Random, 10_000)
+        .with_seed(3)
+        .with_batch(8)
+        .with_unroll_factors(factors.to_vec());
+    let mut run = SearchRun::for_kernel(opts).unwrap();
+    run.run(&eval).unwrap();
+    let adrs = dse::Adrs::compute(&all, &run.front_points());
+    assert_eq!(adrs.percent(), 0.0, "full enumeration must be exact");
+}
+
+#[test]
+fn identical_seeds_are_byte_identical_across_thread_counts() {
+    let model = HierarchicalModel::new(&TrainOptions::quick().with_hidden(8).with_seed(11));
+    let session = Arc::new(Session::with_capacity(model, 128));
+
+    let snapshot_with_threads = |threads: usize| -> Vec<Vec<u8>> {
+        par::set_threads(Some(threads));
+        let mut snapshots = Vec::new();
+        for strategy in StrategyKind::all() {
+            let opts = SearchOptions::new("fir", strategy, 14)
+                .with_seed(2024)
+                .with_batch(4)
+                .with_unroll_factors(vec![1, 2, 4]);
+            let eval = SessionEval::new(session.clone(), "fir");
+            let mut run = SearchRun::for_kernel(opts).unwrap();
+            run.run(&eval).unwrap();
+            snapshots.push(search::snapshot(&run));
+        }
+        snapshots
+    };
+
+    let single = snapshot_with_threads(1);
+    let quad = snapshot_with_threads(4);
+    par::set_threads(None);
+    assert_eq!(
+        single, quad,
+        "seeded runs must be byte-identical for any worker count"
+    );
+}

@@ -18,8 +18,8 @@
 //! and keeps serving. `--self-test` skips the network-facing loop: it binds
 //! an ephemeral port, drives the full request matrix against itself
 //! (health, single + batched predictions, cache-hit verification, metrics,
-//! clean shutdown) and exits non-zero on any mismatch — this is the CI
-//! server gate.
+//! a `/dse` search-job cycle, clean shutdown) and exits non-zero on any
+//! mismatch — this is the CI server gate.
 
 use std::process::ExitCode;
 
@@ -234,6 +234,65 @@ fn self_test() -> Result<(), String> {
         if status != 404 {
             return Err(format!("unknown route must 404, got {status}"));
         }
+
+        // 3. dse job cycle: submit, poll to done, check metrics, delete
+        let job = r#"{"kernel":"fir","strategy":"genetic","budget":6,"seed":5,"batch":3}"#;
+        let (status, body) = client_request(addr, "POST", "/dse", Some(job)).map_err(io)?;
+        if status != 200 {
+            return Err(format!("dse submit: status {status}, body {body}"));
+        }
+        let doc = json::parse(&body).map_err(|e| format!("dse submit response: {e}"))?;
+        let id = json::field(&doc, "id")
+            .and_then(json::as_str)
+            .ok_or_else(|| format!("no job id in {body}"))?
+            .to_string();
+        let path = format!("/dse/{id}");
+        let mut final_status = String::new();
+        let mut spent = 0u64;
+        for _ in 0..1500 {
+            let (status, body) = client_request(addr, "GET", &path, None).map_err(io)?;
+            if status != 200 {
+                return Err(format!("dse poll: status {status}, body {body}"));
+            }
+            let doc = json::parse(&body).map_err(|e| format!("dse poll response: {e}"))?;
+            final_status = json::field(&doc, "status")
+                .and_then(json::as_str)
+                .ok_or_else(|| format!("no status in {body}"))?
+                .to_string();
+            if final_status != "running" {
+                spent = json::field(&doc, "spent")
+                    .and_then(json::as_u64)
+                    .ok_or_else(|| format!("no spent in {body}"))?;
+                if !body.contains("\"front\"") || body.matches("\"fingerprint\"").count() == 0 {
+                    return Err(format!("finished job published no front: {body}"));
+                }
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        if final_status != "done" {
+            return Err(format!("dse job ended as {final_status:?}, expected done"));
+        }
+        if spent == 0 || spent > 6 {
+            return Err(format!("dse spent {spent} outside the budget of 6"));
+        }
+        let (status, metrics) = client_request(addr, "GET", "/metrics", None).map_err(io)?;
+        if status != 200
+            || !metrics.contains("qor_dse_jobs_submitted_total 1")
+            || !metrics.contains("qor_dse_jobs_completed_total 1")
+            || !metrics.contains("qor_dse_evals_per_second")
+        {
+            return Err(format!("dse metrics missing: {metrics}"));
+        }
+        let (status, body) = client_request(addr, "DELETE", &path, None).map_err(io)?;
+        if status != 200 || !body.contains("true") {
+            return Err(format!("dse delete: status {status}, body {body}"));
+        }
+        let (status, _) = client_request(addr, "GET", &path, None).map_err(io)?;
+        if status != 404 {
+            return Err(format!("deleted job must 404, got {status}"));
+        }
+        println!("dse job cycle: submitted, ran to done ({spent}/6 evals), deleted");
         Ok(())
     })();
     let stats = handle.stats();

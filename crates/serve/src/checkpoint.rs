@@ -44,7 +44,8 @@
 //!   same reason.
 
 use gnn::{ConvKind, Normalizer};
-use qor_core::{fnv1a, DataOptions, HierarchicalModel, QorError, TrainOptions, BANKS};
+use qor_core::wire::{self, put_f32, put_str, put_u32, put_u64, Cursor};
+use qor_core::{DataOptions, HierarchicalModel, QorError, TrainOptions, BANKS};
 use tensor::{Matrix, ParamStore};
 
 /// Leading magic bytes of every checkpoint.
@@ -61,28 +62,10 @@ const KIND_BANK: u8 = 1;
 const DTYPE_F32: u8 = 0;
 
 // ------------------------------------------------------------------ encode
-
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_f32(out: &mut Vec<u8>, v: f32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    debug_assert!(s.len() <= u16::MAX as usize, "name too long for format");
-    put_u16(out, s.len() as u16);
-    out.extend_from_slice(s.as_bytes());
-}
+//
+// The byte-level primitives (integer/float/string encoders, the sealed
+// FNV-1a frame, and the bounds-checked payload cursor) live in
+// `qor_core::wire`, shared with the `.qorjob` format in `crates/search`.
 
 fn put_options(out: &mut Vec<u8>, opts: &TrainOptions) {
     out.push(opts.conv.code());
@@ -121,18 +104,12 @@ fn put_bank(out: &mut Vec<u8>, name: &str, store: &ParamStore, norm: &Normalizer
     }
 }
 
-fn seal(mut out: Vec<u8>) -> Vec<u8> {
-    let sum = fnv1a(&out);
-    put_u64(&mut out, sum);
-    out
+fn seal(out: Vec<u8>) -> Vec<u8> {
+    wire::seal(out)
 }
 
 fn header(kind: u8) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4096);
-    out.extend_from_slice(&MAGIC);
-    put_u32(&mut out, FORMAT_VERSION);
-    out.push(kind);
-    out
+    wire::header(&MAGIC, FORMAT_VERSION, kind)
 }
 
 /// Encodes a full model (architecture, weights, normalizers) as a
@@ -183,105 +160,9 @@ pub fn save_model_file(
 
 // ------------------------------------------------------------------ decode
 
-/// A bounds-checked reader over the verified payload.
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], QorError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
-            .ok_or_else(|| {
-                QorError::Corrupt(format!(
-                    "truncated checkpoint: {what} at offset {}",
-                    self.pos
-                ))
-            })?;
-        let s = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn u8(&mut self, what: &str) -> Result<u8, QorError> {
-        Ok(self.take(1, what)?[0])
-    }
-
-    fn u16(&mut self, what: &str) -> Result<u16, QorError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
-    }
-
-    fn u32(&mut self, what: &str) -> Result<u32, QorError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self, what: &str) -> Result<u64, QorError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
-    }
-
-    fn f32(&mut self, what: &str) -> Result<f32, QorError> {
-        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
-    }
-
-    fn f32s(&mut self, n: usize, what: &str) -> Result<Vec<f32>, QorError> {
-        let bytes = self.take(
-            n.checked_mul(4)
-                .ok_or_else(|| QorError::Corrupt(format!("{what}: element count overflow")))?,
-            what,
-        )?;
-        Ok(bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect())
-    }
-
-    fn str(&mut self, what: &str) -> Result<&'a str, QorError> {
-        let len = self.u16(what)? as usize;
-        let bytes = self.take(len, what)?;
-        std::str::from_utf8(bytes)
-            .map_err(|_| QorError::Corrupt(format!("{what}: name is not UTF-8")))
-    }
-
-    fn done(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-}
-
 /// Verifies magic, version and checksum; returns `(kind, payload)`.
 fn open(bytes: &[u8]) -> Result<(u8, Cursor<'_>), QorError> {
-    let min = MAGIC.len() + 4 + 1 + 8;
-    if bytes.len() < min {
-        return Err(QorError::Corrupt(format!(
-            "checkpoint too short: {} bytes, need at least {min}",
-            bytes.len()
-        )));
-    }
-    if bytes[..MAGIC.len()] != MAGIC {
-        return Err(QorError::Corrupt("bad checkpoint magic".into()));
-    }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != FORMAT_VERSION {
-        return Err(QorError::UnsupportedVersion(version));
-    }
-    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
-    let actual = fnv1a(body);
-    if stored != actual {
-        return Err(QorError::Corrupt(format!(
-            "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
-        )));
-    }
-    let kind = bytes[12];
-    Ok((
-        kind,
-        Cursor {
-            buf: &body[13..],
-            pos: 0,
-        },
-    ))
+    wire::open(bytes, &MAGIC, FORMAT_VERSION)
 }
 
 fn read_options(c: &mut Cursor<'_>) -> Result<TrainOptions, QorError> {
@@ -412,7 +293,7 @@ pub fn load_model(bytes: &[u8]) -> Result<HierarchicalModel, QorError> {
     if !c.done() {
         return Err(QorError::Corrupt(format!(
             "{} trailing bytes after the last record",
-            c.buf.len() - c.pos
+            c.remaining()
         )));
     }
     obs::metrics::counter_add("checkpoint/loads", 1);
@@ -437,7 +318,7 @@ pub fn load_bank_into(bytes: &[u8], model: &mut HierarchicalModel) -> Result<Str
     if !c.done() {
         return Err(QorError::Corrupt(format!(
             "{} trailing bytes after the last record",
-            c.buf.len() - c.pos
+            c.remaining()
         )));
     }
     Ok(name)

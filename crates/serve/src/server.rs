@@ -8,6 +8,9 @@
 //! | `/healthz`      | GET    | — → `{"status":"ok", ...}`                 |
 //! | `/metrics`      | GET    | — → Prometheus text exposition             |
 //! | `/predict`      | POST   | one prediction request, or `{"requests":[…]}` for a batch |
+//! | `/dse`          | POST   | submit a search job → `{"id":"job-1"}`     |
+//! | `/dse/<id>`     | GET    | — → job progress + incumbent Pareto front  |
+//! | `/dse/<id>`     | DELETE | cancel and forget the job                  |
 //!
 //! A prediction request names a bundled kernel (`{"kernel":"mvt"}`) or
 //! carries inline source (`{"source":"void f(...){...}","top":"f"}`), plus
@@ -27,6 +30,23 @@
 //! The server answers every prediction through one shared
 //! [`qor_core::Session`], so repeated configurations skip the front half of
 //! the pipeline regardless of which connection or batch they arrive on.
+//!
+//! # Search jobs
+//!
+//! `POST /dse` submits a budgeted heuristic exploration (see
+//! `crates/search`) that runs on a background thread against the same
+//! shared session:
+//!
+//! ```json
+//! {"kernel": "mvt", "strategy": "anneal", "budget": 64,
+//!  "seed": 42, "batch": 8}
+//! ```
+//!
+//! `strategy` is `random` | `anneal` | `genetic` (default `anneal`);
+//! `seed` defaults to 0 and `batch` to 8. Invalid kernels or strategies
+//! fail the POST synchronously with 400 — a job id is only returned for
+//! runnable jobs. Poll `GET /dse/<id>` for status (`running` → `done`)
+//! and the incumbent front; `DELETE /dse/<id>` cancels a running job.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,13 +56,15 @@ use std::thread::JoinHandle;
 use obs::Json;
 use pragma::{ArrayPartition, LoopId, PartitionKind, PragmaConfig, Unroll};
 use qor_core::{CacheStats, QorError, Session};
+use search::{JobProgress, JobRunner, SearchOptions, StrategyKind};
 
 use crate::http::{self, ParseError, Request};
 use crate::json;
 
 /// Shared state behind the accept loop and all connection threads.
 struct ServeState {
-    session: Session,
+    session: Arc<Session>,
+    runner: Arc<JobRunner>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     predictions: AtomicU64,
@@ -71,10 +93,13 @@ impl Server {
     /// Propagates bind failures.
     pub fn bind(addr: &str, session: Session) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let session = Arc::new(session);
+        let runner = JobRunner::new(Arc::clone(&session));
         Ok(Server {
             listener,
             state: Arc::new(ServeState {
                 session,
+                runner,
                 shutdown: AtomicBool::new(false),
                 requests: AtomicU64::new(0),
                 predictions: AtomicU64::new(0),
@@ -198,12 +223,17 @@ fn route(state: &ServeState, request: &Request) -> (u16, &'static str, &'static 
             Ok(body) => (200, "OK", "application/json", body),
             Err(msg) => (400, "Bad Request", "application/json", error_json(&msg)),
         },
-        "/healthz" | "/metrics" | "/predict" => (
+        "/dse" if method == "POST" => match dse_submit(state, &request.body) {
+            Ok(body) => (200, "OK", "application/json", body),
+            Err(msg) => (400, "Bad Request", "application/json", error_json(&msg)),
+        },
+        "/healthz" | "/metrics" | "/predict" | "/dse" => (
             405,
             "Method Not Allowed",
             "application/json",
             error_json("method not allowed"),
         ),
+        path if path.starts_with("/dse/") => dse_job(state, method, &path["/dse/".len()..]),
         _ => (
             404,
             "Not Found",
@@ -423,6 +453,122 @@ fn cache_json(stats: &CacheStats) -> Json {
     ])
 }
 
+// ---------------------------------------------------------------- dse jobs
+
+/// Decodes a `POST /dse` body and submits the job, returning
+/// `{"id":"job-N"}`. Validation runs synchronously: bad kernels,
+/// strategies, or spaces are a 400 and no job is created.
+fn dse_submit(state: &ServeState, body: &[u8]) -> Result<String, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+
+    let kernel = json::field(&doc, "kernel")
+        .and_then(json::as_str)
+        .ok_or("\"kernel\" must name a bundled kernel")?;
+    let strategy = match json::field(&doc, "strategy") {
+        Some(v) => {
+            let name = json::as_str(v).ok_or("\"strategy\" must be a string")?;
+            StrategyKind::parse(name)
+                .ok_or_else(|| format!("unknown strategy {name:?} (random|anneal|genetic)"))?
+        }
+        None => StrategyKind::Anneal,
+    };
+    let uint = |key: &str, default: u64| -> Result<u64, String> {
+        match json::field(&doc, key) {
+            Some(v) => json::as_u64(v).ok_or(format!("\"{key}\" must be a non-negative integer")),
+            None => Ok(default),
+        }
+    };
+    let budget = uint("budget", 64)?;
+    let seed = uint("seed", 0)?;
+    let batch = uint("batch", 8)?;
+    let batch = usize::try_from(batch)
+        .ok()
+        .filter(|&b| b >= 1)
+        .ok_or("\"batch\" must be at least 1")?;
+
+    let opts = SearchOptions::new(kernel, strategy, budget)
+        .with_seed(seed)
+        .with_batch(batch);
+    let id = state.runner.submit(opts).map_err(|e| e.to_string())?;
+    Ok(Json::obj(vec![("id", Json::str(id))]).to_string())
+}
+
+/// Routes `GET`/`DELETE /dse/<id>`.
+fn dse_job(
+    state: &ServeState,
+    method: &str,
+    id: &str,
+) -> (u16, &'static str, &'static str, String) {
+    match method {
+        "GET" => match state.runner.get(id) {
+            Some(progress) => (
+                200,
+                "OK",
+                "application/json",
+                progress_json(id, &progress).to_string(),
+            ),
+            None => (
+                404,
+                "Not Found",
+                "application/json",
+                error_json("no such job"),
+            ),
+        },
+        "DELETE" => {
+            if state.runner.delete(id) {
+                (
+                    200,
+                    "OK",
+                    "application/json",
+                    Json::obj(vec![("deleted", Json::Bool(true))]).to_string(),
+                )
+            } else {
+                (
+                    404,
+                    "Not Found",
+                    "application/json",
+                    error_json("no such job"),
+                )
+            }
+        }
+        _ => (
+            405,
+            "Method Not Allowed",
+            "application/json",
+            error_json("method not allowed"),
+        ),
+    }
+}
+
+fn progress_json(id: &str, progress: &JobProgress) -> Json {
+    let front: Vec<Json> = progress
+        .front
+        .iter()
+        .map(|&(fingerprint, latency, area)| {
+            Json::obj(vec![
+                ("fingerprint", Json::UInt(fingerprint)),
+                ("latency", Json::Float(latency)),
+                ("area", Json::Float(area)),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("id", Json::str(id)),
+        ("status", Json::str(progress.status.name())),
+        ("kernel", Json::str(&progress.kernel)),
+        ("strategy", Json::str(&progress.strategy)),
+        ("budget", Json::UInt(progress.budget)),
+        ("spent", Json::UInt(progress.spent)),
+        ("iterations", Json::UInt(progress.iterations)),
+        ("front", Json::Arr(front)),
+    ];
+    if let Some(error) = &progress.error {
+        fields.push(("error", Json::str(error)));
+    }
+    Json::obj(fields)
+}
+
 // ----------------------------------------------------------------- metrics
 
 /// Renders the `/metrics` body: server/session gauges first (always live,
@@ -480,6 +626,38 @@ fn render_metrics(state: &ServeState) -> String {
         "qor_session_cache_capacity",
         "gauge",
         stats.capacity.to_string(),
+    );
+
+    let dse = state.runner.stats();
+    put(
+        "qor_dse_jobs_submitted_total",
+        "counter",
+        dse.submitted.to_string(),
+    );
+    put(
+        "qor_dse_jobs_completed_total",
+        "counter",
+        dse.completed.to_string(),
+    );
+    put(
+        "qor_dse_jobs_failed_total",
+        "counter",
+        dse.failed.to_string(),
+    );
+    put(
+        "qor_dse_jobs_cancelled_total",
+        "counter",
+        dse.cancelled.to_string(),
+    );
+    put(
+        "qor_dse_evaluations_total",
+        "counter",
+        dse.evaluations.to_string(),
+    );
+    put(
+        "qor_dse_evals_per_second",
+        "gauge",
+        format_float(dse.evals_per_sec),
     );
 
     for (name, snap) in obs::metrics::snapshot() {

@@ -174,6 +174,135 @@ fn metrics_expose_cache_counters_in_prometheus_format() {
     }
 }
 
+/// Polls `GET /dse/<id>` until the job leaves `running` (or panics after
+/// `tries` attempts).
+fn wait_for_job(addr: std::net::SocketAddr, id: &str, tries: u32) -> Json {
+    let path = format!("/dse/{id}");
+    for _ in 0..tries {
+        let (status, body) = client_request(addr, "GET", &path, None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).unwrap();
+        let state = json::field(&doc, "status").and_then(json::as_str).unwrap();
+        if state != "running" {
+            return doc;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    panic!("job {id} still running after {tries} polls");
+}
+
+#[test]
+fn dse_job_lifecycle_runs_to_done_over_http() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+
+    let body = r#"{"kernel":"fir","strategy":"random","budget":6,"seed":7,"batch":3}"#;
+    let (status, response) = client_request(addr, "POST", "/dse", Some(body)).unwrap();
+    assert_eq!(status, 200, "{response}");
+    let doc = json::parse(&response).unwrap();
+    let id = json::field(&doc, "id")
+        .and_then(json::as_str)
+        .unwrap()
+        .to_string();
+
+    let done = wait_for_job(addr, &id, 1500);
+    assert_eq!(
+        json::field(&done, "status").and_then(json::as_str),
+        Some("done"),
+        "{done:?}"
+    );
+    assert_eq!(
+        json::field(&done, "kernel").and_then(json::as_str),
+        Some("fir")
+    );
+    assert_eq!(
+        json::field(&done, "strategy").and_then(json::as_str),
+        Some("random")
+    );
+    let spent = json::field(&done, "spent").and_then(json::as_u64).unwrap();
+    assert!((1..=6).contains(&spent), "spent {spent} outside the budget");
+    let front = json::as_array(json::field(&done, "front").unwrap()).unwrap();
+    assert!(!front.is_empty(), "finished job must publish a front");
+    for point in front {
+        assert!(json::field(point, "fingerprint").is_some());
+        assert!(json::field(point, "latency").is_some());
+        assert!(json::field(point, "area").is_some());
+    }
+
+    // job counters and throughput reach /metrics
+    let (_, metrics) = client_request(addr, "GET", "/metrics", None).unwrap();
+    for needle in [
+        "qor_dse_jobs_submitted_total 1",
+        "qor_dse_jobs_completed_total 1",
+        "qor_dse_jobs_failed_total 0",
+        "# TYPE qor_dse_evals_per_second gauge",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle:?} in {metrics}");
+    }
+    let evals = metrics
+        .lines()
+        .find(|l| l.starts_with("qor_dse_evaluations_total "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap();
+    assert_eq!(evals, spent, "metrics must count the job's evaluations");
+
+    // delete forgets the job; a second delete and a stale poll both 404
+    let path = format!("/dse/{id}");
+    let (status, deleted) = client_request(addr, "DELETE", &path, None).unwrap();
+    assert_eq!(status, 200, "{deleted}");
+    let deleted = json::parse(&deleted).unwrap();
+    assert_eq!(
+        json::field(&deleted, "deleted").and_then(json::as_bool),
+        Some(true)
+    );
+    let (status, _) = client_request(addr, "DELETE", &path, None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client_request(addr, "GET", &path, None).unwrap();
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+}
+
+#[test]
+fn dse_submission_errors_are_synchronous_400s() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+    let cases = [
+        ("{not json", "json"),
+        (r#"{"strategy":"random"}"#, "kernel"),
+        (r#"{"kernel":"no_such_kernel"}"#, "kernel"),
+        (r#"{"kernel":"fir","strategy":"hillclimb"}"#, "strategy"),
+        (r#"{"kernel":"fir","batch":0}"#, "batch"),
+        (r#"{"kernel":"fir","budget":-3}"#, "budget"),
+    ];
+    for (body, needle) in cases {
+        let (status, response) = client_request(addr, "POST", "/dse", Some(body)).unwrap();
+        assert_eq!(status, 400, "{body}: {response}");
+        let err = json::parse(&response).unwrap();
+        let msg = json::field(&err, "error").and_then(json::as_str).unwrap();
+        assert!(
+            msg.to_lowercase().contains(needle),
+            "{body}: error {msg:?} should mention {needle:?}"
+        );
+    }
+    // nothing was enqueued
+    let (_, metrics) = client_request(addr, "GET", "/metrics", None).unwrap();
+    assert!(
+        metrics.contains("qor_dse_jobs_submitted_total 0"),
+        "{metrics}"
+    );
+
+    // method guards on both dse routes
+    let (status, _) = client_request(addr, "GET", "/dse", None).unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = client_request(addr, "POST", "/dse/job-1", Some("{}")).unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = client_request(addr, "GET", "/dse/job-999", None).unwrap();
+    assert_eq!(status, 404);
+    handle.shutdown();
+}
+
 #[test]
 fn error_paths_return_proper_statuses() {
     let handle = spawn_server();

@@ -16,9 +16,12 @@
 //! * [`tensor`] / [`gnn`] — autograd and GNN layers built from scratch,
 //! * [`qor_core`] — the paper's hierarchical prediction methodology,
 //! * [`dse`] — design-space exploration, Pareto/ADRS, and baselines,
+//! * [`search`] — budgeted heuristic DSE (random / annealing / genetic)
+//!   with resumable `.qorjob` snapshots (`qor-search`),
 //! * [`kernels`] — the benchmark suite,
 //! * [`serve`] — versioned model checkpoints plus a std-only cached
-//!   batch-inference HTTP server (`qor-serve`).
+//!   batch-inference HTTP server (`qor-serve`) that also runs search
+//!   jobs over `POST /dse`.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@ pub use obs;
 pub use par;
 pub use pragma;
 pub use qor_core;
+pub use search;
 pub use serve;
 pub use tensor;
 
@@ -62,6 +66,7 @@ pub use kernels::lower_kernel;
 pub use qor_core::{
     generate, HierarchicalModel, LabeledDesigns, QorError, Session, TrainOptions, TrainStats,
 };
+pub use search::{SearchOptions, SearchRun, StrategyKind};
 pub use serve::{load_model_file, save_model_file};
 
 /// Convenience re-exports of the most commonly used types.
@@ -79,6 +84,7 @@ pub mod prelude {
         self, generate, CacheStats, HierarchicalModel, LabeledDesigns, QorError, Session,
         TrainOptions, TrainStats,
     };
+    pub use search::{self, SearchOptions, SearchRun, SessionEval, StrategyKind};
     pub use serve::{self, load_model, load_model_file, save_model, save_model_file, Server};
     pub use tensor::{self, Matrix};
 }
