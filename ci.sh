@@ -27,8 +27,21 @@ echo "==> checkpoint round-trip gate"
 cargo test -q --release -p serve --test checkpoint_roundtrip --test corrupt
 
 # Serving smoke gate: checkpoint round-trip through the live HTTP path.
+# This is the in-tree "curl" substitute: it also asserts the observability
+# surface — Prometheus histogram buckets (`_bucket{le=`) and quantile
+# gauges on /metrics, trace-ID echo on x-qor-trace, /debug/requests flight
+# dumps and /debug/vars build/runtime info.
 echo "==> qor-serve --self-test"
 ./target/release/qor-serve --self-test
+
+# Serving determinism gate: the serve_latency smoke output must be
+# byte-identical across thread counts (measured fields are nulled; the
+# workload_fnv checksum covers predicted QoR values in request order).
+echo "==> serve_latency --smoke determinism"
+QOR_THREADS=1 ./target/release/serve_latency --smoke --out /tmp/qor_smoke1.json >/dev/null
+QOR_THREADS=4 ./target/release/serve_latency --smoke --out /tmp/qor_smoke4.json >/dev/null
+cmp /tmp/qor_smoke1.json /tmp/qor_smoke4.json
+rm -f /tmp/qor_smoke1.json /tmp/qor_smoke4.json
 
 # Search smoke gate: budget accounting, snapshot determinism, mid-run
 # resume, and corruption typing — on both executor paths, because the

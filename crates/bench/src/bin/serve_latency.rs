@@ -1,0 +1,300 @@
+//! Serving-latency SLO benchmark: drives a live in-process `qor-serve`
+//! over real TCP and reports p50/p90/p99 request latency and throughput
+//! for `POST /predict`.
+//!
+//! The workload cycles a deterministic set of pragma configurations over
+//! one bundled kernel, so a fixed fraction of requests hits the prepared
+//! cache — the measured distribution covers both the cached fast path and
+//! the full lower→prepare→infer path.
+//!
+//! Two modes:
+//!
+//! * **full** (default) — `--clients` concurrent connections issue
+//!   `--requests` requests total; the measured latency table is printed
+//!   and written into `BENCH_serve.json`.
+//! * **`--smoke`** — single sequential client; the output JSON carries
+//!   only the deterministic workload fields (`"measured": null`), so
+//!   repeated runs are **byte-identical** at any `QOR_THREADS` — the CI
+//!   determinism gate `cmp`s two runs.
+//!
+//! Either way the JSON records a `workload_fnv` checksum over the
+//! predicted QoR values in request order: any nondeterminism in the
+//! serving path (batching, caching, thread count) changes the checksum.
+//!
+//! Usage: `cargo run --release -p qor-bench --bin serve_latency --
+//!         [--requests N] [--clients N] [--kernel NAME] [--smoke]
+//!         [--out FILE]`
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use obs::Json;
+use qor_bench::row;
+use qor_core::{fnv1a, HierarchicalModel, Session, TrainOptions};
+use serve::http::client_request;
+use serve::{json, Server};
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    kernel: String,
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 400,
+        clients: 4,
+        kernel: "mvt".to_string(),
+        smoke: false,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--requests" => {
+                i += 1;
+                args.requests = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or(400);
+            }
+            "--clients" => {
+                i += 1;
+                args.clients = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&c| c >= 1)
+                    .unwrap_or(4);
+            }
+            "--kernel" => {
+                i += 1;
+                args.kernel = argv.get(i).cloned().unwrap_or_else(|| "mvt".to_string());
+            }
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                i += 1;
+                args.out = argv
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| "BENCH_serve.json".to_string());
+            }
+            other => eprintln!("ignoring unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+    if args.smoke {
+        // smoke is the determinism gate: small, sequential, fixed shape
+        args.requests = args.requests.min(64);
+        args.clients = 1;
+    }
+    args
+}
+
+/// The deterministic request bodies: a short cycle of configurations so
+/// repeats hit the prepared cache while fresh ones pay the full path.
+fn workload(kernel: &str, n: usize) -> Vec<String> {
+    let configs = [
+        r#"{}"#,
+        r#"{"loops":[{"loop":[0],"pipeline":true}]}"#,
+        r#"{"loops":[{"loop":[0],"unroll":2}]}"#,
+        r#"{"loops":[{"loop":[0],"pipeline":true,"unroll":4}]}"#,
+    ];
+    (0..n)
+        .map(|i| {
+            format!(
+                r#"{{"kernel":"{kernel}","config":{}}}"#,
+                configs[i % configs.len()]
+            )
+        })
+        .collect()
+}
+
+/// Sends one request; returns `(latency_us, qor-tuple line for the
+/// checksum)`.
+fn send_one(addr: std::net::SocketAddr, body: &str) -> Result<(u64, String), String> {
+    let t0 = Instant::now();
+    let (status, response) =
+        client_request(addr, "POST", "/predict", Some(body)).map_err(|e| format!("io: {e}"))?;
+    let us = t0.elapsed().as_micros() as u64;
+    if status != 200 {
+        return Err(format!("status {status}: {response}"));
+    }
+    let doc = json::parse(&response).map_err(|e| format!("response: {e}"))?;
+    let q = json::field(&doc, "qor").ok_or_else(|| format!("no qor in {response}"))?;
+    let get = |k: &str| {
+        json::field(q, k)
+            .and_then(json::as_u64)
+            .ok_or_else(|| format!("no qor.{k} in {response}"))
+    };
+    Ok((
+        us,
+        format!(
+            "{},{},{},{}",
+            get("latency")?,
+            get("lut")?,
+            get("ff")?,
+            get("dsp")?
+        ),
+    ))
+}
+
+/// Per-client result share: (global request index, latency µs, qor line).
+type ClientShare = Vec<(usize, u64, String)>;
+
+/// Nearest-rank percentile over a sorted sample.
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = obs::init();
+    let args = parse_args();
+
+    let opts = TrainOptions::quick().with_hidden(12).with_seed(4);
+    let model = HierarchicalModel::new(&opts);
+    let handle = Server::bind("127.0.0.1:0", Session::with_capacity(model, 64))?.spawn()?;
+    let addr = handle.addr();
+
+    let bodies = workload(&args.kernel, args.requests);
+    let wall = Instant::now();
+    // each client takes a strided share; request order within a client is
+    // deterministic, and the checksum folds results in global order
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(args.requests);
+    let mut qor_lines: Vec<String> = vec![String::new(); args.requests];
+    if args.clients <= 1 {
+        for (i, body) in bodies.iter().enumerate() {
+            let (us, line) = send_one(addr, body).map_err(|e| format!("request {i}: {e}"))?;
+            latencies_us.push(us);
+            qor_lines[i] = line;
+        }
+    } else {
+        let results: Vec<Result<ClientShare, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|c| {
+                    let bodies = &bodies;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for i in (c..bodies.len()).step_by(args.clients) {
+                            let (us, line) = send_one(addr, &bodies[i])
+                                .map_err(|e| format!("request {i}: {e}"))?;
+                            out.push((i, us, line));
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for chunk in results {
+            for (i, us, line) in chunk? {
+                latencies_us.push(us);
+                qor_lines[i] = line;
+            }
+        }
+    }
+    let wall_ms = wall.elapsed().as_micros() as f64 / 1_000.0;
+    let stats = handle.stats();
+    handle.shutdown();
+
+    // checksum over predicted QoR values in request order — independent of
+    // timing, thread count and interleaving
+    let workload_fnv = fnv1a(qor_lines.join("\n").as_bytes());
+
+    latencies_us.sort_unstable();
+    let p50 = percentile(&latencies_us, 0.50);
+    let p90 = percentile(&latencies_us, 0.90);
+    let p99 = percentile(&latencies_us, 0.99);
+    let throughput = args.requests as f64 / (wall_ms / 1_000.0);
+
+    let widths = [8usize, 8, 10, 10, 10, 12];
+    println!(
+        "\nServing latency ({} requests, {} client{}, kernel {})\n",
+        args.requests,
+        args.clients,
+        if args.clients == 1 { "" } else { "s" },
+        args.kernel
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "Route".into(),
+                "Count".into(),
+                "p50 (us)".into(),
+                "p90 (us)".into(),
+                "p99 (us)".into(),
+                "req/s".into(),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "predict".into(),
+                args.requests.to_string(),
+                p50.to_string(),
+                p90.to_string(),
+                p99.to_string(),
+                format!("{throughput:.0}"),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "\ncache: {} hits / {} misses (hit rate {:.0}%)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    println!("workload checksum: {workload_fnv:016x}");
+
+    obs::report::record_table(
+        "serve_latency",
+        &["route", "requests", "p50_us", "p90_us", "p99_us", "rps"],
+        vec![vec![
+            Json::str("predict"),
+            Json::UInt(args.requests as u64),
+            Json::UInt(p50),
+            Json::UInt(p90),
+            Json::UInt(p99),
+            Json::Float(throughput),
+        ]],
+    );
+
+    // smoke runs null out every measured (timing-dependent) field so the
+    // file is byte-identical across repeated runs at any QOR_THREADS
+    let measured = if args.smoke {
+        Json::Null
+    } else {
+        Json::obj(vec![
+            ("p50_us", Json::UInt(p50)),
+            ("p90_us", Json::UInt(p90)),
+            ("p99_us", Json::UInt(p99)),
+            (
+                "wall_ms",
+                Json::Float((wall_ms * 1_000.0).round() / 1_000.0),
+            ),
+            ("throughput_rps", Json::Float(throughput.round())),
+        ])
+    };
+    let out_json = Json::obj(vec![
+        ("bench", Json::str("serve_latency")),
+        ("kernel", Json::str(&args.kernel)),
+        ("requests", Json::UInt(args.requests as u64)),
+        ("clients", Json::UInt(args.clients as u64)),
+        ("smoke", Json::Bool(args.smoke)),
+        ("workload_fnv", Json::Str(format!("{workload_fnv:016x}"))),
+        ("measured", measured),
+    ]);
+    let mut file = std::fs::File::create(&args.out)?;
+    file.write_all(out_json.to_string().as_bytes())?;
+    file.write_all(b"\n")?;
+    println!("wrote {}", args.out);
+    Ok(())
+}

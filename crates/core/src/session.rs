@@ -32,9 +32,12 @@ use std::collections::HashMap;
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use hir::Function;
 use hlsim::Qor;
+use obs::log::Level;
+use obs::Json;
 use pragma::PragmaConfig;
 
 use crate::error::QorError;
@@ -74,6 +77,40 @@ impl CacheStats {
         } else {
             hits as f64 / total as f64
         }
+    }
+}
+
+/// One prediction plus where its time went and which caches answered.
+///
+/// Returned by [`Session::predict_kernel_report`] /
+/// [`Session::predict_source_report`]; servers turn this into per-stage
+/// flight-recorder timings and cache hit/miss counts without a second
+/// stats diff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictReport {
+    /// The predicted quality of result.
+    pub qor: Qor,
+    /// Whether the lowered kernel came from the kernel cache.
+    pub kernel_cache_hit: bool,
+    /// Whether the front half came from the prepared cache.
+    pub prepared_cache_hit: bool,
+    /// Microseconds spent parsing + lowering (0 on a kernel-cache hit).
+    pub lower_us: u64,
+    /// Microseconds spent preparing the front half (0 on a cache hit).
+    pub prepare_us: u64,
+    /// Microseconds spent in the GNN forward pass.
+    pub infer_us: u64,
+}
+
+impl PredictReport {
+    /// Cache hits in this prediction (0..=2, one per cache layer).
+    pub fn cache_hits(&self) -> u64 {
+        u64::from(self.kernel_cache_hit) + u64::from(self.prepared_cache_hit)
+    }
+
+    /// Cache misses in this prediction (0..=2, one per cache layer).
+    pub fn cache_misses(&self) -> u64 {
+        2 - self.cache_hits()
     }
 }
 
@@ -172,9 +209,23 @@ impl Session {
     /// [`QorError::UnknownKernel`] when the name is not in the bundled
     /// set; otherwise as [`Session::predict_source`].
     pub fn predict_kernel(&self, kernel: &str, cfg: &PragmaConfig) -> Result<Qor, QorError> {
+        Ok(self.predict_kernel_report(kernel, cfg)?.qor)
+    }
+
+    /// As [`Session::predict_kernel`], but also reports per-stage timings
+    /// and cache hit/miss flags.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::predict_kernel`].
+    pub fn predict_kernel_report(
+        &self,
+        kernel: &str,
+        cfg: &PragmaConfig,
+    ) -> Result<PredictReport, QorError> {
         let source = kernels::kernel_source(kernel)
             .ok_or_else(|| QorError::UnknownKernel(kernel.to_string()))?;
-        self.predict_source(kernel, source, cfg)
+        self.predict_source_report(kernel, source, cfg)
     }
 
     /// Predicts the QoR of `top` in an arbitrary HLS-C `source` under
@@ -190,10 +241,54 @@ impl Session {
         source: &str,
         cfg: &PragmaConfig,
     ) -> Result<Qor, QorError> {
+        Ok(self.predict_source_report(top, source, cfg)?.qor)
+    }
+
+    /// As [`Session::predict_source`], but also reports per-stage timings
+    /// and cache hit/miss flags.
+    ///
+    /// Emits one `session.predict` debug event (see [`obs::log`]) carrying
+    /// the active trace context, so a request trace can be followed from
+    /// the HTTP layer into the cache layers.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::predict_source`].
+    pub fn predict_source_report(
+        &self,
+        top: &str,
+        source: &str,
+        cfg: &PragmaConfig,
+    ) -> Result<PredictReport, QorError> {
         let khash = kernel_key(top, source);
-        let func = self.function_cached(khash, top, source)?;
-        let prepared = self.prepared_cached(khash, &func, cfg);
-        Ok(self.model.predict_prepared(&prepared))
+        let (func, kernel_cache_hit, lower_us) = self.function_cached(khash, top, source)?;
+        let (prepared, prepared_cache_hit, prepare_us) = self.prepared_cached(khash, &func, cfg);
+        let t = Instant::now();
+        let qor = self.model.predict_prepared(&prepared);
+        let infer_us = t.elapsed().as_micros() as u64;
+        let report = PredictReport {
+            qor,
+            kernel_cache_hit,
+            prepared_cache_hit,
+            lower_us,
+            prepare_us,
+            infer_us,
+        };
+        if obs::log::enabled(Level::Debug) {
+            obs::log::event(
+                Level::Debug,
+                "session.predict",
+                &[
+                    ("top", Json::str(top)),
+                    ("kernel_hit", Json::Bool(kernel_cache_hit)),
+                    ("prepared_hit", Json::Bool(prepared_cache_hit)),
+                    ("lower_us", Json::UInt(lower_us)),
+                    ("prepare_us", Json::UInt(prepare_us)),
+                    ("infer_us", Json::UInt(infer_us)),
+                ],
+            );
+        }
+        Ok(report)
     }
 
     /// The lowered function of a bundled kernel, from cache when warm
@@ -205,24 +300,28 @@ impl Session {
     pub fn kernel_function(&self, kernel: &str) -> Result<Arc<Function>, QorError> {
         let source = kernels::kernel_source(kernel)
             .ok_or_else(|| QorError::UnknownKernel(kernel.to_string()))?;
-        self.function_cached(kernel_key(kernel, source), kernel, source)
+        let (func, _, _) = self.function_cached(kernel_key(kernel, source), kernel, source)?;
+        Ok(func)
     }
 
+    /// Looks up (or lowers) the kernel; returns the function, whether the
+    /// cache answered, and the microseconds spent lowering on a miss.
     fn function_cached(
         &self,
         khash: u64,
         top: &str,
         source: &str,
-    ) -> Result<Arc<Function>, QorError> {
+    ) -> Result<(Arc<Function>, bool, u64), QorError> {
         if let Some(func) = self.state.lock().unwrap().kernels.get(&khash) {
             self.kernel_hits.fetch_add(1, Ordering::Relaxed);
             obs::metrics::counter_add("session/kernel/hits", 1);
-            return Ok(func.clone());
+            return Ok((func.clone(), true, 0));
         }
         // lower outside the lock: parsing is the expensive part, and two
         // racing threads produce identical functions anyway
         self.kernel_misses.fetch_add(1, Ordering::Relaxed);
         obs::metrics::counter_add("session/kernel/misses", 1);
+        let t = Instant::now();
         let program = frontc::parse(source)?;
         let module = hir::lower(&program)?;
         let func = Arc::new(
@@ -231,21 +330,25 @@ impl Session {
                 .ok_or_else(|| QorError::UnknownKernel(top.to_string()))?
                 .clone(),
         );
+        let lower_us = t.elapsed().as_micros() as u64;
         self.state
             .lock()
             .unwrap()
             .kernels
             .entry(khash)
             .or_insert_with(|| func.clone());
-        Ok(func)
+        Ok((func, false, lower_us))
     }
 
+    /// Looks up (or builds) the prepared front half; returns the design,
+    /// whether the cache answered, and the microseconds spent preparing
+    /// on a miss.
     fn prepared_cached(
         &self,
         khash: u64,
         func: &Arc<Function>,
         cfg: &PragmaConfig,
-    ) -> Arc<PreparedDesign> {
+    ) -> (Arc<PreparedDesign>, bool, u64) {
         let key = design_key(khash, cfg);
         if self.capacity > 0 {
             let mut state = self.state.lock().unwrap();
@@ -257,14 +360,16 @@ impl Session {
                 drop(state);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 obs::metrics::counter_add("session/cache/hits", 1);
-                return prepared;
+                return (prepared, true, 0);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::metrics::counter_add("session/cache/misses", 1);
         // prepare outside the lock so concurrent misses don't serialize;
         // racing threads compute bit-identical prepared designs
+        let t = Instant::now();
         let prepared = Arc::new(self.model.prepare(func.clone(), cfg.clone()));
+        let prepare_us = t.elapsed().as_micros() as u64;
         if self.capacity > 0 {
             let mut state = self.state.lock().unwrap();
             state.tick += 1;
@@ -285,7 +390,7 @@ impl Session {
             }
             obs::metrics::gauge_set("session/cache/size", state.prepared.len() as f64);
         }
-        prepared
+        (prepared, false, prepare_us)
     }
 }
 

@@ -1,0 +1,202 @@
+//! The flight recorder: an always-on, fixed-capacity ring buffer holding
+//! the last N *completed* request/job traces.
+//!
+//! Unlike spans and metrics, the recorder does not depend on `QOR_TRACE`
+//! or `QOR_REPORT`: a serving process keeps it populated at all times so
+//! `GET /debug/requests` can answer "what did the last hundred requests
+//! do and where did they spend their time" after the fact, with bounded
+//! memory. Capacity comes from `QOR_FLIGHT_CAP` (default
+//! [`DEFAULT_CAPACITY`]; `0` disables recording); every record is clamped
+//! to [`MAX_STAGES`] stages and [`MAX_LABEL_BYTES`]-byte strings on entry,
+//! so the whole buffer is `O(capacity)` regardless of what callers pass
+//! in.
+//!
+//! A record summarizes one finished unit of work: its [`crate::trace`] id,
+//! a kind (`"http"`, `"job"`, …), per-stage wall-clock timings, byte
+//! sizes, and cache hit/miss counts. Records are inserted on completion
+//! (never while in flight), evicting the oldest entry once full.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Ring capacity when `QOR_FLIGHT_CAP` is not set.
+pub const DEFAULT_CAPACITY: usize = 128;
+
+/// Stages kept per record; extra stages are dropped (a `...` stage with
+/// the remaining time is appended so totals still add up).
+pub const MAX_STAGES: usize = 32;
+
+/// Byte budget for each string field (label, kind, outcome, stage names).
+pub const MAX_LABEL_BYTES: usize = 120;
+
+/// One completed request/job trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Trace id (0 when the work ran without a trace context).
+    pub trace: u64,
+    /// Work class: `"http"`, `"job"`, …
+    pub kind: String,
+    /// Human-readable identity, e.g. `"POST /predict"` or
+    /// `"job-3 fir/genetic"`.
+    pub label: String,
+    /// Outcome token: an HTTP status (`"200"`) or a job state (`"done"`).
+    pub outcome: String,
+    /// Start, µs since the process observability epoch.
+    pub start_us: u64,
+    /// End-to-end duration in µs.
+    pub total_us: u64,
+    /// Request/input payload bytes.
+    pub bytes_in: u64,
+    /// Response/output payload bytes.
+    pub bytes_out: u64,
+    /// Session-cache hits attributable to this work.
+    pub cache_hits: u64,
+    /// Session-cache misses attributable to this work.
+    pub cache_misses: u64,
+    /// Per-stage `(name, dur_us)` timings, in execution order.
+    pub stages: Vec<(String, u64)>,
+}
+
+impl FlightRecord {
+    /// A record with zeroed optional fields; callers fill what they know.
+    pub fn new(kind: &str, label: &str) -> FlightRecord {
+        FlightRecord {
+            trace: crate::trace::current_raw(),
+            kind: kind.to_string(),
+            label: label.to_string(),
+            outcome: String::new(),
+            start_us: 0,
+            total_us: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            stages: Vec::new(),
+        }
+    }
+
+    fn clamp(mut self) -> FlightRecord {
+        truncate_in_place(&mut self.kind);
+        truncate_in_place(&mut self.label);
+        truncate_in_place(&mut self.outcome);
+        for (name, _) in &mut self.stages {
+            truncate_in_place(name);
+        }
+        if self.stages.len() > MAX_STAGES {
+            let dropped: u64 = self.stages[MAX_STAGES - 1..]
+                .iter()
+                .map(|&(_, us)| us)
+                .sum();
+            self.stages.truncate(MAX_STAGES - 1);
+            self.stages.push(("...".to_string(), dropped));
+        }
+        self
+    }
+
+    /// Serializes the record for `GET /debug/requests` and tests.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("trace", Json::Str(format!("{:016x}", self.trace))),
+            ("kind", Json::str(&self.kind)),
+            ("label", Json::str(&self.label)),
+            ("outcome", Json::str(&self.outcome)),
+            ("start_us", Json::UInt(self.start_us)),
+            ("total_us", Json::UInt(self.total_us)),
+            ("bytes_in", Json::UInt(self.bytes_in)),
+            ("bytes_out", Json::UInt(self.bytes_out)),
+            ("cache_hits", Json::UInt(self.cache_hits)),
+            ("cache_misses", Json::UInt(self.cache_misses)),
+            (
+                "stages",
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|(name, us)| {
+                            Json::obj(vec![("stage", Json::str(name)), ("us", Json::UInt(*us))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Truncates a string to [`MAX_LABEL_BYTES`] on a char boundary.
+fn truncate_in_place(s: &mut String) {
+    if s.len() > MAX_LABEL_BYTES {
+        let mut cut = MAX_LABEL_BYTES;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+    }
+}
+
+static RING: Mutex<VecDeque<FlightRecord>> = Mutex::new(VecDeque::new());
+static CAPACITY: AtomicUsize = AtomicUsize::new(usize::MAX); // MAX = unread
+
+/// The configured ring capacity (reads `QOR_FLIGHT_CAP` once).
+pub fn capacity() -> usize {
+    let v = CAPACITY.load(Ordering::Relaxed);
+    if v != usize::MAX {
+        return v;
+    }
+    let cap = std::env::var("QOR_FLIGHT_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_CAPACITY)
+        .min(usize::MAX - 1);
+    CAPACITY.store(cap, Ordering::Relaxed);
+    cap
+}
+
+/// Records one completed trace, evicting the oldest when full.
+pub fn record(rec: FlightRecord) {
+    let cap = capacity();
+    if cap == 0 {
+        return;
+    }
+    let rec = rec.clamp();
+    let mut ring = RING.lock().unwrap();
+    while ring.len() >= cap {
+        ring.pop_front();
+    }
+    ring.push_back(rec);
+}
+
+/// Records currently held, **newest first** (the order `/debug/requests`
+/// dumps them in).
+pub fn snapshot() -> Vec<FlightRecord> {
+    let ring = RING.lock().unwrap();
+    ring.iter().rev().cloned().collect()
+}
+
+/// Number of records currently held.
+pub fn len() -> usize {
+    RING.lock().unwrap().len()
+}
+
+/// Serializes the whole recorder (capacity + newest-first records).
+pub fn to_json() -> Json {
+    Json::obj(vec![
+        ("capacity", Json::UInt(capacity() as u64)),
+        ("count", Json::UInt(len() as u64)),
+        (
+            "requests",
+            Json::Arr(snapshot().iter().map(FlightRecord::to_json).collect()),
+        ),
+    ])
+}
+
+/// Clears the ring (test support; the capacity cache is kept).
+pub fn reset() {
+    RING.lock().unwrap().clear();
+}
+
+/// Overrides the capacity (test support).
+pub fn set_capacity_for_tests(cap: usize) {
+    CAPACITY.store(cap.min(usize::MAX - 1), Ordering::Relaxed);
+}

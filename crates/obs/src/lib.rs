@@ -1,17 +1,25 @@
 #![warn(missing_docs)]
 //! Observability substrate for the QoR-prediction pipeline.
 //!
-//! Three pieces, all std-only and thread-safe:
+//! Six pieces, all std-only and thread-safe:
 //!
 //! * **Spans** — hierarchical wall-clock timing with RAII guards and
 //!   per-span attributes ([`span`], [`span!`]).
 //! * **Metrics** — counters, gauges, per-step series and log-bucketed
-//!   histograms in a global registry ([`metrics`]).
+//!   histograms with exact-quantile windows in a global registry
+//!   ([`metrics`]).
 //! * **Run reports** — the span forest plus all metrics (and any tables
 //!   recorded by benchmark binaries) serialized to JSON by a hand-rolled
 //!   writer ([`report`]).
+//! * **Trace contexts** — deterministic FNV-derived request/job ids,
+//!   thread-propagated and stamped onto every span, log event and flight
+//!   record ([`trace`]).
+//! * **Structured log** — leveled JSON-lines events to stderr or a file,
+//!   controlled by `QOR_LOG` ([`log`], [`logev!`]).
+//! * **Flight recorder** — an always-on fixed-capacity ring of the last N
+//!   completed request/job traces at bounded memory ([`flight`]).
 //!
-//! Behaviour is controlled by two environment variables, read once:
+//! Behaviour is controlled by environment variables, each read once:
 //!
 //! * `QOR_TRACE=0|1|2` — live stderr verbosity. `0` (default) is fully
 //!   silent; `1` prints one line per closed span; `2` adds span-entry lines
@@ -19,10 +27,16 @@
 //! * `QOR_REPORT=path.json` — write the JSON run report to `path.json` when
 //!   the [`report::Session`] returned by [`init`] drops (or on demand via
 //!   [`report::write_report`]).
+//! * `QOR_LOG=level[:path]` — structured JSON-lines event log (see
+//!   [`log`]).
+//! * `QOR_FLIGHT_CAP=N` — flight-recorder capacity (see [`flight`]).
 //!
-//! With neither variable set, collection is disabled and every entry point
-//! reduces to one relaxed atomic load — instrumentation can stay on in hot
-//! paths.
+//! With none of them set, span/metric collection is disabled and every
+//! recording entry point reduces to one relaxed atomic load —
+//! instrumentation can stay on in hot paths. Trace contexts and the
+//! flight recorder are always on: both are bounded and cost nanoseconds.
+//! Long-running servers that want live `/metrics` without the unbounded
+//! span arena call [`metrics::enable_always`].
 //!
 //! # Example
 //!
@@ -38,13 +52,17 @@
 //! obs::test_support::force_collection(false);
 //! ```
 
+pub mod flight;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod report;
 mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use span::{span, Span};
+pub use trace::TraceId;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -147,11 +165,12 @@ pub mod test_support {
         COLLECT.store(u8::from(on), Ordering::Relaxed);
     }
 
-    /// Clears all recorded spans, metrics and tables.
+    /// Clears all recorded spans, metrics, tables and flight records.
     pub fn reset() {
         crate::span::reset();
         crate::metrics::reset();
         crate::report::reset();
+        crate::flight::reset();
     }
 }
 

@@ -14,7 +14,7 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::json::Json;
-use crate::{collecting, trace_level};
+use crate::{collecting, trace, trace_level};
 
 /// One recorded span.
 #[derive(Debug, Clone)]
@@ -22,6 +22,8 @@ pub(crate) struct SpanNode {
     pub name: String,
     pub parent: Option<usize>,
     pub depth: usize,
+    /// The [`crate::trace`] context active at entry (0 = none).
+    pub trace_id: u64,
     /// Nanoseconds since the process observability epoch.
     pub start_ns: u64,
     /// `None` while the span is still open.
@@ -42,6 +44,12 @@ fn epoch() -> Instant {
 
 fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
+}
+
+/// Microseconds since the process observability epoch (shared clock for
+/// spans, log events and flight records).
+pub(crate) fn now_us() -> u64 {
+    now_ns() / 1_000
 }
 
 /// RAII guard for an open span; the span closes when this drops.
@@ -111,6 +119,7 @@ pub fn span(name: &str) -> Span {
             name: name.to_string(),
             parent,
             depth,
+            trace_id: trace::current_raw(),
             start_ns,
             dur_ns: None,
             attrs: Vec::new(),
@@ -140,14 +149,20 @@ pub(crate) fn forest_json() -> Json {
         let mut fields = vec![
             ("name".to_string(), Json::Str(node.name.clone())),
             ("start_us".to_string(), Json::UInt(node.start_ns / 1_000)),
-            (
-                "dur_us".to_string(),
-                match node.dur_ns {
-                    Some(ns) => Json::UInt(ns / 1_000),
-                    None => Json::Null,
-                },
-            ),
         ];
+        if node.trace_id != 0 {
+            fields.push((
+                "trace".to_string(),
+                Json::Str(format!("{:016x}", node.trace_id)),
+            ));
+        }
+        fields.push((
+            "dur_us".to_string(),
+            match node.dur_ns {
+                Some(ns) => Json::UInt(ns / 1_000),
+                None => Json::Null,
+            },
+        ));
         if !node.attrs.is_empty() {
             fields.push(("attrs".to_string(), Json::Obj(node.attrs.clone())));
         }

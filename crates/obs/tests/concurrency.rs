@@ -1,0 +1,115 @@
+//! Differential 1-vs-4-thread metrics test: the same workload recorded
+//! sequentially and from four concurrent workers must produce an
+//! identical registry snapshot — counters lossless, histogram buckets,
+//! counts and quantiles equal. This is the `obs` half of the workspace's
+//! `QOR_THREADS={1,4}` determinism contract: recording is commutative, so
+//! thread interleaving can never change what `/metrics` or a run report
+//! says.
+//!
+//! All observation values are small integers, so even the floating-point
+//! `sum` is exact under any accumulation order.
+
+use obs::metrics::{self, HistogramDetail, Snapshot};
+use std::sync::Mutex;
+
+/// The registry is process-global; tests in this binary must not overlap.
+static ISOLATION: Mutex<()> = Mutex::new(());
+
+const WORKERS: usize = 4;
+const PER_WORKER_OPS: usize = 500;
+
+/// The workload one worker contributes: `ops` counter increments plus a
+/// deterministic latency-like histogram pattern.
+fn record_chunk(worker: usize, ops: usize) {
+    for i in 0..ops {
+        metrics::counter_add("conc.hits", 1);
+        // integer-valued "latencies" in 1..=256 so sums are exact
+        let v = ((worker * ops + i) % 256 + 1) as f64;
+        metrics::histogram_record("conc.latency_us", v);
+    }
+    metrics::counter_add("conc.batches", 1);
+}
+
+/// Runs the whole workload at `threads` workers and returns the snapshot
+/// plus histogram detail.
+fn run_workload(threads: usize) -> (Vec<(String, Snapshot)>, HistogramDetail) {
+    obs::test_support::reset();
+    if threads <= 1 {
+        for w in 0..WORKERS {
+            record_chunk(w, PER_WORKER_OPS);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                scope.spawn(move || record_chunk(w, PER_WORKER_OPS));
+            }
+        });
+    }
+    let snaps = run_snapshot();
+    let detail = metrics::histogram_detail("conc.latency_us").expect("histogram exists");
+    (snaps, detail)
+}
+
+fn run_snapshot() -> Vec<(String, Snapshot)> {
+    metrics::snapshot()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("conc."))
+        .collect()
+}
+
+#[test]
+fn one_and_four_thread_snapshots_are_identical() {
+    let _lock = ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
+    obs::test_support::force_collection(true);
+    let (seq_snaps, seq_detail) = run_workload(1);
+    let (par_snaps, par_detail) = run_workload(WORKERS);
+    obs::test_support::force_collection(false);
+
+    // counters merged losslessly
+    assert_eq!(seq_snaps, par_snaps);
+    let hits = seq_snaps
+        .iter()
+        .find(|(n, _)| n == "conc.hits")
+        .map(|(_, s)| *s);
+    assert_eq!(
+        hits,
+        Some(Snapshot::Counter((WORKERS * PER_WORKER_OPS) as u64))
+    );
+
+    // histogram counts, sums and cumulative le-buckets agree exactly
+    assert_eq!(seq_detail.count, par_detail.count);
+    assert_eq!(seq_detail.sum, par_detail.sum, "integer sums must be exact");
+    assert_eq!(seq_detail.min, par_detail.min);
+    assert_eq!(seq_detail.max, par_detail.max);
+    assert_eq!(seq_detail.buckets, par_detail.buckets);
+
+    // exact quantiles are order-independent: the window holds the same
+    // multiset under any interleaving (total count fits the window)
+    assert!(seq_detail.count <= metrics::RECENT_WINDOW as u64);
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(seq_detail.quantile(q), par_detail.quantile(q), "q={q}");
+    }
+}
+
+#[test]
+fn quantiles_match_a_reference_percentile_on_known_data() {
+    let _lock = ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
+    obs::test_support::force_collection(true);
+    obs::test_support::reset();
+    // 1..=1000 from 4 threads, striped
+    std::thread::scope(|scope| {
+        for w in 0..4 {
+            scope.spawn(move || {
+                for v in (0..1000).skip(w).step_by(4) {
+                    metrics::histogram_record("conc.ref", (v + 1) as f64);
+                }
+            });
+        }
+    });
+    let d = metrics::histogram_detail("conc.ref").unwrap();
+    obs::test_support::force_collection(false);
+    assert_eq!(d.count, 1000);
+    assert_eq!(d.quantile(0.50), 500.0);
+    assert_eq!(d.quantile(0.90), 900.0);
+    assert_eq!(d.quantile(0.99), 990.0);
+}

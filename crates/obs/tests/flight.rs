@@ -1,0 +1,91 @@
+//! Flight-recorder contract tests: capacity eviction order, bounded
+//! memory (string/stage clamping), trace stamping, and the JSON dump
+//! shape served by `GET /debug/requests`.
+
+use std::sync::Mutex;
+
+use obs::flight::{self, FlightRecord, MAX_LABEL_BYTES, MAX_STAGES};
+use obs::trace;
+
+/// The ring is process-global; tests in this binary must not overlap.
+static ISOLATION: Mutex<()> = Mutex::new(());
+
+fn rec(label: &str) -> FlightRecord {
+    let mut r = FlightRecord::new("test", label);
+    r.outcome = "200".to_string();
+    r.total_us = 7;
+    r
+}
+
+#[test]
+fn capacity_evicts_oldest_first_and_dumps_newest_first() {
+    let _lock = ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
+    flight::set_capacity_for_tests(4);
+    flight::reset();
+    for i in 0..10 {
+        flight::record(rec(&format!("req-{i}")));
+    }
+    let snap = flight::snapshot();
+    assert_eq!(flight::len(), 4);
+    // newest first: 9, 8, 7, 6 — requests 0..=5 were evicted in order
+    let labels: Vec<&str> = snap.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(labels, ["req-9", "req-8", "req-7", "req-6"]);
+    flight::reset();
+}
+
+#[test]
+fn records_are_clamped_to_bounded_memory() {
+    let _lock = ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
+    flight::set_capacity_for_tests(4);
+    flight::reset();
+    let mut r = rec(&"x".repeat(10_000));
+    r.kind = "k".repeat(5_000);
+    // 100 stages of 3 µs each
+    r.stages = (0..100).map(|i| (format!("stage-{i}"), 3u64)).collect();
+    flight::record(r);
+    let snap = flight::snapshot();
+    assert_eq!(snap.len(), 1);
+    let r = &snap[0];
+    assert_eq!(r.label.len(), MAX_LABEL_BYTES);
+    assert_eq!(r.kind.len(), MAX_LABEL_BYTES);
+    assert_eq!(r.stages.len(), MAX_STAGES);
+    // the overflow stage preserves the dropped time, so stage sums hold
+    let total: u64 = r.stages.iter().map(|&(_, us)| us).sum();
+    assert_eq!(total, 300);
+    assert_eq!(r.stages.last().unwrap().0, "...");
+    flight::reset();
+}
+
+#[test]
+fn zero_capacity_disables_recording() {
+    let _lock = ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
+    flight::set_capacity_for_tests(0);
+    flight::record(rec("dropped"));
+    assert_eq!(flight::len(), 0);
+    flight::set_capacity_for_tests(4);
+}
+
+#[test]
+fn records_inherit_the_active_trace_and_serialize_it() {
+    let _lock = ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
+    flight::set_capacity_for_tests(4);
+    flight::reset();
+    let id = trace::derive(&[b"flight-test", b"1"]);
+    {
+        let _g = trace::adopt(id);
+        let mut r = FlightRecord::new("http", "POST /predict");
+        r.stages = vec![("decode".into(), 2), ("predict".into(), 40)];
+        r.cache_hits = 1;
+        flight::record(r);
+    }
+    let snap = flight::snapshot();
+    assert_eq!(snap[0].trace, id.0);
+    let json = flight::to_json().to_string();
+    assert!(
+        json.contains(&format!("\"trace\":\"{}\"", id.as_hex())),
+        "{json}"
+    );
+    assert!(json.contains("\"capacity\":4"), "{json}");
+    assert!(json.contains(r#"{"stage":"decode","us":2}"#), "{json}");
+    flight::reset();
+}

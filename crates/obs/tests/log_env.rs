@@ -1,0 +1,61 @@
+//! `QOR_LOG` contract test. Lives in its own integration binary because
+//! the env var is read once per process: this file's single test sets it
+//! before the first log call and owns the configuration for the process.
+
+use obs::log::{self, Level};
+use obs::{trace, Json};
+
+#[test]
+fn file_sink_writes_leveled_json_lines_with_trace_ids() {
+    let path = std::env::temp_dir().join(format!("qor-log-test-{}.jsonl", std::process::id()));
+    std::env::set_var("QOR_LOG", format!("info:{}", path.display()));
+
+    assert!(log::enabled(Level::Error));
+    assert!(log::enabled(Level::Info));
+    assert!(!log::enabled(Level::Debug), "info must filter debug events");
+    assert_eq!(log::level_name(), "info");
+
+    let id = trace::derive(&[b"log-test"]);
+    {
+        let _g = trace::adopt(id);
+        log::event(
+            Level::Info,
+            "http.request",
+            &[
+                ("route", Json::str("predict")),
+                ("status", Json::UInt(200)),
+                ("dur_us", Json::UInt(412)),
+            ],
+        );
+        // filtered: below the configured level
+        log::event(Level::Debug, "session.cache", &[("hit", Json::Bool(true))]);
+    }
+    // outside any trace context: no trace field
+    obs::logev!(Level::Warn, "accept.failed", "error" => Json::str("oops"));
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+
+    assert!(lines[0].starts_with("{\"ts_us\":"), "{}", lines[0]);
+    assert!(lines[0].contains("\"level\":\"info\""), "{}", lines[0]);
+    assert!(
+        lines[0].contains("\"event\":\"http.request\""),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[0].contains(&format!("\"trace\":\"{}\"", id.as_hex())),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("\"status\":200"), "{}", lines[0]);
+
+    assert!(lines[1].contains("\"level\":\"warn\""), "{}", lines[1]);
+    assert!(!lines[1].contains("\"trace\""), "{}", lines[1]);
+    assert!(
+        !text.contains("session.cache"),
+        "debug event must be filtered"
+    );
+}

@@ -17,6 +17,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use obs::log::Level;
+use obs::{trace, Json};
 use qor_core::{QorError, Session};
 
 use crate::engine::{SearchOptions, SearchRun, SessionEval};
@@ -67,6 +69,12 @@ pub struct JobProgress {
     pub front: Vec<(u64, f64, f64)>,
     /// Failure message when [`JobStatus::Failed`].
     pub error: Option<String>,
+    /// Job-scoped trace id (raw [`obs::TraceId`] bits), derived
+    /// deterministically from the job id at submission. Every span, log
+    /// event and flight record the worker thread emits carries it, so an
+    /// entire search run can be followed through `QOR_LOG` output and
+    /// `GET /debug/requests` from its `GET /dse` listing.
+    pub trace: u64,
 }
 
 /// One tracked job: its id, cancellation flag, and latest progress.
@@ -143,6 +151,7 @@ impl JobRunner {
         let run = SearchRun::for_kernel(opts)?;
         let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed));
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        let trace_id = trace::derive(&[b"dse-job", id.as_bytes()]);
         let handle = Arc::new(JobHandle {
             cancel: AtomicBool::new(false),
             progress: Mutex::new(JobProgress {
@@ -154,9 +163,23 @@ impl JobRunner {
                 iterations: 0,
                 front: Vec::new(),
                 error: None,
+                trace: trace_id.0,
             }),
         });
         self.jobs.lock().unwrap().insert(id.clone(), handle.clone());
+        if obs::log::enabled(Level::Info) {
+            let _g = trace::adopt(trace_id);
+            obs::log::event(
+                Level::Info,
+                "dse.submit",
+                &[
+                    ("job", Json::str(&id)),
+                    ("kernel", Json::str(&run.options().kernel)),
+                    ("strategy", Json::str(run.options().strategy.name())),
+                    ("budget", Json::UInt(run.options().budget)),
+                ],
+            );
+        }
 
         let runner = Arc::clone(self);
         let thread_id = id.clone();
@@ -168,7 +191,25 @@ impl JobRunner {
     }
 
     /// Drives one job to completion on the worker thread.
+    ///
+    /// The worker adopts the job's trace context for its whole run, wraps
+    /// every ask/tell iteration in a `dse_step` span, and deposits a
+    /// `kind: "job"` flight record (one stage per iteration) when the job
+    /// leaves [`JobStatus::Running`].
     fn drive(&self, id: &str, handle: Arc<JobHandle>, mut run: SearchRun) {
+        let trace_id = handle.progress.lock().unwrap().trace;
+        let _trace_guard = trace::adopt_raw(trace_id);
+        let _job_span = obs::span!(
+            "dse_job",
+            "job" => id,
+            "kernel" => run.options().kernel.as_str(),
+        );
+        let stats_before = self.session.stats();
+        let started_us = obs::log::now_us();
+        let mut flight = obs::flight::FlightRecord::new("job", id);
+        flight.start_us = started_us;
+        let mut job_busy_ns = 0u64;
+        let mut step_no = 0u64;
         let eval = SessionEval::new(self.session.clone(), &run.options().kernel);
         let mut stalled = 0u32;
         let final_status = loop {
@@ -179,12 +220,32 @@ impl JobRunner {
                 break JobStatus::Done;
             }
             let t0 = std::time::Instant::now();
-            match run.step(&eval) {
+            let step = {
+                let _s = obs::span("dse_step");
+                run.step(&eval)
+            };
+            let step_ns = t0.elapsed().as_nanos() as u64;
+            self.busy_nanos.fetch_add(step_ns, Ordering::Relaxed);
+            job_busy_ns += step_ns;
+            step_no += 1;
+            flight
+                .stages
+                .push((format!("step-{step_no}"), step_ns / 1_000));
+            match step {
                 Ok(report) => {
-                    self.busy_nanos
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     self.evaluations
                         .fetch_add(report.evaluated as u64, Ordering::Relaxed);
+                    if obs::log::enabled(Level::Debug) {
+                        obs::log::event(
+                            Level::Debug,
+                            "dse.step",
+                            &[
+                                ("job", Json::str(id)),
+                                ("iteration", Json::UInt(step_no)),
+                                ("evaluated", Json::UInt(report.evaluated as u64)),
+                            ],
+                        );
+                    }
                     if report.evaluated == 0 {
                         stalled += 1;
                         if stalled >= 64 {
@@ -197,10 +258,16 @@ impl JobRunner {
                     self.persist(id, &run);
                 }
                 Err(e) => {
-                    self.busy_nanos
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     self.publish(&handle, &run, JobStatus::Failed, Some(e.to_string()));
                     self.failed.fetch_add(1, Ordering::Relaxed);
+                    self.finish(
+                        id,
+                        &run,
+                        JobStatus::Failed,
+                        flight,
+                        job_busy_ns,
+                        &stats_before,
+                    );
                     return;
                 }
             }
@@ -216,6 +283,42 @@ impl JobRunner {
         }
         self.publish(&handle, &run, final_status, None);
         self.persist(id, &run);
+        self.finish(id, &run, final_status, flight, job_busy_ns, &stats_before);
+    }
+
+    /// Emits the job's completion log event and flight record.
+    fn finish(
+        &self,
+        id: &str,
+        run: &SearchRun,
+        status: JobStatus,
+        mut flight: obs::flight::FlightRecord,
+        busy_ns: u64,
+        stats_before: &qor_core::CacheStats,
+    ) {
+        let outcome = run.outcome();
+        let stats_after = self.session.stats();
+        flight.outcome = status.name().to_string();
+        flight.total_us = busy_ns / 1_000;
+        flight.cache_hits = (stats_after.hits + stats_after.kernel_hits)
+            - (stats_before.hits + stats_before.kernel_hits);
+        flight.cache_misses = (stats_after.misses + stats_after.kernel_misses)
+            - (stats_before.misses + stats_before.kernel_misses);
+        obs::flight::record(flight);
+        if obs::log::enabled(Level::Info) {
+            obs::log::event(
+                Level::Info,
+                "dse.done",
+                &[
+                    ("job", Json::str(id)),
+                    ("status", Json::str(status.name())),
+                    ("spent", Json::UInt(outcome.spent)),
+                    ("iterations", Json::UInt(outcome.iterations)),
+                    ("front", Json::UInt(outcome.front.len() as u64)),
+                    ("busy_us", Json::UInt(busy_ns / 1_000)),
+                ],
+            );
+        }
     }
 
     fn publish(

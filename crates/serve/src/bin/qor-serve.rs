@@ -224,6 +224,70 @@ fn self_test() -> Result<(), String> {
         if status != 200 || !metrics.contains("qor_session_cache_hits_total") {
             return Err(format!("metrics: status {status}"));
         }
+        // real Prometheus histogram exposition for request latency:
+        // cumulative le-buckets closed by +Inf, plus quantile gauges
+        for needle in [
+            "# TYPE qor_http_request_duration_us histogram",
+            "qor_http_request_duration_us_bucket{route=\"predict\",status=\"2xx\",le=\"",
+            "le=\"+Inf\"}",
+            "qor_http_request_duration_us_count{route=\"predict\",status=\"2xx\"}",
+            "qor_http_request_duration_us_quantile{route=\"predict\",status=\"2xx\",q=\"0.99\"}",
+            "qor_http_responses_2xx_total",
+            "qor_http_route_requests_total{route=\"predict\"}",
+        ] {
+            if !metrics.contains(needle) {
+                return Err(format!("metrics missing {needle:?}: {metrics}"));
+            }
+        }
+        println!("metrics: histogram buckets + quantile gauges exposed");
+
+        // tracing: an inbound x-qor-trace header must be echoed and show
+        // up in the flight recorder via /debug/requests
+        let trace_hex = "00000000deadbeef";
+        let (status, headers, _) = serve::http::client_request_with(
+            addr,
+            "POST",
+            "/predict",
+            Some(request),
+            &[("x-qor-trace", trace_hex)],
+        )
+        .map_err(io)?;
+        if status != 200 {
+            return Err(format!("traced predict: status {status}"));
+        }
+        if headers
+            .iter()
+            .find(|(n, _)| n == "x-qor-trace")
+            .map(|(_, v)| v.as_str())
+            != Some(trace_hex)
+        {
+            return Err(format!("x-qor-trace not echoed: {headers:?}"));
+        }
+        let (status, dump) = client_request(addr, "GET", "/debug/requests", None).map_err(io)?;
+        if status != 200 {
+            return Err(format!("debug/requests: status {status}"));
+        }
+        for needle in [
+            &format!("\"trace\":\"{trace_hex}\"") as &str,
+            "\"kind\":\"http\"",
+            "\"label\":\"POST /predict\"",
+            "\"stages\":[",
+            "\"cache_hits\":",
+        ] {
+            if !dump.contains(needle) {
+                return Err(format!("debug/requests missing {needle:?}: {dump}"));
+            }
+        }
+        let (status, vars) = client_request(addr, "GET", "/debug/vars", None).map_err(io)?;
+        if status != 200 {
+            return Err(format!("debug/vars: status {status}"));
+        }
+        for needle in ["\"version\":", "\"threads\":", "\"cache\":", "\"flight\":"] {
+            if !vars.contains(needle) {
+                return Err(format!("debug/vars missing {needle:?}: {vars}"));
+            }
+        }
+        println!("tracing: x-qor-trace echoed; /debug/requests + /debug/vars ok");
 
         let (status, _) =
             client_request(addr, "POST", "/predict", Some("{not json")).map_err(io)?;

@@ -27,8 +27,20 @@ pub struct Request {
     pub method: String,
     /// Request target as sent (path only; queries are not split off).
     pub path: String,
+    /// Headers in arrival order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be parsed — mapped to a 4xx by the server.
@@ -86,6 +98,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     }
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     let mut head_bytes = line.len();
     loop {
         let mut header = String::new();
@@ -98,12 +111,14 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| ParseError::Malformed("bad Content-Length"))?;
             }
+            headers.push((name, value));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -114,7 +129,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     reader
         .read_exact(&mut body)
         .map_err(|e| ParseError::Io(e.kind()))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 /// Reads one CRLF/LF-terminated line, stripped, bounded by `max` bytes.
@@ -150,10 +170,35 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, reason, content_type, &[], body)
+}
+
+/// As [`write_response`], with extra response headers (e.g. the
+/// `x-qor-trace` echo). Header names/values must already be valid HTTP
+/// tokens — the caller controls both.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -175,14 +220,42 @@ pub fn client_request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let (status, _, body) = client_request_with(addr, method, path, body, &[])?;
+    Ok((status, body))
+}
+
+/// Full client response: status code, headers (names lowercased), body.
+pub type ClientResponse = (u16, Vec<(String, String)>, String);
+
+/// As [`client_request`], with extra request headers; also returns the
+/// response headers (names lowercased) so tests can assert on the
+/// `x-qor-trace` echo.
+///
+/// # Errors
+///
+/// As [`client_request`].
+pub fn client_request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
@@ -197,5 +270,11 @@ pub fn client_request(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(bad)?;
-    Ok((status, rest.to_string()))
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, headers, rest.to_string()))
 }

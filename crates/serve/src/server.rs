@@ -11,6 +11,19 @@
 //! | `/dse`          | POST   | submit a search job → `{"id":"job-1"}`     |
 //! | `/dse/<id>`     | GET    | — → job progress + incumbent Pareto front  |
 //! | `/dse/<id>`     | DELETE | cancel and forget the job                  |
+//! | `/debug/requests` | GET  | — → flight-recorder dump (last N traces)   |
+//! | `/debug/vars`   | GET    | — → build info, thread/cache config, counters |
+//!
+//! # Tracing
+//!
+//! Every request runs under a trace context: the inbound `x-qor-trace`
+//! header (16 hex digits) is honored when present, otherwise a
+//! deterministic id is derived from the server instance and request
+//! sequence. The id is echoed in the `x-qor-trace` response header,
+//! stamped on all spans/log events/flight records the request produces
+//! (including session cache events and batch fan-out workers), and shown
+//! in `GET /debug/requests`. Search jobs get their own job-scoped trace,
+//! visible in `GET /dse/<id>` as `"trace"`.
 //!
 //! A prediction request names a bundled kernel (`{"kernel":"mvt"}`) or
 //! carries inline source (`{"source":"void f(...){...}","top":"f"}`), plus
@@ -48,18 +61,26 @@
 //! runnable jobs. Poll `GET /dse/<id>` for status (`running` → `done`)
 //! and the incumbent front; `DELETE /dse/<id>` cancels a running job.
 
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use obs::Json;
+use obs::log::Level;
+use obs::metrics::{HistogramDetail, LogHistogram};
+use obs::{trace, Json};
 use pragma::{ArrayPartition, LoopId, PartitionKind, PragmaConfig, Unroll};
-use qor_core::{CacheStats, QorError, Session};
+use qor_core::{CacheStats, PredictReport, QorError, Session};
 use search::{JobProgress, JobRunner, SearchOptions, StrategyKind};
 
 use crate::http::{self, ParseError, Request};
 use crate::json;
+
+/// Per-process server-instance sequence, mixed into derived trace ids so
+/// two servers in one test process never collide.
+static INSTANCE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Shared state behind the accept loop and all connection threads.
 struct ServeState {
@@ -69,6 +90,22 @@ struct ServeState {
     requests: AtomicU64,
     predictions: AtomicU64,
     client_errors: AtomicU64,
+    /// Instance number of this server within the process.
+    instance: u64,
+    started: Instant,
+    /// Per-`(route, status-class)` request-latency histograms in µs.
+    ///
+    /// Instance-local on purpose: the `obs` registry is process-global,
+    /// so a test process running several servers would cross-contaminate
+    /// registry-backed latency metrics. `/metrics` renders these;
+    /// `serve/http/*` obs mirrors exist for run reports and are skipped
+    /// by the renderer.
+    latency: Mutex<BTreeMap<(String, &'static str), LogHistogram>>,
+    /// Per-route request counters (same instance-locality argument).
+    route_hits: Mutex<BTreeMap<String, u64>>,
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
 }
 
 /// A bound (not yet running) server.
@@ -92,6 +129,9 @@ impl Server {
     ///
     /// Propagates bind failures.
     pub fn bind(addr: &str, session: Session) -> std::io::Result<Server> {
+        // a serving process wants live `/metrics` histograms regardless of
+        // QOR_TRACE/QOR_REPORT (metrics are bounded; the span arena is not)
+        obs::metrics::enable_always();
         let listener = TcpListener::bind(addr)?;
         let session = Arc::new(session);
         let runner = JobRunner::new(Arc::clone(&session));
@@ -104,6 +144,13 @@ impl Server {
                 requests: AtomicU64::new(0),
                 predictions: AtomicU64::new(0),
                 client_errors: AtomicU64::new(0),
+                instance: INSTANCE_SEQ.fetch_add(1, Ordering::Relaxed),
+                started: Instant::now(),
+                latency: Mutex::new(BTreeMap::new()),
+                route_hits: Mutex::new(BTreeMap::new()),
+                status_2xx: AtomicU64::new(0),
+                status_4xx: AtomicU64::new(0),
+                status_5xx: AtomicU64::new(0),
             }),
         })
     }
@@ -171,12 +218,34 @@ impl ServerHandle {
     }
 }
 
+/// Per-request telemetry the routes fill in while handling: per-stage
+/// timings and cache attribution for the flight record.
+#[derive(Default)]
+struct ReqTelemetry {
+    stages: Vec<(String, u64)>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl ReqTelemetry {
+    fn absorb(&mut self, report: &PredictReport) {
+        self.cache_hits += report.cache_hits();
+        self.cache_misses += report.cache_misses();
+    }
+
+    fn stage(&mut self, name: &str, us: u64) {
+        self.stages.push((name.to_string(), us));
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, state: &ServeState) {
     let request = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(ParseError::Closed) => return, // shutdown poke or dropped peer
         Err(e @ (ParseError::Malformed(_) | ParseError::TooLarge(_))) => {
             state.client_errors.fetch_add(1, Ordering::Relaxed);
+            state.status_4xx.fetch_add(1, Ordering::Relaxed);
+            obs::metrics::counter_add("serve/http/4xx", 1);
             let body = error_json(&e.to_string());
             let status = if matches!(e, ParseError::TooLarge(_)) {
                 413
@@ -199,17 +268,125 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState) {
         }
         Err(ParseError::Io(_)) => return,
     };
-    state.requests.fetch_add(1, Ordering::Relaxed);
+    let seq = state.requests.fetch_add(1, Ordering::Relaxed);
     obs::metrics::counter_add("serve/http/requests", 1);
 
-    let (status, reason, content_type, body) = route(state, &request);
+    // trace context: honor an inbound x-qor-trace header, else derive a
+    // deterministic id from (server instance, request sequence)
+    let trace_id = request
+        .header("x-qor-trace")
+        .and_then(obs::TraceId::parse_hex)
+        .unwrap_or_else(|| {
+            trace::derive(&[b"http", &state.instance.to_be_bytes(), &seq.to_be_bytes()])
+        });
+    let _trace_guard = trace::adopt(trace_id);
+    let trace_hex = trace_id.as_hex();
+
+    let route_key = route_key(&request.method, &request.path);
+    let started_us = obs::log::now_us();
+    let t0 = Instant::now();
+    let mut tel = ReqTelemetry::default();
+    let (status, reason, content_type, body) = route(state, &request, &mut tel);
+    let dur_us = t0.elapsed().as_micros() as u64;
+
+    observe_request(state, route_key, status, dur_us);
     if status >= 400 {
         state.client_errors.fetch_add(1, Ordering::Relaxed);
     }
-    let _ = http::write_response(&mut stream, status, reason, content_type, body.as_bytes());
+
+    let mut flight =
+        obs::flight::FlightRecord::new("http", &format!("{} {}", request.method, request.path));
+    flight.outcome = status.to_string();
+    flight.start_us = started_us;
+    flight.total_us = dur_us;
+    flight.bytes_in = request.body.len() as u64;
+    flight.bytes_out = body.len() as u64;
+    flight.cache_hits = tel.cache_hits;
+    flight.cache_misses = tel.cache_misses;
+    flight.stages = tel.stages;
+    obs::flight::record(flight);
+
+    if obs::log::enabled(Level::Info) {
+        obs::log::event(
+            Level::Info,
+            "http.request",
+            &[
+                ("route", Json::str(route_key)),
+                ("method", Json::str(&request.method)),
+                ("path", Json::str(&request.path)),
+                ("status", Json::UInt(u64::from(status))),
+                ("dur_us", Json::UInt(dur_us)),
+                ("bytes_out", Json::UInt(body.len() as u64)),
+            ],
+        );
+    }
+
+    let _ = http::write_response_with(
+        &mut stream,
+        status,
+        reason,
+        content_type,
+        &[("x-qor-trace", &trace_hex)],
+        body.as_bytes(),
+    );
 }
 
-fn route(state: &ServeState, request: &Request) -> (u16, &'static str, &'static str, String) {
+/// Low-cardinality route label for metrics (`/dse/<id>` collapses to one
+/// key; unknown paths share `other`).
+fn route_key(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("POST", "/predict") => "predict",
+        ("POST", "/dse") => "dse_submit",
+        ("GET", "/debug/requests") => "debug_requests",
+        ("GET", "/debug/vars") => "debug_vars",
+        _ if path.starts_with("/dse/") => "dse_job",
+        _ => "other",
+    }
+}
+
+/// Status class token for counters and latency-histogram keys.
+fn status_class(status: u16) -> &'static str {
+    match status {
+        200..=299 => "2xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    }
+}
+
+/// Records one finished request into the instance-local latency/status
+/// stores and their process-global obs mirrors.
+fn observe_request(state: &ServeState, route: &'static str, status: u16, dur_us: u64) {
+    let class = status_class(status);
+    match class {
+        "2xx" => state.status_2xx.fetch_add(1, Ordering::Relaxed),
+        "4xx" => state.status_4xx.fetch_add(1, Ordering::Relaxed),
+        _ => state.status_5xx.fetch_add(1, Ordering::Relaxed),
+    };
+    obs::metrics::counter_add(&format!("serve/http/{class}"), 1);
+    obs::metrics::counter_add(&format!("serve/http/route/{route}"), 1);
+    obs::metrics::histogram_record(&format!("serve/http/latency_us/{route}"), dur_us as f64);
+    state
+        .latency
+        .lock()
+        .unwrap()
+        .entry((route.to_string(), class))
+        .or_default()
+        .record(dur_us as f64);
+    *state
+        .route_hits
+        .lock()
+        .unwrap()
+        .entry(route.to_string())
+        .or_insert(0) += 1;
+}
+
+fn route(
+    state: &ServeState,
+    request: &Request,
+    tel: &mut ReqTelemetry,
+) -> (u16, &'static str, &'static str, String) {
     let method = request.method.as_str();
     match request.path.as_str() {
         "/healthz" if method == "GET" => (200, "OK", "application/json", healthz(state)),
@@ -219,7 +396,7 @@ fn route(state: &ServeState, request: &Request) -> (u16, &'static str, &'static 
             "text/plain; version=0.0.4",
             render_metrics(state),
         ),
-        "/predict" if method == "POST" => match predict_route(state, &request.body) {
+        "/predict" if method == "POST" => match predict_route(state, &request.body, tel) {
             Ok(body) => (200, "OK", "application/json", body),
             Err(msg) => (400, "Bad Request", "application/json", error_json(&msg)),
         },
@@ -227,7 +404,14 @@ fn route(state: &ServeState, request: &Request) -> (u16, &'static str, &'static 
             Ok(body) => (200, "OK", "application/json", body),
             Err(msg) => (400, "Bad Request", "application/json", error_json(&msg)),
         },
-        "/healthz" | "/metrics" | "/predict" | "/dse" => (
+        "/debug/requests" if method == "GET" => (
+            200,
+            "OK",
+            "application/json",
+            obs::flight::to_json().to_string(),
+        ),
+        "/debug/vars" if method == "GET" => (200, "OK", "application/json", debug_vars(state)),
+        "/healthz" | "/metrics" | "/predict" | "/dse" | "/debug/requests" | "/debug/vars" => (
             405,
             "Method Not Allowed",
             "application/json",
@@ -241,6 +425,55 @@ fn route(state: &ServeState, request: &Request) -> (u16, &'static str, &'static 
             error_json("no such route"),
         ),
     }
+}
+
+/// `GET /debug/vars`: build info, thread/cache/flight configuration and
+/// coarse counters, for humans and smoke tests.
+fn debug_vars(state: &ServeState) -> String {
+    let stats = state.session.stats();
+    let dse = state.runner.stats();
+    Json::obj(vec![
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("uptime_s", Json::UInt(state.started.elapsed().as_secs())),
+        ("instance", Json::UInt(state.instance)),
+        ("threads", Json::UInt(par::threads() as u64)),
+        ("log_level", Json::str(obs::log::level_name())),
+        (
+            "requests",
+            Json::UInt(state.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "predictions",
+            Json::UInt(state.predictions.load(Ordering::Relaxed)),
+        ),
+        (
+            "status",
+            Json::obj(vec![
+                ("2xx", Json::UInt(state.status_2xx.load(Ordering::Relaxed))),
+                ("4xx", Json::UInt(state.status_4xx.load(Ordering::Relaxed))),
+                ("5xx", Json::UInt(state.status_5xx.load(Ordering::Relaxed))),
+            ]),
+        ),
+        ("cache", cache_json(&stats)),
+        (
+            "dse",
+            Json::obj(vec![
+                ("submitted", Json::UInt(dse.submitted)),
+                ("completed", Json::UInt(dse.completed)),
+                ("failed", Json::UInt(dse.failed)),
+                ("cancelled", Json::UInt(dse.cancelled)),
+                ("evaluations", Json::UInt(dse.evaluations)),
+            ]),
+        ),
+        (
+            "flight",
+            Json::obj(vec![
+                ("capacity", Json::UInt(obs::flight::capacity() as u64)),
+                ("recorded", Json::UInt(obs::flight::len() as u64)),
+            ]),
+        ),
+    ])
+    .to_string()
 }
 
 fn healthz(state: &ServeState) -> String {
@@ -272,7 +505,12 @@ struct PredictRequest {
     cfg: PragmaConfig,
 }
 
-fn predict_route(state: &ServeState, body: &[u8]) -> Result<String, String> {
+fn predict_route(
+    state: &ServeState,
+    body: &[u8],
+    tel: &mut ReqTelemetry,
+) -> Result<String, String> {
+    let t_decode = Instant::now();
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let doc = json::parse(text).map_err(|e| e.to_string())?;
 
@@ -283,13 +521,24 @@ fn predict_route(state: &ServeState, body: &[u8]) -> Result<String, String> {
             .enumerate()
             .map(|(i, item)| decode_request(item).map_err(|e| format!("request {i}: {e}")))
             .collect::<Result<_, _>>()?;
+        tel.stage("decode", t_decode.elapsed().as_micros() as u64);
         // fan the batch through the deterministic executor: results come
-        // back in request order for any worker count
-        let results = par::map("serve/predict", &decoded, |_, req| predict_one(state, req));
+        // back in request order for any worker count; workers adopt the
+        // request's trace so their cache events stay attributable
+        let t_predict = Instant::now();
+        let req_trace = trace::current_raw();
+        let results = par::map("serve/predict", &decoded, |_, req| {
+            let _g = trace::adopt_raw(req_trace);
+            predict_one(state, req)
+        });
+        tel.stage("predict", t_predict.elapsed().as_micros() as u64);
         let results: Vec<Json> = results
             .into_iter()
             .map(|r| match r {
-                Ok(qor) => Json::obj(vec![("qor", qor_json(&qor))]),
+                Ok(report) => {
+                    tel.absorb(&report);
+                    Json::obj(vec![("qor", qor_json(&report.qor))])
+                }
                 Err(e) => Json::obj(vec![("error", Json::str(e.to_string()))]),
             })
             .collect();
@@ -300,25 +549,30 @@ fn predict_route(state: &ServeState, body: &[u8]) -> Result<String, String> {
         .to_string())
     } else {
         let req = decode_request(&doc)?;
-        let qor = predict_one(state, &req).map_err(|e| e.to_string())?;
+        tel.stage("decode", t_decode.elapsed().as_micros() as u64);
+        let report = predict_one(state, &req).map_err(|e| e.to_string())?;
+        tel.absorb(&report);
+        tel.stage("lower", report.lower_us);
+        tel.stage("prepare", report.prepare_us);
+        tel.stage("infer", report.infer_us);
         Ok(Json::obj(vec![
-            ("qor", qor_json(&qor)),
+            ("qor", qor_json(&report.qor)),
             ("cache", cache_json(&state.session.stats())),
         ])
         .to_string())
     }
 }
 
-fn predict_one(state: &ServeState, req: &PredictRequest) -> Result<hlsim::Qor, QorError> {
+fn predict_one(state: &ServeState, req: &PredictRequest) -> Result<PredictReport, QorError> {
     state.predictions.fetch_add(1, Ordering::Relaxed);
     if let Some(kernel) = &req.kernel {
-        state.session.predict_kernel(kernel, &req.cfg)
+        state.session.predict_kernel_report(kernel, &req.cfg)
     } else {
         let (top, source) = req
             .source
             .as_ref()
             .expect("decode guarantees one of the two");
-        state.session.predict_source(top, source, &req.cfg)
+        state.session.predict_source_report(top, source, &req.cfg)
     }
 }
 
@@ -555,6 +809,7 @@ fn progress_json(id: &str, progress: &JobProgress) -> Json {
         .collect();
     let mut fields = vec![
         ("id", Json::str(id)),
+        ("trace", Json::Str(format!("{:016x}", progress.trace))),
         ("status", Json::str(progress.status.name())),
         ("kernel", Json::str(&progress.kernel)),
         ("strategy", Json::str(&progress.strategy)),
@@ -660,27 +915,125 @@ fn render_metrics(state: &ServeState) -> String {
         format_float(dse.evals_per_sec),
     );
 
+    put(
+        "qor_http_responses_2xx_total",
+        "counter",
+        state.status_2xx.load(Ordering::Relaxed).to_string(),
+    );
+    put(
+        "qor_http_responses_4xx_total",
+        "counter",
+        state.status_4xx.load(Ordering::Relaxed).to_string(),
+    );
+    put(
+        "qor_http_responses_5xx_total",
+        "counter",
+        state.status_5xx.load(Ordering::Relaxed).to_string(),
+    );
+
+    {
+        let route_hits = state.route_hits.lock().unwrap();
+        if !route_hits.is_empty() {
+            out.push_str("# TYPE qor_http_route_requests_total counter\n");
+            for (route, hits) in route_hits.iter() {
+                out.push_str(&format!(
+                    "qor_http_route_requests_total{{route=\"{route}\"}} {hits}\n"
+                ));
+            }
+        }
+    }
+    {
+        // per-(route, status-class) request latency: one Prometheus
+        // histogram family with labels, plus exact-quantile gauges
+        let latency = state.latency.lock().unwrap();
+        if !latency.is_empty() {
+            out.push_str("# TYPE qor_http_request_duration_us histogram\n");
+            for ((route, class), hist) in latency.iter() {
+                let labels = format!("route=\"{route}\",status=\"{class}\"");
+                render_histogram(
+                    &mut out,
+                    "qor_http_request_duration_us",
+                    &labels,
+                    &hist.detail(),
+                );
+            }
+            out.push_str("# TYPE qor_http_request_duration_us_quantile gauge\n");
+            for ((route, class), hist) in latency.iter() {
+                let detail = hist.detail();
+                for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                    out.push_str(&format!(
+                        "qor_http_request_duration_us_quantile{{route=\"{route}\",status=\"{class}\",q=\"{tag}\"}} {}\n",
+                        format_float(detail.quantile(q))
+                    ));
+                }
+            }
+        }
+    }
+
     for (name, snap) in obs::metrics::snapshot() {
         // the session/* counters above are authoritative; their obs mirrors
-        // only move while collection is on and would shadow them
-        if name.starts_with("session/") {
+        // only move while collection is on and would shadow them — and the
+        // serve/http/* mirrors are process-global, so the instance-local
+        // stores rendered above are authoritative for this server
+        if name.starts_with("session/") || name.starts_with("serve/http/") {
             continue;
         }
-        let name = sanitize_metric_name(&name);
+        let clean = sanitize_metric_name(&name);
         match snap {
             obs::metrics::Snapshot::Counter(v) => {
-                put(&format!("qor_{name}_total"), "counter", v.to_string());
+                put_one(
+                    &mut out,
+                    &format!("qor_{clean}_total"),
+                    "counter",
+                    &v.to_string(),
+                );
             }
             obs::metrics::Snapshot::Gauge(v) | obs::metrics::Snapshot::SeriesLast(_, v) => {
-                put(&format!("qor_{name}"), "gauge", format_float(v));
+                put_one(&mut out, &format!("qor_{clean}"), "gauge", &format_float(v));
             }
-            obs::metrics::Snapshot::Histogram { count, sum, .. } => {
-                put(&format!("qor_{name}_count"), "counter", count.to_string());
-                put(&format!("qor_{name}_sum"), "counter", format_float(sum));
+            obs::metrics::Snapshot::Histogram { .. } => {
+                // a histogram must never be misreported as a gauge or a
+                // bare counter pair: emit full cumulative-bucket exposition
+                if let Some(detail) = obs::metrics::histogram_detail(&name) {
+                    out.push_str(&format!("# TYPE qor_{clean} histogram\n"));
+                    render_histogram(&mut out, &format!("qor_{clean}"), "", &detail);
+                }
             }
         }
     }
     out
+}
+
+/// Appends one `# TYPE` + value line.
+fn put_one(out: &mut String, name: &str, kind: &str, value: &str) {
+    out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+}
+
+/// Appends the `_bucket{le=...}` / `_sum` / `_count` exposition of one
+/// histogram (cumulative buckets, closed by `le="+Inf"`). `labels` is an
+/// optional pre-rendered `key="value"` list joined into each bucket line.
+fn render_histogram(out: &mut String, name: &str, labels: &str, detail: &HistogramDetail) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (le, cumulative) in &detail.buckets {
+        let le = if le.is_finite() {
+            format_float(*le)
+        } else {
+            "+Inf".to_string()
+        };
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}\n"
+        ));
+    }
+    let braces = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    out.push_str(&format!(
+        "{name}_sum{braces} {}\n",
+        format_float(detail.sum)
+    ));
+    out.push_str(&format!("{name}_count{braces} {}\n", detail.count));
 }
 
 fn format_float(v: f64) -> String {

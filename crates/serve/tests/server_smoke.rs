@@ -164,14 +164,58 @@ fn metrics_expose_cache_counters_in_prometheus_format() {
         .unwrap();
     assert_eq!(hits_line, "qor_session_cache_hits_total 1");
     assert!(text.contains("qor_predictions_total 2"), "{text}");
-    // every sample line uses the Prometheus charset
+    // every sample line uses the Prometheus charset (labels in `{}` are
+    // stripped before the check)
     for line in text.lines().filter(|l| !l.starts_with('#')) {
-        let name = line.split_whitespace().next().unwrap();
+        let token = line.split_whitespace().next().unwrap();
+        let name = token.split('{').next().unwrap();
         assert!(
             name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
             "bad metric name {name:?}"
         );
     }
+    // request latency is exposed as a real Prometheus histogram with
+    // cumulative le-buckets plus exact-quantile gauges
+    assert!(
+        text.contains("# TYPE qor_http_request_duration_us histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("qor_http_request_duration_us_bucket{route=\"predict\",status=\"2xx\",le=\""),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "qor_http_request_duration_us_bucket{route=\"predict\",status=\"2xx\",le=\"+Inf\"} 2"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains("qor_http_request_duration_us_count{route=\"predict\",status=\"2xx\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "qor_http_request_duration_us_quantile{route=\"predict\",status=\"2xx\",q=\"0.99\"}"
+        ),
+        "{text}"
+    );
+    // status-class and per-route counters
+    assert!(text.contains("qor_http_responses_2xx_total 2"), "{text}");
+    assert!(
+        text.contains("qor_http_route_requests_total{route=\"predict\"} 2"),
+        "{text}"
+    );
+    // cumulative buckets must be monotonically non-decreasing
+    let mut last = 0u64;
+    for line in text.lines().filter(|l| {
+        l.starts_with("qor_http_request_duration_us_bucket{route=\"predict\",status=\"2xx\"")
+    }) {
+        let v: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(v >= last, "buckets must be cumulative: {line}");
+        last = v;
+    }
+    assert_eq!(last, 2, "final +Inf bucket equals the count");
 }
 
 /// Polls `GET /dse/<id>` until the job leaves `running` (or panics after
