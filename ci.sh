@@ -27,21 +27,31 @@ echo "==> checkpoint round-trip gate"
 cargo test -q --release -p serve --test checkpoint_roundtrip --test corrupt
 
 # Serving smoke gate: checkpoint round-trip through the live HTTP path.
-# This is the in-tree "curl" substitute: it also asserts the observability
-# surface — Prometheus histogram buckets (`_bucket{le=`) and quantile
-# gauges on /metrics, trace-ID echo on x-qor-trace, /debug/requests flight
-# dumps and /debug/vars build/runtime info.
+# This is the in-tree "curl" substitute: it drives the /v1 surface end to
+# end — both batching-queue flush paths (wait-deadline and size-triggered,
+# checked against /debug/vars counters), single-flight dedup, a registry
+# hot-reload cycle (generation bump + new weights serving), deprecated
+# legacy aliases with their successor links, the typed error envelope, and
+# the observability surface (Prometheus histogram buckets, per-model and
+# batcher series, trace-ID echo, /debug/requests flight dumps).
 echo "==> qor-serve --self-test"
 ./target/release/qor-serve --self-test
 
-# Serving determinism gate: the serve_latency smoke output must be
-# byte-identical across thread counts (measured fields are nulled; the
-# workload_fnv checksum covers predicted QoR values in request order).
+# Serving determinism gates: smoke outputs must be byte-identical across
+# thread counts (timing fields are nulled; the workload_fnv checksum
+# covers predicted QoR values in request order). qor-bench additionally
+# proves direct and batched dispatch produce bit-identical predictions.
 echo "==> serve_latency --smoke determinism"
 QOR_THREADS=1 ./target/release/serve_latency --smoke --out /tmp/qor_smoke1.json >/dev/null
 QOR_THREADS=4 ./target/release/serve_latency --smoke --out /tmp/qor_smoke4.json >/dev/null
 cmp /tmp/qor_smoke1.json /tmp/qor_smoke4.json
 rm -f /tmp/qor_smoke1.json /tmp/qor_smoke4.json
+
+echo "==> qor-bench --smoke determinism"
+QOR_THREADS=1 ./target/release/qor-bench --smoke --out /tmp/qor_bench1.json >/dev/null
+QOR_THREADS=4 ./target/release/qor-bench --smoke --out /tmp/qor_bench4.json >/dev/null
+cmp /tmp/qor_bench1.json /tmp/qor_bench4.json
+rm -f /tmp/qor_bench1.json /tmp/qor_bench4.json
 
 # Search smoke gate: budget accounting, snapshot determinism, mid-run
 # resume, and corruption typing — on both executor paths, because the

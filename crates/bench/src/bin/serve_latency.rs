@@ -1,6 +1,6 @@
 //! Serving-latency SLO benchmark: drives a live in-process `qor-serve`
 //! over real TCP and reports p50/p90/p99 request latency and throughput
-//! for `POST /predict`.
+//! for `POST /v1/predict`.
 //!
 //! The workload cycles a deterministic set of pragma configurations over
 //! one bundled kernel, so a fixed fraction of requests hits the prepared
@@ -11,11 +11,12 @@
 //!
 //! * **full** (default) — `--clients` concurrent connections issue
 //!   `--requests` requests total; the measured latency table is printed
-//!   and written into `BENCH_serve.json`.
-//! * **`--smoke`** — single sequential client; the output JSON carries
-//!   only the deterministic workload fields (`"measured": null`), so
-//!   repeated runs are **byte-identical** at any `QOR_THREADS` — the CI
-//!   determinism gate `cmp`s two runs.
+//!   and **appended** to the `BENCH_serve.json` trajectory (see
+//!   [`qor_bench::trajectory`]; runs accumulate instead of overwriting).
+//! * **`--smoke`** — single sequential client; each appended entry
+//!   carries only the deterministic workload fields (`"measured": null`),
+//!   so runs against a fresh `--out` file are **byte-identical** at any
+//!   `QOR_THREADS` — the CI determinism gate `cmp`s two runs.
 //!
 //! Either way the JSON records a `workload_fnv` checksum over the
 //! predicted QoR values in request order: any nondeterminism in the
@@ -25,11 +26,10 @@
 //!         [--requests N] [--clients N] [--kernel NAME] [--smoke]
 //!         [--out FILE]`
 
-use std::io::Write as _;
 use std::time::Instant;
 
 use obs::Json;
-use qor_bench::row;
+use qor_bench::{row, trajectory};
 use qor_core::{fnv1a, HierarchicalModel, Session, TrainOptions};
 use serve::http::client_request;
 use serve::{json, Server};
@@ -114,7 +114,7 @@ fn workload(kernel: &str, n: usize) -> Vec<String> {
 fn send_one(addr: std::net::SocketAddr, body: &str) -> Result<(u64, String), String> {
     let t0 = Instant::now();
     let (status, response) =
-        client_request(addr, "POST", "/predict", Some(body)).map_err(|e| format!("io: {e}"))?;
+        client_request(addr, "POST", "/v1/predict", Some(body)).map_err(|e| format!("io: {e}"))?;
     let us = t0.elapsed().as_micros() as u64;
     if status != 200 {
         return Err(format!("status {status}: {response}"));
@@ -283,7 +283,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("throughput_rps", Json::Float(throughput.round())),
         ])
     };
-    let out_json = Json::obj(vec![
+    let entry = Json::obj(vec![
         ("bench", Json::str("serve_latency")),
         ("kernel", Json::str(&args.kernel)),
         ("requests", Json::UInt(args.requests as u64)),
@@ -292,9 +292,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("workload_fnv", Json::Str(format!("{workload_fnv:016x}"))),
         ("measured", measured),
     ]);
-    let mut file = std::fs::File::create(&args.out)?;
-    file.write_all(out_json.to_string().as_bytes())?;
-    file.write_all(b"\n")?;
-    println!("wrote {}", args.out);
+    let total = trajectory::append(
+        std::path::Path::new(&args.out),
+        trajectory::SERVE_SCHEMA,
+        &entry,
+    )?;
+    println!("appended to {} ({total} entries)", args.out);
     Ok(())
 }

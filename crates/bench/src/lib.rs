@@ -8,6 +8,7 @@
 use qor_core::TrainOptions;
 
 pub mod timing;
+pub mod trajectory;
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

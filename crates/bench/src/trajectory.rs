@@ -1,0 +1,184 @@
+//! Append-only benchmark trajectories.
+//!
+//! `BENCH_serve.json` used to be a single JSON object that every run
+//! overwrote, which destroyed the history a trajectory file exists to
+//! keep. It is now a schema-versioned document holding an *array* of
+//! entries:
+//!
+//! ```json
+//! {"schema":"qor-bench-serve/v2","entries":[{...},{...}]}
+//! ```
+//!
+//! [`append`] reads the existing document (migrating a legacy v1
+//! single-object file into the first entry), pushes the new entry and
+//! rewrites the file. Entries are kept verbatim as the bytes they were
+//! written with, so appending never reformats history.
+
+use std::io;
+use std::path::Path;
+
+use obs::Json;
+
+/// Schema tag for the serving-benchmark trajectory document.
+pub const SERVE_SCHEMA: &str = "qor-bench-serve/v2";
+
+/// Appends `entry` to the trajectory document at `path`, creating the
+/// document (or migrating a legacy single-object file) as needed.
+/// Returns the number of entries the document now holds.
+pub fn append(path: &Path, schema: &str, entry: &Json) -> io::Result<usize> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => parse_entries(&text, schema)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    entries.push(entry.to_string());
+    let mut out = format!("{{\"schema\":{},\"entries\":[\n", Json::str(schema));
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    std::fs::write(path, out)?;
+    Ok(entries.len())
+}
+
+/// Extracts the existing entries (as verbatim JSON strings) from a
+/// trajectory document; a legacy single-object file becomes the sole
+/// entry, an empty/blank file none.
+fn parse_entries(text: &str, schema: &str) -> Result<Vec<String>, String> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Ok(Vec::new());
+    }
+    let header = format!("{{\"schema\":{},\"entries\":[", Json::str(schema));
+    let Some(body) = trimmed.strip_prefix(header.as_str()) else {
+        // legacy v1: one bare object per file — migrate it as entry 0
+        if trimmed.starts_with('{') && trimmed.ends_with('}') {
+            return Ok(vec![trimmed.to_string()]);
+        }
+        return Err(format!(
+            "neither a {schema} document nor a legacy object: {:?}...",
+            &trimmed[..trimmed.len().min(40)]
+        ));
+    };
+    let body = body
+        .strip_suffix("]}")
+        .ok_or_else(|| format!("unterminated {schema} document"))?;
+    split_top_level(body)
+}
+
+/// Splits a comma-separated list of JSON values at nesting depth zero,
+/// honouring strings and escapes.
+fn split_top_level(body: &str) -> Result<Vec<String>, String> {
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| "unbalanced brackets in trajectory".to_string())?
+            }
+            ',' if !in_str && depth == 0 => {
+                let e = body[start..i].trim();
+                if !e.is_empty() {
+                    entries.push(e.to_string());
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str || depth != 0 {
+        return Err("unbalanced trajectory document".to_string());
+    }
+    let tail = body[start..].trim();
+    if !tail.is_empty() {
+        entries.push(tail.to_string());
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("qor-traj-{}-{name}.json", std::process::id()))
+    }
+
+    fn entry(n: u64) -> Json {
+        Json::obj(vec![("bench", Json::str("t")), ("n", Json::UInt(n))])
+    }
+
+    #[test]
+    fn creates_then_appends_in_order() {
+        let path = tmp("append");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(append(&path, SERVE_SCHEMA, &entry(1)).unwrap(), 1);
+        assert_eq!(append(&path, SERVE_SCHEMA, &entry(2)).unwrap(), 2);
+        assert_eq!(append(&path, SERVE_SCHEMA, &entry(3)).unwrap(), 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"schema\":\"qor-bench-serve/v2\",\"entries\":["));
+        let i1 = text.find("\"n\":1").unwrap();
+        let i2 = text.find("\"n\":2").unwrap();
+        let i3 = text.find("\"n\":3").unwrap();
+        assert!(i1 < i2 && i2 < i3, "{text}");
+        // the document parses with the serve-side reader too
+        serve::json::parse(&text).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn migrates_a_legacy_single_object_file() {
+        let path = tmp("legacy");
+        std::fs::write(
+            &path,
+            "{\"bench\":\"serve_latency\",\"measured\":{\"p99_us\":42,\"tag\":\"a,b]}\"}}\n",
+        )
+        .unwrap();
+        assert_eq!(append(&path, SERVE_SCHEMA, &entry(9)).unwrap(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // the legacy object survives verbatim as entry 0
+        let legacy = text.find("\"p99_us\":42").unwrap();
+        let fresh = text.find("\"n\":9").unwrap();
+        assert!(legacy < fresh, "{text}");
+        serve::json::parse(&text).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_garbage_instead_of_clobbering_it() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = append(&path, SERVE_SCHEMA, &entry(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // the file is untouched
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "not json at all");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn split_handles_nesting_strings_and_escapes() {
+        let parts =
+            split_top_level(r#"{"a":[1,2],"s":"x,\"y\",{z}"},{"b":{"c":[3,{"d":4}]}}"#).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert!(parts[0].contains("{z}"));
+        assert!(parts[1].ends_with("}"));
+        assert!(split_top_level(r#"{"a":1"#).is_err());
+    }
+}

@@ -56,4 +56,4 @@ pub use hierarchy::{split_hierarchy, Hierarchy, InnerCategory, InnerLoop};
 pub use model::{
     GlobalEval, HierarchicalModel, InnerEval, PreparedDesign, TrainOptions, TrainStats, BANKS,
 };
-pub use session::{CacheStats, PredictReport, Session, DEFAULT_CACHE_CAP};
+pub use session::{CacheStats, PredictReport, Session, SharedCache, DEFAULT_CACHE_CAP};

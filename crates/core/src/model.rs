@@ -551,6 +551,23 @@ impl HierarchicalModel {
         PreparedDesign { func, cfg, inner }
     }
 
+    /// Stable fingerprint of every option [`HierarchicalModel::prepare`]
+    /// reads (today only `graph_max_nodes`).
+    ///
+    /// Two models with equal fingerprints produce bit-identical
+    /// [`PreparedDesign`]s for the same `(function, config)`, so a shared
+    /// prepared-design cache may serve both; models with different
+    /// fingerprints must never share entries. The version tag guards
+    /// against silently reusing stale cache keys if `prepare` ever grows
+    /// another option dependency.
+    pub fn prepare_fingerprint(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = crate::hash::Fnv1aHasher::new();
+        h.write(b"prepare-v1");
+        h.write_u64(self.opts.graph_max_nodes as u64);
+        h.finish()
+    }
+
     /// Predicts from a prepared front half, paying only the GNN forward
     /// passes (inner models, condensation, global model).
     ///

@@ -5,24 +5,33 @@
 //! feature annotation; see [`HierarchicalModel::prepare`]) and a cheap GNN
 //! forward pass. DSE-style workloads query the same kernel under thousands
 //! of pragma configurations — and frequently revisit configurations — so a
-//! [`Session`] memoizes both layers:
+//! [`Session`] memoizes both layers in a [`SharedCache`]:
 //!
 //! * **Kernel cache** — lowered [`Function`]s keyed by an FNV-1a hash of
 //!   `(top name, source)`. Unbounded: a serving process sees a handful of
-//!   kernels, each a few kilobytes of IR.
+//!   kernels, each a few kilobytes of IR. Model-independent.
 //! * **Prepared cache** — [`PreparedDesign`] front halves keyed by an
-//!   FNV-1a hash of `(kernel hash, pragma fingerprint)`, with
-//!   least-recently-used eviction. Capacity comes from the
-//!   `QOR_CACHE_CAP` environment variable (default
+//!   FNV-1a hash of `(model prepare fingerprint, kernel hash, pragma
+//!   fingerprint)`, with least-recently-used eviction. Capacity comes
+//!   from the `QOR_CACHE_CAP` environment variable (default
 //!   [`DEFAULT_CACHE_CAP`]; `0` disables caching).
+//!
+//! Because the front half never reads model *weights* (only the graph
+//! construction options, folded into the prepare fingerprint), one
+//! `SharedCache` can back **many sessions**: a model registry serving
+//! several named model versions — or hot-swapping one version for a
+//! retrain of the same architecture — keeps every memoized design warm
+//! across the swap. [`Session::with_shared`] wires a session onto an
+//! existing cache; the single-model constructors allocate a private one.
 //!
 //! Both hash layers use [`crate::Fnv1aHasher`], so keys are stable across
 //! processes (std's `RandomState` is randomized per process and would make
 //! hit patterns irreproducible).
 //!
-//! Hit/miss/eviction counts are kept in session-local atomics (exported by
-//! [`Session::stats`]) and mirrored into the `obs` metrics registry under
-//! `session/cache/*` and `session/kernel/*` whenever collection is on.
+//! Hit/miss/eviction counts are kept in cache-local atomics (exported by
+//! [`Session::stats`] / [`SharedCache::stats`]) and mirrored into the
+//! `obs` metrics registry under `session/cache/*` and `session/kernel/*`
+//! whenever collection is on.
 //!
 //! A `Session` is `Sync`: the caches sit behind a mutex, the model is
 //! immutable, and prepared designs are shared as [`Arc`]s — so a server
@@ -47,7 +56,11 @@ use crate::model::{HierarchicalModel, PreparedDesign};
 /// Prepared-cache capacity when `QOR_CACHE_CAP` is not set.
 pub const DEFAULT_CACHE_CAP: usize = 256;
 
-/// Point-in-time cache statistics of a [`Session`].
+/// Point-in-time cache statistics of a [`SharedCache`].
+///
+/// When several sessions share one cache the counters aggregate over all
+/// of them — that is the point: the statistics describe the memo store,
+/// not any single model version reading it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Prepared-design cache hits.
@@ -123,10 +136,13 @@ struct State {
     kernels: HashMap<u64, Arc<Function>, FnvBuildHasher>,
 }
 
-/// A loaded model plus memoized inference front halves (see the
-/// [module docs](self)).
-pub struct Session {
-    model: HierarchicalModel,
+/// The memoization store behind one or more [`Session`]s: lowered kernels
+/// plus LRU-bounded prepared front halves (see the [module docs](self)).
+///
+/// Create one with [`SharedCache::new`] / [`SharedCache::with_capacity`]
+/// and hand clones of the `Arc` to [`Session::with_shared`]; every session
+/// on the cache shares both memo layers and the statistics counters.
+pub struct SharedCache {
     capacity: usize,
     state: Mutex<State>,
     hits: AtomicU64,
@@ -136,19 +152,25 @@ pub struct Session {
     kernel_misses: AtomicU64,
 }
 
-impl std::fmt::Debug for Session {
+impl std::fmt::Debug for SharedCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = self.stats();
         write!(
             f,
-            "Session {{ capacity: {}, cached: {}, hits: {}, misses: {} }}",
+            "SharedCache {{ capacity: {}, cached: {}, hits: {}, misses: {} }}",
             stats.capacity, stats.len, stats.hits, stats.misses
         )
     }
 }
 
-impl Session {
-    /// Wraps a model with the capacity from `QOR_CACHE_CAP` (default
+impl Default for SharedCache {
+    fn default() -> Self {
+        SharedCache::new()
+    }
+}
+
+impl SharedCache {
+    /// A cache with the capacity from `QOR_CACHE_CAP` (default
     /// [`DEFAULT_CACHE_CAP`]).
     ///
     /// `QOR_CACHE_CAP=0` is a *valid* setting, not an error: it cleanly
@@ -156,15 +178,14 @@ impl Session {
     /// stored, and the LRU eviction path never runs — while the kernel
     /// cache stays active. Unset or unparsable values fall back to the
     /// default.
-    pub fn new(model: HierarchicalModel) -> Self {
-        Self::with_capacity(model, env_cache_cap())
+    pub fn new() -> Self {
+        Self::with_capacity(env_cache_cap())
     }
 
-    /// Wraps a model with an explicit prepared-cache capacity
-    /// (`0` disables the prepared cache; the kernel cache always runs).
-    pub fn with_capacity(model: HierarchicalModel, capacity: usize) -> Self {
-        Session {
-            model,
+    /// A cache with an explicit prepared-design capacity (`0` disables the
+    /// prepared cache; the kernel cache always runs).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedCache {
             capacity,
             state: Mutex::new(State::default()),
             hits: AtomicU64::new(0),
@@ -175,12 +196,7 @@ impl Session {
         }
     }
 
-    /// The wrapped model.
-    pub fn model(&self) -> &HierarchicalModel {
-        &self.model
-    }
-
-    /// Current cache statistics.
+    /// Current statistics, aggregated over every session on this cache.
     pub fn stats(&self) -> CacheStats {
         let len = self.state.lock().unwrap().prepared.len();
         CacheStats {
@@ -195,11 +211,78 @@ impl Session {
     }
 
     /// Drops every cached kernel and prepared design (counters are kept:
-    /// they are cumulative over the session's lifetime).
+    /// they are cumulative over the cache's lifetime).
     pub fn clear(&self) {
         let mut state = self.state.lock().unwrap();
         state.prepared.clear();
         state.kernels.clear();
+    }
+}
+
+/// A loaded model plus memoized inference front halves (see the
+/// [module docs](self)).
+pub struct Session {
+    model: HierarchicalModel,
+    /// Folds the prepare-affecting model options into prepared-cache keys,
+    /// so sessions with different graph construction never share entries.
+    prepare_fp: u64,
+    cache: Arc<SharedCache>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        write!(
+            f,
+            "Session {{ capacity: {}, cached: {}, hits: {}, misses: {} }}",
+            stats.capacity, stats.len, stats.hits, stats.misses
+        )
+    }
+}
+
+impl Session {
+    /// Wraps a model with a private cache sized from `QOR_CACHE_CAP`
+    /// (default [`DEFAULT_CACHE_CAP`]; see [`SharedCache::new`]).
+    pub fn new(model: HierarchicalModel) -> Self {
+        Self::with_shared(model, Arc::new(SharedCache::new()))
+    }
+
+    /// Wraps a model with a private cache of explicit capacity
+    /// (`0` disables the prepared cache; the kernel cache always runs).
+    pub fn with_capacity(model: HierarchicalModel, capacity: usize) -> Self {
+        Self::with_shared(model, Arc::new(SharedCache::with_capacity(capacity)))
+    }
+
+    /// Wraps a model onto an existing [`SharedCache`], sharing memoized
+    /// kernels and prepared designs with every other session on it.
+    pub fn with_shared(model: HierarchicalModel, cache: Arc<SharedCache>) -> Self {
+        Session {
+            prepare_fp: model.prepare_fingerprint(),
+            model,
+            cache,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &HierarchicalModel {
+        &self.model
+    }
+
+    /// The cache this session reads and writes (shared or private).
+    pub fn shared_cache(&self) -> &Arc<SharedCache> {
+        &self.cache
+    }
+
+    /// Current cache statistics (aggregated across sessions when the cache
+    /// is shared).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached kernel and prepared design (counters are kept:
+    /// they are cumulative over the cache's lifetime).
+    pub fn clear(&self) {
+        self.cache.clear();
     }
 
     /// Predicts the QoR of a bundled benchmark kernel under `cfg`.
@@ -312,14 +395,15 @@ impl Session {
         top: &str,
         source: &str,
     ) -> Result<(Arc<Function>, bool, u64), QorError> {
-        if let Some(func) = self.state.lock().unwrap().kernels.get(&khash) {
-            self.kernel_hits.fetch_add(1, Ordering::Relaxed);
+        let cache = &*self.cache;
+        if let Some(func) = cache.state.lock().unwrap().kernels.get(&khash) {
+            cache.kernel_hits.fetch_add(1, Ordering::Relaxed);
             obs::metrics::counter_add("session/kernel/hits", 1);
             return Ok((func.clone(), true, 0));
         }
         // lower outside the lock: parsing is the expensive part, and two
         // racing threads produce identical functions anyway
-        self.kernel_misses.fetch_add(1, Ordering::Relaxed);
+        cache.kernel_misses.fetch_add(1, Ordering::Relaxed);
         obs::metrics::counter_add("session/kernel/misses", 1);
         let t = Instant::now();
         let program = frontc::parse(source)?;
@@ -331,7 +415,8 @@ impl Session {
                 .clone(),
         );
         let lower_us = t.elapsed().as_micros() as u64;
-        self.state
+        cache
+            .state
             .lock()
             .unwrap()
             .kernels
@@ -349,33 +434,34 @@ impl Session {
         func: &Arc<Function>,
         cfg: &PragmaConfig,
     ) -> (Arc<PreparedDesign>, bool, u64) {
-        let key = design_key(khash, cfg);
-        if self.capacity > 0 {
-            let mut state = self.state.lock().unwrap();
+        let cache = &*self.cache;
+        let key = design_key(self.prepare_fp, khash, cfg);
+        if cache.capacity > 0 {
+            let mut state = cache.state.lock().unwrap();
             state.tick += 1;
             let tick = state.tick;
             if let Some((last_used, prepared)) = state.prepared.get_mut(&key) {
                 *last_used = tick;
                 let prepared = prepared.clone();
                 drop(state);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                cache.hits.fetch_add(1, Ordering::Relaxed);
                 obs::metrics::counter_add("session/cache/hits", 1);
                 return (prepared, true, 0);
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        cache.misses.fetch_add(1, Ordering::Relaxed);
         obs::metrics::counter_add("session/cache/misses", 1);
         // prepare outside the lock so concurrent misses don't serialize;
         // racing threads compute bit-identical prepared designs
         let t = Instant::now();
         let prepared = Arc::new(self.model.prepare(func.clone(), cfg.clone()));
         let prepare_us = t.elapsed().as_micros() as u64;
-        if self.capacity > 0 {
-            let mut state = self.state.lock().unwrap();
+        if cache.capacity > 0 {
+            let mut state = cache.state.lock().unwrap();
             state.tick += 1;
             let tick = state.tick;
             state.prepared.insert(key, (tick, prepared.clone()));
-            while state.prepared.len() > self.capacity {
+            while state.prepared.len() > cache.capacity {
                 // O(len) scan; capacities are small enough that a heap
                 // would cost more in bookkeeping than it saves
                 let oldest = state
@@ -385,7 +471,7 @@ impl Session {
                     .map(|(k, _)| *k)
                     .expect("non-empty map");
                 state.prepared.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                cache.evictions.fetch_add(1, Ordering::Relaxed);
                 obs::metrics::counter_add("session/cache/evictions", 1);
             }
             obs::metrics::gauge_set("session/cache/size", state.prepared.len() as f64);
@@ -414,9 +500,11 @@ fn kernel_key(top: &str, source: &str) -> u64 {
     h.finish()
 }
 
-/// Stable key of a `(kernel, pragma config)` pair.
-fn design_key(khash: u64, cfg: &PragmaConfig) -> u64 {
+/// Stable key of a `(model prepare options, kernel, pragma config)`
+/// triple.
+fn design_key(prepare_fp: u64, khash: u64, cfg: &PragmaConfig) -> u64 {
     let mut h = Fnv1aHasher::new();
+    h.write_u64(prepare_fp);
     h.write_u64(khash);
     h.write_u64(cfg.fingerprint());
     h.finish()
@@ -568,5 +656,46 @@ mod tests {
         let stats = session.stats();
         assert_eq!(stats.misses, 2, "cleared entry must be recomputed");
         assert_eq!(stats.kernel_misses, 2);
+    }
+
+    #[test]
+    fn sessions_share_prepared_designs_through_one_cache() {
+        let opts = TrainOptions::quick().with_hidden(12).with_epochs(1);
+        let cache = Arc::new(SharedCache::with_capacity(16));
+        // two model versions with identical prepare options (different
+        // weight seeds): the second session's first query must be a hit
+        let a = Session::with_shared(HierarchicalModel::new(&opts), cache.clone());
+        let b = Session::with_shared(HierarchicalModel::new(&opts.with_seed(99)), cache.clone());
+        let cfg = PragmaConfig::default();
+        a.predict_kernel("gemm", &cfg).unwrap();
+        b.predict_kernel("gemm", &cfg).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "front half computed once: {stats:?}");
+        assert_eq!(stats.hits, 1, "second session reuses it: {stats:?}");
+        assert_eq!(stats.kernel_misses, 1);
+        assert_eq!(stats.kernel_hits, 1);
+    }
+
+    #[test]
+    fn prepare_fingerprint_splits_incompatible_models() {
+        let opts = TrainOptions::quick().with_hidden(12).with_epochs(1);
+        let mut other = opts;
+        other.graph_max_nodes = 64; // different graph construction
+        let cache = Arc::new(SharedCache::with_capacity(16));
+        let a = Session::with_shared(HierarchicalModel::new(&opts), cache.clone());
+        let b = Session::with_shared(HierarchicalModel::new(&other), cache.clone());
+        assert_ne!(
+            a.model().prepare_fingerprint(),
+            b.model().prepare_fingerprint()
+        );
+        let cfg = PragmaConfig::default();
+        a.predict_kernel("gemm", &cfg).unwrap();
+        b.predict_kernel("gemm", &cfg).unwrap();
+        let stats = cache.stats();
+        assert_eq!(
+            stats.misses, 2,
+            "incompatible prepare options must not share entries: {stats:?}"
+        );
+        assert_eq!(stats.hits, 0);
     }
 }

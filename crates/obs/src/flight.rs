@@ -58,6 +58,11 @@ pub struct FlightRecord {
     pub cache_misses: u64,
     /// Per-stage `(name, dur_us)` timings, in execution order.
     pub stages: Vec<(String, u64)>,
+    /// Free-form `(key, value)` labels — e.g. which model version served
+    /// a prediction (`("model", "default@3")`) or which batch it rode in.
+    /// Clamped like every other string field; capped at [`MAX_STAGES`]
+    /// entries.
+    pub attrs: Vec<(String, String)>,
 }
 
 impl FlightRecord {
@@ -75,7 +80,14 @@ impl FlightRecord {
             cache_hits: 0,
             cache_misses: 0,
             stages: Vec::new(),
+            attrs: Vec::new(),
         }
+    }
+
+    /// Appends a `(key, value)` attribute (builder-style convenience).
+    pub fn with_attr(mut self, key: &str, value: &str) -> FlightRecord {
+        self.attrs.push((key.to_string(), value.to_string()));
+        self
     }
 
     fn clamp(mut self) -> FlightRecord {
@@ -84,6 +96,11 @@ impl FlightRecord {
         truncate_in_place(&mut self.outcome);
         for (name, _) in &mut self.stages {
             truncate_in_place(name);
+        }
+        self.attrs.truncate(MAX_STAGES);
+        for (key, value) in &mut self.attrs {
+            truncate_in_place(key);
+            truncate_in_place(value);
         }
         if self.stages.len() > MAX_STAGES {
             let dropped: u64 = self.stages[MAX_STAGES - 1..]
@@ -117,6 +134,15 @@ impl FlightRecord {
                         .map(|(name, us)| {
                             Json::obj(vec![("stage", Json::str(name)), ("us", Json::UInt(*us))])
                         })
+                        .collect(),
+                ),
+            ),
+            (
+                "attrs",
+                Json::obj(
+                    self.attrs
+                        .iter()
+                        .map(|(key, value)| (key.as_str(), Json::str(value)))
                         .collect(),
                 ),
             ),

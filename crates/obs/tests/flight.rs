@@ -57,6 +57,27 @@ fn records_are_clamped_to_bounded_memory() {
 }
 
 #[test]
+fn attrs_are_clamped_and_serialized_as_an_object() {
+    let _lock = ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
+    flight::set_capacity_for_tests(4);
+    flight::reset();
+    let mut r = rec("attrs").with_attr("model", "default@3");
+    r.attrs.push(("v".repeat(9_000), "w".repeat(9_000)));
+    r.attrs
+        .extend((0..100).map(|i| (format!("k{i}"), "x".to_string())));
+    flight::record(r);
+    let snap = flight::snapshot();
+    let r = &snap[0];
+    assert_eq!(r.attrs.len(), MAX_STAGES);
+    assert_eq!(r.attrs[0], ("model".to_string(), "default@3".to_string()));
+    assert_eq!(r.attrs[1].0.len(), MAX_LABEL_BYTES);
+    assert_eq!(r.attrs[1].1.len(), MAX_LABEL_BYTES);
+    let json = flight::to_json().to_string();
+    assert!(json.contains(r#""attrs":{"model":"default@3""#), "{json}");
+    flight::reset();
+}
+
+#[test]
 fn zero_capacity_disables_recording() {
     let _lock = ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
     flight::set_capacity_for_tests(0);

@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use obs::log::Level;
 use obs::{trace, Json};
@@ -102,7 +102,10 @@ pub struct RunnerStats {
 
 /// Background search-job executor (see the [module docs](self)).
 pub struct JobRunner {
-    session: Arc<Session>,
+    /// Swappable so a serving layer can hot-reload the default model; each
+    /// job captures one `Arc<Session>` at start and keeps it for its whole
+    /// run (in-flight jobs are never switched mid-search).
+    session: RwLock<Arc<Session>>,
     jobs: Mutex<BTreeMap<String, Arc<JobHandle>>>,
     next_id: AtomicU64,
     submitted: AtomicU64,
@@ -118,7 +121,7 @@ impl JobRunner {
     /// A runner scoring candidates through `session`.
     pub fn new(session: Arc<Session>) -> Arc<JobRunner> {
         Arc::new(JobRunner {
-            session,
+            session: RwLock::new(session),
             jobs: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
             submitted: AtomicU64::new(0),
@@ -139,6 +142,18 @@ impl JobRunner {
             .expect("fresh runner is uniquely owned")
             .jobs_dir = Some(dir);
         runner
+    }
+
+    /// The session new jobs will score candidates through.
+    pub fn session(&self) -> Arc<Session> {
+        self.session.read().unwrap().clone()
+    }
+
+    /// Swaps the session used by **future** jobs (hot-reload support).
+    /// Jobs already running keep the session they captured at start, so a
+    /// swap never changes a search mid-run.
+    pub fn set_session(&self, session: Arc<Session>) {
+        *self.session.write().unwrap() = session;
     }
 
     /// Validates `opts` and starts the job on a background thread.
@@ -204,13 +219,16 @@ impl JobRunner {
             "job" => id,
             "kernel" => run.options().kernel.as_str(),
         );
-        let stats_before = self.session.stats();
+        // one capture for the whole job: stats diffs and candidate scoring
+        // both read this session even if the runner's default is swapped
+        let session = self.session();
+        let stats_before = session.stats();
         let started_us = obs::log::now_us();
         let mut flight = obs::flight::FlightRecord::new("job", id);
         flight.start_us = started_us;
         let mut job_busy_ns = 0u64;
         let mut step_no = 0u64;
-        let eval = SessionEval::new(self.session.clone(), &run.options().kernel);
+        let eval = SessionEval::new(session.clone(), &run.options().kernel);
         let mut stalled = 0u32;
         let final_status = loop {
             if handle.cancel.load(Ordering::Relaxed) {
@@ -267,6 +285,7 @@ impl JobRunner {
                         flight,
                         job_busy_ns,
                         &stats_before,
+                        &session,
                     );
                     return;
                 }
@@ -283,10 +302,19 @@ impl JobRunner {
         }
         self.publish(&handle, &run, final_status, None);
         self.persist(id, &run);
-        self.finish(id, &run, final_status, flight, job_busy_ns, &stats_before);
+        self.finish(
+            id,
+            &run,
+            final_status,
+            flight,
+            job_busy_ns,
+            &stats_before,
+            &session,
+        );
     }
 
     /// Emits the job's completion log event and flight record.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         id: &str,
@@ -295,9 +323,10 @@ impl JobRunner {
         mut flight: obs::flight::FlightRecord,
         busy_ns: u64,
         stats_before: &qor_core::CacheStats,
+        session: &Session,
     ) {
         let outcome = run.outcome();
-        let stats_after = self.session.stats();
+        let stats_after = session.stats();
         flight.outcome = status.name().to_string();
         flight.total_us = busy_ns / 1_000;
         flight.cache_hits = (stats_after.hits + stats_after.kernel_hits)

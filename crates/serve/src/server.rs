@@ -1,65 +1,87 @@
-//! The batch-inference HTTP server: routes, request decoding, and the
-//! Prometheus exposition endpoint.
+//! The serving core: a typed route table over a versioned `/v1` HTTP
+//! surface, dispatching predictions through the cross-request batcher and
+//! the hot-reloadable model registry.
 //!
 //! # Endpoints
 //!
-//! | route           | method | body                                       |
-//! |-----------------|--------|--------------------------------------------|
-//! | `/healthz`      | GET    | — → `{"status":"ok", ...}`                 |
-//! | `/metrics`      | GET    | — → Prometheus text exposition             |
-//! | `/predict`      | POST   | one prediction request, or `{"requests":[…]}` for a batch |
-//! | `/dse`          | POST   | submit a search job → `{"id":"job-1"}`     |
-//! | `/dse/<id>`     | GET    | — → job progress + incumbent Pareto front  |
-//! | `/dse/<id>`     | DELETE | cancel and forget the job                  |
-//! | `/debug/requests` | GET  | — → flight-recorder dump (last N traces)   |
-//! | `/debug/vars`   | GET    | — → build info, thread/cache config, counters |
+//! | route                | method | body                                           |
+//! |----------------------|--------|------------------------------------------------|
+//! | `/v1/healthz`        | GET    | — → `{"status":"ok", ...}`                     |
+//! | `/v1/metrics`        | GET    | — → Prometheus text exposition                 |
+//! | `/v1/predict`        | POST   | one prediction, or `{"requests":[…]}`          |
+//! | `/v1/models`         | GET    | — → registered model versions                  |
+//! | `/v1/models/<name>`  | GET    | — → one model version                          |
+//! | `/v1/models/<name>`  | PUT    | `{"checkpoint": "path.qorckpt"}` → hot-reload  |
+//! | `/v1/models/<name>`  | DELETE | unregister (refused for the last model)        |
+//! | `/v1/dse`            | POST   | submit a search job → `{"id":"job-1"}`         |
+//! | `/v1/dse/<id>`       | GET    | — → job progress + incumbent Pareto front      |
+//! | `/v1/dse/<id>`       | DELETE | cancel and forget the job                      |
+//! | `/debug/requests`    | GET    | — → flight-recorder dump (unversioned)         |
+//! | `/debug/vars`        | GET    | — → build info, config, counters (unversioned) |
+//!
+//! The pre-versioning routes (`/healthz`, `/metrics`, `/predict`, `/dse`,
+//! `/dse/<id>`) remain as **deprecated aliases**: they serve identical
+//! responses but add `Deprecation: true` and a `Link: </v1/...>;
+//! rel="successor-version"` header. New clients must use `/v1/*`.
+//!
+//! # Requests and batching
+//!
+//! A prediction names a bundled kernel (`{"kernel":"mvt"}`) or carries
+//! inline source (`{"source":"...","top":"f"}`), plus an optional pragma
+//! `"config"` and an optional `"model"` version name (default
+//! `"default"`):
+//!
+//! ```json
+//! {"kernel": "mvt", "model": "default",
+//!  "config": {"loops":  [{"loop": [0,0], "pipeline": true, "unroll": 4}],
+//!             "arrays": [{"array": "a", "dim": 1, "kind": "cyclic", "factor": 2}]}}
+//! ```
+//!
+//! Under the default **batched** dispatch every decoded item — from any
+//! connection — flows through the [`crate::batcher`] queue, which
+//! coalesces concurrent items into micro-batches (flushing on `max_batch`
+//! items or `max_wait` elapsed, whichever first), single-flights duplicate
+//! designs, and fans unique work through the deterministic `par` executor.
+//! Successful predictions carry the model version and batch that served
+//! them:
+//!
+//! ```json
+//! {"qor": {"latency": 412, "lut": 931, "ff": 604, "dsp": 3},
+//!  "model": {"name": "default", "generation": 2},
+//!  "batch": {"id": 17, "size": 8, "deduped": false},
+//!  "cache": {"hits": 41, "misses": 7, ...}}
+//! ```
+//!
+//! **Direct** dispatch ([`DispatchMode::Direct`]) bypasses the queue and
+//! serves each request on its own connection thread (the pre-batching
+//! behavior, kept as the benchmark baseline); responses then omit
+//! `"batch"`.
+//!
+//! # Errors
+//!
+//! Every non-2xx response is the [`crate::error`] envelope
+//! `{"code","message","trace"}`; in a batch response, failed items carry
+//! the same envelope under `"error"` while the surrounding request stays
+//! 200.
 //!
 //! # Tracing
 //!
 //! Every request runs under a trace context: the inbound `x-qor-trace`
 //! header (16 hex digits) is honored when present, otherwise a
 //! deterministic id is derived from the server instance and request
-//! sequence. The id is echoed in the `x-qor-trace` response header,
-//! stamped on all spans/log events/flight records the request produces
-//! (including session cache events and batch fan-out workers), and shown
-//! in `GET /debug/requests`. Search jobs get their own job-scoped trace,
-//! visible in `GET /dse/<id>` as `"trace"`.
+//! sequence. The id is echoed in the `x-qor-trace` response header and
+//! stamped on all spans/log events/flight records the request produces —
+//! including batcher workers, which adopt each item's originating trace
+//! across the queue boundary.
 //!
-//! A prediction request names a bundled kernel (`{"kernel":"mvt"}`) or
-//! carries inline source (`{"source":"void f(...){...}","top":"f"}`), plus
-//! an optional pragma `"config"`:
+//! # Hot reload
 //!
-//! ```json
-//! {"kernel": "mvt",
-//!  "config": {"loops":  [{"loop": [0,0], "pipeline": true, "unroll": 4}],
-//!             "arrays": [{"array": "a", "dim": 1, "kind": "cyclic", "factor": 2}]}}
-//! ```
-//!
-//! `"unroll"` accepts a factor (`0`/`1` = off) or `"full"`. Responses carry
-//! the predicted QoR plus the session's cumulative cache statistics, so a
-//! client can observe its own hit rate; batches are fanned out through the
-//! deterministic `par` executor and return results in request order.
-//!
-//! The server answers every prediction through one shared
-//! [`qor_core::Session`], so repeated configurations skip the front half of
-//! the pipeline regardless of which connection or batch they arrive on.
-//!
-//! # Search jobs
-//!
-//! `POST /dse` submits a budgeted heuristic exploration (see
-//! `crates/search`) that runs on a background thread against the same
-//! shared session:
-//!
-//! ```json
-//! {"kernel": "mvt", "strategy": "anneal", "budget": 64,
-//!  "seed": 42, "batch": 8}
-//! ```
-//!
-//! `strategy` is `random` | `anneal` | `genetic` (default `anneal`);
-//! `seed` defaults to 0 and `batch` to 8. Invalid kernels or strategies
-//! fail the POST synchronously with 400 — a job id is only returned for
-//! runnable jobs. Poll `GET /dse/<id>` for status (`running` → `done`)
-//! and the incumbent front; `DELETE /dse/<id>` cancels a running job.
+//! `PUT /v1/models/<name>` loads a checkpoint and atomically swaps the
+//! name to a new generation (see [`crate::registry`]); in-flight requests
+//! finish on the generation they resolved, new requests (and new DSE
+//! jobs, via [`JobRunner::set_session`]) see the new one. Because batches
+//! resolve their model once per flush group, a swap can never split a
+//! batch across generations.
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -72,20 +94,53 @@ use obs::log::Level;
 use obs::metrics::{HistogramDetail, LogHistogram};
 use obs::{trace, Json};
 use pragma::{ArrayPartition, LoopId, PartitionKind, PragmaConfig, Unroll};
-use qor_core::{CacheStats, PredictReport, QorError, Session};
+use qor_core::{CacheStats, PredictReport, Session};
 use search::{JobProgress, JobRunner, SearchOptions, StrategyKind};
 
+use crate::batcher::{BatchOptions, Batcher, ItemOutcome, PredictItem};
+use crate::error::{ApiCode, ApiError};
 use crate::http::{self, ParseError, Request};
 use crate::json;
+use crate::registry::ModelRegistry;
 
 /// Per-process server-instance sequence, mixed into derived trace ids so
 /// two servers in one test process never collide.
 static INSTANCE_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// How `/v1/predict` items reach a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Serve each request inline on its connection thread (the
+    /// pre-batching behavior; the benchmark baseline).
+    Direct,
+    /// Coalesce items from all connections through the batching queue.
+    Batched(BatchOptions),
+}
+
+/// Server construction knobs beyond the listen address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Prediction dispatch (default: batched, tuned by `QOR_BATCH_MAX` /
+    /// `QOR_BATCH_WAIT_US`).
+    pub dispatch: DispatchMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            dispatch: DispatchMode::Batched(BatchOptions::from_env()),
+        }
+    }
+}
+
 /// Shared state behind the accept loop and all connection threads.
 struct ServeState {
-    session: Arc<Session>,
+    registry: Arc<ModelRegistry>,
     runner: Arc<JobRunner>,
+    /// `Some` iff dispatch is [`DispatchMode::Batched`]. Dropped (and the
+    /// dispatcher joined) when the last state reference goes away.
+    batcher: Option<Batcher>,
+    dispatch: DispatchMode,
     shutdown: AtomicBool,
     requests: AtomicU64,
     predictions: AtomicU64,
@@ -122,24 +177,51 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port) and wraps the
-    /// session.
+    /// Binds to `addr` (use port 0 for an ephemeral port) and serves
+    /// `session` as the `"default"` model with default dispatch
+    /// (the single-model convenience constructor).
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind(addr: &str, session: Session) -> std::io::Result<Server> {
+        Server::bind_with(
+            addr,
+            Arc::new(ModelRegistry::from_session(session)),
+            ServerConfig::default(),
+        )
+    }
+
+    /// Binds to `addr` over an explicit model registry and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures; `InvalidInput` when the registry has no resolvable
+    /// default model (the DSE runner needs one).
+    pub fn bind_with(
+        addr: &str,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         // a serving process wants live `/metrics` histograms regardless of
         // QOR_TRACE/QOR_REPORT (metrics are bounded; the span arena is not)
         obs::metrics::enable_always();
         let listener = TcpListener::bind(addr)?;
-        let session = Arc::new(session);
-        let runner = JobRunner::new(Arc::clone(&session));
+        let default = registry
+            .default_entry()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let runner = JobRunner::new(default.session().clone());
+        let batcher = match config.dispatch {
+            DispatchMode::Batched(opts) => Some(Batcher::new(Arc::clone(&registry), opts)),
+            DispatchMode::Direct => None,
+        };
         Ok(Server {
             listener,
             state: Arc::new(ServeState {
-                session,
+                registry,
                 runner,
+                batcher,
+                dispatch: config.dispatch,
                 shutdown: AtomicBool::new(false),
                 requests: AtomicU64::new(0),
                 predictions: AtomicU64::new(0),
@@ -203,9 +285,14 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Cumulative cache statistics of the server's session.
+    /// Cumulative statistics of the shared prepared-design/kernel cache.
     pub fn stats(&self) -> CacheStats {
-        self.state.session.stats()
+        self.state.registry.cache().stats()
+    }
+
+    /// The server's model registry (tests drive hot-reloads through it).
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.state.registry)
     }
 
     /// Flags shutdown, wakes the accept loop with a self-connection, and
@@ -218,11 +305,233 @@ impl ServerHandle {
     }
 }
 
+// ------------------------------------------------------------ route table
+
+/// What a matched route does (the typed replacement for stringly path
+/// dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Healthz,
+    Metrics,
+    Predict,
+    ModelList,
+    ModelGet,
+    ModelPut,
+    ModelDelete,
+    DseSubmit,
+    DseGet,
+    DseDelete,
+    DebugRequests,
+    DebugVars,
+}
+
+/// One row of the route table.
+struct RouteDef {
+    method: &'static str,
+    /// `/`-separated pattern; `:`-prefixed segments capture one path
+    /// segment as a parameter.
+    pattern: &'static str,
+    endpoint: Endpoint,
+    /// Low-cardinality metrics label (`/v1/dse/<id>` collapses to one).
+    label: &'static str,
+    /// Legacy alias: responses add `Deprecation: true` and a `Link` to
+    /// `successor`.
+    deprecated: bool,
+    successor: &'static str,
+}
+
+const fn v1(
+    method: &'static str,
+    pattern: &'static str,
+    endpoint: Endpoint,
+    label: &'static str,
+) -> RouteDef {
+    RouteDef {
+        method,
+        pattern,
+        endpoint,
+        label,
+        deprecated: false,
+        successor: "",
+    }
+}
+
+const fn legacy(
+    method: &'static str,
+    pattern: &'static str,
+    endpoint: Endpoint,
+    label: &'static str,
+    successor: &'static str,
+) -> RouteDef {
+    RouteDef {
+        method,
+        pattern,
+        endpoint,
+        label,
+        deprecated: true,
+        successor,
+    }
+}
+
+/// The route table. Matching walks rows in order; the first
+/// method+pattern hit wins.
+const ROUTES: &[RouteDef] = &[
+    v1("GET", "/v1/healthz", Endpoint::Healthz, "healthz"),
+    v1("GET", "/v1/metrics", Endpoint::Metrics, "metrics"),
+    v1("POST", "/v1/predict", Endpoint::Predict, "predict"),
+    v1("GET", "/v1/models", Endpoint::ModelList, "models"),
+    v1("GET", "/v1/models/:name", Endpoint::ModelGet, "model"),
+    v1("PUT", "/v1/models/:name", Endpoint::ModelPut, "model"),
+    v1("DELETE", "/v1/models/:name", Endpoint::ModelDelete, "model"),
+    v1("POST", "/v1/dse", Endpoint::DseSubmit, "dse_submit"),
+    v1("GET", "/v1/dse/:id", Endpoint::DseGet, "dse_job"),
+    v1("DELETE", "/v1/dse/:id", Endpoint::DseDelete, "dse_job"),
+    // the debug surface is operational, not part of the versioned API
+    v1(
+        "GET",
+        "/debug/requests",
+        Endpoint::DebugRequests,
+        "debug_requests",
+    ),
+    v1("GET", "/debug/vars", Endpoint::DebugVars, "debug_vars"),
+    // deprecated pre-versioning aliases
+    legacy(
+        "GET",
+        "/healthz",
+        Endpoint::Healthz,
+        "healthz",
+        "/v1/healthz",
+    ),
+    legacy(
+        "GET",
+        "/metrics",
+        Endpoint::Metrics,
+        "metrics",
+        "/v1/metrics",
+    ),
+    legacy(
+        "POST",
+        "/predict",
+        Endpoint::Predict,
+        "predict",
+        "/v1/predict",
+    ),
+    legacy("POST", "/dse", Endpoint::DseSubmit, "dse_submit", "/v1/dse"),
+    legacy(
+        "GET",
+        "/dse/:id",
+        Endpoint::DseGet,
+        "dse_job",
+        "/v1/dse/:id",
+    ),
+    legacy(
+        "DELETE",
+        "/dse/:id",
+        Endpoint::DseDelete,
+        "dse_job",
+        "/v1/dse/:id",
+    ),
+];
+
+/// Route-table lookup result.
+enum RouteMatch {
+    /// Method+pattern hit; `params` holds captured segments in pattern
+    /// order.
+    Matched {
+        def: &'static RouteDef,
+        params: Vec<String>,
+    },
+    /// Some route matches the path but none with this method.
+    MethodNotAllowed,
+    NotFound,
+}
+
+/// Matches `pattern` against `path`, capturing `:param` segments.
+fn match_pattern(pattern: &str, path: &str) -> Option<Vec<String>> {
+    let mut params = Vec::new();
+    let mut pat = pattern.split('/');
+    let mut got = path.split('/');
+    loop {
+        match (pat.next(), got.next()) {
+            (None, None) => return Some(params),
+            (Some(p), Some(g)) => {
+                if let Some(name) = p.strip_prefix(':') {
+                    debug_assert!(!name.is_empty());
+                    if g.is_empty() {
+                        return None; // `/dse/` is not `/dse/:id`
+                    }
+                    params.push(g.to_string());
+                } else if p != g {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Resolves `(method, path)` against [`ROUTES`].
+fn match_route(method: &str, path: &str) -> RouteMatch {
+    let mut path_known = false;
+    for def in ROUTES {
+        if let Some(params) = match_pattern(def.pattern, path) {
+            if def.method == method {
+                return RouteMatch::Matched { def, params };
+            }
+            path_known = true;
+        }
+    }
+    if path_known {
+        RouteMatch::MethodNotAllowed
+    } else {
+        RouteMatch::NotFound
+    }
+}
+
+/// One rendered response (headers beyond the trace echo are added by the
+/// connection handler from the matched route).
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn ok_json(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn from_error(err: &ApiError) -> Response {
+        Response {
+            status: err.status(),
+            content_type: "application/json",
+            body: err.body(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
 /// Per-request telemetry the routes fill in while handling: per-stage
-/// timings and cache attribution for the flight record.
+/// timings, cache attribution, and flight-record labels.
 #[derive(Default)]
 struct ReqTelemetry {
     stages: Vec<(String, u64)>,
+    attrs: Vec<(String, String)>,
     cache_hits: u64,
     cache_misses: u64,
 }
@@ -236,6 +545,10 @@ impl ReqTelemetry {
     fn stage(&mut self, name: &str, us: u64) {
         self.stages.push((name.to_string(), us));
     }
+
+    fn attr(&mut self, key: &str, value: String) {
+        self.attrs.push((key.to_string(), value));
+    }
 }
 
 fn handle_connection(mut stream: TcpStream, state: &ServeState) {
@@ -246,23 +559,19 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState) {
             state.client_errors.fetch_add(1, Ordering::Relaxed);
             state.status_4xx.fetch_add(1, Ordering::Relaxed);
             obs::metrics::counter_add("serve/http/4xx", 1);
-            let body = error_json(&e.to_string());
-            let status = if matches!(e, ParseError::TooLarge(_)) {
-                413
+            let code = if matches!(e, ParseError::TooLarge(_)) {
+                ApiCode::PayloadTooLarge
             } else {
-                400
+                ApiCode::BadRequest
             };
-            let reason = if status == 413 {
-                "Payload Too Large"
-            } else {
-                "Bad Request"
-            };
+            let err = ApiError::new(code, e.to_string());
+            let resp = Response::from_error(&err);
             let _ = http::write_response(
                 &mut stream,
-                status,
-                reason,
-                "application/json",
-                body.as_bytes(),
+                resp.status,
+                resp.reason(),
+                resp.content_type,
+                resp.body.as_bytes(),
             );
             return;
         }
@@ -282,28 +591,53 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState) {
     let _trace_guard = trace::adopt(trace_id);
     let trace_hex = trace_id.as_hex();
 
-    let route_key = route_key(&request.method, &request.path);
+    let matched = match_route(&request.method, &request.path);
+    let route_label = match &matched {
+        RouteMatch::Matched { def, .. } => def.label,
+        _ => "other",
+    };
     let started_us = obs::log::now_us();
     let t0 = Instant::now();
     let mut tel = ReqTelemetry::default();
-    let (status, reason, content_type, body) = route(state, &request, &mut tel);
+    let (response, deprecation) = match &matched {
+        RouteMatch::Matched { def, params } => {
+            let response = dispatch(state, def.endpoint, params, &request, &mut tel);
+            let dep = def.deprecated.then_some(def.successor);
+            (response, dep)
+        }
+        RouteMatch::MethodNotAllowed => (
+            Response::from_error(&ApiError::new(
+                ApiCode::MethodNotAllowed,
+                format!("{} is not allowed on {}", request.method, request.path),
+            )),
+            None,
+        ),
+        RouteMatch::NotFound => (
+            Response::from_error(&ApiError::new(
+                ApiCode::NotFound,
+                format!("no route matches {}", request.path),
+            )),
+            None,
+        ),
+    };
     let dur_us = t0.elapsed().as_micros() as u64;
 
-    observe_request(state, route_key, status, dur_us);
-    if status >= 400 {
+    observe_request(state, route_label, response.status, dur_us);
+    if response.status >= 400 {
         state.client_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     let mut flight =
         obs::flight::FlightRecord::new("http", &format!("{} {}", request.method, request.path));
-    flight.outcome = status.to_string();
+    flight.outcome = response.status.to_string();
     flight.start_us = started_us;
     flight.total_us = dur_us;
     flight.bytes_in = request.body.len() as u64;
-    flight.bytes_out = body.len() as u64;
+    flight.bytes_out = response.body.len() as u64;
     flight.cache_hits = tel.cache_hits;
     flight.cache_misses = tel.cache_misses;
     flight.stages = tel.stages;
+    flight.attrs = tel.attrs;
     obs::flight::record(flight);
 
     if obs::log::enabled(Level::Info) {
@@ -311,39 +645,31 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState) {
             Level::Info,
             "http.request",
             &[
-                ("route", Json::str(route_key)),
+                ("route", Json::str(route_label)),
                 ("method", Json::str(&request.method)),
                 ("path", Json::str(&request.path)),
-                ("status", Json::UInt(u64::from(status))),
+                ("status", Json::UInt(u64::from(response.status))),
                 ("dur_us", Json::UInt(dur_us)),
-                ("bytes_out", Json::UInt(body.len() as u64)),
+                ("bytes_out", Json::UInt(response.body.len() as u64)),
             ],
         );
     }
 
+    let mut headers: Vec<(&str, &str)> = vec![("x-qor-trace", &trace_hex)];
+    let link;
+    if let Some(successor) = deprecation {
+        headers.push(("Deprecation", "true"));
+        link = format!("<{successor}>; rel=\"successor-version\"");
+        headers.push(("Link", &link));
+    }
     let _ = http::write_response_with(
         &mut stream,
-        status,
-        reason,
-        content_type,
-        &[("x-qor-trace", &trace_hex)],
-        body.as_bytes(),
+        response.status,
+        response.reason(),
+        response.content_type,
+        &headers,
+        response.body.as_bytes(),
     );
-}
-
-/// Low-cardinality route label for metrics (`/dse/<id>` collapses to one
-/// key; unknown paths share `other`).
-fn route_key(method: &str, path: &str) -> &'static str {
-    match (method, path) {
-        ("GET", "/healthz") => "healthz",
-        ("GET", "/metrics") => "metrics",
-        ("POST", "/predict") => "predict",
-        ("POST", "/dse") => "dse_submit",
-        ("GET", "/debug/requests") => "debug_requests",
-        ("GET", "/debug/vars") => "debug_vars",
-        _ if path.starts_with("/dse/") => "dse_job",
-        _ => "other",
-    }
 }
 
 /// Status class token for counters and latency-histogram keys.
@@ -382,62 +708,71 @@ fn observe_request(state: &ServeState, route: &'static str, status: u16, dur_us:
         .or_insert(0) += 1;
 }
 
-fn route(
+/// Executes a matched endpoint.
+fn dispatch(
     state: &ServeState,
+    endpoint: Endpoint,
+    params: &[String],
     request: &Request,
     tel: &mut ReqTelemetry,
-) -> (u16, &'static str, &'static str, String) {
-    let method = request.method.as_str();
-    match request.path.as_str() {
-        "/healthz" if method == "GET" => (200, "OK", "application/json", healthz(state)),
-        "/metrics" if method == "GET" => (
-            200,
-            "OK",
-            "text/plain; version=0.0.4",
-            render_metrics(state),
-        ),
-        "/predict" if method == "POST" => match predict_route(state, &request.body, tel) {
-            Ok(body) => (200, "OK", "application/json", body),
-            Err(msg) => (400, "Bad Request", "application/json", error_json(&msg)),
-        },
-        "/dse" if method == "POST" => match dse_submit(state, &request.body) {
-            Ok(body) => (200, "OK", "application/json", body),
-            Err(msg) => (400, "Bad Request", "application/json", error_json(&msg)),
-        },
-        "/debug/requests" if method == "GET" => (
-            200,
-            "OK",
-            "application/json",
-            obs::flight::to_json().to_string(),
-        ),
-        "/debug/vars" if method == "GET" => (200, "OK", "application/json", debug_vars(state)),
-        "/healthz" | "/metrics" | "/predict" | "/dse" | "/debug/requests" | "/debug/vars" => (
-            405,
-            "Method Not Allowed",
-            "application/json",
-            error_json("method not allowed"),
-        ),
-        path if path.starts_with("/dse/") => dse_job(state, method, &path["/dse/".len()..]),
-        _ => (
-            404,
-            "Not Found",
-            "application/json",
-            error_json("no such route"),
-        ),
-    }
+) -> Response {
+    let result = match endpoint {
+        Endpoint::Healthz => Ok(Response::ok_json(healthz(state))),
+        Endpoint::Metrics => Ok(Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: render_metrics(state),
+        }),
+        Endpoint::Predict => predict_route(state, &request.body, tel).map(Response::ok_json),
+        Endpoint::ModelList => Ok(Response::ok_json(model_list(state))),
+        Endpoint::ModelGet => state
+            .registry
+            .get(&params[0])
+            .map(|entry| Response::ok_json(entry.to_json().to_string())),
+        Endpoint::ModelPut => model_put(state, &params[0], &request.body).map(Response::ok_json),
+        Endpoint::ModelDelete => model_delete(state, &params[0]).map(Response::ok_json),
+        Endpoint::DseSubmit => dse_submit(state, &request.body).map(Response::ok_json),
+        Endpoint::DseGet => dse_get(state, &params[0]).map(Response::ok_json),
+        Endpoint::DseDelete => dse_delete(state, &params[0]).map(Response::ok_json),
+        Endpoint::DebugRequests => Ok(Response::ok_json(obs::flight::to_json().to_string())),
+        Endpoint::DebugVars => Ok(Response::ok_json(debug_vars(state))),
+    };
+    result.unwrap_or_else(|e| Response::from_error(&e))
 }
 
 /// `GET /debug/vars`: build info, thread/cache/flight configuration and
 /// coarse counters, for humans and smoke tests.
 fn debug_vars(state: &ServeState) -> String {
-    let stats = state.session.stats();
+    let stats = state.registry.cache().stats();
     let dse = state.runner.stats();
+    let dispatch = match state.dispatch {
+        DispatchMode::Direct => "direct",
+        DispatchMode::Batched(_) => "batched",
+    };
+    let batcher = match (&state.batcher, state.dispatch) {
+        (Some(b), DispatchMode::Batched(opts)) => {
+            let s = b.stats();
+            Json::obj(vec![
+                ("max_batch", Json::UInt(opts.max_batch as u64)),
+                ("max_wait_us", Json::UInt(opts.max_wait.as_micros() as u64)),
+                ("batches", Json::UInt(s.batches)),
+                ("flush_full", Json::UInt(s.flush_full)),
+                ("flush_timeout", Json::UInt(s.flush_timeout)),
+                ("items", Json::UInt(s.items)),
+                ("deduped", Json::UInt(s.deduped)),
+                ("max_batch_seen", Json::UInt(s.max_batch_seen)),
+            ])
+        }
+        _ => Json::Null,
+    };
     Json::obj(vec![
         ("version", Json::str(env!("CARGO_PKG_VERSION"))),
         ("uptime_s", Json::UInt(state.started.elapsed().as_secs())),
         ("instance", Json::UInt(state.instance)),
         ("threads", Json::UInt(par::threads() as u64)),
         ("log_level", Json::str(obs::log::level_name())),
+        ("dispatch", Json::str(dispatch)),
+        ("batcher", batcher),
         (
             "requests",
             Json::UInt(state.requests.load(Ordering::Relaxed)),
@@ -455,6 +790,17 @@ fn debug_vars(state: &ServeState) -> String {
             ]),
         ),
         ("cache", cache_json(&stats)),
+        (
+            "models",
+            Json::Arr(
+                state
+                    .registry
+                    .list()
+                    .iter()
+                    .map(|e| Json::Str(e.tag()))
+                    .collect(),
+            ),
+        ),
         (
             "dse",
             Json::obj(vec![
@@ -487,124 +833,290 @@ fn healthz(state: &ServeState) -> String {
             "predictions",
             Json::UInt(state.predictions.load(Ordering::Relaxed)),
         ),
-        ("cache", cache_json(&state.session.stats())),
+        ("models", Json::UInt(state.registry.len() as u64)),
+        ("cache", cache_json(&state.registry.cache().stats())),
     ])
     .to_string()
 }
 
-fn error_json(message: &str) -> String {
-    Json::obj(vec![("error", Json::str(message))]).to_string()
+// ----------------------------------------------------------------- models
+
+fn model_list(state: &ServeState) -> String {
+    Json::obj(vec![
+        (
+            "models",
+            Json::Arr(state.registry.list().iter().map(|e| e.to_json()).collect()),
+        ),
+        ("cache", cache_json(&state.registry.cache().stats())),
+    ])
+    .to_string()
+}
+
+/// `PUT /v1/models/<name>` with `{"checkpoint": "path.qorckpt"}`:
+/// hot-reloads the named version from disk.
+fn model_put(state: &ServeState, name: &str, body: &[u8]) -> Result<String, ApiError> {
+    let doc = parse_body(body)?;
+    let path = json::field(&doc, "checkpoint")
+        .and_then(json::as_str)
+        .ok_or_else(|| ApiError::bad_request("\"checkpoint\" must be a file path"))?;
+    let entry = state.registry.load_file(name, path)?;
+    sync_runner_session(state);
+    Ok(Json::obj(vec![("model", entry.to_json())]).to_string())
+}
+
+/// `DELETE /v1/models/<name>`: unregisters a version (refused for the
+/// last one).
+fn model_delete(state: &ServeState, name: &str) -> Result<String, ApiError> {
+    let entry = state.registry.remove(name)?;
+    sync_runner_session(state);
+    Ok(Json::obj(vec![
+        ("removed", Json::Bool(true)),
+        ("model", entry.to_json()),
+    ])
+    .to_string())
+}
+
+/// Points future DSE jobs at the current default model (in-flight jobs
+/// keep the session they captured — see [`JobRunner::set_session`]).
+fn sync_runner_session(state: &ServeState) {
+    if let Ok(default) = state.registry.default_entry() {
+        state.runner.set_session(default.session().clone());
+    }
 }
 
 // ------------------------------------------------------------- predictions
 
-/// One decoded prediction request.
-struct PredictRequest {
-    kernel: Option<String>,
-    source: Option<(String, String)>, // (top, source)
-    cfg: PragmaConfig,
+fn parse_body(body: &[u8]) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(body).map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
+    json::parse(text).map_err(|e| ApiError::bad_request(e.to_string()))
 }
 
 fn predict_route(
     state: &ServeState,
     body: &[u8],
     tel: &mut ReqTelemetry,
-) -> Result<String, String> {
+) -> Result<String, ApiError> {
     let t_decode = Instant::now();
-    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    let doc = json::parse(text).map_err(|e| e.to_string())?;
-
-    if let Some(batch) = json::field(&doc, "requests") {
-        let items = json::as_array(batch).ok_or("\"requests\" must be an array")?;
-        let decoded: Vec<PredictRequest> = items
+    let doc = parse_body(body)?;
+    // a top-level "model" is the default for every item in the request
+    let default_model = match json::field(&doc, "model") {
+        Some(v) => Some(
+            json::as_str(v)
+                .map(str::to_string)
+                .ok_or_else(|| ApiError::bad_request("\"model\" must be a string"))?,
+        ),
+        None => None,
+    };
+    let (items, single) = if let Some(batch) = json::field(&doc, "requests") {
+        let entries = json::as_array(batch)
+            .ok_or_else(|| ApiError::bad_request("\"requests\" must be an array"))?;
+        let items = entries
             .iter()
             .enumerate()
-            .map(|(i, item)| decode_request(item).map_err(|e| format!("request {i}: {e}")))
-            .collect::<Result<_, _>>()?;
-        tel.stage("decode", t_decode.elapsed().as_micros() as u64);
-        // fan the batch through the deterministic executor: results come
-        // back in request order for any worker count; workers adopt the
-        // request's trace so their cache events stay attributable
-        let t_predict = Instant::now();
-        let req_trace = trace::current_raw();
-        let results = par::map("serve/predict", &decoded, |_, req| {
-            let _g = trace::adopt_raw(req_trace);
-            predict_one(state, req)
-        });
-        tel.stage("predict", t_predict.elapsed().as_micros() as u64);
-        let results: Vec<Json> = results
-            .into_iter()
-            .map(|r| match r {
+            .map(|(i, entry)| {
+                decode_request(entry, default_model.as_deref())
+                    .map_err(|e| ApiError::new(e.code, format!("request {i}: {}", e.message)))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        (items, false)
+    } else {
+        (vec![decode_request(&doc, default_model.as_deref())?], true)
+    };
+    tel.stage("decode", t_decode.elapsed().as_micros() as u64);
+    state
+        .predictions
+        .fetch_add(items.len() as u64, Ordering::Relaxed);
+
+    let outcomes = match (&state.batcher, state.dispatch) {
+        (Some(batcher), DispatchMode::Batched(_)) => {
+            let t_batch = Instant::now();
+            let req_trace = trace::current_raw();
+            let items: Vec<PredictItem> = items
+                .into_iter()
+                .map(|mut item| {
+                    item.trace = req_trace;
+                    item
+                })
+                .collect();
+            let outcomes = batcher.submit_wait(items);
+            tel.stage("batch", t_batch.elapsed().as_micros() as u64);
+            outcomes
+        }
+        _ => predict_direct(state, items, tel, single)?,
+    };
+
+    for outcome in &outcomes {
+        if let Ok(report) = &outcome.result {
+            tel.absorb(report);
+        }
+    }
+    if single {
+        let outcome = outcomes.into_iter().next().expect("one item in, one out");
+        tel.attr("model", format!("{}@{}", outcome.model, outcome.generation));
+        if outcome.batch_id != 0 {
+            tel.attr("batch", outcome.batch_id.to_string());
+        }
+        let report = outcome.result.clone()?; // a failed single predict is the request's error
+        if matches!(state.dispatch, DispatchMode::Direct) {
+            tel.stage("lower", report.lower_us);
+            tel.stage("prepare", report.prepare_us);
+            tel.stage("infer", report.infer_us);
+        }
+        let mut fields = vec![
+            ("qor", qor_json(&report.qor)),
+            ("model", outcome_model_json(&outcome)),
+        ];
+        if let Some(batch) = outcome_batch_json(&outcome) {
+            fields.push(("batch", batch));
+        }
+        fields.push(("cache", cache_json(&state.registry.cache().stats())));
+        Ok(Json::obj(fields).to_string())
+    } else {
+        let results: Vec<Json> = outcomes
+            .iter()
+            .map(|outcome| match &outcome.result {
                 Ok(report) => {
-                    tel.absorb(&report);
-                    Json::obj(vec![("qor", qor_json(&report.qor))])
+                    let mut fields = vec![
+                        ("qor", qor_json(&report.qor)),
+                        ("model", outcome_model_json(outcome)),
+                    ];
+                    if let Some(batch) = outcome_batch_json(outcome) {
+                        fields.push(("batch", batch));
+                    }
+                    Json::obj(fields)
                 }
-                Err(e) => Json::obj(vec![("error", Json::str(e.to_string()))]),
+                Err(e) => Json::obj(vec![("error", e.envelope())]),
             })
             .collect();
         Ok(Json::obj(vec![
             ("results", Json::Arr(results)),
-            ("cache", cache_json(&state.session.stats())),
-        ])
-        .to_string())
-    } else {
-        let req = decode_request(&doc)?;
-        tel.stage("decode", t_decode.elapsed().as_micros() as u64);
-        let report = predict_one(state, &req).map_err(|e| e.to_string())?;
-        tel.absorb(&report);
-        tel.stage("lower", report.lower_us);
-        tel.stage("prepare", report.prepare_us);
-        tel.stage("infer", report.infer_us);
-        Ok(Json::obj(vec![
-            ("qor", qor_json(&report.qor)),
-            ("cache", cache_json(&state.session.stats())),
+            ("cache", cache_json(&state.registry.cache().stats())),
         ])
         .to_string())
     }
 }
 
-fn predict_one(state: &ServeState, req: &PredictRequest) -> Result<PredictReport, QorError> {
-    state.predictions.fetch_add(1, Ordering::Relaxed);
-    if let Some(kernel) = &req.kernel {
-        state.session.predict_kernel_report(kernel, &req.cfg)
+/// Direct dispatch: resolve each item's model and serve inline on this
+/// connection thread, fanning a multi-item request through `par::map`
+/// (the pre-batching behavior).
+fn predict_direct(
+    state: &ServeState,
+    items: Vec<PredictItem>,
+    tel: &mut ReqTelemetry,
+    single: bool,
+) -> Result<Vec<ItemOutcome>, ApiError> {
+    let run_one = |item: &PredictItem| -> ItemOutcome {
+        let entry = match &item.model {
+            Some(name) => state.registry.get(name),
+            None => state.registry.default_entry(),
+        };
+        match entry {
+            Ok(entry) => {
+                entry.count_prediction();
+                let session = entry.session();
+                let result = if let Some(kernel) = &item.kernel {
+                    session.predict_kernel_report(kernel, &item.cfg)
+                } else {
+                    let (top, source) = item.source.as_ref().expect("decode guarantees one");
+                    session.predict_source_report(top, source, &item.cfg)
+                };
+                ItemOutcome {
+                    result: result.map_err(ApiError::from),
+                    model: entry.name.clone(),
+                    generation: entry.generation,
+                    batch_id: 0,
+                    batch_size: 0,
+                    deduped: false,
+                }
+            }
+            Err(e) => ItemOutcome {
+                result: Err(e),
+                model: item.model.clone().unwrap_or_default(),
+                generation: 0,
+                batch_id: 0,
+                batch_size: 0,
+                deduped: false,
+            },
+        }
+    };
+    if single {
+        Ok(vec![run_one(&items[0])])
     } else {
-        let (top, source) = req
-            .source
-            .as_ref()
-            .expect("decode guarantees one of the two");
-        state.session.predict_source_report(top, source, &req.cfg)
+        // fan the request's own batch through the deterministic executor:
+        // results come back in request order for any worker count; workers
+        // adopt the request's trace so cache events stay attributable
+        let t_predict = Instant::now();
+        let req_trace = trace::current_raw();
+        let outcomes = par::map("serve/predict", &items, |_, item| {
+            let _g = trace::adopt_raw(req_trace);
+            run_one(item)
+        });
+        tel.stage("predict", t_predict.elapsed().as_micros() as u64);
+        Ok(outcomes)
     }
 }
 
-fn decode_request(doc: &Json) -> Result<PredictRequest, String> {
+fn outcome_model_json(outcome: &ItemOutcome) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&outcome.model)),
+        ("generation", Json::UInt(outcome.generation)),
+    ])
+}
+
+/// The `"batch"` response field; `None` under direct dispatch (batch id 0
+/// means "no batch served this").
+fn outcome_batch_json(outcome: &ItemOutcome) -> Option<Json> {
+    (outcome.batch_id != 0).then(|| {
+        Json::obj(vec![
+            ("id", Json::UInt(outcome.batch_id)),
+            ("size", Json::UInt(outcome.batch_size as u64)),
+            ("deduped", Json::Bool(outcome.deduped)),
+        ])
+    })
+}
+
+/// Decodes one prediction item; `default_model` is the request-level
+/// `"model"` fallback.
+fn decode_request(doc: &Json, default_model: Option<&str>) -> Result<PredictItem, ApiError> {
+    let bad = |m: &str| ApiError::bad_request(m);
+    let model = match json::field(doc, "model") {
+        Some(v) => Some(
+            json::as_str(v)
+                .map(str::to_string)
+                .ok_or_else(|| bad("\"model\" must be a string"))?,
+        ),
+        None => default_model.map(str::to_string),
+    };
     let kernel = json::field(doc, "kernel")
         .map(|v| {
             json::as_str(v)
                 .map(str::to_string)
-                .ok_or("\"kernel\" must be a string")
+                .ok_or_else(|| bad("\"kernel\" must be a string"))
         })
         .transpose()?;
     let source = match json::field(doc, "source") {
         Some(v) => {
-            let source = json::as_str(v).ok_or("\"source\" must be a string")?;
+            let source = json::as_str(v).ok_or_else(|| bad("\"source\" must be a string"))?;
             let top = json::field(doc, "top")
                 .and_then(json::as_str)
-                .ok_or("inline \"source\" requires a \"top\" function name")?;
+                .ok_or_else(|| bad("inline \"source\" requires a \"top\" function name"))?;
             Some((top.to_string(), source.to_string()))
         }
         None => None,
     };
     if kernel.is_some() == source.is_some() {
-        return Err("provide exactly one of \"kernel\" or \"source\"".into());
+        return Err(bad("provide exactly one of \"kernel\" or \"source\""));
     }
     let cfg = match json::field(doc, "config") {
-        Some(c) => decode_config(c)?,
+        Some(c) => decode_config(c).map_err(ApiError::bad_request)?,
         None => PragmaConfig::default(),
     };
-    Ok(PredictRequest {
+    Ok(PredictItem {
+        model,
         kernel,
         source,
         cfg,
+        trace: 0,
     })
 }
 
@@ -709,27 +1221,31 @@ fn cache_json(stats: &CacheStats) -> Json {
 
 // ---------------------------------------------------------------- dse jobs
 
-/// Decodes a `POST /dse` body and submits the job, returning
+/// Decodes a `POST /v1/dse` body and submits the job, returning
 /// `{"id":"job-N"}`. Validation runs synchronously: bad kernels,
 /// strategies, or spaces are a 400 and no job is created.
-fn dse_submit(state: &ServeState, body: &[u8]) -> Result<String, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    let doc = json::parse(text).map_err(|e| e.to_string())?;
+fn dse_submit(state: &ServeState, body: &[u8]) -> Result<String, ApiError> {
+    let bad = |m: &str| ApiError::bad_request(m);
+    let doc = parse_body(body)?;
 
     let kernel = json::field(&doc, "kernel")
         .and_then(json::as_str)
-        .ok_or("\"kernel\" must name a bundled kernel")?;
+        .ok_or_else(|| bad("\"kernel\" must name a bundled kernel"))?;
     let strategy = match json::field(&doc, "strategy") {
         Some(v) => {
-            let name = json::as_str(v).ok_or("\"strategy\" must be a string")?;
-            StrategyKind::parse(name)
-                .ok_or_else(|| format!("unknown strategy {name:?} (random|anneal|genetic)"))?
+            let name = json::as_str(v).ok_or_else(|| bad("\"strategy\" must be a string"))?;
+            StrategyKind::parse(name).ok_or_else(|| {
+                bad(&format!(
+                    "unknown strategy {name:?} (random|anneal|genetic)"
+                ))
+            })?
         }
         None => StrategyKind::Anneal,
     };
-    let uint = |key: &str, default: u64| -> Result<u64, String> {
+    let uint = |key: &str, default: u64| -> Result<u64, ApiError> {
         match json::field(&doc, key) {
-            Some(v) => json::as_u64(v).ok_or(format!("\"{key}\" must be a non-negative integer")),
+            Some(v) => json::as_u64(v)
+                .ok_or_else(|| bad(&format!("\"{key}\" must be a non-negative integer"))),
             None => Ok(default),
         }
     };
@@ -739,59 +1255,28 @@ fn dse_submit(state: &ServeState, body: &[u8]) -> Result<String, String> {
     let batch = usize::try_from(batch)
         .ok()
         .filter(|&b| b >= 1)
-        .ok_or("\"batch\" must be at least 1")?;
+        .ok_or_else(|| bad("\"batch\" must be at least 1"))?;
 
     let opts = SearchOptions::new(kernel, strategy, budget)
         .with_seed(seed)
         .with_batch(batch);
-    let id = state.runner.submit(opts).map_err(|e| e.to_string())?;
+    let id = state.runner.submit(opts).map_err(ApiError::from)?;
     Ok(Json::obj(vec![("id", Json::str(id))]).to_string())
 }
 
-/// Routes `GET`/`DELETE /dse/<id>`.
-fn dse_job(
-    state: &ServeState,
-    method: &str,
-    id: &str,
-) -> (u16, &'static str, &'static str, String) {
-    match method {
-        "GET" => match state.runner.get(id) {
-            Some(progress) => (
-                200,
-                "OK",
-                "application/json",
-                progress_json(id, &progress).to_string(),
-            ),
-            None => (
-                404,
-                "Not Found",
-                "application/json",
-                error_json("no such job"),
-            ),
-        },
-        "DELETE" => {
-            if state.runner.delete(id) {
-                (
-                    200,
-                    "OK",
-                    "application/json",
-                    Json::obj(vec![("deleted", Json::Bool(true))]).to_string(),
-                )
-            } else {
-                (
-                    404,
-                    "Not Found",
-                    "application/json",
-                    error_json("no such job"),
-                )
-            }
-        }
-        _ => (
-            405,
-            "Method Not Allowed",
-            "application/json",
-            error_json("method not allowed"),
-        ),
+fn dse_get(state: &ServeState, id: &str) -> Result<String, ApiError> {
+    state
+        .runner
+        .get(id)
+        .map(|progress| progress_json(id, &progress).to_string())
+        .ok_or_else(|| ApiError::new(ApiCode::UnknownJob, format!("no job {id:?}")))
+}
+
+fn dse_delete(state: &ServeState, id: &str) -> Result<String, ApiError> {
+    if state.runner.delete(id) {
+        Ok(Json::obj(vec![("deleted", Json::Bool(true))]).to_string())
+    } else {
+        Err(ApiError::new(ApiCode::UnknownJob, format!("no job {id:?}")))
     }
 }
 
@@ -832,7 +1317,7 @@ fn progress_json(id: &str, progress: &JobProgress) -> Json {
 /// prefixed `qor_`.
 fn render_metrics(state: &ServeState) -> String {
     let mut out = String::new();
-    let stats = state.session.stats();
+    let stats = state.registry.cache().stats();
     let mut put = |name: &str, kind: &str, value: String| {
         out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
     };
@@ -930,6 +1415,46 @@ fn render_metrics(state: &ServeState) -> String {
         "counter",
         state.status_5xx.load(Ordering::Relaxed).to_string(),
     );
+
+    // batching-queue counters (only meaningful under batched dispatch)
+    if let Some(batcher) = &state.batcher {
+        let b = batcher.stats();
+        put("qor_batch_flushes_total", "counter", b.batches.to_string());
+        put(
+            "qor_batch_flush_full_total",
+            "counter",
+            b.flush_full.to_string(),
+        );
+        put(
+            "qor_batch_flush_timeout_total",
+            "counter",
+            b.flush_timeout.to_string(),
+        );
+        put("qor_batch_items_total", "counter", b.items.to_string());
+        put("qor_batch_deduped_total", "counter", b.deduped.to_string());
+        put("qor_batch_max_size", "gauge", b.max_batch_seen.to_string());
+    }
+
+    // per-model-version series, labeled {model, generation}
+    {
+        let entries = state.registry.list();
+        out.push_str("# TYPE qor_model_generation gauge\n");
+        for entry in &entries {
+            out.push_str(&format!(
+                "qor_model_generation{{model=\"{}\"}} {}\n",
+                entry.name, entry.generation
+            ));
+        }
+        out.push_str("# TYPE qor_model_predictions_total counter\n");
+        for entry in &entries {
+            out.push_str(&format!(
+                "qor_model_predictions_total{{model=\"{}\",generation=\"{}\"}} {}\n",
+                entry.name,
+                entry.generation,
+                entry.predictions()
+            ));
+        }
+    }
 
     {
         let route_hits = state.route_hits.lock().unwrap();
@@ -1109,13 +1634,25 @@ mod tests {
     #[test]
     fn request_decoding_requires_exactly_one_input_form() {
         let both = json::parse(r#"{"kernel":"mvt","source":"void f(){}","top":"f"}"#).unwrap();
-        assert!(decode_request(&both).is_err());
+        assert!(decode_request(&both, None).is_err());
         let neither = json::parse(r#"{"config":{}}"#).unwrap();
-        assert!(decode_request(&neither).is_err());
+        assert!(decode_request(&neither, None).is_err());
         let source_without_top = json::parse(r#"{"source":"void f(){}"}"#).unwrap();
-        assert!(decode_request(&source_without_top).is_err());
+        assert!(decode_request(&source_without_top, None).is_err());
         let ok = json::parse(r#"{"kernel":"mvt"}"#).unwrap();
-        assert!(decode_request(&ok).is_ok());
+        assert!(decode_request(&ok, None).is_ok());
+    }
+
+    #[test]
+    fn request_decoding_resolves_model_precedence() {
+        let inherited = json::parse(r#"{"kernel":"mvt"}"#).unwrap();
+        let item = decode_request(&inherited, Some("batchwide")).unwrap();
+        assert_eq!(item.model.as_deref(), Some("batchwide"));
+        let own = json::parse(r#"{"kernel":"mvt","model":"mine"}"#).unwrap();
+        let item = decode_request(&own, Some("batchwide")).unwrap();
+        assert_eq!(item.model.as_deref(), Some("mine"));
+        let none = decode_request(&inherited, None).unwrap();
+        assert_eq!(none.model, None);
     }
 
     #[test]
@@ -1126,5 +1663,59 @@ mod tests {
         );
         assert_eq!(sanitize_metric_name("cdfg.nodes_built"), "cdfg_nodes_built");
         assert_eq!(sanitize_metric_name("2fast"), "_2fast");
+    }
+
+    #[test]
+    fn route_table_matches_v1_legacy_and_params() {
+        // v1 exact
+        match match_route("GET", "/v1/healthz") {
+            RouteMatch::Matched { def, params } => {
+                assert_eq!(def.endpoint, Endpoint::Healthz);
+                assert!(!def.deprecated);
+                assert!(params.is_empty());
+            }
+            _ => panic!("GET /v1/healthz must match"),
+        }
+        // parameter capture
+        match match_route("PUT", "/v1/models/paper") {
+            RouteMatch::Matched { def, params } => {
+                assert_eq!(def.endpoint, Endpoint::ModelPut);
+                assert_eq!(params, vec!["paper".to_string()]);
+            }
+            _ => panic!("PUT /v1/models/:name must match"),
+        }
+        // legacy alias is deprecated with a successor
+        match match_route("POST", "/predict") {
+            RouteMatch::Matched { def, .. } => {
+                assert!(def.deprecated);
+                assert_eq!(def.successor, "/v1/predict");
+            }
+            _ => panic!("legacy /predict must match"),
+        }
+        match match_route("GET", "/dse/job-1") {
+            RouteMatch::Matched { def, params } => {
+                assert_eq!(def.endpoint, Endpoint::DseGet);
+                assert_eq!(params, vec!["job-1".to_string()]);
+            }
+            _ => panic!("legacy /dse/:id must match"),
+        }
+        // wrong method on a known path
+        assert!(matches!(
+            match_route("DELETE", "/v1/predict"),
+            RouteMatch::MethodNotAllowed
+        ));
+        // unknown paths and empty params
+        assert!(matches!(
+            match_route("GET", "/v2/healthz"),
+            RouteMatch::NotFound
+        ));
+        assert!(matches!(
+            match_route("GET", "/v1/models/"),
+            RouteMatch::NotFound
+        ));
+        assert!(matches!(
+            match_route("GET", "/v1/dse/job-1/extra"),
+            RouteMatch::NotFound
+        ));
     }
 }

@@ -1,0 +1,191 @@
+//! Hot-reload under load: concurrent `/v1/predict` clients hammer the
+//! server while the registry swaps the default model between two
+//! checkpoints. The contract:
+//!
+//! * zero failed requests — a swap never drops an in-flight connection;
+//! * every prediction is bit-exact for *some* registered generation, and
+//!   the generation it claims maps to exactly the checkpoint that
+//!   produced those bits (no half-swapped weights);
+//! * zero mixed-version batches — all items sharing a batch id were
+//!   served by one generation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pragma::{LoopId, PragmaConfig, Unroll};
+use qor_core::{HierarchicalModel, TrainOptions};
+use serve::http::client_request;
+use serve::{json, ModelRegistry, Server, ServerConfig};
+
+fn model(seed: u64) -> HierarchicalModel {
+    HierarchicalModel::new(&TrainOptions::quick().with_hidden(12).with_seed(seed))
+}
+
+/// The request bodies the clients cycle through, with the matching
+/// library-path configs.
+fn workload() -> Vec<(String, PragmaConfig)> {
+    let plain = (r#"{"kernel":"mvt"}"#.to_string(), PragmaConfig::default());
+    let mut piped = (
+        r#"{"kernel":"mvt","config":{"loops":[{"loop":[0],"pipeline":true}]}}"#.to_string(),
+        PragmaConfig::default(),
+    );
+    piped.1.set_pipeline(LoopId::from_path(&[0]), true);
+    let mut unrolled = (
+        r#"{"kernel":"mvt","config":{"loops":[{"loop":[0],"unroll":4}]}}"#.to_string(),
+        PragmaConfig::default(),
+    );
+    unrolled
+        .1
+        .set_unroll(LoopId::from_path(&[0]), Unroll::Factor(4));
+    vec![plain, piped, unrolled]
+}
+
+#[test]
+fn hot_reload_under_concurrent_load_never_fails_or_mixes_versions() {
+    let dir = std::env::temp_dir().join(format!("qor-hot-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_a = dir.join("a.qorckpt");
+    let path_b = dir.join("b.qorckpt");
+    let model_a = model(4);
+    let model_b = model(99);
+    serve::save_model_file(&path_a, &model_a).unwrap();
+    serve::save_model_file(&path_b, &model_b).unwrap();
+
+    // per-checkpoint expected predictions for every workload config
+    let func = Arc::new(kernels::lower_kernel("mvt").unwrap());
+    let workload = workload();
+    let expect_a: Vec<_> = workload
+        .iter()
+        .map(|(_, c)| model_a.predict(&func, c))
+        .collect();
+    let expect_b: Vec<_> = workload
+        .iter()
+        .map(|(_, c)| model_b.predict(&func, c))
+        .collect();
+    assert_ne!(
+        expect_a, expect_b,
+        "the two checkpoints must be distinguishable for this test to mean anything"
+    );
+
+    let registry = Arc::new(ModelRegistry::with_default(model_a, 64));
+    let handle = Server::bind_with("127.0.0.1:0", registry, ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 6;
+    const REQUESTS_PER_CLIENT: usize = 30;
+    const SWAPS: usize = 12;
+
+    // (config index, generation, batch id, qor) per successful response
+    type Served = (usize, u64, u64, (u64, u64, u64, u64));
+    let (sources, results): (BTreeMap<u64, &'static str>, Vec<Served>) =
+        std::thread::scope(|scope| {
+            // the swapper: alternate the default model between the two
+            // checkpoints while the clients run, recording which checkpoint
+            // each new generation came from
+            let swapper = scope.spawn(|| {
+                let mut sources = BTreeMap::from([(1u64, "a")]); // startup install
+                for i in 0..SWAPS {
+                    let (path, tag) = if i % 2 == 0 {
+                        (&path_b, "b")
+                    } else {
+                        (&path_a, "a")
+                    };
+                    let body = format!("{{\"checkpoint\":{:?}}}", path.display().to_string());
+                    let (status, response) =
+                        client_request(addr, "PUT", "/v1/models/default", Some(&body)).unwrap();
+                    assert_eq!(status, 200, "swap {i}: {response}");
+                    let doc = json::parse(&response).unwrap();
+                    let generation = json::field(&doc, "model")
+                        .and_then(|m| json::field(m, "generation"))
+                        .and_then(json::as_u64)
+                        .unwrap();
+                    sources.insert(generation, tag);
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                }
+                sources
+            });
+            let clients: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let workload = &workload;
+                    scope.spawn(move || {
+                        let mut served: Vec<Served> = Vec::new();
+                        for r in 0..REQUESTS_PER_CLIENT {
+                            let idx = (c + r) % workload.len();
+                            let (status, response) =
+                                client_request(addr, "POST", "/v1/predict", Some(&workload[idx].0))
+                                    .unwrap();
+                            assert_eq!(
+                                status, 200,
+                                "client {c} request {r} failed during reload: {response}"
+                            );
+                            let doc = json::parse(&response).unwrap();
+                            let qor = json::field(&doc, "qor").unwrap();
+                            let get = |k: &str| json::field(qor, k).and_then(json::as_u64).unwrap();
+                            let generation = json::field(&doc, "model")
+                                .and_then(|m| json::field(m, "generation"))
+                                .and_then(json::as_u64)
+                                .unwrap();
+                            let batch_id = json::field(&doc, "batch")
+                                .and_then(|b| json::field(b, "id"))
+                                .and_then(json::as_u64)
+                                .unwrap();
+                            served.push((
+                                idx,
+                                generation,
+                                batch_id,
+                                (get("latency"), get("lut"), get("ff"), get("dsp")),
+                            ));
+                        }
+                        served
+                    })
+                })
+                .collect();
+            let results = clients
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            (swapper.join().unwrap(), results)
+        });
+    handle.shutdown();
+
+    assert_eq!(results.len(), CLIENTS * REQUESTS_PER_CLIENT);
+    let qor_tuple = |q: &hlsim::Qor| (q.latency, q.lut, q.ff, q.dsp);
+    let mut generations_seen = std::collections::BTreeSet::new();
+    for (idx, generation, _, qor) in &results {
+        // the claimed generation maps to a known checkpoint, and the bits
+        // are exactly that checkpoint's prediction — never a blend
+        let source = sources
+            .get(generation)
+            .unwrap_or_else(|| panic!("response claims unknown generation {generation}"));
+        let expected = match *source {
+            "a" => qor_tuple(&expect_a[*idx]),
+            _ => qor_tuple(&expect_b[*idx]),
+        };
+        assert_eq!(
+            *qor, expected,
+            "generation {generation} (checkpoint {source}) served foreign bits"
+        );
+        generations_seen.insert(*generation);
+    }
+    assert!(
+        generations_seen.len() >= 2,
+        "the load must actually span a reload (saw {generations_seen:?})"
+    );
+
+    // zero mixed-version batches: one generation per batch id
+    let mut generation_of_batch: BTreeMap<u64, u64> = BTreeMap::new();
+    for (_, generation, batch_id, _) in &results {
+        let prior = generation_of_batch.insert(*batch_id, *generation);
+        if let Some(prior) = prior {
+            assert_eq!(
+                prior, *generation,
+                "batch {batch_id} mixed generations {prior} and {generation}"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -113,18 +113,44 @@ fn batched_predictions_preserve_order_and_reuse_the_cache() {
             (expected.latency, expected.lut, expected.ff, expected.dsp),
             "batch result {i} diverges"
         );
+        // every served item names its model version
+        let model = json::field(&results[i], "model").unwrap();
+        assert_eq!(
+            json::field(model, "name").and_then(json::as_str),
+            Some("default")
+        );
+        assert_eq!(
+            json::field(model, "generation").and_then(json::as_u64),
+            Some(1)
+        );
     }
-    // per-item failures do not fail the batch
-    let err = json::field(&results[4], "error")
-        .and_then(json::as_str)
-        .unwrap();
-    assert!(err.contains("nope"), "{err}");
-    // requests 0 and 3 share a design; the kernel repeats three more times
-    assert!(
-        stats.hits >= 1,
-        "repeated design in one batch must hit: {stats:?}"
+    // per-item failures do not fail the batch; they carry the typed envelope
+    let err = json::field(&results[4], "error").unwrap();
+    assert_eq!(
+        json::field(err, "code").and_then(json::as_str),
+        Some("unknown_kernel")
     );
-    assert!(stats.kernel_hits >= 2);
+    assert!(
+        json::field(err, "message")
+            .and_then(json::as_str)
+            .unwrap()
+            .contains("nope"),
+        "{response}"
+    );
+    // requests 0 and 3 are the same design: the batcher single-flights them
+    // (shared computation, flagged deduped) instead of hitting the cache
+    let deduped = |i: usize| {
+        json::field(&results[i], "batch")
+            .and_then(|b| json::field(b, "deduped"))
+            .and_then(json::as_bool)
+            .unwrap()
+    };
+    assert!(deduped(0) && deduped(3), "{response}");
+    assert!(!deduped(1) && !deduped(2), "{response}");
+    // the three unique designs span two kernels: mvt lowers once then hits
+    assert_eq!(stats.kernel_misses, 2, "{stats:?}");
+    assert!(stats.kernel_hits >= 1, "{stats:?}");
+    assert_eq!(stats.misses, 3, "one miss per unique design: {stats:?}");
 }
 
 #[test]
@@ -324,7 +350,7 @@ fn dse_submission_errors_are_synchronous_400s() {
         let (status, response) = client_request(addr, "POST", "/dse", Some(body)).unwrap();
         assert_eq!(status, 400, "{body}: {response}");
         let err = json::parse(&response).unwrap();
-        let msg = json::field(&err, "error").and_then(json::as_str).unwrap();
+        let msg = json::field(&err, "message").and_then(json::as_str).unwrap();
         assert!(
             msg.to_lowercase().contains(needle),
             "{body}: error {msg:?} should mention {needle:?}"
@@ -348,35 +374,221 @@ fn dse_submission_errors_are_synchronous_400s() {
 }
 
 #[test]
-fn error_paths_return_proper_statuses() {
+fn error_paths_return_the_typed_envelope() {
     let handle = spawn_server();
     let addr = handle.addr();
     let cases = [
-        ("POST", "/predict", Some("{not json"), 400),
-        ("POST", "/predict", Some(r#"{"config":{}}"#), 400),
+        ("POST", "/predict", Some("{not json"), 400, "bad_request"),
+        (
+            "POST",
+            "/predict",
+            Some(r#"{"config":{}}"#),
+            400,
+            "bad_request",
+        ),
         (
             "POST",
             "/predict",
             Some(r#"{"kernel":"mvt","config":{"loops":[{"loop":[0],"unroll":"half"}]}}"#),
             400,
+            "bad_request",
         ),
         (
             "POST",
             "/predict",
             Some(r#"{"kernel":"no_such_kernel"}"#),
             400,
+            "unknown_kernel",
         ),
-        ("GET", "/predict", None, 405),
-        ("POST", "/healthz", None, 405),
-        ("GET", "/no_such_route", None, 404),
+        ("GET", "/predict", None, 405, "method_not_allowed"),
+        ("POST", "/healthz", None, 405, "method_not_allowed"),
+        ("GET", "/no_such_route", None, 404, "not_found"),
+        ("GET", "/v1/models/ghost", None, 404, "unknown_model"),
+        (
+            "POST",
+            "/v1/predict",
+            Some(r#"{"kernel":"mvt","model":"ghost"}"#),
+            404,
+            "unknown_model",
+        ),
     ];
-    for (method, path, body, expected) in cases {
+    for (method, path, body, expected, code) in cases {
         let (status, response) = client_request(addr, method, path, body).unwrap();
         assert_eq!(status, expected, "{method} {path}: {response}");
+        // every non-2xx body is the {"code","message","trace"} envelope
         let doc = json::parse(&response).unwrap();
-        assert!(json::field(&doc, "error").is_some(), "{response}");
+        assert_eq!(
+            json::field(&doc, "code").and_then(json::as_str),
+            Some(code),
+            "{method} {path}: {response}"
+        );
+        assert!(json::field(&doc, "message").is_some(), "{response}");
+        let trace = json::field(&doc, "trace").and_then(json::as_str).unwrap();
+        assert_eq!(trace.len(), 16, "{response}");
     }
     handle.shutdown();
+}
+
+#[test]
+fn v1_routes_serve_and_legacy_aliases_carry_deprecation_headers() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+    // the /v1 surface serves without deprecation headers
+    for (method, path, body) in [
+        ("GET", "/v1/healthz", None),
+        ("GET", "/v1/metrics", None),
+        ("POST", "/v1/predict", Some(r#"{"kernel":"mvt"}"#)),
+        ("GET", "/v1/models", None),
+    ] {
+        let (status, headers, response) =
+            serve::http::client_request_with(addr, method, path, body, &[]).unwrap();
+        assert_eq!(status, 200, "{method} {path}: {response}");
+        assert!(
+            !headers.iter().any(|(n, _)| n == "deprecation"),
+            "{method} {path} must not be deprecated: {headers:?}"
+        );
+    }
+    // legacy aliases serve the same content but are marked deprecated
+    for (path, successor) in [("/healthz", "/v1/healthz"), ("/metrics", "/v1/metrics")] {
+        let (status, headers, _) =
+            serve::http::client_request_with(addr, "GET", path, None, &[]).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            headers
+                .iter()
+                .find(|(n, _)| n == "deprecation")
+                .map(|(_, v)| v.as_str()),
+            Some("true"),
+            "legacy {path} must carry Deprecation: {headers:?}"
+        );
+        let link = headers
+            .iter()
+            .find(|(n, _)| n == "link")
+            .map(|(_, v)| v.as_str())
+            .unwrap();
+        assert_eq!(link, format!("<{successor}>; rel=\"successor-version\""));
+    }
+    let (_, headers, _) = serve::http::client_request_with(
+        addr,
+        "POST",
+        "/predict",
+        Some(r#"{"kernel":"mvt"}"#),
+        &[],
+    )
+    .unwrap();
+    assert!(
+        headers
+            .iter()
+            .any(|(n, v)| n == "link" && v.contains("/v1/predict")),
+        "{headers:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn model_endpoints_list_inspect_and_guard_the_registry() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+    client_request(addr, "POST", "/v1/predict", Some(r#"{"kernel":"mvt"}"#)).unwrap();
+
+    let (status, body) = client_request(addr, "GET", "/v1/models", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = json::parse(&body).unwrap();
+    let models = json::as_array(json::field(&doc, "models").unwrap()).unwrap();
+    assert_eq!(models.len(), 1);
+    assert_eq!(
+        json::field(&models[0], "name").and_then(json::as_str),
+        Some("default")
+    );
+    assert_eq!(
+        json::field(&models[0], "generation").and_then(json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        json::field(&models[0], "predictions").and_then(json::as_u64),
+        Some(1),
+        "the served prediction must be attributed to the version: {body}"
+    );
+
+    let (status, one) = client_request(addr, "GET", "/v1/models/default", None).unwrap();
+    assert_eq!(status, 200, "{one}");
+    let one = json::parse(&one).unwrap();
+    assert_eq!(
+        json::field(&one, "source").and_then(json::as_str),
+        Some("startup")
+    );
+
+    // the last model cannot be removed
+    let (status, body) = client_request(addr, "DELETE", "/v1/models/default", None).unwrap();
+    assert_eq!(status, 409, "{body}");
+    let err = json::parse(&body).unwrap();
+    assert_eq!(
+        json::field(&err, "code").and_then(json::as_str),
+        Some("conflict")
+    );
+
+    // a reload needs a real checkpoint path
+    let (status, body) = client_request(
+        addr,
+        "PUT",
+        "/v1/models/default",
+        Some(r#"{"checkpoint":"/nonexistent/m.qorckpt"}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 500, "{body}");
+    let err = json::parse(&body).unwrap();
+    assert_eq!(json::field(&err, "code").and_then(json::as_str), Some("io"));
+
+    // per-model metrics are labeled with name and generation
+    let (_, metrics) = client_request(addr, "GET", "/v1/metrics", None).unwrap();
+    assert!(
+        metrics.contains("qor_model_generation{model=\"default\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("qor_model_predictions_total{model=\"default\",generation=\"1\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE qor_batch_flushes_total counter"),
+        "{metrics}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn direct_dispatch_serves_identical_predictions_without_batch_info() {
+    use serve::{DispatchMode, ModelRegistry, ServerConfig};
+    let registry = Arc::new(ModelRegistry::with_default(model(), 32));
+    let direct = Server::bind_with(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            dispatch: DispatchMode::Direct,
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let batched = spawn_server();
+    let body = r#"{"kernel":"mvt","config":{"loops":[{"loop":[0],"pipeline":true}]}}"#;
+    let (status, from_direct) =
+        client_request(direct.addr(), "POST", "/v1/predict", Some(body)).unwrap();
+    assert_eq!(status, 200, "{from_direct}");
+    let (_, from_batched) =
+        client_request(batched.addr(), "POST", "/v1/predict", Some(body)).unwrap();
+    direct.shutdown();
+    batched.shutdown();
+    let d = json::parse(&from_direct).unwrap();
+    let b = json::parse(&from_batched).unwrap();
+    assert_eq!(
+        qor_field(&d, "qor"),
+        qor_field(&b, "qor"),
+        "dispatch mode must not change predictions"
+    );
+    assert!(json::field(&d, "batch").is_none(), "{from_direct}");
+    assert!(json::field(&b, "batch").is_some(), "{from_batched}");
+    assert!(json::field(&d, "model").is_some(), "{from_direct}");
 }
 
 #[test]

@@ -35,6 +35,17 @@ fn spawn_server() -> serve::ServerHandle {
         .unwrap()
 }
 
+/// A server with explicit dispatch, for tests that assert on per-stage
+/// timings (direct) or batch composition (pinned flush policy).
+fn spawn_server_with(dispatch: serve::DispatchMode) -> serve::ServerHandle {
+    let model = HierarchicalModel::new(&TrainOptions::quick().with_hidden(12).with_seed(4));
+    let registry = std::sync::Arc::new(serve::ModelRegistry::with_default(model, 32));
+    Server::bind_with("127.0.0.1:0", registry, serve::ServerConfig { dispatch })
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
 fn find_record(trace_hex: &str) -> Option<obs::flight::FlightRecord> {
     let id = obs::TraceId::parse_hex(trace_hex).unwrap();
     obs::flight::snapshot()
@@ -47,7 +58,9 @@ fn predict_request_trace_flows_header_to_flight_record_and_log() {
     let _lock = ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
     setup_log();
     let trace_hex = "00dead00beef0042";
-    let handle = spawn_server();
+    // direct dispatch: the request's own thread runs the pipeline, so the
+    // flight record carries the per-stage lower/prepare/infer split
+    let handle = spawn_server_with(serve::DispatchMode::Direct);
     let body = r#"{"kernel":"mvt","config":{"loops":[{"loop":[0],"pipeline":true}]}}"#;
     let (status, headers, _) = client_request_with(
         handle.addr(),
@@ -84,6 +97,13 @@ fn predict_request_trace_flows_header_to_flight_record_and_log() {
     assert_eq!(rec.cache_misses, 2, "{rec:?}");
     let stages: Vec<&str> = rec.stages.iter().map(|(n, _)| n.as_str()).collect();
     assert_eq!(stages, ["decode", "lower", "prepare", "infer"], "{rec:?}");
+    // the record is labeled with the model version that served it
+    assert!(
+        rec.attrs
+            .iter()
+            .any(|(k, v)| k == "model" && v == "default@1"),
+        "{rec:?}"
+    );
 
     // the same trace id shows up in the QOR_LOG event stream, on both the
     // request event and the session's cache-layer debug event
@@ -111,7 +131,11 @@ fn batch_workers_inherit_the_request_trace() {
     let _lock = ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
     setup_log();
     let trace_hex = "0000b007c0ffee01";
-    let handle = spawn_server();
+    // pin a generous wait so all three items coalesce into one flush
+    let handle = spawn_server_with(serve::DispatchMode::Batched(serve::BatchOptions {
+        max_batch: 8,
+        max_wait: std::time::Duration::from_millis(50),
+    }));
     let body = r#"{"requests":[{"kernel":"mvt"},{"kernel":"bicg"},{"kernel":"mvt"}]}"#;
     let (status, _, _) = client_request_with(
         handle.addr(),
@@ -124,13 +148,14 @@ fn batch_workers_inherit_the_request_trace() {
     handle.shutdown();
     assert_eq!(status, 200);
     let rec = find_record(trace_hex).expect("flight record for the batch");
-    // 3 predictions x 2 cache layers, every lookup attributed (hit-vs-miss
-    // splits can vary when identical items race in the fan-out)
+    // attribution is logical per item: the deduped mvt pair shares one
+    // computation but each item reports its design's lookups, so 3 items x
+    // 2 cache layers land on the request's trace
     assert_eq!(rec.cache_hits + rec.cache_misses, 6, "{rec:?}");
     let stages: Vec<&str> = rec.stages.iter().map(|(n, _)| n.as_str()).collect();
-    assert_eq!(stages, ["decode", "predict"], "{rec:?}");
-    // the par workers adopted the trace: their session.predict events
-    // carry the request's id
+    assert_eq!(stages, ["decode", "batch"], "{rec:?}");
+    // the batcher workers adopted the trace across the queue boundary:
+    // their session.predict events carry the request's id
     let log = std::fs::read_to_string(log_path()).unwrap();
     let predicts = log
         .lines()
@@ -139,7 +164,7 @@ fn batch_workers_inherit_the_request_trace() {
                 && l.contains("\"event\":\"session.predict\"")
         })
         .count();
-    assert_eq!(predicts, 3, "one traced cache event per batch item");
+    assert_eq!(predicts, 2, "one traced cache event per unique design");
 }
 
 #[test]
@@ -259,6 +284,27 @@ fn debug_vars_reports_build_and_runtime_configuration() {
     );
     let cache = json::field(&doc, "cache").unwrap();
     assert_eq!(json::field(cache, "misses").and_then(json::as_u64), Some(1));
+    // dispatch + batching-queue counters and the model roster are exposed
+    assert_eq!(
+        json::field(&doc, "dispatch").and_then(json::as_str),
+        Some("batched")
+    );
+    let batcher = json::field(&doc, "batcher").unwrap();
+    assert!(
+        json::field(batcher, "items")
+            .and_then(json::as_u64)
+            .unwrap()
+            >= 1,
+        "{body}"
+    );
+    assert!(
+        json::field(batcher, "max_batch")
+            .and_then(json::as_u64)
+            .unwrap()
+            >= 1
+    );
+    let models = json::as_array(json::field(&doc, "models").unwrap()).unwrap();
+    assert_eq!(json::as_str(&models[0]), Some("default@1"), "{body}");
     let flight = json::field(&doc, "flight").unwrap();
     assert!(
         json::field(flight, "capacity")
