@@ -53,6 +53,20 @@ QOR_THREADS=4 ./target/release/qor-bench --smoke --out /tmp/qor_bench4.json >/de
 cmp /tmp/qor_bench1.json /tmp/qor_bench4.json
 rm -f /tmp/qor_bench1.json /tmp/qor_bench4.json
 
+# Incremental-engine gate: the sweep prepares every candidate through the
+# query database, the plain LRU, and from scratch, and aborts on any
+# digest divergence — so a clean exit IS the cold-vs-incremental
+# byte-identity proof. Run at both worker counts and require the appended
+# trajectories (timings nulled in smoke) to be byte-identical too. The
+# engine's own red-green/version-cache unit tests and the differential
+# suite (crates/core/tests/incr_differential.rs, walk suite in
+# crates/bench/tests) already ran above under both QOR_THREADS values.
+echo "==> qor-bench incr_sweep --smoke determinism"
+QOR_THREADS=1 ./target/release/qor-bench incr_sweep --smoke --out /tmp/qor_incr1.json >/dev/null
+QOR_THREADS=4 ./target/release/qor-bench incr_sweep --smoke --out /tmp/qor_incr4.json >/dev/null
+cmp /tmp/qor_incr1.json /tmp/qor_incr4.json
+rm -f /tmp/qor_incr1.json /tmp/qor_incr4.json
+
 # Search smoke gate: budget accounting, snapshot determinism, mid-run
 # resume, and corruption typing — on both executor paths, because the
 # engine fans evaluation batches through `par`.

@@ -25,6 +25,11 @@
 //! Usage: `cargo run --release -p qor-bench --bin qor-bench --
 //!         [--rounds N] [--clients N] [--dup N] [--kernel NAME]
 //!         [--batch-wait-us N] [--smoke] [--out FILE]`
+//!
+//! The `incr_sweep` subcommand instead measures the incremental query
+//! engine on pragma-neighbor sweeps (see [`qor_bench::incr_sweep`]):
+//! `qor-bench incr_sweep [--steps N] [--breadth N] [--kernels N]
+//! [--smoke] [--out FILE]`, appending to `BENCH_incr.json`.
 
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -250,6 +255,11 @@ fn percentile(sorted_us: &[u64], q: f64) -> u64 {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _obs = obs::init();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("incr_sweep") {
+        let code = qor_bench::incr_sweep::run(&argv[1..])?;
+        std::process::exit(code);
+    }
     let args = parse_args();
     let requests = args.rounds * args.clients;
     let predictions = requests * args.dup;

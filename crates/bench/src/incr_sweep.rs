@@ -1,0 +1,463 @@
+//! `qor-bench incr_sweep` — amortized prepare cost on pragma-neighbor
+//! sweeps: cold vs warm (LRU) vs incremental (query database).
+//!
+//! The workload mirrors the evaluation stream a DSE strategy actually
+//! emits: starting from a seeded random genome, each step samples a
+//! 1-neighborhood of the current design (every candidate is one pragma
+//! move away), then the walk moves to one of the neighbors. Annealers and
+//! genetic strategies revisit configurations constantly, and neighboring
+//! configurations share most of their per-loop region configs, so the
+//! stream contains both exact revisits and structural overlap — the two
+//! reuse axes the incremental engine is built for. The stream is *not*
+//! deduplicated; deduplication is itself a caching strategy, and the
+//! point is to compare strategies on the same stream.
+//!
+//! Every candidate in the stream is prepared three ways:
+//!
+//! * **cold** — [`HierarchicalModel::prepare`] from scratch, the
+//!   no-cache baseline;
+//! * **warm** — a [`Session`] whose prepared-design LRU is on but whose
+//!   incremental database is off: exact revisits hit, everything else is
+//!   a from-scratch rebuild;
+//! * **incremental** — the production stack: the same LRU *plus* the
+//!   per-model `QueryDb` behind it, so LRU misses (new neighbors) reuse
+//!   unchanged per-loop subgraphs instead of rebuilding from scratch.
+//!   The `vs warm` column is therefore the query engine's marginal
+//!   contribution on an identical stream.
+//!
+//! All three [`PreparedDesign::digest`]s must agree on every candidate
+//! (the run aborts otherwise), so the speedups are measured on provably
+//! byte-identical outputs. Results append to the `BENCH_incr.json`
+//! trajectory; with `--smoke`, scale shrinks and timing-dependent fields
+//! are nulled so repeated runs against a fresh `--out` are byte-identical
+//! at any `QOR_THREADS` — the CI determinism gate.
+//!
+//! [`PreparedDesign::digest`]: qor_core::PreparedDesign::digest
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use obs::Json;
+use qor_core::{fnv1a, HierarchicalModel, IncrCounts, Session, SharedCache, TrainOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use search::{Genome, SpaceModel};
+
+use crate::trajectory;
+
+/// LRU capacity for the warm bar — large enough that the sweep never
+/// evicts, so the warm numbers measure the strategy, not the sizing.
+const WARM_CAP: usize = 4096;
+
+/// Folds one more digest into a running FNV-1a accumulator.
+fn mix(acc: u64, v: u64) -> u64 {
+    use std::hash::Hasher;
+    let mut h = qor_core::Fnv1aHasher::new();
+    h.write_u64(acc);
+    h.write_u64(v);
+    h.finish()
+}
+
+/// Parsed `incr_sweep` options.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Neighbor-walk steps per kernel.
+    pub steps: usize,
+    /// Sampled neighbors per step.
+    pub breadth: usize,
+    /// Steps spent at each walk center before moving (annealer-style
+    /// dwell: most candidates are rejected, so consecutive steps sample
+    /// overlapping neighborhoods).
+    pub dwell: usize,
+    /// Kernel cap (0 = all bundled kernels).
+    pub max_kernels: usize,
+    /// Determinism-gate mode: shrink scale, null timings.
+    pub smoke: bool,
+    /// Trajectory file to append to.
+    pub out: String,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            steps: 48,
+            breadth: 8,
+            dwell: 4,
+            max_kernels: 0,
+            smoke: false,
+            out: "BENCH_incr.json".to_string(),
+        }
+    }
+}
+
+impl SweepArgs {
+    /// Parses the argument list after the `incr_sweep` subcommand word.
+    pub fn parse(argv: &[String]) -> SweepArgs {
+        let mut args = SweepArgs::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let uint = |argv: &[String], i: usize, default: usize| {
+                argv.get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v >= 1)
+                    .unwrap_or(default)
+            };
+            match argv[i].as_str() {
+                "--steps" => {
+                    i += 1;
+                    args.steps = uint(argv, i, args.steps);
+                }
+                "--breadth" => {
+                    i += 1;
+                    args.breadth = uint(argv, i, args.breadth);
+                }
+                "--dwell" => {
+                    i += 1;
+                    args.dwell = uint(argv, i, args.dwell);
+                }
+                "--kernels" => {
+                    i += 1;
+                    args.max_kernels = uint(argv, i, args.max_kernels);
+                }
+                "--smoke" => args.smoke = true,
+                "--out" => {
+                    i += 1;
+                    args.out = argv
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| "BENCH_incr.json".to_string());
+                }
+                other => eprintln!("ignoring unknown flag {other:?}"),
+            }
+            i += 1;
+        }
+        if args.smoke {
+            args.steps = args.steps.min(4);
+            args.breadth = args.breadth.min(6);
+            if args.max_kernels == 0 {
+                args.max_kernels = 4;
+            }
+        }
+        args
+    }
+}
+
+/// The two benchmark sessions, sharing one trained model's weights by
+/// training twice from the same seed (training is deterministic).
+pub(crate) struct Paths {
+    /// LRU on, incremental database off.
+    warm: Session,
+    /// Production stack: the same LRU plus the incremental database.
+    incr: Session,
+}
+
+impl Paths {
+    fn new(opts: &TrainOptions) -> Paths {
+        Paths {
+            warm: Session::with_shared(
+                HierarchicalModel::new(opts),
+                Arc::new(SharedCache::with_options(WARM_CAP, false)),
+            ),
+            incr: Session::with_shared(
+                HierarchicalModel::new(opts),
+                Arc::new(SharedCache::with_options(WARM_CAP, true)),
+            ),
+        }
+    }
+}
+
+/// Per-kernel sweep outcome.
+struct KernelResult {
+    name: &'static str,
+    /// Total candidates in the stream (revisits included).
+    candidates: usize,
+    /// Distinct pragma fingerprints in the stream.
+    unique: usize,
+    cold_us: u64,
+    warm_us: u64,
+    incr_us: u64,
+    incr: IncrCounts,
+    /// FNV over the candidate digests in evaluation order.
+    digest_fnv: u64,
+}
+
+/// Runs the sweep over one kernel; `None` when the kernel has no
+/// searchable loop space.
+fn sweep_kernel(
+    name: &'static str,
+    args: &SweepArgs,
+    paths: &Paths,
+) -> Result<Option<KernelResult>, String> {
+    let func = kernels::lower_kernel(name).map_err(|e| format!("{name}: {e}"))?;
+    let space = kernels::design_space(&func);
+    let model = match SpaceModel::new(space) {
+        Ok(m) => m,
+        Err(_) => return Ok(None), // no loops to sweep
+    };
+    let mut rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+    let mut center = model.random_genome(&mut rng);
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut result = KernelResult {
+        name,
+        candidates: 0,
+        unique: 0,
+        cold_us: 0,
+        warm_us: 0,
+        incr_us: 0,
+        incr: IncrCounts::default(),
+        digest_fnv: fnv1a(name.as_bytes()),
+    };
+    let arc_func = std::sync::Arc::new(func);
+    for step in 0..args.steps {
+        let mut next: Option<Genome> = None;
+        for _ in 0..args.breadth {
+            let cand = model.neighbor(&center, &mut rng);
+            if next.is_none() {
+                next = Some(cand.clone());
+            }
+            let cfg = model.decode(&cand);
+            if seen.insert(cfg.fingerprint()) {
+                result.unique += 1;
+            }
+            result.candidates += 1;
+
+            let t = Instant::now();
+            let (prepared, report) = paths
+                .incr
+                .prepare_kernel(name, &cfg)
+                .map_err(|e| format!("{name}: {e}"))?;
+            result.incr_us += t.elapsed().as_micros() as u64;
+            result.incr.absorb(&report.incr);
+
+            let t = Instant::now();
+            let (warm, _) = paths
+                .warm
+                .prepare_kernel(name, &cfg)
+                .map_err(|e| format!("{name}: {e}"))?;
+            result.warm_us += t.elapsed().as_micros() as u64;
+
+            let t = Instant::now();
+            let cold = paths.incr.model().prepare(arc_func.clone(), cfg.clone());
+            result.cold_us += t.elapsed().as_micros() as u64;
+
+            let (di, dw, dc) = (prepared.digest(), warm.digest(), cold.digest());
+            if di != dc || dw != dc {
+                return Err(format!(
+                    "{name}: prepare paths diverged (incr {di:016x}, warm {dw:016x}, \
+                     cold {dc:016x}, cfg fp {:016x})",
+                    cfg.fingerprint()
+                ));
+            }
+            result.digest_fnv = mix(result.digest_fnv, di);
+        }
+        // move the walk to the first sampled neighbor once per dwell
+        // window — the deterministic analogue of an annealer accepting
+        // one move in `dwell` proposals
+        if step % args.dwell == args.dwell - 1 {
+            if let Some(g) = next {
+                center = g;
+            }
+        }
+    }
+    Ok(Some(result))
+}
+
+/// Entry point for the `incr_sweep` subcommand. Returns the process exit
+/// code (non-zero when the ≥10x gate fails in a non-smoke run).
+pub fn run(argv: &[String]) -> Result<i32, Box<dyn std::error::Error>> {
+    let args = SweepArgs::parse(argv);
+    let opts = TrainOptions::quick().with_hidden(12).with_seed(4);
+    let paths = Paths::new(&opts);
+
+    let mut names: Vec<&'static str> = kernels::all().iter().map(|k| k.name).collect();
+    if args.max_kernels > 0 {
+        names.truncate(args.max_kernels);
+    }
+    println!(
+        "incr_sweep: {} kernels, {} steps x {} neighbors, dwell {}, smoke={}",
+        names.len(),
+        args.steps,
+        args.breadth,
+        args.dwell,
+        args.smoke
+    );
+
+    let mut results: Vec<KernelResult> = Vec::new();
+    for name in names {
+        if let Some(r) = sweep_kernel(name, &args, &paths)? {
+            results.push(r);
+        }
+    }
+    if results.is_empty() {
+        return Err("no kernel produced a searchable space".into());
+    }
+
+    let widths = [12usize, 6, 6, 10, 10, 10, 9, 9];
+    println!(
+        "{}",
+        crate::row(
+            &[
+                "Kernel".into(),
+                "Cand".into(),
+                "Uniq".into(),
+                "cold (us)".into(),
+                "warm (us)".into(),
+                "incr (us)".into(),
+                "vs cold".into(),
+                "vs warm".into(),
+            ],
+            &widths
+        )
+    );
+    let mut total_cand = 0usize;
+    let mut total_unique = 0usize;
+    let mut total_cold = 0u64;
+    let mut total_warm = 0u64;
+    let mut total_incr_us = 0u64;
+    let mut totals = IncrCounts::default();
+    let mut digest_fnv = crate::trajectory::INCR_SCHEMA.len() as u64;
+    for r in &results {
+        let vs_cold = r.cold_us as f64 / (r.incr_us.max(1)) as f64;
+        let vs_warm = r.warm_us as f64 / (r.incr_us.max(1)) as f64;
+        println!(
+            "{}",
+            crate::row(
+                &[
+                    r.name.into(),
+                    r.candidates.to_string(),
+                    r.unique.to_string(),
+                    r.cold_us.to_string(),
+                    r.warm_us.to_string(),
+                    r.incr_us.to_string(),
+                    format!("{vs_cold:.1}x"),
+                    format!("{vs_warm:.1}x"),
+                ],
+                &widths
+            )
+        );
+        total_cand += r.candidates;
+        total_unique += r.unique;
+        total_cold += r.cold_us;
+        total_warm += r.warm_us;
+        total_incr_us += r.incr_us;
+        totals.absorb(&r.incr);
+        digest_fnv = mix(digest_fnv, r.digest_fnv);
+    }
+    let speedup = total_cold as f64 / total_incr_us.max(1) as f64;
+    let vs_warm = total_warm as f64 / total_incr_us.max(1) as f64;
+    let pass_10x = speedup >= 10.0;
+    println!(
+        "\n{} candidates ({} unique): cold {} us, warm {} us, incremental {} us",
+        total_cand, total_unique, total_cold, total_warm, total_incr_us,
+    );
+    println!(
+        "amortized: {:.1}x vs cold (target 10x: {}), {:.1}x vs warm LRU",
+        speedup,
+        if pass_10x { "pass" } else { "FAIL" },
+        vs_warm
+    );
+    println!("all candidate digests byte-identical across the three paths");
+    println!("\nper-kind query counters (incremental path):");
+    for (kind, s) in paths.incr.shared_cache().incr_kind_stats() {
+        println!(
+            "  {kind:>14}: hits {} (validated {}, reused {}), misses {}, recomputes {}",
+            s.hits, s.validated, s.reused, s.misses, s.recomputes
+        );
+    }
+
+    // timing-dependent fields are nulled in smoke so the file is
+    // byte-identical across repeated runs at any QOR_THREADS
+    let measured = if args.smoke {
+        Json::Null
+    } else {
+        Json::obj(vec![
+            ("cold_us", Json::UInt(total_cold)),
+            ("warm_us", Json::UInt(total_warm)),
+            ("incr_us", Json::UInt(total_incr_us)),
+            (
+                "amortized_cold_us",
+                Json::UInt(total_cold / total_cand.max(1) as u64),
+            ),
+            (
+                "amortized_incr_us",
+                Json::UInt(total_incr_us / total_cand.max(1) as u64),
+            ),
+            ("speedup", Json::Float((speedup * 100.0).round() / 100.0)),
+            (
+                "speedup_vs_warm",
+                Json::Float((vs_warm * 100.0).round() / 100.0),
+            ),
+            ("pass_10x", Json::Bool(pass_10x)),
+        ])
+    };
+    let entry = Json::obj(vec![
+        ("bench", Json::str("incr_sweep")),
+        ("kernels", Json::UInt(results.len() as u64)),
+        ("steps", Json::UInt(args.steps as u64)),
+        ("breadth", Json::UInt(args.breadth as u64)),
+        ("dwell", Json::UInt(args.dwell as u64)),
+        ("candidates", Json::UInt(total_cand as u64)),
+        ("unique", Json::UInt(total_unique as u64)),
+        ("smoke", Json::Bool(args.smoke)),
+        ("digest_fnv", Json::Str(format!("{digest_fnv:016x}"))),
+        (
+            "incr",
+            Json::obj(vec![
+                ("hits", Json::UInt(totals.hits)),
+                ("misses", Json::UInt(totals.misses)),
+                ("recomputes", Json::UInt(totals.recomputes)),
+            ]),
+        ),
+        ("measured", measured),
+    ]);
+    let total = trajectory::append(
+        std::path::Path::new(&args.out),
+        trajectory::INCR_SCHEMA,
+        &entry,
+    )?;
+    println!("appended to {} ({total} entries)", args.out);
+    // smoke is a determinism gate, not a performance gate: timings on CI
+    // machines are too noisy to fail a build on
+    Ok(if pass_10x || args.smoke { 0 } else { 1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_smoke_shrink() {
+        let d = SweepArgs::parse(&[]);
+        assert_eq!(d.steps, 48);
+        assert_eq!(d.max_kernels, 0);
+        assert!(!d.smoke);
+        let s = SweepArgs::parse(&["--smoke".into(), "--out".into(), "x.json".into()]);
+        assert!(s.smoke);
+        assert_eq!(s.max_kernels, 4);
+        assert!(s.steps <= 4);
+        assert_eq!(s.out, "x.json");
+    }
+
+    #[test]
+    fn smoke_sweep_is_deterministic_and_byte_identical() {
+        let args = SweepArgs {
+            steps: 2,
+            breadth: 3,
+            dwell: 2,
+            max_kernels: 1,
+            smoke: true,
+            out: String::new(),
+        };
+        let opts = TrainOptions::quick().with_hidden(12).with_seed(4);
+        let run_once = || {
+            let paths = Paths::new(&opts);
+            let r = sweep_kernel("gemm", &args, &paths)
+                .unwrap()
+                .expect("gemm has loops");
+            (r.candidates, r.unique, r.digest_fnv, r.incr)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -22,6 +22,10 @@ use obs::Json;
 /// Schema tag for the serving-benchmark trajectory document.
 pub const SERVE_SCHEMA: &str = "qor-bench-serve/v2";
 
+/// Schema tag for the incremental neighbor-sweep trajectory document
+/// (`BENCH_incr.json`).
+pub const INCR_SCHEMA: &str = "qor-bench-incr/v1";
+
 /// Appends `entry` to the trajectory document at `path`, creating the
 /// document (or migrating a legacy single-object file) as needed.
 /// Returns the number of entries the document now holds.

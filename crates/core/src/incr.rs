@@ -1,0 +1,421 @@
+//! The source→features pipeline expressed as incremental queries.
+//!
+//! This module instantiates the generic [`incr::QueryDb`] with the
+//! concrete key/value types of the prepare pipeline, turning
+//! [`HierarchicalModel::prepare`](crate::HierarchicalModel::prepare) into
+//! a dependency-tracked computation where a one-pragma edit recomputes
+//! only the loop subtree that reads it.
+//!
+//! # Key scheme
+//!
+//! Inputs (set by [`prepare_design`] from the full `PragmaConfig` before
+//! every query; unchanged sets are no-ops):
+//!
+//! * [`PipeKey::Opts`] — `graph_max_nodes` (constant per database; the
+//!   owning [`SharedCache`](crate::SharedCache) shards databases by
+//!   prepare fingerprint).
+//! * [`PipeKey::Func`] — the lowered HIR, keyed by the session's
+//!   content-addressed kernel hash.
+//! * [`PipeKey::LoopCfg`] — one loop's [`LoopPragma`] (explicit defaults
+//!   included, one input per loop in the function).
+//! * [`PipeKey::ArrayCfg`] — one array's per-dimension partitions.
+//!
+//! Derived queries:
+//!
+//! * [`PipeKey::Hierarchy`] — the §III-C.1 hierarchy split. Reads every
+//!   loop pragma; cheap, and *backdates* when a pragma edit does not move
+//!   any loop between hierarchy levels.
+//! * [`PipeKey::LoopRole`] — one loop's slice of the hierarchy (is it an
+//!   inner region root, and is it pipelined). A narrow projection so that
+//!   downstream per-loop queries do not depend on the whole hierarchy
+//!   value.
+//! * [`PipeKey::RegionCfg`] — the restricted pragma configuration a
+//!   loop's region can observe: its subtree's loop pragmas plus the
+//!   partitions of arrays used in the subtree. This mirrors the training
+//!   dedup key (`region_key` in `model.rs`) and is the precision lever:
+//!   editing loop `L` leaves every other loop's `RegionCfg` value equal,
+//!   so their `LoopPrepared` memos stay green.
+//! * [`PipeKey::LoopPrepared`] — the expensive query: CDFG subgraph +
+//!   GNN feature tensors + analytic II for one inner loop, computed by
+//!   the *same function* (`prepare_one_inner`) the batch path calls,
+//!   against the restricted config. Byte-identity with the full config is
+//!   guaranteed by the restriction being exactly the region's read
+//!   support (and enforced by the differential test suite).
+//!
+//! [`prepare_design`] then assembles a [`PreparedDesign`] from the
+//! hierarchy order and the per-loop `Arc`s — no tensor is copied — and
+//! stamps it with the *caller's* full configuration, since the
+//! weight-dependent back half (super-node condensation) reads outer-loop
+//! pragmas the per-region queries deliberately do not.
+
+use std::hash::Hasher;
+use std::sync::Arc;
+
+use cdfg::GraphOptions;
+use hir::Function;
+use incr::{Key, KindStats, QueryDb, Value};
+use pragma::{ArrayPartition, LoopId, LoopPragma, PragmaConfig};
+
+use crate::hash::Fnv1aHasher;
+use crate::hierarchy::{split_hierarchy, Hierarchy};
+use crate::model::{prepare_one_inner, PreparedDesign, PreparedInner};
+
+/// Query keys of the prepare pipeline. `khash` is the session's
+/// content-addressed kernel hash (FNV over `top NUL source`), so one
+/// database serves many kernels without cross-talk.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PipeKey {
+    /// Input: `graph_max_nodes`.
+    Opts,
+    /// Input: lowered HIR of kernel `khash`.
+    Func(u64),
+    /// Input: one loop's pragma entry.
+    LoopCfg(u64, LoopId),
+    /// Input: one array's per-dimension partitions.
+    ArrayCfg(u64, String),
+    /// Derived: the hierarchy split.
+    Hierarchy(u64),
+    /// Derived: one loop's role in the hierarchy.
+    LoopRole(u64, LoopId),
+    /// Derived: the restricted config observable by one loop's region.
+    RegionCfg(u64, LoopId),
+    /// Derived: one inner loop's prepared subgraph + features.
+    LoopPrepared(u64, LoopId),
+}
+
+impl Key for PipeKey {
+    fn kind(&self) -> &'static str {
+        match self {
+            PipeKey::Opts => "opts",
+            PipeKey::Func(_) => "func",
+            PipeKey::LoopCfg(..) => "loop_cfg",
+            PipeKey::ArrayCfg(..) => "array_cfg",
+            PipeKey::Hierarchy(_) => "hierarchy",
+            PipeKey::LoopRole(..) => "loop_role",
+            PipeKey::RegionCfg(..) => "region_cfg",
+            PipeKey::LoopPrepared(..) => "loop_prepared",
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1aHasher::new();
+        let (tag, khash, lid, name): (u8, u64, Option<&LoopId>, Option<&str>) = match self {
+            PipeKey::Opts => (0, 0, None, None),
+            PipeKey::Func(k) => (1, *k, None, None),
+            PipeKey::LoopCfg(k, id) => (2, *k, Some(id), None),
+            PipeKey::ArrayCfg(k, name) => (3, *k, None, Some(name)),
+            PipeKey::Hierarchy(k) => (4, *k, None, None),
+            PipeKey::LoopRole(k, id) => (5, *k, Some(id), None),
+            PipeKey::RegionCfg(k, id) => (6, *k, Some(id), None),
+            PipeKey::LoopPrepared(k, id) => (7, *k, Some(id), None),
+        };
+        h.write(&[tag]);
+        h.write_u64(khash);
+        if let Some(id) = lid {
+            for seg in id.path() {
+                h.write_u16(*seg);
+            }
+        }
+        if let Some(name) = name {
+            h.write(name.as_bytes());
+        }
+        h.finish()
+    }
+}
+
+/// Query values. Large payloads are `Arc`-wrapped (clones are pointer
+/// bumps) and expensive content fingerprints are computed once at
+/// construction and carried alongside.
+#[derive(Debug, Clone)]
+pub enum PipeVal {
+    /// `graph_max_nodes`.
+    Opts(u64),
+    /// Lowered HIR plus its content-addressed kernel hash.
+    Func(Arc<Function>, u64),
+    /// One loop's pragma.
+    LoopCfg(LoopPragma),
+    /// One array's partitions, dimension-indexed from 0.
+    ArrayCfg(Arc<Vec<ArrayPartition>>),
+    /// The hierarchy split.
+    Hierarchy(Arc<Hierarchy>),
+    /// `Some(pipelined)` when the loop is an inner region root.
+    LoopRole(Option<bool>),
+    /// Restricted region config plus its fingerprint.
+    RegionCfg(Arc<PragmaConfig>, u64),
+    /// Prepared inner loop plus an input-derived identity fingerprint
+    /// (the value is a pure function of its query inputs).
+    LoopPrepared(Arc<PreparedInner>, u64),
+}
+
+impl Value for PipeVal {
+    fn eq_value(&self, other: &Self) -> bool {
+        match (self, other) {
+            (PipeVal::Opts(a), PipeVal::Opts(b)) => a == b,
+            (PipeVal::Func(fa, ka), PipeVal::Func(fb, kb)) => {
+                ka == kb && (Arc::ptr_eq(fa, fb) || fa == fb)
+            }
+            (PipeVal::LoopCfg(a), PipeVal::LoopCfg(b)) => a == b,
+            (PipeVal::ArrayCfg(a), PipeVal::ArrayCfg(b)) => a == b,
+            (PipeVal::Hierarchy(a), PipeVal::Hierarchy(b)) => a == b,
+            (PipeVal::LoopRole(a), PipeVal::LoopRole(b)) => a == b,
+            (PipeVal::RegionCfg(a, _), PipeVal::RegionCfg(b, _)) => a == b,
+            // Digest first (cheap), then deep equality: backdating must
+            // never conflate designs on a 64-bit collision, or memo hits
+            // could return non-identical bytes.
+            (PipeVal::LoopPrepared(a, fa), PipeVal::LoopPrepared(b, fb)) => fa == fb && a == b,
+            _ => false,
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        match self {
+            PipeVal::Opts(n) => *n,
+            PipeVal::Func(_, khash) => *khash,
+            PipeVal::LoopCfg(p) => {
+                let mut h = Fnv1aHasher::new();
+                h.write(&[u8::from(p.pipeline), u8::from(p.flatten)]);
+                match p.unroll {
+                    pragma::Unroll::Off => h.write(&[0]),
+                    pragma::Unroll::Factor(f) => {
+                        h.write(&[1]);
+                        h.write_u32(f);
+                    }
+                    pragma::Unroll::Full => h.write(&[2]),
+                }
+                h.finish()
+            }
+            PipeVal::ArrayCfg(parts) => {
+                let mut h = Fnv1aHasher::new();
+                for p in parts.iter() {
+                    h.write(&[p.kind as u8 + 1]);
+                    h.write_u32(p.factor);
+                }
+                h.finish()
+            }
+            PipeVal::Hierarchy(hier) => {
+                let mut h = Fnv1aHasher::new();
+                for inner in &hier.inner {
+                    for seg in inner.id.path() {
+                        h.write_u16(*seg);
+                    }
+                    h.write(&[0xfe, inner.category as u8, u8::from(inner.pipelined)]);
+                }
+                h.finish()
+            }
+            PipeVal::LoopRole(role) => match role {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            },
+            PipeVal::RegionCfg(_, fp) | PipeVal::LoopPrepared(_, fp) => *fp,
+        }
+    }
+}
+
+/// The pipeline's query database. One per prepare fingerprint, owned by
+/// [`SharedCache`](crate::SharedCache) behind a mutex.
+pub type PipelineDb = QueryDb<PipeKey, PipeVal>;
+
+/// Default bound on the cross-revision version cache, overridable with
+/// `QOR_INCR_CAP` (0 disables cross-revision reuse but keeps red-green
+/// validation).
+pub const DEFAULT_VERSION_CAP: usize = 4096;
+
+/// A fresh pipeline database honoring `QOR_INCR_CAP`.
+pub fn new_db() -> PipelineDb {
+    let cap = std::env::var("QOR_INCR_CAP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_VERSION_CAP);
+    PipelineDb::new(cap)
+}
+
+fn unwrap_func(v: PipeVal) -> Arc<Function> {
+    match v {
+        PipeVal::Func(f, _) => f,
+        _ => unreachable!("incr: Func key holds non-Func value"),
+    }
+}
+
+fn unwrap_loop_cfg(v: PipeVal) -> LoopPragma {
+    match v {
+        PipeVal::LoopCfg(p) => p,
+        _ => unreachable!("incr: LoopCfg key holds non-LoopCfg value"),
+    }
+}
+
+/// Executes one derived query. Every read goes back through `db` so the
+/// engine records it as a dependency edge.
+fn execute(db: &mut PipelineDb, key: &PipeKey) -> PipeVal {
+    match key {
+        PipeKey::Opts | PipeKey::Func(_) | PipeKey::LoopCfg(..) | PipeKey::ArrayCfg(..) => {
+            unreachable!(
+                "incr: input query '{}' fetched before prepare_design seeded it",
+                key.kind()
+            )
+        }
+        PipeKey::Hierarchy(k) => {
+            let func = unwrap_func(db.get(&PipeKey::Func(*k), &execute));
+            let mut cfg = PragmaConfig::new();
+            for meta in func.loops() {
+                let p = unwrap_loop_cfg(db.get(&PipeKey::LoopCfg(*k, meta.id.clone()), &execute));
+                cfg.set_pipeline(meta.id.clone(), p.pipeline);
+                cfg.set_unroll(meta.id.clone(), p.unroll);
+                cfg.set_flatten(meta.id.clone(), p.flatten);
+            }
+            PipeVal::Hierarchy(Arc::new(split_hierarchy(&func, &cfg)))
+        }
+        PipeKey::LoopRole(k, id) => {
+            let hier = match db.get(&PipeKey::Hierarchy(*k), &execute) {
+                PipeVal::Hierarchy(h) => h,
+                _ => unreachable!("incr: Hierarchy key holds non-Hierarchy value"),
+            };
+            PipeVal::LoopRole(
+                hier.inner
+                    .iter()
+                    .find(|inner| inner.id == *id)
+                    .map(|inner| inner.pipelined),
+            )
+        }
+        PipeKey::RegionCfg(k, id) => {
+            let func = unwrap_func(db.get(&PipeKey::Func(*k), &execute));
+            let mut restricted = PragmaConfig::new();
+            for meta in func.loops() {
+                if id.contains(&meta.id) {
+                    let p =
+                        unwrap_loop_cfg(db.get(&PipeKey::LoopCfg(*k, meta.id.clone()), &execute));
+                    restricted.set_pipeline(meta.id.clone(), p.pipeline);
+                    restricted.set_unroll(meta.id.clone(), p.unroll);
+                    restricted.set_flatten(meta.id.clone(), p.flatten);
+                }
+            }
+            for use_ in hir::array_uses(&func, id, true) {
+                let parts = match db.get(&PipeKey::ArrayCfg(*k, use_.array.clone()), &execute) {
+                    PipeVal::ArrayCfg(p) => p,
+                    _ => unreachable!("incr: ArrayCfg key holds non-ArrayCfg value"),
+                };
+                for (d, p) in parts.iter().enumerate() {
+                    restricted.set_partition(use_.array.clone(), d as u32 + 1, *p);
+                }
+            }
+            let fp = restricted.fingerprint();
+            PipeVal::RegionCfg(Arc::new(restricted), fp)
+        }
+        PipeKey::LoopPrepared(k, id) => {
+            let max_nodes = match db.get(&PipeKey::Opts, &execute) {
+                PipeVal::Opts(n) => n as usize,
+                _ => unreachable!("incr: Opts key holds non-Opts value"),
+            };
+            let func = unwrap_func(db.get(&PipeKey::Func(*k), &execute));
+            let pipelined = match db.get(&PipeKey::LoopRole(*k, id.clone()), &execute) {
+                PipeVal::LoopRole(role) => role.unwrap_or(false),
+                _ => unreachable!("incr: LoopRole key holds non-LoopRole value"),
+            };
+            let (rcfg, rcfg_fp) = match db.get(&PipeKey::RegionCfg(*k, id.clone()), &execute) {
+                PipeVal::RegionCfg(c, fp) => (c, fp),
+                _ => unreachable!("incr: RegionCfg key holds non-RegionCfg value"),
+            };
+            let inner = prepare_one_inner(&func, &rcfg, id, pipelined, GraphOptions { max_nodes });
+            // the value is a pure function of its inputs, so its identity
+            // fingerprint is derived from the input fingerprints — hashing
+            // the tensors themselves would cost a fraction of rebuilding
+            // them on every recompute
+            let mut h = Fnv1aHasher::new();
+            h.write_u64(key.fingerprint());
+            h.write_u64(*k);
+            h.write_u64(max_nodes as u64);
+            h.write(&[u8::from(pipelined)]);
+            h.write_u64(rcfg_fp);
+            let fp = h.finish();
+            PipeVal::LoopPrepared(Arc::new(inner), fp)
+        }
+    }
+}
+
+/// Per-prepare incremental counters (the [`KindStats`] totals delta of
+/// one [`prepare_design`] call).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrCounts {
+    /// Queries answered from memo.
+    pub hits: u64,
+    /// First-ever query computations.
+    pub misses: u64,
+    /// Query re-executions after an input actually changed.
+    pub recomputes: u64,
+}
+
+impl IncrCounts {
+    /// Element-wise sum.
+    pub fn absorb(&mut self, other: &IncrCounts) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.recomputes += other.recomputes;
+    }
+
+    fn from_totals(after: &KindStats, before: &KindStats) -> IncrCounts {
+        let d = after.delta(before);
+        IncrCounts {
+            hits: d.hits,
+            misses: d.misses,
+            recomputes: d.recomputes,
+        }
+    }
+}
+
+/// Builds a [`PreparedDesign`] through the query database: seeds the
+/// inputs from `(func, cfg)`, fetches the hierarchy and each inner loop's
+/// prepared subgraph (memoized), and assembles the result around the
+/// caller's full configuration.
+///
+/// Byte-identical to `HierarchicalModel::prepare` with the same
+/// `graph_max_nodes` — on a cold database because both run
+/// `prepare_one_inner` on equivalent inputs, and on a warm one because
+/// memo hits replay values those exact executions produced.
+///
+/// Returns the design and the hit/miss/recompute delta of this call.
+pub fn prepare_design(
+    db: &mut PipelineDb,
+    khash: u64,
+    func: &Arc<Function>,
+    cfg: &PragmaConfig,
+    max_nodes: usize,
+) -> (PreparedDesign, IncrCounts) {
+    let before = db.totals();
+    db.set_input(PipeKey::Opts, PipeVal::Opts(max_nodes as u64));
+    db.set_input(PipeKey::Func(khash), PipeVal::Func(func.clone(), khash));
+    for meta in func.loops() {
+        db.set_input(
+            PipeKey::LoopCfg(khash, meta.id.clone()),
+            PipeVal::LoopCfg(cfg.loop_pragma(&meta.id)),
+        );
+    }
+    for info in &func.arrays {
+        let parts: Vec<ArrayPartition> = (1..=info.dims.len() as u32)
+            .map(|d| cfg.partition(&info.name, d))
+            .collect();
+        db.set_input(
+            PipeKey::ArrayCfg(khash, info.name.clone()),
+            PipeVal::ArrayCfg(Arc::new(parts)),
+        );
+    }
+    let hier = match db.get(&PipeKey::Hierarchy(khash), &execute) {
+        PipeVal::Hierarchy(h) => h,
+        _ => unreachable!("incr: Hierarchy key holds non-Hierarchy value"),
+    };
+    let inner: Vec<Arc<PreparedInner>> = hier
+        .inner
+        .iter()
+        .map(
+            |i| match db.get(&PipeKey::LoopPrepared(khash, i.id.clone()), &execute) {
+                PipeVal::LoopPrepared(p, _) => p,
+                _ => unreachable!("incr: LoopPrepared key holds non-LoopPrepared value"),
+            },
+        )
+        .collect();
+    let design = PreparedDesign {
+        func: func.clone(),
+        cfg: cfg.clone(),
+        inner,
+    };
+    (design, IncrCounts::from_totals(&db.totals(), &before))
+}

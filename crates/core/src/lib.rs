@@ -38,8 +38,9 @@
 pub mod dataset;
 pub mod error;
 pub mod features;
-mod hash;
+pub mod hash;
 pub mod hierarchy;
+pub mod incr;
 mod model;
 mod session;
 pub mod wire;
@@ -53,6 +54,7 @@ pub use features::{
 };
 pub use hash::{fnv1a, Fnv1aHasher, FnvBuildHasher};
 pub use hierarchy::{split_hierarchy, Hierarchy, InnerCategory, InnerLoop};
+pub use incr::IncrCounts;
 pub use model::{
     GlobalEval, HierarchicalModel, InnerEval, PreparedDesign, TrainOptions, TrainStats, BANKS,
 };

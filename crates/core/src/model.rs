@@ -328,11 +328,11 @@ pub const BANKS: [&str; 3] = ["gnn_p", "gnn_np", "gnn_g"];
 /// [`HierarchicalModel::predict_prepared`], which only pays the GNN
 /// forward passes. [`crate::Session`] memoizes these per
 /// `(kernel source, pragma config)` for DSE-style repeated queries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PreparedDesign {
-    func: Arc<Function>,
-    cfg: PragmaConfig,
-    inner: Vec<PreparedInner>,
+    pub(crate) func: Arc<Function>,
+    pub(crate) cfg: PragmaConfig,
+    pub(crate) inner: Vec<Arc<PreparedInner>>,
 }
 
 impl PreparedDesign {
@@ -355,18 +355,100 @@ impl PreparedDesign {
     pub fn num_nodes(&self) -> usize {
         self.inner.iter().map(|i| i.data.num_nodes()).sum()
     }
+
+    /// Stable FNV-1a digest over every byte that feeds the back half:
+    /// function identity, full pragma configuration and each prepared
+    /// inner loop (graph tensors included). Two designs with equal digests
+    /// predict identically; the differential tests and `qor-bench
+    /// incr_sweep` use this to prove incremental == from-scratch.
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = crate::hash::Fnv1aHasher::new();
+        h.write(self.func.name.as_bytes());
+        h.write_u64(self.cfg.fingerprint());
+        h.write_usize(self.inner.len());
+        for inner in &self.inner {
+            h.write_u64(inner.digest());
+        }
+        h.finish()
+    }
 }
 
 /// One inner loop's prepared subgraph plus the loop constants the
 /// super-node condensation needs.
-#[derive(Debug, Clone)]
-struct PreparedInner {
-    id: LoopId,
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedInner {
+    pub(crate) id: LoopId,
+    pub(crate) pipelined: bool,
+    pub(crate) data: GraphData,
+    pub(crate) tc: u64,
+    pub(crate) unroll: u64,
+    pub(crate) ii: f64,
+}
+
+impl PreparedInner {
+    /// Stable FNV-1a digest of every field, graph tensors included
+    /// (float bits, not rounded values).
+    pub(crate) fn digest(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = crate::hash::Fnv1aHasher::new();
+        for seg in self.id.path() {
+            h.write_u16(*seg);
+        }
+        h.write(&[0xfe, u8::from(self.pipelined)]);
+        h.write_u64(self.tc);
+        h.write_u64(self.unroll);
+        h.write_u64(self.ii.to_bits());
+        h.write_usize(self.data.x.rows());
+        h.write_usize(self.data.x.cols());
+        for &v in self.data.x.as_slice() {
+            h.write_u32(v.to_bits());
+        }
+        for &e in &self.data.src {
+            h.write_u32(e);
+        }
+        for &e in &self.data.dst {
+            h.write_u32(e);
+        }
+        for &v in &self.data.g_feats {
+            h.write_u32(v.to_bits());
+        }
+        h.finish()
+    }
+}
+
+/// Builds one inner loop's prepared subgraph, feature annotation and
+/// analytic constants.
+///
+/// This is the unit of work the incremental pipeline memoizes per loop:
+/// both [`HierarchicalModel::prepare`] and the `incr` `LoopPrepared` query
+/// call this exact function, which is what makes incremental results
+/// byte-identical to cold runs by construction.
+pub(crate) fn prepare_one_inner(
+    func: &Function,
+    cfg: &PragmaConfig,
+    id: &LoopId,
     pipelined: bool,
-    data: GraphData,
-    tc: u64,
-    unroll: u64,
-    ii: f64,
+    opts: GraphOptions,
+) -> PreparedInner {
+    let graph = GraphBuilder::new(func, cfg)
+        .options(opts)
+        .subgraph(id.clone())
+        .build();
+    let mut data = graph_to_gnn(&graph);
+    data.g_feats = loop_level_features(func, cfg, id, pipelined);
+    data.g_feats.extend(graph_aggregates(&graph));
+    let meta = func.loop_meta(id);
+    let tc = meta.map(|m| m.trip_count).unwrap_or(1).max(1);
+    let unroll = cfg.loop_pragma(id).unroll.factor(tc);
+    PreparedInner {
+        id: id.clone(),
+        pipelined,
+        data,
+        tc,
+        unroll,
+        ii: hlsim::analytic_ii(func, cfg, id) as f64,
+    }
 }
 
 // ----------------------------------------------------------------- model
@@ -592,37 +674,26 @@ impl HierarchicalModel {
     /// The front half shared by [`HierarchicalModel::predict`] and
     /// [`HierarchicalModel::prepare`]: subgraph construction + feature
     /// annotation + the analytic loop constants, all weight-independent.
-    fn prepare_inner(&self, func: &Function, cfg: &PragmaConfig) -> Vec<PreparedInner> {
+    fn prepare_inner(&self, func: &Function, cfg: &PragmaConfig) -> Vec<Arc<PreparedInner>> {
         let hierarchy = split_hierarchy(func, cfg);
         hierarchy
             .inner
             .iter()
             .map(|inner| {
-                let graph = GraphBuilder::new(func, cfg)
-                    .options(self.opts.graph_options())
-                    .subgraph(inner.id.clone())
-                    .build();
-                let mut data = graph_to_gnn(&graph);
-                data.g_feats = loop_level_features(func, cfg, &inner.id, inner.pipelined);
-                data.g_feats.extend(graph_aggregates(&graph));
-                let meta = func.loop_meta(&inner.id);
-                let tc = meta.map(|m| m.trip_count).unwrap_or(1).max(1);
-                let unroll = cfg.loop_pragma(&inner.id).unroll.factor(tc);
-                PreparedInner {
-                    id: inner.id.clone(),
-                    pipelined: inner.pipelined,
-                    data,
-                    tc,
-                    unroll,
-                    ii: hlsim::analytic_ii(func, cfg, &inner.id) as f64,
-                }
+                Arc::new(prepare_one_inner(
+                    func,
+                    cfg,
+                    &inner.id,
+                    inner.pipelined,
+                    self.opts.graph_options(),
+                ))
             })
             .collect()
     }
 
     /// Inner-model forward passes over prepared subgraphs, producing the
     /// super-node features.
-    fn supers_of(&self, inner: &[PreparedInner]) -> BTreeMap<LoopId, SuperFeatures> {
+    fn supers_of(&self, inner: &[Arc<PreparedInner>]) -> BTreeMap<LoopId, SuperFeatures> {
         let mut out = BTreeMap::new();
         for pi in inner {
             let (store, model, norm) = self.inner_model_for(pi.pipelined);
@@ -656,7 +727,12 @@ impl HierarchicalModel {
 
     /// The weight-dependent back half: inner forwards, condensation and the
     /// global model.
-    fn forward_design(&self, func: &Function, cfg: &PragmaConfig, inner: &[PreparedInner]) -> Qor {
+    fn forward_design(
+        &self,
+        func: &Function,
+        cfg: &PragmaConfig,
+        inner: &[Arc<PreparedInner>],
+    ) -> Qor {
         let supers = self.supers_of(inner);
         let graph = GraphBuilder::new(func, cfg)
             .options(self.opts.graph_options())

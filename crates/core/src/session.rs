@@ -51,6 +51,7 @@ use pragma::PragmaConfig;
 
 use crate::error::QorError;
 use crate::hash::{Fnv1aHasher, FnvBuildHasher};
+use crate::incr::{IncrCounts, PipelineDb};
 use crate::model::{HierarchicalModel, PreparedDesign};
 
 /// Prepared-cache capacity when `QOR_CACHE_CAP` is not set.
@@ -77,6 +78,12 @@ pub struct CacheStats {
     pub len: usize,
     /// Prepared-cache capacity (0 = caching disabled).
     pub capacity: usize,
+    /// Incremental queries answered from memo (all query kinds).
+    pub incr_hits: u64,
+    /// Incremental queries computed for the first time.
+    pub incr_misses: u64,
+    /// Incremental queries re-executed after an input changed.
+    pub incr_recomputes: u64,
 }
 
 impl CacheStats {
@@ -113,6 +120,9 @@ pub struct PredictReport {
     pub prepare_us: u64,
     /// Microseconds spent in the GNN forward pass.
     pub infer_us: u64,
+    /// Incremental query hit/miss/recompute counts of this prediction's
+    /// prepare (all zero on a prepared-cache hit or with `QOR_INCR=0`).
+    pub incr: IncrCounts,
 }
 
 impl PredictReport {
@@ -150,6 +160,16 @@ pub struct SharedCache {
     evictions: AtomicU64,
     kernel_hits: AtomicU64,
     kernel_misses: AtomicU64,
+    /// `QOR_INCR != "0"`: whether prepared-cache misses go through the
+    /// incremental query database instead of a from-scratch prepare.
+    incr_enabled: bool,
+    /// One pipeline query database per prepare fingerprint. Sessions with
+    /// incompatible graph-construction options never share memos; hot
+    /// model swaps of the same architecture keep the whole database warm.
+    incr: Mutex<HashMap<u64, Arc<Mutex<PipelineDb>>, FnvBuildHasher>>,
+    incr_hits: AtomicU64,
+    incr_misses: AtomicU64,
+    incr_recomputes: AtomicU64,
 }
 
 impl std::fmt::Debug for SharedCache {
@@ -185,6 +205,14 @@ impl SharedCache {
     /// A cache with an explicit prepared-design capacity (`0` disables the
     /// prepared cache; the kernel cache always runs).
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_options(capacity, env_incr_enabled())
+    }
+
+    /// A cache with an explicit prepared-design capacity and an explicit
+    /// incremental-path switch, ignoring `QOR_INCR` — benchmarks use this
+    /// to pit the LRU-only and query-database paths against each other in
+    /// one process.
+    pub fn with_options(capacity: usize, incr_enabled: bool) -> Self {
         SharedCache {
             capacity,
             state: Mutex::new(State::default()),
@@ -193,6 +221,11 @@ impl SharedCache {
             evictions: AtomicU64::new(0),
             kernel_hits: AtomicU64::new(0),
             kernel_misses: AtomicU64::new(0),
+            incr_enabled,
+            incr: Mutex::new(HashMap::default()),
+            incr_hits: AtomicU64::new(0),
+            incr_misses: AtomicU64::new(0),
+            incr_recomputes: AtomicU64::new(0),
         }
     }
 
@@ -207,15 +240,49 @@ impl SharedCache {
             kernel_misses: self.kernel_misses.load(Ordering::Relaxed),
             len,
             capacity: self.capacity,
+            incr_hits: self.incr_hits.load(Ordering::Relaxed),
+            incr_misses: self.incr_misses.load(Ordering::Relaxed),
+            incr_recomputes: self.incr_recomputes.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every cached kernel and prepared design (counters are kept:
-    /// they are cumulative over the cache's lifetime).
+    /// Per-query-kind incremental counters, aggregated over every pipeline
+    /// database this cache owns (one per prepare fingerprint), sorted by
+    /// kind name. Servers export these as
+    /// `qor_incr_query_{hits,misses,recomputes}_total{kind=...}`.
+    pub fn incr_kind_stats(&self) -> Vec<(&'static str, ::incr::KindStats)> {
+        let mut agg: std::collections::BTreeMap<&'static str, ::incr::KindStats> =
+            std::collections::BTreeMap::new();
+        let dbs: Vec<Arc<Mutex<PipelineDb>>> =
+            self.incr.lock().unwrap().values().cloned().collect();
+        for db in dbs {
+            for (kind, stats) in db.lock().unwrap().stats() {
+                agg.entry(kind).or_default().absorb(&stats);
+            }
+        }
+        agg.into_iter().collect()
+    }
+
+    /// The pipeline query database for one prepare fingerprint (created on
+    /// first use).
+    fn incr_db(&self, prepare_fp: u64) -> Arc<Mutex<PipelineDb>> {
+        self.incr
+            .lock()
+            .unwrap()
+            .entry(prepare_fp)
+            .or_insert_with(|| Arc::new(Mutex::new(crate::incr::new_db())))
+            .clone()
+    }
+
+    /// Drops every cached kernel, prepared design and incremental query
+    /// database (counters are kept: they are cumulative over the cache's
+    /// lifetime).
     pub fn clear(&self) {
         let mut state = self.state.lock().unwrap();
         state.prepared.clear();
         state.kernels.clear();
+        drop(state);
+        self.incr.lock().unwrap().clear();
     }
 }
 
@@ -345,7 +412,8 @@ impl Session {
     ) -> Result<PredictReport, QorError> {
         let khash = kernel_key(top, source);
         let (func, kernel_cache_hit, lower_us) = self.function_cached(khash, top, source)?;
-        let (prepared, prepared_cache_hit, prepare_us) = self.prepared_cached(khash, &func, cfg);
+        let (prepared, prepared_cache_hit, prepare_us, incr) =
+            self.prepared_cached(khash, &func, cfg);
         let t = Instant::now();
         let qor = self.model.predict_prepared(&prepared);
         let infer_us = t.elapsed().as_micros() as u64;
@@ -356,6 +424,7 @@ impl Session {
             lower_us,
             prepare_us,
             infer_us,
+            incr,
         };
         if obs::log::enabled(Level::Debug) {
             obs::log::event(
@@ -426,14 +495,14 @@ impl Session {
     }
 
     /// Looks up (or builds) the prepared front half; returns the design,
-    /// whether the cache answered, and the microseconds spent preparing
-    /// on a miss.
+    /// whether the cache answered, the microseconds spent preparing on a
+    /// miss, and the incremental query counts of that build.
     fn prepared_cached(
         &self,
         khash: u64,
         func: &Arc<Function>,
         cfg: &PragmaConfig,
-    ) -> (Arc<PreparedDesign>, bool, u64) {
+    ) -> (Arc<PreparedDesign>, bool, u64, IncrCounts) {
         let cache = &*self.cache;
         let key = design_key(self.prepare_fp, khash, cfg);
         if cache.capacity > 0 {
@@ -446,15 +515,17 @@ impl Session {
                 drop(state);
                 cache.hits.fetch_add(1, Ordering::Relaxed);
                 obs::metrics::counter_add("session/cache/hits", 1);
-                return (prepared, true, 0);
+                return (prepared, true, 0, IncrCounts::default());
             }
         }
         cache.misses.fetch_add(1, Ordering::Relaxed);
         obs::metrics::counter_add("session/cache/misses", 1);
-        // prepare outside the lock so concurrent misses don't serialize;
-        // racing threads compute bit-identical prepared designs
+        // prepare outside the LRU lock so whole-design lookups don't
+        // serialize behind it; the incremental path serializes per
+        // pipeline database, which is what lets neighbors share memos.
+        // Either way racing threads compute bit-identical designs.
         let t = Instant::now();
-        let prepared = Arc::new(self.model.prepare(func.clone(), cfg.clone()));
+        let (prepared, incr) = self.build_prepared(khash, func, cfg);
         let prepare_us = t.elapsed().as_micros() as u64;
         if cache.capacity > 0 {
             let mut state = cache.state.lock().unwrap();
@@ -476,7 +547,84 @@ impl Session {
             }
             obs::metrics::gauge_set("session/cache/size", state.prepared.len() as f64);
         }
-        (prepared, false, prepare_us)
+        (prepared, false, prepare_us, incr)
+    }
+
+    /// Builds a prepared front half on a prepared-cache miss.
+    ///
+    /// With incremental queries enabled (`QOR_INCR != "0"`, the default)
+    /// this runs through the per-prepare-fingerprint [`PipelineDb`], so
+    /// pragma-neighbor configurations reuse every per-loop subgraph whose
+    /// read support did not change. `QOR_INCR=0` falls back to a
+    /// from-scratch [`HierarchicalModel::prepare`]. Both paths produce
+    /// byte-identical designs; the differential tests pin that.
+    fn build_prepared(
+        &self,
+        khash: u64,
+        func: &Arc<Function>,
+        cfg: &PragmaConfig,
+    ) -> (Arc<PreparedDesign>, IncrCounts) {
+        let cache = &*self.cache;
+        if !cache.incr_enabled {
+            return (
+                Arc::new(self.model.prepare(func.clone(), cfg.clone())),
+                IncrCounts::default(),
+            );
+        }
+        let db = cache.incr_db(self.prepare_fp);
+        let mut db = db.lock().unwrap();
+        let (prepared, incr) = crate::incr::prepare_design(
+            &mut db,
+            khash,
+            func,
+            cfg,
+            self.model.options().graph_max_nodes,
+        );
+        drop(db);
+        cache.incr_hits.fetch_add(incr.hits, Ordering::Relaxed);
+        cache.incr_misses.fetch_add(incr.misses, Ordering::Relaxed);
+        cache
+            .incr_recomputes
+            .fetch_add(incr.recomputes, Ordering::Relaxed);
+        obs::metrics::counter_add("incr/hits", incr.hits);
+        obs::metrics::counter_add("incr/misses", incr.misses);
+        obs::metrics::counter_add("incr/recomputes", incr.recomputes);
+        (Arc::new(prepared), incr)
+    }
+
+    /// Builds (or fetches) the prepared front half of a bundled kernel
+    /// without running inference; returns the design and a report whose
+    /// `qor` is zeroed and `infer_us` is 0.
+    ///
+    /// This is the benchmarking entry point: `qor-bench incr_sweep` uses
+    /// it to time prepare cost in isolation and to compare incremental
+    /// against from-scratch designs by [`PreparedDesign::digest`].
+    ///
+    /// # Errors
+    ///
+    /// [`QorError::UnknownKernel`] when the name is not in the bundled
+    /// set; otherwise front-end/lowering errors.
+    pub fn prepare_kernel(
+        &self,
+        kernel: &str,
+        cfg: &PragmaConfig,
+    ) -> Result<(Arc<PreparedDesign>, PredictReport), QorError> {
+        let source = kernels::kernel_source(kernel)
+            .ok_or_else(|| QorError::UnknownKernel(kernel.to_string()))?;
+        let khash = kernel_key(kernel, source);
+        let (func, kernel_cache_hit, lower_us) = self.function_cached(khash, kernel, source)?;
+        let (prepared, prepared_cache_hit, prepare_us, incr) =
+            self.prepared_cached(khash, &func, cfg);
+        let report = PredictReport {
+            qor: Qor::default(),
+            kernel_cache_hit,
+            prepared_cache_hit,
+            lower_us,
+            prepare_us,
+            infer_us: 0,
+            incr,
+        };
+        Ok((prepared, report))
     }
 }
 
@@ -488,6 +636,16 @@ fn env_cache_cap() -> usize {
     match std::env::var("QOR_CACHE_CAP") {
         Ok(v) => v.trim().parse::<usize>().unwrap_or(DEFAULT_CACHE_CAP),
         Err(_) => DEFAULT_CACHE_CAP,
+    }
+}
+
+/// Whether prepared-cache misses run through the incremental query
+/// database, from the `QOR_INCR` environment variable. On by default;
+/// only an explicit `QOR_INCR=0` selects the from-scratch prepare path.
+fn env_incr_enabled() -> bool {
+    match std::env::var("QOR_INCR") {
+        Ok(v) => v.trim() != "0",
+        Err(_) => true,
     }
 }
 

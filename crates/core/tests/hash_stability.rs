@@ -1,0 +1,88 @@
+//! Cross-crate digest-stability contract for the workspace's single
+//! FNV-1a implementation (`obs::hash`, re-exported as `qor_core::hash`).
+//!
+//! Digests produced by one crate are recomputed by others: pragma
+//! fingerprints seed `hlsim` variance and key the session LRU, trace ids
+//! cross HTTP, and the incremental database fingerprints dependency
+//! values. These tests pin the byte streams so an accidental change to
+//! any producer fails loudly instead of silently splitting caches or
+//! corrupting artifacts.
+
+use std::hash::Hasher;
+
+use pragma::{ArrayPartition, LoopId, PartitionKind, PragmaConfig, Unroll};
+use qor_core::hash::{fnv1a, Fnv1aHasher, FNV1A_OFFSET, FNV1A_PRIME};
+
+/// Reference vectors for 64-bit FNV-1a, checked through the `qor_core`
+/// re-export path (same symbols as `obs::hash`).
+#[test]
+fn reference_vectors_through_reexport() {
+    assert_eq!(FNV1A_OFFSET, 0xcbf2_9ce4_8422_2325);
+    assert_eq!(FNV1A_PRIME, 0x0000_0100_0000_01b3);
+    assert_eq!(fnv1a(b""), FNV1A_OFFSET);
+    assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    // the re-export and the origin are the same function, not a copy
+    assert_eq!(fnv1a(b"qor"), obs::hash::fnv1a(b"qor"));
+}
+
+/// `PragmaConfig::fingerprint` follows its documented byte stream exactly,
+/// reproduced here with a raw `Fnv1aHasher`. Fingerprints are embedded in
+/// `.qorjob` snapshots and used as `incr` dependency-value fingerprints,
+/// so the stream is a compatibility surface.
+#[test]
+fn pragma_fingerprint_matches_manual_stream() {
+    let mut cfg = PragmaConfig::new();
+    let l0 = LoopId::root().child(0);
+    cfg.set_pipeline(l0.clone(), true);
+    cfg.set_unroll(l0.clone(), Unroll::Factor(4));
+    cfg.set_partition(
+        "a",
+        1,
+        ArrayPartition {
+            kind: PartitionKind::Cyclic,
+            factor: 2,
+        },
+    );
+
+    let mut h = Fnv1aHasher::new();
+    for seg in l0.path() {
+        h.write_u16(*seg);
+    }
+    h.write(&[1, 0]); // pipeline on, flatten off
+    h.write(&[1]); // Unroll::Factor tag
+    h.write_u32(4);
+    h.write(&[0xfe]); // loop terminator
+    h.write(b"a");
+    h.write(&[1]); // PartitionKind::Cyclic tag
+    h.write_u32(2);
+    h.write(&[0xff]); // array terminator
+    assert_eq!(cfg.fingerprint(), h.finish());
+}
+
+/// Trace-id derivation is length-prefixed-free but separator-terminated;
+/// the stream must match a manual reconstruction so ids derived by `serve`
+/// equal ids recomputed by log tooling.
+#[test]
+fn trace_derive_matches_manual_stream() {
+    let id = obs::trace::derive(&[b"req", b"42"]);
+    let mut h = Fnv1aHasher::new();
+    h.write(b"req");
+    h.write(&[0xff]);
+    h.write(b"42");
+    h.write(&[0xff]);
+    assert_eq!(id.0, h.finish());
+}
+
+/// Multi-byte hasher writes commit to little-endian byte order — the
+/// property that makes every digest above platform-independent.
+#[test]
+fn integer_writes_are_platform_independent() {
+    let mut a = Fnv1aHasher::new();
+    a.write_u64(1);
+    a.write_u32(2);
+    a.write_u16(3);
+    let mut b = Fnv1aHasher::new();
+    b.write(&[1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 3, 0]);
+    assert_eq!(a.finish(), b.finish());
+}

@@ -21,7 +21,7 @@ use tensor::Matrix;
 /// assert_eq!(g.num_nodes(), 2);
 /// assert_eq!(g.num_edges(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphData {
     /// Node feature matrix, `num_nodes x feat_dim`.
     pub x: Matrix,

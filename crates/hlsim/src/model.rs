@@ -571,12 +571,7 @@ fn pre_route_estimate(raw: &Resources, latency: u64) -> Qor {
 }
 
 fn name_hash(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    obs::hash::fnv1a(s.as_bytes())
 }
 
 fn splitmix(mut x: u64) -> u64 {

@@ -1,0 +1,132 @@
+//! Stable, seed-free FNV-1a hashing — the workspace's single implementation.
+//!
+//! The standard library's default [`std::collections::HashMap`] hasher
+//! ([`std::collections::hash_map::RandomState`]) is randomized per process,
+//! so hashes cannot be used as cache keys that survive a restart, compared
+//! across processes, or embedded in on-disk artifacts. [`Fnv1aHasher`] is
+//! the classic 64-bit Fowler–Noll–Vo 1a hash: deterministic, seed-free,
+//! fast on the short keys this workspace hashes (kernel sources, pragma
+//! fingerprints, parameter names), and with a published test-vector suite.
+//!
+//! Every digest in the workspace routes through this module: session cache
+//! keys and checkpoint/wire checksums (re-exported as `qor_core::hash`),
+//! pragma fingerprints (`pragma::PragmaConfig::fingerprint`), trace-id
+//! derivation ([`crate::trace`]), post-route variance seeding in `hlsim`,
+//! and the dependency keys of the incremental query database (`incr`).
+//! Keeping one implementation means one digest-stability contract: a hash
+//! recorded in an artifact by any crate can be recomputed by any other.
+//!
+//! # Example
+//!
+//! ```
+//! // Known FNV-1a 64-bit vector: the empty input hashes to the offset basis.
+//! assert_eq!(obs::hash::fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A [`Hasher`] implementing 64-bit FNV-1a.
+///
+/// Deterministic across processes and platforms for the same byte stream
+/// (multi-byte [`Hasher`] write methods are explicitly little-endian here,
+/// rather than inheriting the native-endian defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1aHasher(u64);
+
+impl Default for Fnv1aHasher {
+    fn default() -> Self {
+        Fnv1aHasher(FNV1A_OFFSET)
+    }
+}
+
+impl Fnv1aHasher {
+    /// A hasher starting from the standard offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Hasher for Fnv1aHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV1A_PRIME);
+        }
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write(&(v as u64).to_le_bytes());
+    }
+}
+
+/// A [`std::hash::BuildHasher`] for FNV-1a keyed maps
+/// (`HashMap<K, V, FnvBuildHasher>`).
+pub type FnvBuildHasher = BuildHasherDefault<Fnv1aHasher>;
+
+/// Hashes a byte slice with 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1aHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Vectors from Landon Noll's reference FNV test suite (64-bit FNV-1a).
+    #[test]
+    fn known_fnv1a_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"b"), 0xaf63_df4c_8601_f1a5);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hasher_is_incremental() {
+        let mut h = Fnv1aHasher::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn integer_writes_are_little_endian_bytes() {
+        let mut a = Fnv1aHasher::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        assert_eq!(
+            a.finish(),
+            fnv1a(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01])
+        );
+    }
+
+    #[test]
+    fn map_with_fnv_build_hasher_works() {
+        let mut m: std::collections::HashMap<u64, &str, FnvBuildHasher> = Default::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+    }
+}

@@ -53,6 +53,7 @@
 //! ```
 
 pub mod flight;
+pub mod hash;
 pub mod json;
 pub mod log;
 pub mod metrics;

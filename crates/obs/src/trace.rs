@@ -19,11 +19,9 @@
 //! nanoseconds and nothing is allocated, so there is no enable gate.
 
 use std::cell::Cell;
+use std::hash::Hasher;
 
-/// FNV-1a 64-bit offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a 64-bit prime.
-const FNV_PRIME: u64 = 0x100_0000_01b3;
+use crate::hash::{Fnv1aHasher, FNV1A_OFFSET};
 
 /// One end-to-end trace identifier. The all-zero id is reserved to mean
 /// "no trace" and is never produced by [`derive`].
@@ -59,17 +57,14 @@ impl std::fmt::Display for TraceId {
 /// Derives a deterministic trace id with FNV-1a over `parts` (each part is
 /// terminated so `["ab","c"]` and `["a","bc"]` differ).
 pub fn derive(parts: &[&[u8]]) -> TraceId {
-    let mut h = FNV_OFFSET;
+    let mut hasher = Fnv1aHasher::new();
     for part in parts {
-        for &b in *part {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-        h ^= 0xff;
-        h = h.wrapping_mul(FNV_PRIME);
+        hasher.write(part);
+        hasher.write(&[0xff]);
     }
+    let mut h = hasher.finish();
     if h == 0 {
-        h = FNV_OFFSET; // keep the "no trace" sentinel unreachable
+        h = FNV1A_OFFSET; // keep the "no trace" sentinel unreachable
     }
     TraceId(h)
 }

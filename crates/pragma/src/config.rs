@@ -2,8 +2,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::Hasher;
 
 use frontc::PartitionKind;
+use obs::hash::Fnv1aHasher;
 
 /// Identifies a loop by its path of loop indices from the function body.
 ///
@@ -237,39 +239,38 @@ impl PragmaConfig {
     }
 
     /// A deterministic 64-bit fingerprint of the configuration (used to seed
-    /// the simulated post-route variance per design point).
+    /// the simulated post-route variance per design point and as an `incr`
+    /// dependency-value fingerprint). Hashed with the workspace's shared
+    /// FNV-1a implementation ([`obs::hash`]); the byte stream is stable
+    /// across releases.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = Fnv::new();
+        let mut h = Fnv1aHasher::new();
         for (id, p) in &self.loops {
             for seg in id.path() {
-                h.byte(*seg as u8);
-                h.byte((*seg >> 8) as u8);
+                h.write_u16(*seg);
             }
-            h.byte(u8::from(p.pipeline));
-            h.byte(u8::from(p.flatten));
+            h.write(&[u8::from(p.pipeline), u8::from(p.flatten)]);
             match p.unroll {
-                Unroll::Off => h.byte(0),
+                Unroll::Off => h.write(&[0]),
                 Unroll::Factor(f) => {
-                    h.byte(1);
-                    h.u32(f);
+                    h.write(&[1]);
+                    h.write_u32(f);
                 }
-                Unroll::Full => h.byte(2),
+                Unroll::Full => h.write(&[2]),
             }
-            h.byte(0xfe);
+            h.write(&[0xfe]);
         }
         for (name, parts) in &self.arrays {
-            for b in name.bytes() {
-                h.byte(b);
-            }
+            h.write(name.as_bytes());
             for p in parts {
-                h.byte(match p.kind {
+                h.write(&[match p.kind {
                     PartitionKind::Cyclic => 1,
                     PartitionKind::Block => 2,
                     PartitionKind::Complete => 3,
-                });
-                h.u32(p.factor);
+                }]);
+                h.write_u32(p.factor);
             }
-            h.byte(0xff);
+            h.write(&[0xff]);
         }
         h.finish()
     }
@@ -318,27 +319,6 @@ impl fmt::Display for PragmaConfig {
             f.write_str("<no pragmas>")?;
         }
         Ok(())
-    }
-}
-
-/// Minimal FNV-1a hasher (stable across platforms and runs).
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn byte(&mut self, b: u8) {
-        self.0 ^= u64::from(b);
-        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    fn u32(&mut self, v: u32) {
-        for b in v.to_le_bytes() {
-            self.byte(b);
-        }
-    }
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 

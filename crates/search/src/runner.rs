@@ -333,6 +333,22 @@ impl JobRunner {
             - (stats_before.hits + stats_before.kernel_hits);
         flight.cache_misses = (stats_after.misses + stats_after.kernel_misses)
             - (stats_before.misses + stats_before.kernel_misses);
+        // incremental-query attribution: how much of the job's prepare
+        // work the pipeline database answered from memo vs recomputed
+        let incr_hits = stats_after.incr_hits - stats_before.incr_hits;
+        let incr_misses = stats_after.incr_misses - stats_before.incr_misses;
+        let incr_recomputes = stats_after.incr_recomputes - stats_before.incr_recomputes;
+        if incr_hits + incr_misses + incr_recomputes > 0 {
+            flight
+                .attrs
+                .push(("incr_hits".to_string(), incr_hits.to_string()));
+            flight
+                .attrs
+                .push(("incr_misses".to_string(), incr_misses.to_string()));
+            flight
+                .attrs
+                .push(("incr_recomputes".to_string(), incr_recomputes.to_string()));
+        }
         obs::flight::record(flight);
         if obs::log::enabled(Level::Info) {
             obs::log::event(
@@ -345,6 +361,9 @@ impl JobRunner {
                     ("iterations", Json::UInt(outcome.iterations)),
                     ("front", Json::UInt(outcome.front.len() as u64)),
                     ("busy_us", Json::UInt(busy_ns / 1_000)),
+                    ("incr_hits", Json::UInt(incr_hits)),
+                    ("incr_misses", Json::UInt(incr_misses)),
+                    ("incr_recomputes", Json::UInt(incr_recomputes)),
                 ],
             );
         }

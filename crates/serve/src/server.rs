@@ -534,12 +534,14 @@ struct ReqTelemetry {
     attrs: Vec<(String, String)>,
     cache_hits: u64,
     cache_misses: u64,
+    incr: qor_core::IncrCounts,
 }
 
 impl ReqTelemetry {
     fn absorb(&mut self, report: &PredictReport) {
         self.cache_hits += report.cache_hits();
         self.cache_misses += report.cache_misses();
+        self.incr.absorb(&report.incr);
     }
 
     fn stage(&mut self, name: &str, us: u64) {
@@ -638,6 +640,18 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState) {
     flight.cache_misses = tel.cache_misses;
     flight.stages = tel.stages;
     flight.attrs = tel.attrs;
+    if tel.incr.hits + tel.incr.misses + tel.incr.recomputes > 0 {
+        flight
+            .attrs
+            .push(("incr_hits".to_string(), tel.incr.hits.to_string()));
+        flight
+            .attrs
+            .push(("incr_misses".to_string(), tel.incr.misses.to_string()));
+        flight.attrs.push((
+            "incr_recomputes".to_string(),
+            tel.incr.recomputes.to_string(),
+        ));
+    }
     obs::flight::record(flight);
 
     if obs::log::enabled(Level::Info) {
@@ -969,6 +983,9 @@ fn predict_route(
         if let Some(batch) = outcome_batch_json(&outcome) {
             fields.push(("batch", batch));
         }
+        if let Some(incr) = incr_json(&report.incr) {
+            fields.push(("incr", incr));
+        }
         fields.push(("cache", cache_json(&state.registry.cache().stats())));
         Ok(Json::obj(fields).to_string())
     } else {
@@ -982,6 +999,9 @@ fn predict_route(
                     ];
                     if let Some(batch) = outcome_batch_json(outcome) {
                         fields.push(("batch", batch));
+                    }
+                    if let Some(incr) = incr_json(&report.incr) {
+                        fields.push(("incr", incr));
                     }
                     Json::obj(fields)
                 }
@@ -1214,9 +1234,25 @@ fn cache_json(stats: &CacheStats) -> Json {
         ("evictions", Json::UInt(stats.evictions)),
         ("kernel_hits", Json::UInt(stats.kernel_hits)),
         ("kernel_misses", Json::UInt(stats.kernel_misses)),
+        ("incr_hits", Json::UInt(stats.incr_hits)),
+        ("incr_misses", Json::UInt(stats.incr_misses)),
+        ("incr_recomputes", Json::UInt(stats.incr_recomputes)),
         ("len", Json::UInt(stats.len as u64)),
         ("capacity", Json::UInt(stats.capacity as u64)),
     ])
+}
+
+/// Per-prediction incremental-query attribution (omitted when the build
+/// ran no incremental queries, e.g. on a prepared-cache hit).
+fn incr_json(incr: &qor_core::IncrCounts) -> Option<Json> {
+    if incr.hits + incr.misses + incr.recomputes == 0 {
+        return None;
+    }
+    Some(Json::obj(vec![
+        ("hits", Json::UInt(incr.hits)),
+        ("misses", Json::UInt(incr.misses)),
+        ("recomputes", Json::UInt(incr.recomputes)),
+    ]))
 }
 
 // ---------------------------------------------------------------- dse jobs
@@ -1435,6 +1471,31 @@ fn render_metrics(state: &ServeState) -> String {
         put("qor_batch_max_size", "gauge", b.max_batch_seen.to_string());
     }
 
+    // incremental-query counters, one labeled series per query kind (the
+    // unlabeled totals live in the cache stats above as incr_*)
+    {
+        let kinds = state.registry.cache().incr_kind_stats();
+        if !kinds.is_empty() {
+            for (family, pick) in [
+                (
+                    "qor_incr_query_hits_total",
+                    (|s: &incr::KindStats| s.hits) as fn(&incr::KindStats) -> u64,
+                ),
+                ("qor_incr_query_misses_total", |s: &incr::KindStats| {
+                    s.misses
+                }),
+                ("qor_incr_query_recomputes_total", |s: &incr::KindStats| {
+                    s.recomputes
+                }),
+            ] {
+                out.push_str(&format!("# TYPE {family} counter\n"));
+                for (kind, stats) in &kinds {
+                    out.push_str(&format!("{family}{{kind=\"{kind}\"}} {}\n", pick(stats)));
+                }
+            }
+        }
+    }
+
     // per-model-version series, labeled {model, generation}
     {
         let entries = state.registry.list();
@@ -1496,11 +1557,15 @@ fn render_metrics(state: &ServeState) -> String {
     }
 
     for (name, snap) in obs::metrics::snapshot() {
-        // the session/* counters above are authoritative; their obs mirrors
-        // only move while collection is on and would shadow them — and the
-        // serve/http/* mirrors are process-global, so the instance-local
-        // stores rendered above are authoritative for this server
-        if name.starts_with("session/") || name.starts_with("serve/http/") {
+        // the session/* and incr/* counters above are authoritative; their
+        // obs mirrors only move while collection is on and would shadow
+        // them — and the serve/http/* mirrors are process-global, so the
+        // instance-local stores rendered above are authoritative for this
+        // server
+        if name.starts_with("session/")
+            || name.starts_with("serve/http/")
+            || name.starts_with("incr/")
+        {
             continue;
         }
         let clean = sanitize_metric_name(&name);
