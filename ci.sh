@@ -67,6 +67,28 @@ QOR_THREADS=4 ./target/release/qor-bench incr_sweep --smoke --out /tmp/qor_incr4
 cmp /tmp/qor_incr1.json /tmp/qor_incr4.json
 rm -f /tmp/qor_incr1.json /tmp/qor_incr4.json
 
+# Crash-free fuzz gate: ≥2000 seeded programs (legal from the grammar
+# generator + corrupted from the mutational corruptor) through the full
+# frontc → hir → cdfg → features → predict pipeline; qor-fuzz exits
+# nonzero if ANY input panics instead of producing a typed error or a
+# clean prediction. The smoke runs additionally prove the verdict stream
+# (and its FNV digest) is byte-identical at QOR_THREADS=1 and 4.
+echo "==> qor-fuzz --smoke determinism"
+QOR_THREADS=1 ./target/release/qor-fuzz --smoke --out /tmp/qor_fuzz1.json
+QOR_THREADS=4 ./target/release/qor-fuzz --smoke --out /tmp/qor_fuzz4.json
+cmp /tmp/qor_fuzz1.json /tmp/qor_fuzz4.json
+rm -f /tmp/qor_fuzz1.json /tmp/qor_fuzz4.json
+
+echo "==> qor-fuzz crash-free gate (2100 programs)"
+./target/release/qor-fuzz --out /dev/null
+
+# Long-haul mode (off by default; set QOR_FUZZ_LONG=1 in a nightly lane):
+# 9000 programs across a shifted seed window to probe beyond the PR gate.
+if [ "${QOR_FUZZ_LONG:-0}" = "1" ]; then
+    echo "==> qor-fuzz --long (QOR_FUZZ_LONG=1)"
+    ./target/release/qor-fuzz --long --seed 100000 --out /dev/null
+fi
+
 # Search smoke gate: budget accounting, snapshot determinism, mid-run
 # resume, and corruption typing — on both executor paths, because the
 # engine fans evaluation batches through `par`.

@@ -1,0 +1,133 @@
+//! `qor-fuzz` — the crash-free fuzz gate (see [`qor_bench::fuzz`]).
+//!
+//! Runs seeded legal programs from the grammar-driven generator plus
+//! corrupted variants from the mutational corruptor through the full
+//! `frontc` → `hir` → `cdfg` → features → predict pipeline and fails
+//! (exit 1) if **any** input panics instead of producing a typed error or
+//! a clean prediction. Prints a JSON report to stdout (or `--out FILE`)
+//! with the verdict histogram, an order-stable FNV-1a verdict digest and
+//! corpus-shape statistics.
+//!
+//! Scales:
+//! * `--smoke`   — 300 legal + 150 corrupted; every timing field is
+//!   nulled, so two smoke runs with the same seed are byte-identical at
+//!   any `QOR_THREADS` (the CI determinism gate).
+//! * default     — 1400 legal + 700 corrupted (≥ 2000 programs, the CI
+//!   crash-freedom gate).
+//! * `--long`    — 6000 legal + 3000 corrupted (env-gated in CI via
+//!   `QOR_FUZZ_LONG=1`).
+//!
+//! Usage: `cargo run --release -p qor-bench --bin qor-fuzz --
+//!         [--smoke | --long] [--legal N] [--corrupted N] [--seed N]
+//!         [--out FILE]`
+
+use obs::Json;
+use qor_bench::fuzz::{run, CorpusStats, FuzzOptions};
+
+struct Args {
+    opts: FuzzOptions,
+    timings: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut opts = FuzzOptions::default();
+    let mut timings = true;
+    let mut out = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => {
+                let base_seed = opts.base_seed;
+                opts = FuzzOptions::smoke();
+                opts.base_seed = base_seed;
+                timings = false;
+            }
+            "--long" => {
+                let base_seed = opts.base_seed;
+                opts = FuzzOptions::long();
+                opts.base_seed = base_seed;
+            }
+            "--legal" => opts.legal = value(&mut i).parse().expect("--legal N"),
+            "--corrupted" => opts.corrupted = value(&mut i).parse().expect("--corrupted N"),
+            "--seed" => opts.base_seed = value(&mut i).parse().expect("--seed N"),
+            "--out" => out = Some(value(&mut i)),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Args { opts, timings, out }
+}
+
+fn main() {
+    let _obs = obs::init();
+    let args = parse_args();
+    obs::tracef!(
+        1,
+        "qor-fuzz: {} legal + {} corrupted programs from seed {}",
+        args.opts.legal,
+        args.opts.corrupted,
+        args.opts.base_seed
+    );
+    let report = run(&args.opts);
+    let corpus = CorpusStats::gather(args.opts.legal, args.opts.base_seed);
+
+    let mut doc = report.to_json(args.timings);
+    if let Json::Obj(ref mut fields) = doc {
+        fields.push(("corpus".to_string(), corpus.to_json()));
+    }
+    let rendered = format!("{doc}\n");
+    match &args.out {
+        Some(path) => std::fs::write(path, &rendered).expect("write --out file"),
+        None => print!("{rendered}"),
+    }
+
+    // mirror the verdict histogram into the QOR_REPORT run report, like
+    // the table bins mirror their printed tables
+    let rows = report
+        .histogram()
+        .into_iter()
+        .map(|((population, kind), count)| {
+            vec![Json::str(population), Json::str(kind), Json::UInt(count)]
+        })
+        .collect();
+    obs::report::record_table("fuzz_verdicts", &["population", "kind", "count"], rows);
+
+    let panics = report.panics();
+    if panics.is_empty() {
+        obs::tracef!(
+            1,
+            "qor-fuzz: {} programs, 0 panics, digest {:016x}",
+            report.outcomes.len(),
+            report.digest()
+        );
+    } else {
+        eprintln!("qor-fuzz: {} PANICS:", panics.len());
+        for p in panics.iter().take(10) {
+            eprintln!(
+                "  seed {} ({}) panicked: {}",
+                p.seed,
+                if p.corrupted { "corrupted" } else { "legal" },
+                p.panic_msg.as_deref().unwrap_or("?")
+            );
+            eprintln!(
+                "  reproduce: qor-fuzz --legal {} --corrupted {} --seed {}",
+                u64::from(!p.corrupted),
+                u64::from(p.corrupted),
+                p.seed
+            );
+        }
+        std::process::exit(1);
+    }
+}

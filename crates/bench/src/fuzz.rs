@@ -1,0 +1,404 @@
+//! Crash-free fuzz gate over the source-to-prediction pipeline.
+//!
+//! Drives `frontc` → `hir` → `cdfg` → features → GNN predict
+//! ([`qor_core::Session::predict_source`]) over thousands of seeded
+//! programs — legal ones from [`kernels::synthetic_corpus`] and damaged
+//! ones from [`kernels::corrupted_corpus`] — and asserts the pipeline's
+//! crash-freedom invariant: **every input yields a typed [`QorError`] or a
+//! clean prediction, never a panic**.
+//!
+//! Every program runs inside `catch_unwind` with a fresh zero-capacity
+//! session (so a hypothetical panic cannot poison a shared cache lock and
+//! cascade). Verdicts are classified into a small fixed kind set, folded
+//! into an FNV-1a digest in seed order, and counted both in the returned
+//! report and in `obs` metrics (`fuzz/ok`, `fuzz/typed_error`,
+//! `fuzz/panic`). Seed order is independent of `QOR_THREADS`, so the
+//! digest is byte-identical at any worker count — the CI determinism gate
+//! compares two runs at `QOR_THREADS=1` and `QOR_THREADS=4`.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use obs::Json;
+use pragma::PragmaConfig;
+use qor_core::{fnv1a, HierarchicalModel, QorError, Session, TrainOptions};
+
+/// How many programs of each population to run.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzOptions {
+    /// Legal programs from the grammar-driven generator.
+    pub legal: u64,
+    /// Corrupted programs from the mutational corruptor.
+    pub corrupted: u64,
+    /// First seed (programs use `base_seed..base_seed + count`).
+    pub base_seed: u64,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            legal: 1_400,
+            corrupted: 700,
+            base_seed: 0,
+        }
+    }
+}
+
+impl FuzzOptions {
+    /// The CI smoke scale: small enough to run in seconds.
+    pub fn smoke() -> Self {
+        FuzzOptions {
+            legal: 300,
+            corrupted: 150,
+            base_seed: 0,
+        }
+    }
+
+    /// The env-gated long-haul scale.
+    pub fn long() -> Self {
+        FuzzOptions {
+            legal: 6_000,
+            corrupted: 3_000,
+            base_seed: 0,
+        }
+    }
+}
+
+/// What one program did to the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Generator seed of the program.
+    pub seed: u64,
+    /// Whether the program went through the corruptor first.
+    pub corrupted: bool,
+    /// Verdict kind: `ok`, `parse`, `sema`, `lower`, `eval`,
+    /// `unknown_top`, `other` — or `panic`.
+    pub kind: &'static str,
+    /// The captured panic payload, only for `kind == "panic"`.
+    pub panic_msg: Option<String>,
+}
+
+/// Outcome of a whole fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Options the run used.
+    pub opts: FuzzOptions,
+    /// Per-program outcomes, in seed order (legal first, then corrupted).
+    pub outcomes: Vec<Outcome>,
+    /// Wall-clock seconds of the run.
+    pub elapsed_secs: f64,
+}
+
+impl FuzzReport {
+    /// Outcomes that panicked (the gate requires this to be empty).
+    pub fn panics(&self) -> Vec<&Outcome> {
+        self.outcomes.iter().filter(|o| o.kind == "panic").collect()
+    }
+
+    /// Verdict-kind histogram over `(population, kind)`.
+    pub fn histogram(&self) -> BTreeMap<(&'static str, &'static str), u64> {
+        let mut h = BTreeMap::new();
+        for o in &self.outcomes {
+            let pop = if o.corrupted { "corrupted" } else { "legal" };
+            *h.entry((pop, o.kind)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// FNV-1a digest over `seed:population:kind` lines in seed order.
+    ///
+    /// Thread-count independent: the underlying `par::map` preserves input
+    /// order, so two runs with the same options digest identically
+    /// regardless of `QOR_THREADS`.
+    pub fn digest(&self) -> u64 {
+        let mut lines = String::new();
+        for o in &self.outcomes {
+            lines.push_str(&format!(
+                "{}:{}:{}\n",
+                o.seed,
+                if o.corrupted { "c" } else { "l" },
+                o.kind
+            ));
+        }
+        fnv1a(lines.as_bytes())
+    }
+
+    /// The run as a JSON document. With `timings: false` every
+    /// wall-clock-dependent field is nulled so two runs compare
+    /// byte-identical (the CI determinism gate).
+    pub fn to_json(&self, timings: bool) -> Json {
+        let total = self.outcomes.len() as u64;
+        let panics = self.panics().len() as u64;
+        let ok = self.outcomes.iter().filter(|o| o.kind == "ok").count() as u64;
+        let hist: Vec<Json> = self
+            .histogram()
+            .into_iter()
+            .map(|((pop, kind), n)| {
+                Json::obj(vec![
+                    ("population", Json::str(pop)),
+                    ("kind", Json::str(kind)),
+                    ("count", Json::UInt(n)),
+                ])
+            })
+            .collect();
+        let (elapsed, rate) = if timings {
+            (
+                Json::Float(self.elapsed_secs),
+                Json::Float(total as f64 / self.elapsed_secs.max(1e-9)),
+            )
+        } else {
+            (Json::Null, Json::Null)
+        };
+        Json::obj(vec![
+            ("legal", Json::UInt(self.opts.legal)),
+            ("corrupted", Json::UInt(self.opts.corrupted)),
+            ("base_seed", Json::UInt(self.opts.base_seed)),
+            ("programs", Json::UInt(total)),
+            ("ok", Json::UInt(ok)),
+            ("typed_errors", Json::UInt(total - ok - panics)),
+            ("panics", Json::UInt(panics)),
+            ("verdicts", Json::Arr(hist)),
+            (
+                "verdict_digest",
+                Json::str(format!("{:016x}", self.digest())),
+            ),
+            ("elapsed_secs", elapsed),
+            ("programs_per_sec", rate),
+        ])
+    }
+}
+
+/// Classifies a pipeline result into a stable verdict kind.
+fn classify(result: &Result<hlsim::Qor, QorError>) -> &'static str {
+    match result {
+        Ok(_) => "ok",
+        Err(QorError::Parse(frontc::FrontError::Parse(_))) => "parse",
+        Err(QorError::Parse(frontc::FrontError::Sema(_))) => "sema",
+        Err(QorError::Lower(_)) => "lower",
+        Err(QorError::Eval(_)) => "eval",
+        Err(QorError::UnknownKernel(_)) => "unknown_top",
+        Err(_) => "other",
+    }
+}
+
+/// Renders a panic payload (the `&str`/`String` cases panics carry).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one program through generation + the full pipeline under
+/// `catch_unwind`, classifying the result.
+fn run_one(seed: u64, corrupted: bool) -> Outcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // generation and corruption are inside the guard: a generator
+        // panic is as much a gate failure as a pipeline panic
+        let source = if corrupted {
+            kernels::corrupted_kernel(seed)
+        } else {
+            kernels::synthetic_kernel(seed)
+        };
+        let top = format!("synth{seed}");
+        // fresh model + zero-capacity session per program: deterministic
+        // weights, no cross-program cache state, no lock to poison
+        let opts = TrainOptions::quick().with_hidden(8).with_epochs(1);
+        let session = Session::with_capacity(HierarchicalModel::new(&opts), 0);
+        classify(&session.predict_source(&top, &source, &PragmaConfig::default()))
+    }));
+    match result {
+        Ok(kind) => {
+            obs::metrics::counter_add(
+                if kind == "ok" {
+                    "fuzz/ok"
+                } else {
+                    "fuzz/typed_error"
+                },
+                1,
+            );
+            Outcome {
+                seed,
+                corrupted,
+                kind,
+                panic_msg: None,
+            }
+        }
+        Err(payload) => {
+            obs::metrics::counter_add("fuzz/panic", 1);
+            Outcome {
+                seed,
+                corrupted,
+                kind: "panic",
+                panic_msg: Some(panic_message(&*payload)),
+            }
+        }
+    }
+}
+
+/// Runs the fuzz gate: `opts.legal` legal programs then `opts.corrupted`
+/// corrupted ones, in parallel, preserving seed order in the report.
+///
+/// The default panic hook is silenced for the duration of the run so a
+/// caught panic does not spray backtraces over the report; the captured
+/// payload ends up in [`Outcome::panic_msg`] instead.
+pub fn run(opts: &FuzzOptions) -> FuzzReport {
+    let sp = obs::span("fuzz_run");
+    sp.attr("legal", opts.legal);
+    sp.attr("corrupted", opts.corrupted);
+    let jobs: Vec<(u64, bool)> = (0..opts.legal)
+        .map(|i| (opts.base_seed + i, false))
+        .chain((0..opts.corrupted).map(|i| (opts.base_seed + i, true)))
+        .collect();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let t = std::time::Instant::now();
+    let outcomes = par::map("fuzz", &jobs, |_, &(seed, corrupted)| {
+        run_one(seed, corrupted)
+    });
+    let elapsed_secs = t.elapsed().as_secs_f64();
+    std::panic::set_hook(prev_hook);
+    FuzzReport {
+        opts: *opts,
+        outcomes,
+        elapsed_secs,
+    }
+}
+
+/// Syntactic shape statistics over the legal corpus, for `EXPERIMENTS.md`
+/// and the fuzz report: how much of the grammar the generated population
+/// actually exercises.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    /// Programs inspected.
+    pub programs: u64,
+    /// Total source bytes.
+    pub bytes: u64,
+    /// Total `for` loops.
+    pub loops: u64,
+    /// Programs with a 2-level (or deeper) nest.
+    pub two_level: u64,
+    /// Programs with a 3-level nest.
+    pub three_level: u64,
+    /// Total `#pragma HLS` directives.
+    pub pragmas: u64,
+    /// Programs with at least one conditional.
+    pub conditionals: u64,
+    /// Programs with at least one integer array.
+    pub int_arrays: u64,
+}
+
+impl CorpusStats {
+    /// Gathers stats over `synthetic_corpus(count, base_seed)`.
+    pub fn gather(count: u64, base_seed: u64) -> CorpusStats {
+        let mut s = CorpusStats::default();
+        for (_, src) in kernels::synthetic_corpus(count as usize, base_seed) {
+            s.programs += 1;
+            s.bytes += src.len() as u64;
+            s.loops += src.matches("for (").count() as u64;
+            if src.contains("for (int j") || src.contains("for (int c") {
+                s.two_level += 1;
+            }
+            if src.contains("for (int k") {
+                s.three_level += 1;
+            }
+            s.pragmas += src.matches("#pragma HLS").count() as u64;
+            if src.contains("if (") {
+                s.conditionals += 1;
+            }
+            if src.contains("int a") {
+                s.int_arrays += 1;
+            }
+        }
+        s
+    }
+
+    /// The stats as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("programs", Json::UInt(self.programs)),
+            ("bytes", Json::UInt(self.bytes)),
+            ("loops", Json::UInt(self.loops)),
+            ("two_level", Json::UInt(self.two_level)),
+            ("three_level", Json::UInt(self.three_level)),
+            ("pragmas", Json::UInt(self.pragmas)),
+            ("conditionals", Json::UInt(self.conditionals)),
+            ("int_arrays", Json::UInt(self.int_arrays)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_is_panic_free_and_deterministic() {
+        let opts = FuzzOptions {
+            legal: 40,
+            corrupted: 20,
+            base_seed: 0,
+        };
+        let a = run(&opts);
+        assert!(a.panics().is_empty(), "panics: {:?}", a.panics());
+        assert_eq!(a.outcomes.len(), 60);
+        let b = run(&opts);
+        assert_eq!(a.digest(), b.digest());
+        // legal programs must overwhelmingly predict cleanly
+        let legal_ok = a
+            .outcomes
+            .iter()
+            .filter(|o| !o.corrupted && o.kind == "ok")
+            .count();
+        assert_eq!(legal_ok, 40, "legal programs must all succeed");
+    }
+
+    #[test]
+    fn digest_is_thread_count_independent() {
+        let opts = FuzzOptions {
+            legal: 24,
+            corrupted: 12,
+            base_seed: 5,
+        };
+        par::set_threads(Some(1));
+        let one = run(&opts);
+        par::set_threads(Some(4));
+        let four = run(&opts);
+        par::set_threads(None);
+        assert_eq!(one.digest(), four.digest());
+        assert_eq!(
+            one.to_json(false).to_string(),
+            four.to_json(false).to_string()
+        );
+    }
+
+    #[test]
+    fn corrupted_population_produces_typed_errors() {
+        let report = run(&FuzzOptions {
+            legal: 0,
+            corrupted: 50,
+            base_seed: 0,
+        });
+        assert!(report.panics().is_empty(), "{:?}", report.panics());
+        let errors = report
+            .outcomes
+            .iter()
+            .filter(|o| o.kind != "ok" && o.kind != "panic")
+            .count();
+        assert!(errors >= 25, "only {errors}/50 typed errors");
+    }
+
+    #[test]
+    fn corpus_stats_cover_the_grammar() {
+        let s = CorpusStats::gather(120, 0);
+        assert_eq!(s.programs, 120);
+        assert!(s.two_level > 0, "no nested loops in corpus");
+        assert!(s.three_level > 0, "no 3-level nests in corpus");
+        assert!(s.pragmas > 0, "no pragmas in corpus");
+        assert!(s.conditionals > 0, "no conditionals in corpus");
+        assert!(s.int_arrays > 0, "no integer arrays in corpus");
+    }
+}

@@ -149,11 +149,17 @@ pub struct ForLoop {
 
 impl ForLoop {
     /// Static trip count of the loop.
+    ///
+    /// Computed in 128-bit arithmetic: `bound - start` can exceed `i64`
+    /// for adversarial literals (e.g. `i = -2^62 … i < 2^62`), and a trip
+    /// count must never panic — sema rejects oversized loops afterwards.
     pub fn trip_count(&self) -> u64 {
         if self.bound <= self.start || self.step <= 0 {
             0
         } else {
-            ((self.bound - self.start + self.step - 1) / self.step) as u64
+            let span = self.bound as i128 - self.start as i128;
+            let step = self.step as i128;
+            ((span + step - 1) / step) as u64
         }
     }
 }

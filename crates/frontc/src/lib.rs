@@ -43,8 +43,11 @@ pub use ast::{
     SourcePragma, Stmt, Type, UnOp,
 };
 pub use lexer::{Lexer, Token, TokenKind};
-pub use parser::ParseError;
-pub use sema::SemaError;
+pub use parser::{ParseError, MAX_NEST_DEPTH};
+pub use sema::{
+    SemaError, MAX_ARRAY_DIM, MAX_ARRAY_ELEMS, MAX_ARRAY_RANK, MAX_LOOP_BOUND_ABS, MAX_LOOP_TRIP,
+    MAX_NEST_ITERATIONS,
+};
 
 use std::fmt;
 

@@ -22,6 +22,15 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum combined statement/expression nesting depth.
+///
+/// The parser (and the sema/lowering passes downstream of it) are
+/// recursive-descent; without a cap, adversarial inputs like ten thousand
+/// `(`s or `if (x) {` repetitions overflow the stack — an abort no
+/// `catch_unwind` can intercept. Any program a kernel author would write
+/// sits far below this bound.
+pub const MAX_NEST_DEPTH: usize = 200;
+
 /// Parses a translation unit (without semantic checking — see
 /// [`crate::parse`] for the full pipeline).
 ///
@@ -32,12 +41,19 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
     let tokens = Lexer::new(source)
         .tokenize()
         .map_err(|message| ParseError { line: 0, message })?;
-    Parser { tokens, pos: 0 }.program()
+    Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    }
+    .program()
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current statement+expression nesting depth (see [`MAX_NEST_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -84,6 +100,19 @@ impl Parser {
         } else {
             false
         }
+    }
+
+    /// Tracks recursion depth across statements and expressions; rejects
+    /// inputs nested beyond [`MAX_NEST_DEPTH`] with a typed error instead of
+    /// letting recursive descent overflow the stack.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            return self.err(format!(
+                "nesting deeper than the supported maximum ({MAX_NEST_DEPTH})"
+            ));
+        }
+        Ok(())
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
@@ -202,6 +231,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let result = self.stmt_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         match self.peek().clone() {
             TokenKind::Ident(kw) => match kw.as_str() {
                 "for" => self.for_loop().map(Stmt::For),
@@ -347,7 +383,10 @@ impl Parser {
         };
         let mut bound = self.int_lit()?;
         if inclusive {
-            bound += 1;
+            bound = bound.checked_add(1).ok_or_else(|| ParseError {
+                line: self.line(),
+                message: "inclusive loop bound overflows".into(),
+            })?;
         }
         self.eat_punct(";")?;
         // step: `i++`, `i += c`, or `i = i + c`
@@ -388,6 +427,13 @@ impl Parser {
     // ---------------------------------------------------------- expressions
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, ParseError> {
         let cond = self.binary_expr(0)?;
         if self.try_punct("?") {
             let then_value = self.expr()?;
@@ -436,6 +482,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.unary_expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, ParseError> {
         if self.try_punct("-") {
             let e = self.unary_expr()?;
             return Ok(match e {

@@ -31,6 +31,29 @@ pub const INTRINSICS: &[(&str, usize)] = &[
     ("fminf", 2),
 ];
 
+/// Maximum array rank (number of dimensions).
+pub const MAX_ARRAY_RANK: usize = 4;
+/// Maximum extent of a single array dimension.
+pub const MAX_ARRAY_DIM: usize = 1 << 20;
+/// Maximum total element count of one array.
+///
+/// Together with [`MAX_ARRAY_DIM`] this keeps `num_elements` products and
+/// interpreter/simulator buffers within sane bounds — untrusted source
+/// must not be able to request a petabyte buffer or overflow a `usize`.
+pub const MAX_ARRAY_ELEMS: usize = 1 << 24;
+/// Maximum trip count of a single loop.
+pub const MAX_LOOP_TRIP: u64 = 1 << 20;
+/// Maximum product of trip counts along any loop-nest path.
+///
+/// Bounds the iteration-space numbers (`total_tc`, unroll replication,
+/// latency products) that `hlsim`/`cdfg` compute in `u64` downstream.
+pub const MAX_NEST_ITERATIONS: u128 = 1 << 28;
+/// Maximum absolute value of a loop `start`/`bound` literal.
+///
+/// Keeps affine index evaluation (`coeff * indvar` sums) far from `i64`
+/// overflow in every downstream consumer.
+pub const MAX_LOOP_BOUND_ABS: i64 = 1 << 24;
+
 #[derive(Clone, Copy, PartialEq)]
 enum SymKind {
     Scalar(Type),
@@ -40,6 +63,8 @@ enum SymKind {
 struct Scope<'a> {
     func: &'a FunctionDef,
     symbols: Vec<HashMap<String, SymKind>>,
+    /// Product of trip counts of the enclosing loops (nest-budget check).
+    iter_product: u128,
 }
 
 impl<'a> Scope<'a> {
@@ -90,9 +115,11 @@ fn check_function(func: &FunctionDef) -> Result<(), SemaError> {
     let mut scope = Scope {
         func,
         symbols: vec![HashMap::new()],
+        iter_product: 1,
     };
     for p in &func.params {
         let kind = if p.is_array() {
+            check_array_limits(&scope, p)?;
             SymKind::Array(p.ty, p.dims.len())
         } else {
             SymKind::Scalar(p.ty)
@@ -120,6 +147,36 @@ fn check_function(func: &FunctionDef) -> Result<(), SemaError> {
         }
     }
     check_block(&mut scope, &func.body)?;
+    Ok(())
+}
+
+/// Enforces [`MAX_ARRAY_RANK`]/[`MAX_ARRAY_DIM`]/[`MAX_ARRAY_ELEMS`] on an
+/// array parameter, with a checked element-count product (the unchecked
+/// `dims.product()` in `num_elements` would overflow on adversarial dims).
+fn check_array_limits(scope: &Scope, p: &Param) -> Result<(), SemaError> {
+    if p.dims.len() > MAX_ARRAY_RANK {
+        return scope.error(format!(
+            "array {:?} has rank {} (maximum {MAX_ARRAY_RANK})",
+            p.name,
+            p.dims.len()
+        ));
+    }
+    let mut elems: usize = 1;
+    for &d in &p.dims {
+        if d > MAX_ARRAY_DIM {
+            return scope.error(format!(
+                "array {:?} dimension {d} exceeds the maximum ({MAX_ARRAY_DIM})",
+                p.name
+            ));
+        }
+        elems = elems.saturating_mul(d);
+    }
+    if elems > MAX_ARRAY_ELEMS {
+        return scope.error(format!(
+            "array {:?} has {elems} elements (maximum {MAX_ARRAY_ELEMS})",
+            p.name
+        ));
+    }
     Ok(())
 }
 
@@ -151,15 +208,41 @@ fn check_stmt(scope: &mut Scope, stmt: &Stmt) -> Result<(), SemaError> {
         Stmt::For(l) => {
             scope.symbols.push(HashMap::new());
             scope.declare(&l.var, SymKind::Scalar(Type::Int))?;
-            if l.trip_count() == 0 {
+            let trip = l.trip_count();
+            if trip == 0 {
                 return scope.error(format!("loop over {:?} has zero trip count", l.var));
+            }
+            if trip > MAX_LOOP_TRIP {
+                return scope.error(format!(
+                    "loop over {:?} has trip count {trip} (maximum {MAX_LOOP_TRIP})",
+                    l.var
+                ));
+            }
+            if l.start.unsigned_abs() > MAX_LOOP_BOUND_ABS as u64
+                || l.bound.unsigned_abs() > MAX_LOOP_BOUND_ABS as u64
+            {
+                return scope.error(format!(
+                    "loop over {:?} has bounds outside ±{MAX_LOOP_BOUND_ABS}",
+                    l.var
+                ));
+            }
+            let outer_product = scope.iter_product;
+            let total = outer_product.saturating_mul(trip as u128);
+            if total > MAX_NEST_ITERATIONS {
+                return scope.error(format!(
+                    "loop nest over {:?} spans {total} iterations (maximum {MAX_NEST_ITERATIONS})",
+                    l.var
+                ));
             }
             for pragma in &l.pragmas {
                 if matches!(pragma, SourcePragma::ArrayPartition { .. }) {
                     return scope.error("array_partition must be at function scope");
                 }
             }
-            check_block(scope, &l.body)?;
+            scope.iter_product = total;
+            let result = check_block(scope, &l.body);
+            scope.iter_product = outer_product;
+            result?;
             scope.symbols.pop();
             Ok(())
         }

@@ -1,0 +1,145 @@
+//! Minimized reproducers for front-end panics found by the fuzz gate.
+//!
+//! Each case once crashed (stack overflow or arithmetic panic) somewhere in
+//! `frontc::parse`; they are pinned here as typed-error regressions. The
+//! companion acceptance cases pin that the resource limits sit *above*
+//! realistic kernels, so hardening cannot silently shrink the language.
+
+use frontc::{MAX_ARRAY_DIM, MAX_LOOP_TRIP, MAX_NEST_DEPTH};
+
+fn reject(src: &str) -> String {
+    frontc::parse(src)
+        .err()
+        .unwrap_or_else(|| panic!("must be rejected:\n{src}"))
+        .to_string()
+}
+
+/// Deeply nested parenthesised expressions overflowed the parser stack.
+#[test]
+fn deep_expression_nesting_is_a_typed_error() {
+    let deep = format!(
+        "void f(float a[4]) {{ a[0] = {}1.0{}; }}",
+        "(".repeat(MAX_NEST_DEPTH + 50),
+        ")".repeat(MAX_NEST_DEPTH + 50)
+    );
+    let msg = reject(&deep);
+    assert!(msg.contains("nesting deeper"), "{msg}");
+}
+
+/// Deeply nested `if` statements overflowed the statement recursion.
+#[test]
+fn deep_statement_nesting_is_a_typed_error() {
+    let mut body = String::new();
+    for _ in 0..MAX_NEST_DEPTH + 50 {
+        body.push_str("if (1 < 2) { ");
+    }
+    body.push_str("a[0] = 1.0;");
+    for _ in 0..MAX_NEST_DEPTH + 50 {
+        body.push_str(" }");
+    }
+    let msg = reject(&format!("void f(float a[4]) {{ {body} }}"));
+    assert!(msg.contains("nesting deeper"), "{msg}");
+}
+
+/// `i <= i64::MAX` once overflowed the inclusive→exclusive bound rewrite.
+#[test]
+fn inclusive_bound_overflow_is_a_typed_error() {
+    let src = format!(
+        "void f(float a[4]) {{ for (int i = 0; i <= {}; i++) {{ a[0] = 1.0; }} }}",
+        i64::MAX
+    );
+    let msg = reject(&src);
+    assert!(msg.contains("inclusive loop bound overflows"), "{msg}");
+}
+
+/// Huge-magnitude loop bounds once overflowed trip-count arithmetic; now
+/// either the trip cap or the bound-magnitude cap rejects them before any
+/// multiplication.
+#[test]
+fn extreme_loop_bounds_are_a_typed_error() {
+    let src = format!(
+        "void f(float a[4]) {{ for (int i = -{m}; i < {m}; i++) {{ a[0] = 1.0; }} }}",
+        m = 1i64 << 40
+    );
+    let msg = reject(&src);
+    assert!(msg.contains("trip count"), "{msg}");
+    // a short loop placed far outside the bound-magnitude window
+    let far = format!(
+        "void f(float a[4]) {{ for (int i = {}; i < {}; i++) {{ a[0] = 1.0; }} }}",
+        (1i64 << 25) - 10,
+        1i64 << 25
+    );
+    let msg = reject(&far);
+    assert!(msg.contains("bounds outside"), "{msg}");
+}
+
+/// A single loop above the trip cap is rejected with the cap in the message.
+#[test]
+fn oversized_trip_count_is_a_typed_error() {
+    let src = format!(
+        "void f(float a[4]) {{ for (int i = 0; i < {}; i++) {{ a[0] = 1.0; }} }}",
+        MAX_LOOP_TRIP + 1
+    );
+    let msg = reject(&src);
+    assert!(msg.contains("trip count"), "{msg}");
+}
+
+/// A nest whose per-loop trips are legal but whose product explodes is
+/// rejected by the nest-iteration budget.
+#[test]
+fn oversized_nest_product_is_a_typed_error() {
+    let n = 1 << 12; // 4096 per level; 4096^3 = 2^36 > MAX_NEST_ITERATIONS
+    let src = format!(
+        "void f(float a[4]) {{
+            for (int i = 0; i < {n}; i++) {{
+                for (int j = 0; j < {n}; j++) {{
+                    for (int k = 0; k < {n}; k++) {{ a[0] = 1.0; }}
+                }}
+            }}
+        }}"
+    );
+    let msg = reject(&src);
+    assert!(msg.contains("iterations"), "{msg}");
+}
+
+/// Array dimension products above the element cap once overflowed `usize`
+/// multiplication in layout code.
+#[test]
+fn oversized_array_is_a_typed_error() {
+    let src = "void f(float a[1048576][1048576]) { a[0][0] = 1.0; }";
+    let msg = reject(src);
+    assert!(msg.contains("elements"), "{msg}");
+    let too_wide = format!("void f(float a[{}]) {{ a[0] = 1.0; }}", MAX_ARRAY_DIM + 1);
+    let msg = reject(&too_wide);
+    assert!(msg.contains("dimension"), "{msg}");
+}
+
+/// Zero-trip and backwards loops are semantic errors, not silent no-ops.
+#[test]
+fn zero_trip_and_nonpositive_step_loops_are_typed_errors() {
+    let msg = reject("void f(float a[4]) { for (int i = 5; i < 5; i++) { a[0] = 1.0; } }");
+    assert!(msg.contains("zero trip count"), "{msg}");
+    let msg = reject("void f(float a[4]) { for (int i = 0; i < 4; i += 0) { a[0] = 1.0; } }");
+    assert!(msg.contains("step must be positive"), "{msg}");
+}
+
+/// Acceptance: realistic kernels sit far below every limit.
+#[test]
+fn limits_admit_realistic_kernels() {
+    // a nest just inside the budget: 256 * 256 * 256 = 2^24 < 2^28
+    let src = "void f(float a[256][256]) {
+        for (int i = 0; i < 256; i++) {
+            for (int j = 0; j < 256; j++) {
+                for (int k = 0; k < 256; k++) { a[i][j] += 1.0; }
+            }
+        }
+    }";
+    frontc::parse(src).expect("in-budget nest must parse");
+    // nesting just inside the depth cap
+    let deep = format!(
+        "void g(float a[4]) {{ a[0] = {}1.0{}; }}",
+        "(".repeat(MAX_NEST_DEPTH / 3),
+        ")".repeat(MAX_NEST_DEPTH / 3)
+    );
+    frontc::parse(&deep).expect("in-depth expression must parse");
+}

@@ -60,6 +60,19 @@ impl Memory {
         self.arrays.get(name).map(|v| v.as_slice())
     }
 
+    /// Mutable access to an array buffer (used by the AST-level reference
+    /// interpreter in `crates/interp`, which shares this memory model).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut [f64]> {
+        self.arrays.get_mut(name).map(|v| v.as_mut_slice())
+    }
+
+    /// Names of all installed arrays, sorted (deterministic iteration).
+    pub fn array_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.arrays.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
     /// Fills every array of `func` with a deterministic pattern (useful for
     /// differential tests).
     pub fn seeded_for(func: &Function, seed: u64) -> Self {
@@ -220,25 +233,15 @@ impl<'a> Ctx<'a> {
                     .map(|o| self.operand(o, mem))
                     .transpose()?
                     .unwrap_or(0.0);
-                let as_int = |v: f64| v.trunc() as i64;
+                // shared with lower::int_binop / the AST reference
+                // interpreter: truncate, saturate, x/0 == x%0 == 0
+                let int = |op| crate::lower::int_binop(op, a, b).unwrap_or(0.0);
                 match kind {
-                    OpKind::Add => (as_int(a) + as_int(b)) as f64,
-                    OpKind::Sub => (as_int(a) - as_int(b)) as f64,
-                    OpKind::Mul => (as_int(a) * as_int(b)) as f64,
-                    OpKind::Div => {
-                        if as_int(b) == 0 {
-                            0.0
-                        } else {
-                            (as_int(a) / as_int(b)) as f64
-                        }
-                    }
-                    OpKind::Rem => {
-                        if as_int(b) == 0 {
-                            0.0
-                        } else {
-                            (as_int(a) % as_int(b)) as f64
-                        }
-                    }
+                    OpKind::Add => int(frontc::BinOp::Add),
+                    OpKind::Sub => int(frontc::BinOp::Sub),
+                    OpKind::Mul => int(frontc::BinOp::Mul),
+                    OpKind::Div => int(frontc::BinOp::Div),
+                    OpKind::Rem => int(frontc::BinOp::Rem),
                     OpKind::FAdd => a + b,
                     OpKind::FSub => a - b,
                     OpKind::FMul => a * b,
@@ -317,13 +320,15 @@ impl<'a> Ctx<'a> {
                 out
             }
         };
-        let mut flat: i64 = 0;
+        // accumulate in i128: adversarial dynamic indices (huge literals)
+        // must flatten to a sentinel OOB value, never overflow
+        let mut flat: i128 = 0;
         for (d, &ix) in indices.iter().enumerate() {
-            let n = dims.get(d).copied().unwrap_or(1) as i64;
-            flat = flat * n + ix;
+            let n = dims.get(d).copied().unwrap_or(1) as i128;
+            flat = flat * n + ix as i128;
         }
-        if flat < 0 {
-            // clamp negative speculative addresses to a sentinel OOB value
+        if flat < 0 || flat > usize::MAX as i128 {
+            // clamp out-of-range speculative addresses to a sentinel OOB value
             return Ok(usize::MAX);
         }
         Ok(flat as usize)
@@ -357,6 +362,23 @@ mod tests {
         mem.set("out", vec![0.0]);
         run(src, "dot", &mut mem);
         assert!((mem.get("out").unwrap()[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn else_branch_stores_run_under_the_negated_predicate() {
+        // regression: the else body used to be lowered under the *then*
+        // predicate, so when the condition held, both stores executed and
+        // the else store clobbered the then store (found by the generated
+        // differential corpus, seed 0)
+        let src = "void k(float a[4]) {
+            for (int i = 0; i < 4; i++) {
+                if (i < 2) { a[i] = 10.0; } else { a[i] = 20.0; }
+            }
+        }";
+        let mut mem = Memory::new();
+        mem.set("a", vec![0.0; 4]);
+        run(src, "k", &mut mem);
+        assert_eq!(mem.get("a").unwrap(), &[10.0, 10.0, 20.0, 20.0]);
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl AffineIndex {
 
     /// Evaluates the index for concrete induction-variable values.
     pub fn eval(&self, values: &dyn Fn(&LoopId) -> i64) -> i64 {
-        self.constant + self.terms.iter().map(|(l, c)| c * values(l)).sum::<i64>()
+        // saturating: coefficients of adversarial sources are themselves
+        // saturated by the lowering, so products here can reach i64 range
+        self.terms.iter().fold(self.constant, |acc, (l, c)| {
+            acc.saturating_add(c.saturating_mul(values(l)))
+        })
     }
 
     /// Whether the index depends on `loop_id`.

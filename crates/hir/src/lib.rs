@@ -43,4 +43,4 @@ pub use ir::{
     AccessPattern, AffineIndex, ArrayInfo, Block, CmpOp, Function, HirLoop, Item, LoopMeta, Module,
     Op, OpId, OpKind, Operand, ScalarType,
 };
-pub use lower::{lower, source_config, LowerError};
+pub use lower::{int_binop, lower, source_config, LowerError};

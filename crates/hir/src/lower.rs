@@ -302,8 +302,9 @@ impl<'a> Lowerer<'a> {
 
         // constant folding for arithmetic on two constants
         if let (Operand::Const(a), Operand::Const(b)) = (&lv, &rv) {
-            if let Some(folded) = fold(op, *a, *b) {
-                let ty = if lt == ScalarType::Float || rt == ScalarType::Float {
+            let const_float = lt == ScalarType::Float || rt == ScalarType::Float;
+            if let Some(folded) = fold(op, *a, *b, const_float) {
+                let ty = if const_float {
                     ScalarType::Float
                 } else {
                     ScalarType::Int
@@ -365,7 +366,10 @@ impl<'a> Lowerer<'a> {
             return v;
         }
         if let Operand::Const(c) = v {
-            return Operand::Const(c);
+            // Constants coerce at compile time with the runtime Cast
+            // semantics: float→int truncates toward zero (`int x = 2.5;`
+            // must see 2 in the dataflow, matching the interpreters).
+            return Operand::Const(if to == ScalarType::Int { c.trunc() } else { c });
         }
         Operand::Value(self.push_op(OpKind::Cast, to, vec![v]))
     }
@@ -642,6 +646,24 @@ impl<'a> Lowerer<'a> {
         let then_vals = self.scalar_snapshot();
         self.restore_scalars(&snapshot);
 
+        if !else_body.is_empty() {
+            // else ops run under the *negated* condition; without this,
+            // stores in both branches would execute whenever the condition
+            // holds and the else store would clobber the then store
+            let not_id = self.push_op(
+                OpKind::ICmp(CmpOp::Eq),
+                ScalarType::Int,
+                vec![Operand::Value(cond_id), Operand::Const(0.0)],
+            );
+            self.pred = Some(match outer_pred {
+                Some(p) => self.push_op(
+                    OpKind::And,
+                    ScalarType::Int,
+                    vec![Operand::Value(p), Operand::Value(not_id)],
+                ),
+                None => not_id,
+            });
+        }
         self.lower_block(else_body, out)?;
         let else_vals = self.scalar_snapshot();
         self.restore_scalars(&snapshot);
@@ -746,12 +768,16 @@ impl<'a> Lowerer<'a> {
     }
 }
 
+// Affine coefficients come straight from source literals, so adversarial
+// programs (`a[i * 9e18 * 9e18]`) can drive the i64 arithmetic here past
+// its range. Saturation keeps the lowering deterministic and panic-free;
+// sema's loop-bound caps keep *legal* programs far away from the limits.
 fn affine_combine(mut a: AffineIndex, b: AffineIndex, sign: i64) -> AffineIndex {
-    a.constant += sign * b.constant;
+    a.constant = a.constant.saturating_add(sign.saturating_mul(b.constant));
     for (l, c) in b.terms {
         match a.terms.iter_mut().find(|(al, _)| *al == l) {
-            Some((_, ac)) => *ac += sign * c,
-            None => a.terms.push((l, sign * c)),
+            Some((_, ac)) => *ac = ac.saturating_add(sign.saturating_mul(c)),
+            None => a.terms.push((l, sign.saturating_mul(c))),
         }
     }
     a.terms.retain(|(_, c)| *c != 0);
@@ -759,16 +785,27 @@ fn affine_combine(mut a: AffineIndex, b: AffineIndex, sign: i64) -> AffineIndex 
 }
 
 fn affine_scale(mut a: AffineIndex, k: i64) -> AffineIndex {
-    a.constant *= k;
+    a.constant = a.constant.saturating_mul(k);
     for (_, c) in &mut a.terms {
-        *c *= k;
+        *c = c.saturating_mul(k);
     }
     a.terms.retain(|(_, c)| *c != 0);
     a
 }
 
-fn fold(op: BinOp, a: f64, b: f64) -> Option<f64> {
+/// Constant folding with the same semantics the runtime ops have: integer
+/// operations go through [`int_binop`] (truncate, saturate, defined
+/// division by zero), float operations are plain `f64`. Folding with the
+/// wrong type — the old behavior folded `7 / 2` to `3.5` even when both
+/// sides were `int` — is exactly the kind of silent semantics drift the
+/// interpreter differential oracle exists to catch.
+fn fold(op: BinOp, a: f64, b: f64, float: bool) -> Option<f64> {
     Some(match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem if !float => {
+            // div/rem by zero folds to the runtime result (0), so the
+            // emitted graph and the folded constant agree either way
+            int_binop(op, a, b)?
+        }
         BinOp::Add => a + b,
         BinOp::Sub => a - b,
         BinOp::Mul => a * b,
@@ -778,12 +815,7 @@ fn fold(op: BinOp, a: f64, b: f64) -> Option<f64> {
             }
             a / b
         }
-        BinOp::Rem => {
-            if b == 0.0 {
-                return None;
-            }
-            (a as i64 % b as i64) as f64
-        }
+        BinOp::Rem => return None,
         BinOp::Lt => f64::from(a < b),
         BinOp::Le => f64::from(a <= b),
         BinOp::Gt => f64::from(a > b),
@@ -793,6 +825,35 @@ fn fold(op: BinOp, a: f64, b: f64) -> Option<f64> {
         BinOp::And => f64::from(a != 0.0 && b != 0.0),
         BinOp::Or => f64::from(a != 0.0 || b != 0.0),
     })
+}
+
+/// Integer arithmetic on the `f64` value domain, shared verbatim with the
+/// HIR interpreter (`hir::interp`) and mirrored by the AST reference
+/// interpreter (`crates/interp`): operands truncate toward zero,
+/// add/sub/mul saturate, and `x/0 == x%0 == 0`.
+pub fn int_binop(op: BinOp, a: f64, b: f64) -> Option<f64> {
+    let (ia, ib) = (a.trunc() as i64, b.trunc() as i64);
+    let v = match op {
+        BinOp::Add => ia.saturating_add(ib),
+        BinOp::Sub => ia.saturating_sub(ib),
+        BinOp::Mul => ia.saturating_mul(ib),
+        BinOp::Div => {
+            if ib == 0 {
+                0
+            } else {
+                ia.checked_div(ib).unwrap_or(i64::MAX)
+            }
+        }
+        BinOp::Rem => {
+            if ib == 0 {
+                0
+            } else {
+                ia.checked_rem(ib).unwrap_or(0)
+            }
+        }
+        _ => return None,
+    };
+    Some(v as f64)
 }
 
 fn contains_loop(stmts: &[Stmt]) -> bool {

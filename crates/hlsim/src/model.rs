@@ -122,7 +122,10 @@ pub fn analytic_ii(func: &Function, cfg: &PragmaConfig, loop_id: &LoopId) -> u64
     };
     let p = cfg.loop_pragma(loop_id);
     let tc = l.trip_count().max(1);
-    let repl = p.unroll.factor(tc) * eval.inner_full_unroll_factor(l);
+    let repl = p
+        .unroll
+        .factor(tc)
+        .saturating_mul(eval.inner_full_unroll_factor(l));
     eval.ii_res(l, repl).max(eval.ii_rec(l, repl)).max(1)
 }
 
@@ -263,7 +266,7 @@ impl<'a> Evaluator<'a> {
                 return Ok(None);
             }
             let child = children[0];
-            total_tc *= child.trip_count().max(1);
+            total_tc = total_tc.saturating_mul(child.trip_count().max(1));
             let cp = self.cfg.loop_pragma(&child.id);
             if child.children().next().is_none() {
                 if !cp.pipeline {
@@ -308,7 +311,9 @@ impl<'a> Evaluator<'a> {
         let sched = schedule_ops(self.func, &ops, self.lib, &ports);
 
         // replication of the whole region body
-        let repl = unroll.max(1) * self.inner_full_unroll_factor(l);
+        let repl = unroll
+            .max(1)
+            .saturating_mul(self.inner_full_unroll_factor(l));
 
         // --- initiation interval ---
         let ii_res = self.ii_res(l, repl);
@@ -336,7 +341,7 @@ impl<'a> Evaluator<'a> {
         }
         let mut res = res.scaled(repl as f64);
         // pipeline registers: live values crossing each stage boundary
-        res.ff += 8.0 * (ops.len() as u64 * repl) as f64 + 6.0 * il as f64;
+        res.ff += 8.0 * (ops.len() as u64).saturating_mul(repl) as f64 + 6.0 * il as f64;
         res.lut += 15.0 + 2.0 * il as f64;
         res.add(self.memory_overhead(l, repl));
 
@@ -386,7 +391,9 @@ impl<'a> Evaluator<'a> {
         // unchanged, hardware is replicated
         let iterations = tc.div_ceil(unroll.max(1));
         let loop_overhead = 2; // increment + exit check
-        let latency = iterations * (body_latency + loop_overhead) + 1;
+        let latency = iterations
+            .saturating_mul(body_latency.saturating_add(loop_overhead))
+            .saturating_add(1);
 
         res.add(child_res);
         let mut res = res.scaled(unroll.max(1) as f64);
@@ -410,9 +417,8 @@ impl<'a> Evaluator<'a> {
     fn inner_full_unroll_factor(&self, l: &HirLoop) -> u64 {
         fn walk(l: &HirLoop) -> u64 {
             l.children()
-                .map(|c| c.trip_count().max(1) * walk(c))
-                .product::<u64>()
-                .max(1)
+                .map(|c| c.trip_count().max(1).saturating_mul(walk(c)))
+                .fold(1u64, u64::saturating_mul)
         }
         walk(l)
     }
@@ -423,7 +429,7 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|u| {
                 let ports = u64::from(self.ports_of(&u.array));
-                let accesses = u.accesses() as u64 * repl;
+                let accesses = (u.accesses() as u64).saturating_mul(repl);
                 accesses.div_ceil(ports.max(1))
             })
             .max()
@@ -442,7 +448,7 @@ impl<'a> Evaluator<'a> {
                 .sum::<u64>()
                 .max(1);
             // replicated accumulators chain serially inside one initiation
-            let delay = cycle_cycles * repl;
+            let delay = cycle_cycles.saturating_mul(repl);
             worst = worst.max(delay.div_ceil(u64::from(r.distance.max(1))));
         }
         worst
@@ -454,7 +460,7 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|u| {
                 let ports = u64::from(self.ports_of(&u.array));
-                let accesses = u.accesses() as u64 * repl;
+                let accesses = (u.accesses() as u64).saturating_mul(repl);
                 accesses.div_ceil(ports.max(1)) + 2 // + load latency
             })
             .max()
@@ -528,7 +534,7 @@ impl<'a> Evaluator<'a> {
             out.ff += 4.0 * banks;
             if !u.all_affine {
                 // dynamic index: every access needs a bank crossbar
-                out.lut += 5.0 * banks * (u.accesses() as u64 * repl) as f64;
+                out.lut += 5.0 * banks * (u.accesses() as u64).saturating_mul(repl) as f64;
             }
         }
         out

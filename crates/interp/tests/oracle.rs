@@ -1,0 +1,136 @@
+//! Hand-computed expected outputs pinning the reference interpreter's
+//! semantics on tiny fixed programs. These must hold before the
+//! interpreter is trusted as a differential oracle for the lowering.
+
+use hir::Memory;
+
+fn run(src: &str, top: &str, mem: &mut Memory) -> interp::ExecStats {
+    let program = frontc::parse(src).expect("parse");
+    interp::execute(program.function(top).expect("top fn"), mem).expect("execute")
+}
+
+#[test]
+fn dot_product_hand_computed() {
+    let src = "void dot(float a[4], float b[4], float out[1]) {
+        float acc = 0.0;
+        for (int i = 0; i < 4; i++) { acc += a[i] * b[i]; }
+        out[0] = acc;
+    }";
+    let mut mem = Memory::new();
+    mem.set("a", vec![1.0, 2.0, 3.0, 4.0]);
+    mem.set("b", vec![0.5, -1.0, 2.0, 0.25]);
+    mem.set("out", vec![0.0]);
+    let stats = run(src, "dot", &mut mem);
+    // 1*0.5 - 2 + 6 + 1 = 5.5
+    assert_eq!(mem.get("out").unwrap(), &[5.5]);
+    assert_eq!(stats.loop_iterations.get("L0"), Some(&4));
+    assert_eq!(stats.loads, 8);
+    assert_eq!(stats.stores, 1);
+}
+
+#[test]
+fn two_level_stencil_hand_computed() {
+    let src = "void st(float src[4][4], float dst[4][4]) {
+        for (int i = 0; i < 2; i++) {
+            for (int j = 0; j < 2; j++) {
+                dst[i][j] = src[i][j] + src[i + 1][j] + src[i][j + 1];
+            }
+        }
+    }";
+    let mut mem = Memory::new();
+    mem.set("src", (0..16).map(|v| v as f64).collect()); // src[i][j] = 4i + j
+    mem.set("dst", vec![0.0; 16]);
+    let stats = run(src, "st", &mut mem);
+    let mut expected = vec![0.0; 16];
+    expected[0] = 5.0; //  0 + 4 + 1
+    expected[1] = 8.0; //  1 + 5 + 2
+    expected[4] = 17.0; // 4 + 8 + 5
+    expected[5] = 20.0; // 5 + 9 + 6
+    assert_eq!(mem.get("dst").unwrap(), expected.as_slice());
+    assert_eq!(stats.loop_iterations.get("L0"), Some(&2));
+    // nested loop records total iterations across the whole nest
+    assert_eq!(stats.loop_iterations.get("L0.L0"), Some(&4));
+}
+
+#[test]
+fn conditional_reduction_hand_computed() {
+    let src = "void cr(float a[6], float out[1]) {
+        float acc = 0.0;
+        for (int i = 0; i < 6; i++) {
+            if (a[i] > 0.0) { acc += a[i]; } else { acc -= 1.0; }
+        }
+        out[0] = acc;
+    }";
+    let mut mem = Memory::new();
+    mem.set("a", vec![1.0, -2.0, 3.0, 0.0, 5.0, -1.0]);
+    mem.set("out", vec![0.0]);
+    run(src, "cr", &mut mem);
+    // +1 -1 +3 -1 +5 -1 = 6
+    assert_eq!(mem.get("out").unwrap(), &[6.0]);
+}
+
+#[test]
+fn integer_semantics_pinned() {
+    // the shared int-op contract: truncation toward zero, x/0 == x%0 == 0,
+    // Rust remainder sign, float→int coercion truncates
+    let src = "void isem(int out[8], int n) {
+        int a = 7;
+        int b = 2;
+        out[0] = a / b;
+        out[1] = a % b;
+        out[2] = a / 0;
+        out[3] = 0 - 7 / 2;
+        out[4] = 5 % 0;
+        out[5] = a > b ? 9 : 8;
+        int c = 2.9;
+        out[6] = c;
+        out[7] = 7.9;
+    }";
+    let mut mem = Memory::new();
+    mem.set("out", vec![-1.0; 8]);
+    mem.scalars.insert("n".into(), 0.0);
+    run(src, "isem", &mut mem);
+    assert_eq!(
+        mem.get("out").unwrap(),
+        &[3.0, 1.0, 0.0, -3.0, 0.0, 9.0, 2.0, 7.0]
+    );
+}
+
+#[test]
+fn float_div_by_zero_is_zero() {
+    let src = "void fz(float out[1], float x) { out[0] = x / 0.0; }";
+    let mut mem = Memory::new();
+    mem.set("out", vec![9.0]);
+    mem.scalars.insert("x".into(), 3.5);
+    run(src, "fz", &mut mem);
+    assert_eq!(mem.get("out").unwrap(), &[0.0]);
+}
+
+#[test]
+fn out_of_bounds_store_is_typed_error() {
+    let src = "void oob(float a[4], int n) { a[n] = 1.0; }";
+    let program = frontc::parse(src).unwrap();
+    let mut mem = Memory::new();
+    mem.set("a", vec![0.0; 4]);
+    mem.scalars.insert("n".into(), 7.0);
+    let err = interp::execute(program.function("oob").unwrap(), &mut mem).unwrap_err();
+    assert!(err.message.contains("out of bounds"), "{err}");
+}
+
+#[test]
+fn seeded_memory_matches_hir_pattern() {
+    let src = "void k(float a[8], int n, float x) { a[0] = x; }";
+    let program = frontc::parse(src).unwrap();
+    let module = hir::lower(&program).unwrap();
+    let ast_mem = interp::seeded_memory(program.function("k").unwrap(), 42);
+    let hir_mem = Memory::seeded_for(module.function("k").unwrap(), 42);
+    // array contents agree element-for-element with the HIR-side seeding
+    assert_eq!(ast_mem.get("a").unwrap(), hir_mem.get("a").unwrap());
+    // scalars are seeded (the HIR-side helper leaves them empty)
+    assert!(ast_mem.scalars.contains_key("n"));
+    assert_eq!(
+        ast_mem.scalars["n"].trunc(),
+        ast_mem.scalars["n"],
+        "int params get integral values"
+    );
+}

@@ -1,0 +1,255 @@
+//! Seeded mutational corruptor for HLS-C sources.
+//!
+//! Takes a (usually legal) program and applies a small burst of syntactic
+//! damage: truncations, span deletes/duplicates, identifier swaps, token
+//! splices, bracket flips, number mangling, pragma mangling and raw garbage
+//! insertion. The output is *not* expected to parse — it exists to drive the
+//! crash-free gate: every corrupted program must produce a typed error or a
+//! clean success from the pipeline, never a panic.
+//!
+//! All mutations operate on `char` vectors, so any splice point is a valid
+//! UTF-8 boundary and the result is always a well-formed `String` (the
+//! front-end takes `&str`; feeding it invalid UTF-8 is not a reachable
+//! failure mode and is out of scope).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Tokens spliced into the source by the `TokenSplice` mutation.
+const SPLICE_TOKENS: &[&str] = &[
+    "for", "if", "else", "int", "float", "void", "return", "(", ")", "{", "}", "[", "]", ";", ",",
+    "++", "--", "+=", "<=", "?", ":", "&&", "||", "%", "/", "*", "#pragma", "HLS", "0x", "1e999",
+    "..", "\u{3bb}", "\0",
+];
+
+/// Garbage fragments for the `GarbageInsert` mutation (includes non-ASCII
+/// and control characters to exercise the lexer's error paths).
+const GARBAGE: &[&str] = &[
+    "@#$!",
+    "\"unterminated",
+    "/* open comment",
+    "\u{fffd}\u{fffd}",
+    "\t\r\x0b",
+    "12345678901234567890123456789012345678901234567890",
+    "e+308e+308",
+    "while(1){}",
+    "a[[[[",
+    "))))",
+];
+
+fn splice(chars: &mut Vec<char>, at: usize, text: &str) {
+    let at = at.min(chars.len());
+    for (k, c) in text.chars().enumerate() {
+        chars.insert(at + k, c);
+    }
+}
+
+/// Collects `[start, end)` char ranges of identifier-like words.
+fn word_spans(chars: &[char]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_ascii_alphabetic() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            spans.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn apply_one(rng: &mut StdRng, chars: &mut Vec<char>) {
+    if chars.is_empty() {
+        splice(chars, 0, "{");
+        return;
+    }
+    let n = chars.len();
+    match rng.gen_range(0..9u32) {
+        // Truncate: drop the tail from a random point.
+        0 => {
+            let at = rng.gen_range(0..n);
+            chars.truncate(at);
+        }
+        // Delete a span of 1..=24 chars.
+        1 => {
+            let at = rng.gen_range(0..n);
+            let len = rng.gen_range(1..=24usize).min(n - at);
+            chars.drain(at..at + len);
+        }
+        // Duplicate a span somewhere else.
+        2 => {
+            let at = rng.gen_range(0..n);
+            let len = rng.gen_range(1..=16usize).min(n - at);
+            let span: String = chars[at..at + len].iter().collect();
+            let dst = rng.gen_range(0..=n);
+            splice(chars, dst, &span);
+        }
+        // Swap two identifiers (type confusion, unknown names, ...).
+        3 => {
+            let words = word_spans(chars);
+            if words.len() >= 2 {
+                let a = words[rng.gen_range(0..words.len())];
+                let b = words[rng.gen_range(0..words.len())];
+                if a != b {
+                    let (a, b) = if a.0 < b.0 { (a, b) } else { (b, a) };
+                    let wa: String = chars[a.0..a.1].iter().collect();
+                    let wb: String = chars[b.0..b.1].iter().collect();
+                    // replace b first so a's indices stay valid
+                    chars.splice(b.0..b.1, wa.chars());
+                    chars.splice(a.0..a.1, wb.chars());
+                }
+            }
+        }
+        // Splice a random token.
+        4 => {
+            let tok = SPLICE_TOKENS[rng.gen_range(0..SPLICE_TOKENS.len())];
+            let at = rng.gen_range(0..=n);
+            splice(chars, at, tok);
+        }
+        // Flip or drop a bracket to unbalance the program.
+        5 => {
+            let brackets: Vec<usize> = chars
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| matches!(c, '(' | ')' | '{' | '}' | '[' | ']'))
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&at) = brackets.get(
+                rng.gen_range(0..brackets.len().max(1))
+                    .min(brackets.len().saturating_sub(1)),
+            ) {
+                if rng.gen_bool(0.5) {
+                    chars[at] = match chars[at] {
+                        '(' => ')',
+                        ')' => '(',
+                        '{' => '}',
+                        '}' => '{',
+                        '[' => ']',
+                        _ => '[',
+                    };
+                } else {
+                    chars.remove(at);
+                }
+            }
+        }
+        // Mangle a number: overflow it, negate it, or make it malformed.
+        6 => {
+            let digits: Vec<usize> = chars
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_ascii_digit())
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&at) = digits.get(
+                rng.gen_range(0..digits.len().max(1))
+                    .min(digits.len().saturating_sub(1)),
+            ) {
+                let repl = match rng.gen_range(0..4u32) {
+                    0 => "99999999999999999999",
+                    1 => "-1",
+                    2 => "1.5.5",
+                    _ => "0",
+                };
+                chars.remove(at);
+                splice(chars, at, repl);
+            }
+        }
+        // Mangle a pragma line (or insert a bogus one).
+        7 => {
+            let src: String = chars.iter().collect();
+            if let Some(pos) = src.find("#pragma") {
+                let at = src[..pos].chars().count();
+                let repl = match rng.gen_range(0..3u32) {
+                    0 => "#pragma HLS unroll factor=0",
+                    1 => "#pragma HLS pipeline II=",
+                    _ => "#pragma HLS nonsense",
+                };
+                // overwrite the "#pragma" keyword so the rest of the line trails
+                chars.splice(at..at + "#pragma".chars().count(), repl.chars());
+            } else {
+                let at = rng.gen_range(0..=n);
+                splice(chars, at, "\n#pragma HLS unroll factor=0\n");
+            }
+        }
+        // Insert raw garbage.
+        _ => {
+            let g = GARBAGE[rng.gen_range(0..GARBAGE.len())];
+            let at = rng.gen_range(0..=n);
+            splice(chars, at, g);
+        }
+    }
+}
+
+/// Applies `1..=4` seeded mutations to `source`.
+///
+/// Deterministic: the same `(source, seed)` pair always yields the same
+/// output. The result is a valid `String` but almost never a valid program.
+pub fn corrupt(source: &str, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x243f_6a88).wrapping_add(!seed));
+    let mut chars: Vec<char> = source.chars().collect();
+    let rounds = rng.gen_range(1..=4u32);
+    for _ in 0..rounds {
+        apply_one(&mut rng, &mut chars);
+    }
+    chars.into_iter().collect()
+}
+
+/// A corrupted variant of the seeded synthetic kernel with the same seed.
+pub fn corrupted_kernel(seed: u64) -> String {
+    corrupt(&crate::synthetic_kernel(seed), seed ^ 0xdead_beef)
+}
+
+/// `count` corrupted programs derived from `synthetic_corpus(count, base_seed)`.
+pub fn corrupted_corpus(count: usize, base_seed: u64) -> Vec<(u64, String)> {
+    (0..count as u64)
+        .map(|i| (base_seed + i, corrupted_kernel(base_seed + i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let src = crate::synthetic_kernel(3);
+        assert_eq!(corrupt(&src, 99), corrupt(&src, 99));
+        assert_ne!(corrupt(&src, 99), corrupt(&src, 100));
+    }
+
+    #[test]
+    fn corruption_changes_the_source() {
+        let mut changed = 0;
+        for seed in 0..50u64 {
+            let src = crate::synthetic_kernel(seed);
+            if corrupt(&src, seed) != src {
+                changed += 1;
+            }
+        }
+        // identity outcomes (e.g. swap of equal words) are possible but rare
+        assert!(changed >= 45, "only {changed}/50 corrupted");
+    }
+
+    #[test]
+    fn corrupted_programs_mostly_fail_the_frontend() {
+        let mut rejected = 0;
+        for (_, src) in corrupted_corpus(60, 7) {
+            if frontc::parse(&src).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 30, "only {rejected}/60 rejected");
+    }
+
+    #[test]
+    fn corrupted_output_is_valid_utf8_strings() {
+        for (_, src) in corrupted_corpus(200, 11) {
+            // would have panicked on a bad boundary already; check the
+            // round-trip anyway
+            assert_eq!(src, String::from_utf8(src.clone().into_bytes()).unwrap());
+        }
+    }
+}

@@ -14,9 +14,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod corrupt;
 mod sources;
 mod synth;
 
+pub use corrupt::{corrupt, corrupted_corpus, corrupted_kernel};
 pub use synth::{synthetic_corpus, synthetic_kernel};
 
 use hir::{AccessPattern, Function, OpKind};

@@ -1,18 +1,91 @@
-//! Synthetic program generator.
+//! Seeded, grammar-driven generator of legal HLS-C programs.
 //!
-//! Wu et al. (DAC'22, \[8\]) evaluate on randomly generated DFGs and simple
-//! loops without pragmas. This module reproduces that corpus style for the
-//! Table IV "w/o pragma" comparison: random single/double loops whose
-//! bodies are random arithmetic DAGs over array loads.
+//! Wu et al. (DAC'22, \[8\]) evaluate on randomly generated DFGs; GNN-DSE
+//! (Sohrabizadeh et al.) relies on a compiler front-end that never fails
+//! mid-search. This module supplies both needs: an unbounded corpus of
+//! *legal* programs far more diverse than the 16 bundled kernels, used to
+//! (a) differential-test the `frontc → hir` lowering against the reference
+//! interpreter in `crates/interp`, and (b) drive the `qor-fuzz` crash-free
+//! gate over the full prediction pipeline.
+//!
+//! # Grammar
+//!
+//! Each program is one `void` function built from 1–3 top-level loop-nest
+//! constructs drawn from a weighted template grammar:
+//!
+//! - **map** — elementwise DAG over 1D/2D arrays, optional conditional
+//!   (`if`/ternary) and dynamic (`(i*p) % n`) indices
+//! - **reduce** — scalar accumulator over a 1–2 level nest (imperfect:
+//!   init/store statements ride between loop levels), optionally guarded
+//! - **stencil** — 1D 3-point or 2D 4-point neighborhoods; loop bounds are
+//!   *shrunk by the tap radius* so every access is in bounds by
+//!   construction
+//! - **contract** — GEMM-style 3-level nest `c[i][j] += a[i][k] * b[k][j]`
+//!   with the accumulator pattern making the middle level imperfect
+//! - **intmap** — integer arithmetic (`+ - * / %`) over `int` arrays,
+//!   exercising the shared saturating/defined-division semantics
+//!
+//! Arrays have rank 1–3 and mixed `int`/`float` element types; loop bounds
+//! are derived from the dims of the arrays each nest touches, so accesses
+//! cannot go out of bounds; every division/remainder is legal because the
+//! op model defines `x/0 == x%0 == 0`. Optional pragmas (`pipeline`,
+//! `unroll`, `loop_flatten`, `array_partition`) are sprinkled in to
+//! exercise `pragma::enumerate` round-trips.
+//!
+//! Programs are small by design (worst-case iteration space ≈ 16k per
+//! nest) so the differential oracle can execute thousands of them.
+//!
+//! The malformed counterpart lives in [`crate::corrupt`].
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Generates one synthetic pragma-free kernel.
+/// Element type of a generated array.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Elem {
+    Float,
+    Int,
+}
+
+impl Elem {
+    fn kw(self) -> &'static str {
+        match self {
+            Elem::Float => "float",
+            Elem::Int => "int",
+        }
+    }
+}
+
+#[derive(Clone)]
+struct ArraySpec {
+    name: String,
+    elem: Elem,
+    dims: Vec<usize>,
+}
+
+/// A loop variable in scope: name and *exclusive* bound (its values are
+/// `0..bound`), used to build in-bounds index expressions.
+#[derive(Clone)]
+struct LoopVar {
+    name: String,
+    bound: usize,
+}
+
+struct Gen {
+    rng: StdRng,
+    arrays: Vec<ArraySpec>,
+    /// Scalar params as (name, elem).
+    scalars: Vec<(String, Elem)>,
+    out: String,
+    tmp: usize,
+}
+
+/// Generates one synthetic kernel.
 ///
-/// The program is guaranteed to pass the HLS-C front-end: a `void` function
-/// named `synth<seed>` over 2–3 float arrays, one or two loop levels, and a
-/// random expression DAG of 3–10 float operations per body.
+/// The program is guaranteed to pass the HLS-C front-end (parse + sema),
+/// lower to HIR, build a CDFG, and execute without out-of-bounds accesses:
+/// a `void` function named `synth<seed>` whose loop bounds are derived
+/// from the array dims it touches.
 ///
 /// # Example
 ///
@@ -22,74 +95,15 @@ use rand::{Rng, SeedableRng};
 /// assert_eq!(program.functions.len(), 1);
 /// ```
 pub fn synthetic_kernel(seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(seed));
-    let name = format!("synth{seed}");
-    let n = *[16usize, 32, 64]
-        .get(rng.gen_range(0..3usize))
-        .unwrap_or(&32);
-    let n_arrays = rng.gen_range(2..=3usize);
-    let arrays: Vec<String> = (0..n_arrays).map(|i| format!("a{i}")).collect();
-    let two_level = rng.gen_bool(0.4);
-    let inner_n = if two_level {
-        rng.gen_range(4..=16usize)
-    } else {
-        0
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(seed)),
+        arrays: Vec::new(),
+        scalars: Vec::new(),
+        out: String::new(),
+        tmp: 0,
     };
-
-    let mut body = String::new();
-    let depth_pad = if two_level { "        " } else { "    " };
-
-    // random expression DAG: a chain of temporaries over random loads
-    let n_ops = rng.gen_range(3..=10usize);
-    let mut temps: Vec<String> = Vec::new();
-    for t in 0..n_ops {
-        let lhs = pick_operand(&mut rng, &arrays, &temps, n, two_level);
-        let rhs = pick_operand(&mut rng, &arrays, &temps, n, two_level);
-        let op = ["+", "-", "*"][rng.gen_range(0..3usize)];
-        body.push_str(&format!("{depth_pad}    float t{t} = {lhs} {op} {rhs};\n"));
-        temps.push(format!("t{t}"));
-    }
-    let result = temps.last().cloned().unwrap_or_else(|| "0.0".into());
-    let out = &arrays[0];
-    body.push_str(&format!("{depth_pad}    {out}[i] = {result};\n"));
-
-    let params: Vec<String> = arrays.iter().map(|a| format!("float {a}[{n}]")).collect();
-    if two_level {
-        format!(
-            "void {name}({}) {{\n    for (int i = 0; i < {n}; i++) {{\n        for (int j = 0; j < {inner_n}; j++) {{\n{body}        }}\n    }}\n}}\n",
-            params.join(", ")
-        )
-    } else {
-        format!(
-            "void {name}({}) {{\n    for (int i = 0; i < {n}; i++) {{\n{body}    }}\n}}\n",
-            params.join(", ")
-        )
-    }
-}
-
-fn pick_operand(
-    rng: &mut StdRng,
-    arrays: &[String],
-    temps: &[String],
-    n: usize,
-    two_level: bool,
-) -> String {
-    let choice = rng.gen_range(0..10u32);
-    if choice < 5 || temps.is_empty() {
-        // array load with a simple affine index
-        let a = &arrays[rng.gen_range(0..arrays.len())];
-        match rng.gen_range(0..3u32) {
-            0 => format!("{a}[i]"),
-            // reversed access: n-1-i stays within [0, n-1] for all i
-            1 => format!("{a}[{} - i]", n - 1),
-            _ if two_level => format!("{a}[j]"),
-            _ => format!("{a}[i]"),
-        }
-    } else if choice < 8 {
-        temps[rng.gen_range(0..temps.len())].clone()
-    } else {
-        format!("{:.1}", rng.gen_range(0.5..4.0f32))
-    }
+    g.generate(&format!("synth{seed}"));
+    g.out
 }
 
 /// Generates a corpus of `count` synthetic kernels as `(name, source)`
@@ -103,6 +117,556 @@ pub fn synthetic_corpus(count: usize, base_seed: u64) -> Vec<(String, String)> {
         .collect()
 }
 
+impl Gen {
+    // ------------------------------------------------------------ helpers
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.rng.gen_range(0..xs.len())]
+    }
+
+    fn fresh_tmp(&mut self) -> String {
+        let t = format!("t{}", self.tmp);
+        self.tmp += 1;
+        t
+    }
+
+    fn line(&mut self, indent: usize, s: &str) {
+        for _ in 0..indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    /// Float arrays of the given rank (any rank if `rank` is `None`).
+    fn float_arrays(&self, rank: Option<usize>) -> Vec<ArraySpec> {
+        self.arrays
+            .iter()
+            .filter(|a| a.elem == Elem::Float && rank.is_none_or(|r| a.dims.len() == r))
+            .cloned()
+            .collect()
+    }
+
+    fn int_arrays(&self, rank: usize) -> Vec<ArraySpec> {
+        self.arrays
+            .iter()
+            .filter(|a| a.elem == Elem::Int && a.dims.len() == rank)
+            .cloned()
+            .collect()
+    }
+
+    // ----------------------------------------------------------- topology
+
+    fn generate(&mut self, name: &str) {
+        // signature: always at least one 1D float array (every template
+        // can fall back to it) plus a random mix of ranks and elem types
+        let n_arrays = self.rng.gen_range(2..=5usize);
+        for i in 0..n_arrays {
+            let rank = if i == 0 {
+                1
+            } else {
+                match self.rng.gen_range(0..10u32) {
+                    0..=4 => 1,
+                    5..=7 => 2,
+                    _ => 3,
+                }
+            };
+            let elem = if i < 2 || self.rng.gen_range(0..5u32) > 0 {
+                Elem::Float
+            } else {
+                Elem::Int
+            };
+            let dims: Vec<usize> = match rank {
+                1 => vec![*self.pick(&[8usize, 16, 32, 64])],
+                2 => vec![*self.pick(&[4usize, 8, 16]), *self.pick(&[4usize, 8, 16])],
+                _ => vec![
+                    *self.pick(&[4usize, 8]),
+                    *self.pick(&[4usize, 8]),
+                    *self.pick(&[4usize, 8]),
+                ],
+            };
+            self.arrays.push(ArraySpec {
+                name: format!("a{i}"),
+                elem,
+                dims,
+            });
+        }
+        let n_scalars = self.rng.gen_range(0..=2usize);
+        for i in 0..n_scalars {
+            let elem = if self.rng.gen_bool(0.5) {
+                Elem::Float
+            } else {
+                Elem::Int
+            };
+            self.scalars.push((format!("s{i}"), elem));
+        }
+
+        let mut params: Vec<String> = self
+            .arrays
+            .iter()
+            .map(|a| {
+                let dims: String = a.dims.iter().map(|d| format!("[{d}]")).collect();
+                format!("{} {}{dims}", a.elem.kw(), a.name)
+            })
+            .collect();
+        params.extend(
+            self.scalars
+                .iter()
+                .map(|(n, e)| format!("{} {n}", e.kw()))
+                .collect::<Vec<_>>(),
+        );
+        let sig = format!("void {name}({}) {{", params.join(", "));
+        self.line(0, &sig);
+
+        // optional function-scope array_partition pragma
+        if self.rng.gen_bool(0.25) {
+            let a = self.pick(&self.arrays.clone()).clone();
+            let kind = *self.pick(&["cyclic", "block", "complete"]);
+            let dim = self.rng.gen_range(1..=a.dims.len());
+            let factor = *self.pick(&[2u32, 4]);
+            self.line(
+                0,
+                &format!(
+                    "#pragma HLS array_partition variable={} {kind} factor={factor} dim={dim}",
+                    a.name
+                ),
+            );
+        }
+
+        let n_nests = self.rng.gen_range(1..=3usize);
+        for _ in 0..n_nests {
+            match self.rng.gen_range(0..10u32) {
+                0..=2 => self.emit_map(1),
+                3 => self.emit_map(2),
+                4..=5 => self.emit_reduce(),
+                6 => self.emit_stencil1d(),
+                7 => self.emit_stencil2d(),
+                8 => self.emit_contract(),
+                _ => self.emit_intmap(),
+            }
+        }
+        if self.rng.gen_bool(0.1) {
+            self.line(1, "return;");
+        }
+        self.line(0, "}");
+    }
+
+    fn maybe_loop_pragma(&mut self, indent: usize, innermost: bool) {
+        let roll = self.rng.gen_range(0..10u32);
+        match roll {
+            0..=1 if innermost => {
+                if self.rng.gen_bool(0.4) {
+                    let ii = *self.pick(&[1u32, 2, 4]);
+                    self.line(indent, &format!("#pragma HLS pipeline II={ii}"));
+                } else {
+                    self.line(indent, "#pragma HLS pipeline");
+                }
+            }
+            2 => {
+                let f = *self.pick(&[2u32, 4]);
+                self.line(indent, &format!("#pragma HLS unroll factor={f}"));
+            }
+            3 if !innermost => self.line(indent, "#pragma HLS loop_flatten"),
+            _ => {}
+        }
+    }
+
+    // ----------------------------------------------------------- templates
+
+    /// Elementwise map over a 1D or 2D destination, with optional
+    /// conditionals and dynamic indices in the body.
+    fn emit_map(&mut self, rank: usize) {
+        let cands = self.float_arrays(Some(rank));
+        let dst = match cands.first() {
+            Some(_) => self.pick(&cands).clone(),
+            None => match self.float_arrays(Some(1)).first() {
+                Some(a) => a.clone(),
+                None => return,
+            },
+        };
+        let rank = dst.dims.len();
+        let step = if self.rng.gen_bool(0.15) { 2 } else { 1 };
+        let vars = ["i", "j"];
+        let mut in_scope: Vec<LoopVar> = Vec::new();
+        for (d, var) in vars.iter().take(rank).enumerate() {
+            let bound = dst.dims[d];
+            let s = if d == rank - 1 { step } else { 1 };
+            self.line(
+                1 + d,
+                &format!("for (int {var} = 0; {var} < {bound}; {var} += {s}) {{"),
+            );
+            self.maybe_loop_pragma(2 + d, d == rank - 1);
+            in_scope.push(LoopVar {
+                name: var.to_string(),
+                bound,
+            });
+        }
+        let body_indent = 1 + rank;
+        let dst_idx: String = in_scope
+            .to_vec()
+            .iter()
+            .map(|v| self.index_form(v))
+            .collect();
+
+        // small DAG of float temporaries feeding the store
+        let n_tmp = self.rng.gen_range(0..=2usize);
+        let mut tmps = Vec::new();
+        for _ in 0..n_tmp {
+            let t = self.fresh_tmp();
+            let e = self.float_expr(2, &in_scope, &tmps);
+            self.line(body_indent, &format!("float {t} = {e};"));
+            tmps.push(t);
+        }
+        let value = self.float_expr(2, &in_scope, &tmps);
+
+        if self.rng.gen_bool(0.3) {
+            // conditional store: both branches write the same cell
+            let guard = self.guard_expr(&in_scope, &tmps);
+            let alt = self.float_expr(1, &in_scope, &tmps);
+            self.line(body_indent, &format!("if ({guard}) {{"));
+            self.line(
+                body_indent + 1,
+                &format!("{}{dst_idx} = {value};", dst.name),
+            );
+            self.line(body_indent, "} else {");
+            self.line(body_indent + 1, &format!("{}{dst_idx} = {alt};", dst.name));
+            self.line(body_indent, "}");
+        } else {
+            let op = *self.pick(&["=", "=", "=", "+=", "*="]);
+            self.line(body_indent, &format!("{}{dst_idx} {op} {value};", dst.name));
+        }
+        for d in (0..rank).rev() {
+            self.line(1 + d, "}");
+        }
+    }
+
+    /// Scalar reduction over a 1–2 level nest; the 2-level variant is an
+    /// imperfect nest (init + store straddle the inner loop).
+    fn emit_reduce(&mut self) {
+        let two_level = self.rng.gen_bool(0.5);
+        let arrs = self.float_arrays(Some(1));
+        let (Some(src), Some(dst)) = (arrs.first().cloned(), arrs.last().cloned()) else {
+            return;
+        };
+        let acc = self.fresh_tmp();
+        if two_level {
+            let n = dst.dims[0].min(16);
+            let m = src.dims[0];
+            self.line(1, &format!("for (int i = 0; i < {n}; i++) {{"));
+            self.maybe_loop_pragma(2, false);
+            self.line(2, &format!("float {acc} = 0.0;"));
+            let outer = vec![LoopVar {
+                name: "i".into(),
+                bound: n,
+            }];
+            self.line(2, &format!("for (int j = 0; j < {m}; j++) {{"));
+            self.maybe_loop_pragma(3, true);
+            let mut scope = outer.clone();
+            scope.push(LoopVar {
+                name: "j".into(),
+                bound: m,
+            });
+            let e = self.float_expr(2, &scope, &[]);
+            if self.rng.gen_bool(0.3) {
+                let guard = self.guard_expr(&scope, &[]);
+                self.line(3, &format!("if ({guard}) {{ {acc} += {e}; }}"));
+            } else {
+                self.line(3, &format!("{acc} += {e};"));
+            }
+            self.line(2, "}");
+            self.line(2, &format!("{}[i] = {acc};", dst.name));
+            self.line(1, "}");
+        } else {
+            let m = src.dims[0];
+            self.line(1, &format!("float {acc} = 0.0;"));
+            self.line(1, &format!("for (int i = 0; i < {m}; i++) {{"));
+            self.maybe_loop_pragma(2, true);
+            let scope = vec![LoopVar {
+                name: "i".into(),
+                bound: m,
+            }];
+            let e = self.float_expr(2, &scope, &[]);
+            let op = *self.pick(&["+=", "+=", "-="]);
+            self.line(2, &format!("{acc} {op} {e};"));
+            self.line(1, "}");
+            let slot = self.rng.gen_range(0..dst.dims[0]);
+            self.line(1, &format!("{}[{slot}] = {acc};", dst.name));
+        }
+    }
+
+    /// 1D 3-point stencil; the loop bound is shrunk by the tap radius.
+    fn emit_stencil1d(&mut self) {
+        let arrs = self.float_arrays(Some(1));
+        let Some(dst) = arrs.first().cloned() else {
+            return;
+        };
+        let src = self.pick(&arrs).clone();
+        let radius = self.rng.gen_range(1..=2usize);
+        let n = dst.dims[0].min(src.dims[0]);
+        let bound = n - radius; // taps reach src[i + radius]
+        let taps: Vec<String> = (0..=radius)
+            .map(|k| {
+                let w = format!("{:.2}", self.rng.gen_range(0.1..1.5f64));
+                let idx = if k == 0 {
+                    "i".to_string()
+                } else {
+                    format!("i + {k}")
+                };
+                format!("{w} * {}[{idx}]", src.name)
+            })
+            .collect();
+        self.line(1, &format!("for (int i = 0; i < {bound}; i++) {{"));
+        self.maybe_loop_pragma(2, true);
+        self.line(2, &format!("{}[i] = {};", dst.name, taps.join(" + ")));
+        self.line(1, "}");
+    }
+
+    /// 2D 4-point stencil over rank-2 arrays (falls back to 1D when the
+    /// signature has no rank-2 float arrays).
+    fn emit_stencil2d(&mut self) {
+        let arrs = self.float_arrays(Some(2));
+        if arrs.is_empty() {
+            return self.emit_stencil1d();
+        }
+        let dst = arrs[0].clone();
+        let src = self.pick(&arrs).clone();
+        let d0 = dst.dims[0].min(src.dims[0]) - 1;
+        let d1 = dst.dims[1].min(src.dims[1]) - 1;
+        let s = src.name.clone();
+        self.line(1, &format!("for (int r = 0; r < {d0}; r++) {{"));
+        self.maybe_loop_pragma(2, false);
+        self.line(2, &format!("for (int c = 0; c < {d1}; c++) {{"));
+        self.maybe_loop_pragma(3, true);
+        self.line(
+            3,
+            &format!(
+                "{}[r][c] = {s}[r][c] + {s}[r + 1][c] + {s}[r][c + 1] + {s}[r + 1][c + 1];",
+                dst.name
+            ),
+        );
+        self.line(2, "}");
+        self.line(1, "}");
+    }
+
+    /// GEMM-style contraction: 3-level nest, imperfect at the middle
+    /// level (accumulator init + store).
+    fn emit_contract(&mut self) {
+        let r2 = self.float_arrays(Some(2));
+        if r2.len() < 2 {
+            return self.emit_reduce();
+        }
+        let c = r2[0].clone();
+        let a = self.pick(&r2).clone();
+        let b = self.pick(&r2).clone();
+        let ni = c.dims[0].min(a.dims[0]);
+        let nj = c.dims[1].min(b.dims[1]);
+        let nk = a.dims[1].min(b.dims[0]);
+        let acc = self.fresh_tmp();
+        self.line(1, &format!("for (int i = 0; i < {ni}; i++) {{"));
+        self.maybe_loop_pragma(2, false);
+        self.line(2, &format!("for (int j = 0; j < {nj}; j++) {{"));
+        self.line(3, &format!("float {acc} = 0.0;"));
+        self.line(3, &format!("for (int k = 0; k < {nk}; k++) {{"));
+        self.maybe_loop_pragma(4, true);
+        self.line(4, &format!("{acc} += {}[i][k] * {}[k][j];", a.name, b.name));
+        self.line(3, "}");
+        self.line(3, &format!("{}[i][j] = {acc};", c.name));
+        self.line(2, "}");
+        self.line(1, "}");
+    }
+
+    /// Integer map over `int` arrays: exercises the shared saturating /
+    /// defined-division integer semantics end to end.
+    fn emit_intmap(&mut self) {
+        let ints = self.int_arrays(1);
+        let Some(dst) = ints.first().cloned() else {
+            // no 1D int arrays in this signature: emit a float map instead
+            return self.emit_map(1);
+        };
+        let n = dst.dims[0];
+        self.line(1, &format!("for (int i = 0; i < {n}; i++) {{"));
+        self.maybe_loop_pragma(2, true);
+        let scope = vec![LoopVar {
+            name: "i".into(),
+            bound: n,
+        }];
+        let e = self.int_expr(2, &scope);
+        self.line(2, &format!("{}[i] = {e};", dst.name));
+        self.line(1, "}");
+    }
+
+    // --------------------------------------------------------- expressions
+
+    /// An in-bounds index expression for one destination dimension:
+    /// plain `v`, reversed `(bound-1) - v`, or dynamic `(v * p) % bound`
+    /// (all stay in `[0, bound)` because `0 <= v < bound <= dim`).
+    fn index_form(&mut self, v: &LoopVar) -> String {
+        match self.rng.gen_range(0..10u32) {
+            0..=6 => format!("[{}]", v.name),
+            7..=8 => format!("[{} - {}]", v.bound - 1, v.name),
+            _ => format!("[({} * 3) % {}]", v.name, v.bound),
+        }
+    }
+
+    /// A float-typed expression tree of bounded depth. Leaves: in-bounds
+    /// array loads, scalar params, literals, temporaries.
+    fn float_expr(&mut self, depth: usize, scope: &[LoopVar], tmps: &[String]) -> String {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            return self.float_leaf(scope, tmps);
+        }
+        match self.rng.gen_range(0..10u32) {
+            0..=5 => {
+                let a = self.float_expr(depth - 1, scope, tmps);
+                let b = self.float_expr(depth - 1, scope, tmps);
+                let op = *self.pick(&["+", "-", "*", "+", "*"]);
+                format!("({a} {op} {b})")
+            }
+            6 => {
+                // division is total: x / 0.0 == 0 in the op model
+                let a = self.float_expr(depth - 1, scope, tmps);
+                let b = self.float_leaf(scope, tmps);
+                format!("({a} / {b})")
+            }
+            7 => {
+                let a = self.float_expr(depth - 1, scope, tmps);
+                let f = *self.pick(&["sqrtf", "fabsf"]);
+                format!("{f}({a})")
+            }
+            8 => {
+                let a = self.float_expr(depth - 1, scope, tmps);
+                let b = self.float_expr(depth - 1, scope, tmps);
+                let f = *self.pick(&["fmaxf", "fminf"]);
+                format!("{f}({a}, {b})")
+            }
+            _ => {
+                let g = self.guard_expr(scope, tmps);
+                let a = self.float_expr(depth - 1, scope, tmps);
+                let b = self.float_expr(depth - 1, scope, tmps);
+                format!("({g} ? {a} : {b})")
+            }
+        }
+    }
+
+    fn float_leaf(&mut self, scope: &[LoopVar], tmps: &[String]) -> String {
+        let roll = self.rng.gen_range(0..10u32);
+        if roll < 5 {
+            if let Some(load) = self.load_expr(Elem::Float, scope) {
+                return load;
+            }
+        }
+        if roll < 7 && !tmps.is_empty() {
+            return tmps[self.rng.gen_range(0..tmps.len())].clone();
+        }
+        if roll < 8 {
+            let float_scalars: Vec<String> = self
+                .scalars
+                .iter()
+                .filter(|(_, e)| *e == Elem::Float)
+                .map(|(n, _)| n.clone())
+                .collect();
+            if !float_scalars.is_empty() {
+                return float_scalars[self.rng.gen_range(0..float_scalars.len())].clone();
+            }
+        }
+        format!("{:.2}", self.rng.gen_range(-2.0..4.0f64))
+    }
+
+    /// An in-bounds load of an array with the given element type, indexed
+    /// by loop variables whose bounds fit the array's dims (constant
+    /// indices fill dimensions no variable fits).
+    fn load_expr(&mut self, elem: Elem, scope: &[LoopVar]) -> Option<String> {
+        let cands: Vec<ArraySpec> = self
+            .arrays
+            .iter()
+            .filter(|a| a.elem == elem)
+            .cloned()
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        let a = self.pick(&cands).clone();
+        let mut idx = String::new();
+        for &dim in &a.dims {
+            let fits: Vec<LoopVar> = scope.iter().filter(|v| v.bound <= dim).cloned().collect();
+            if fits.is_empty() || self.rng.gen_bool(0.15) {
+                idx.push_str(&format!("[{}]", self.rng.gen_range(0..dim)));
+            } else {
+                let v = fits[self.rng.gen_range(0..fits.len())].clone();
+                match self.rng.gen_range(0..8u32) {
+                    0 => idx.push_str(&format!("[{} - {}]", v.bound - 1, v.name)),
+                    1 => idx.push_str(&format!("[({} * 5) % {dim}]", v.name)),
+                    _ => idx.push_str(&format!("[{}]", v.name)),
+                }
+            }
+        }
+        Some(format!("{}{idx}", a.name))
+    }
+
+    /// An int-typed expression tree (int loads, loop vars, literals, and
+    /// `+ - * / %` — division and remainder are total in the op model).
+    fn int_expr(&mut self, depth: usize, scope: &[LoopVar]) -> String {
+        if depth == 0 || self.rng.gen_bool(0.4) {
+            return self.int_leaf(scope);
+        }
+        let a = self.int_expr(depth - 1, scope);
+        let b = self.int_leaf(scope);
+        let op = *self.pick(&["+", "-", "*", "/", "%"]);
+        format!("({a} {op} {b})")
+    }
+
+    fn int_leaf(&mut self, scope: &[LoopVar]) -> String {
+        let roll = self.rng.gen_range(0..10u32);
+        if roll < 4 {
+            if let Some(load) = self.load_expr(Elem::Int, scope) {
+                return load;
+            }
+        }
+        if roll < 7 && !scope.is_empty() {
+            return scope[self.rng.gen_range(0..scope.len())].name.clone();
+        }
+        if roll < 8 {
+            let int_scalars: Vec<String> = self
+                .scalars
+                .iter()
+                .filter(|(_, e)| *e == Elem::Int)
+                .map(|(n, _)| n.clone())
+                .collect();
+            if !int_scalars.is_empty() {
+                return int_scalars[self.rng.gen_range(0..int_scalars.len())].clone();
+            }
+        }
+        format!("{}", self.rng.gen_range(1..9i32))
+    }
+
+    /// A boolean-ish guard: comparisons over loads/vars, parity tests,
+    /// optionally conjoined.
+    fn guard_expr(&mut self, scope: &[LoopVar], tmps: &[String]) -> String {
+        let base = match self.rng.gen_range(0..4u32) {
+            0 if !scope.is_empty() => {
+                let v = scope[self.rng.gen_range(0..scope.len())].clone();
+                format!("{} % 2 == 0", v.name)
+            }
+            1 if !scope.is_empty() => {
+                let v = scope[self.rng.gen_range(0..scope.len())].clone();
+                let mid = v.bound / 2;
+                format!("{} < {mid}", v.name)
+            }
+            _ => {
+                let a = self.float_leaf(scope, tmps);
+                let cmp = *self.pick(&["<", ">", "<=", ">="]);
+                format!("{a} {cmp} {:.2}", self.rng.gen_range(-1.0..2.0f64))
+            }
+        };
+        if self.rng.gen_bool(0.2) {
+            let b = self.float_leaf(scope, tmps);
+            let join = *self.pick(&["&&", "||"]);
+            format!("{base} {join} {b} > 0.0")
+        } else {
+            base
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,9 +675,9 @@ mod tests {
     fn corpus_is_parseable_and_lowerable() {
         for (name, src) in synthetic_corpus(50, 1000) {
             let program = frontc::parse(&src).unwrap_or_else(|e| panic!("{name}: {e}\n{src}"));
-            let module = hir::lower(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let module = hir::lower(&program).unwrap_or_else(|e| panic!("{name}: {e}\n{src}"));
             let f = module.function(&name).expect("function present");
-            assert!(!f.loops().is_empty());
+            assert!(!f.loops().is_empty(), "{name} has no loops:\n{src}");
         }
     }
 
@@ -128,5 +692,19 @@ mod tests {
     fn deterministic_per_seed() {
         assert_eq!(synthetic_kernel(5), synthetic_kernel(5));
         assert_ne!(synthetic_kernel(5), synthetic_kernel(6));
+    }
+
+    #[test]
+    fn corpus_exercises_every_template() {
+        // across a modest window the grammar should produce nests of
+        // depth 1, 2 and 3, conditionals, dynamic indices, pragmas, and
+        // int arrays
+        let corpus = synthetic_corpus(120, 3000);
+        let all: String = corpus.iter().map(|(_, s)| s.as_str()).collect();
+        assert!(all.contains("for (int k"), "no 3-level contraction seen");
+        assert!(all.contains("if ("), "no conditionals seen");
+        assert!(all.contains("% "), "no dynamic/parity indices seen");
+        assert!(all.contains("#pragma HLS"), "no pragmas seen");
+        assert!(all.contains("int a"), "no int arrays seen");
     }
 }

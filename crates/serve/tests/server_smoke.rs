@@ -601,3 +601,94 @@ fn shutdown_is_clean_and_idempotent_for_clients() {
     // the listener is gone: clients now fail to connect instead of hanging
     assert!(client_request(addr, "GET", "/healthz", None).is_err());
 }
+
+/// Scrapes one counter value from the `/v1/metrics` Prometheus text.
+fn scrape_counter(addr: std::net::SocketAddr, name: &str) -> u64 {
+    let (status, body) = client_request(addr, "GET", "/v1/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    body.lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn malformed_inline_sources_return_typed_envelopes_and_leave_the_server_alive() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+    let before_4xx = scrape_counter(addr, "qor_http_responses_4xx_total");
+
+    // each case: a broken inline source, the expected stable error code
+    let cases: Vec<(String, &str)> = vec![
+        // lexer/parser garbage
+        ("void f(float a[4]) { a[0] = @#$!; }".into(), "parse"),
+        // truncated mid-statement
+        ("void f(float a[4]) { for (int i = 0; i <".into(), "parse"),
+        // semantic: unknown identifier
+        ("void f(float a[4]) { a[0] = ghost; }".into(), "parse"),
+        // semantic: resource limit (nest budget)
+        (
+            "void f(float a[4]) {
+                for (int i = 0; i < 1048576; i++) {
+                    for (int j = 0; j < 1048576; j++) { a[0] = 1.0; }
+                }
+            }"
+            .into(),
+            "parse",
+        ),
+        // valid program, wrong top name
+        (
+            "void g(float a[4]) { for (int i = 0; i < 4; i++) { a[i] = 1.0; } }".into(),
+            "unknown_kernel",
+        ),
+    ];
+    // plus seeded corruptor output: whatever the mutation did, the server
+    // must answer with a typed envelope, never fall over
+    let corrupted: Vec<(String, &str)> = kernels::corrupted_corpus(10, 0)
+        .into_iter()
+        .map(|(_, src)| (src, ""))
+        .collect();
+
+    let mut seen_4xx = 0u64;
+    for (source, code) in cases.iter().chain(corrupted.iter()) {
+        let body = format!(r#"{{"top":"f","source":{}}}"#, Json::str(source.clone()));
+        let (status, response) = client_request(addr, "POST", "/v1/predict", Some(&body)).unwrap();
+        if status == 200 {
+            // rare: a corrupted program can stay valid — fine, not a crash
+            assert!(code.is_empty(), "{source}\n{response}");
+            continue;
+        }
+        assert!(
+            (400..500).contains(&status),
+            "want 4xx for broken source, got {status}: {response}"
+        );
+        seen_4xx += 1;
+        let doc = json::parse(&response).unwrap();
+        let got = json::field(&doc, "code").and_then(json::as_str).unwrap();
+        if !code.is_empty() {
+            assert_eq!(got, *code, "{source}\n{response}");
+        }
+        assert!(json::field(&doc, "message").is_some(), "{response}");
+        let trace = json::field(&doc, "trace").and_then(json::as_str).unwrap();
+        assert_eq!(trace.len(), 16, "{response}");
+    }
+    assert!(seen_4xx >= 10, "only {seen_4xx} rejections");
+
+    // the 4xx counter moved by exactly the rejected count
+    let after_4xx = scrape_counter(addr, "qor_http_responses_4xx_total");
+    assert_eq!(
+        after_4xx - before_4xx,
+        seen_4xx,
+        "4xx counter must track rejections"
+    );
+
+    // and the server still predicts happily
+    let (status, response) =
+        client_request(addr, "POST", "/v1/predict", Some(r#"{"kernel":"mvt"}"#)).unwrap();
+    assert_eq!(
+        status, 200,
+        "server must survive malformed sources: {response}"
+    );
+    handle.shutdown();
+}
