@@ -30,6 +30,11 @@
 //! engine on pragma-neighbor sweeps (see [`qor_bench::incr_sweep`]):
 //! `qor-bench incr_sweep [--steps N] [--breadth N] [--kernels N]
 //! [--smoke] [--out FILE]`, appending to `BENCH_incr.json`.
+//!
+//! The `fleet_scaling` subcommand measures distributed-DSE throughput at
+//! 1/2/4 HTTP workers (see [`qor_bench::fleet_scaling`]): `qor-bench
+//! fleet_scaling [--kernel NAME] [--budget N] [--batch N] [--hidden N]
+//! [--smoke] [--out FILE]`, appending to `BENCH_fleet.json`.
 
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -188,10 +193,17 @@ fn run_mode(args: &Args, dispatch: DispatchMode) -> Result<ModeResult, String> {
     // identical weights per mode; a fresh registry means a cold cache
     let model = HierarchicalModel::new(&TrainOptions::quick().with_hidden(12).with_seed(4));
     let registry = Arc::new(ModelRegistry::with_default(model, 256));
-    let handle = Server::bind_with("127.0.0.1:0", registry, ServerConfig { dispatch })
-        .map_err(|e| format!("bind: {e}"))?
-        .spawn()
-        .map_err(|e| format!("spawn: {e}"))?;
+    let handle = Server::bind_with(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            dispatch,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?
+    .spawn()
+    .map_err(|e| format!("spawn: {e}"))?;
     let addr = handle.addr();
     let bodies: Vec<String> = (0..args.rounds)
         .map(|r| request_body(&args.kernel, r, args.dup))
@@ -258,6 +270,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("incr_sweep") {
         let code = qor_bench::incr_sweep::run(&argv[1..])?;
+        std::process::exit(code);
+    }
+    if argv.first().map(String::as_str) == Some("fleet_scaling") {
+        let code = qor_bench::fleet_scaling::run(&argv[1..])?;
         std::process::exit(code);
     }
     let args = parse_args();

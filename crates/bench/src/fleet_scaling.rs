@@ -1,0 +1,444 @@
+//! `qor-bench fleet_scaling` — distributed-DSE throughput at 1, 2 and 4
+//! workers against the single-process baseline.
+//!
+//! The workload is one seeded random-sampling search job (same kernel,
+//! seed, budget and batch at every fleet size, so every run does
+//! identical work), evaluated four ways: in-process
+//! [`search::SessionEval`], then through [`fleet::FleetEval`] over real
+//! HTTP against 1, 2 and 4 in-process `serve::Server` workers. Every
+//! path pays the same synthetic per-candidate evaluator latency
+//! (`--delay-us`, wired through `QOR_FLEET_EVAL_DELAY_US`): the fleet is
+//! shaped for evaluators far heavier than microsecond model inference
+//! (an HLS run, a remote oracle), and on a small CI host it is that
+//! latency — not compute — that distribution can actually overlap, so
+//! the bench measures the dispatch pipeline's concurrency rather than
+//! the host's core count. Each worker serves the *same*
+//! untrained model weights the coordinator holds (identical
+//! [`TrainOptions`]), so every run's ledger digest must equal the solo
+//! run's — the bench aborts on any divergence, making the throughput
+//! numbers provably measurements of byte-identical work.
+//!
+//! Throughput is points/sec = budget spent / wall time. The scaling gate
+//! (non-smoke): ≥ 1.7x points/sec at 2 workers and ≥ 3x at 4, both
+//! relative to the 1-worker fleet run (the apples-to-apples baseline that
+//! includes the wire). Results append to the `BENCH_fleet.json`
+//! trajectory; `--smoke` shrinks scale and nulls timing-dependent fields
+//! so repeated runs against a fresh `--out` are byte-identical at any
+//! `QOR_THREADS` — the CI determinism gate.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fleet::{FleetEval, FleetOptions, FleetStats, Roster};
+use obs::Json;
+use qor_core::{HierarchicalModel, Session, TrainOptions};
+use search::{SearchOptions, SearchOutcome, SearchRun, SessionEval, StrategyKind};
+use serve::{DispatchMode, HttpTransport, ModelRegistry, Server, ServerConfig, ServerHandle};
+
+use crate::trajectory;
+
+/// Model seed shared by the coordinator and every worker.
+const MODEL_SEED: u64 = 5;
+
+/// Search seed: all runs propose the identical candidate stream.
+const SEARCH_SEED: u64 = 77;
+
+/// Parsed `fleet_scaling` options.
+#[derive(Debug, Clone)]
+pub struct ScalingArgs {
+    /// Kernel whose space the job searches.
+    pub kernel: String,
+    /// Evaluation budget per run.
+    pub budget: u64,
+    /// Candidates proposed per step (sharded over the live workers).
+    pub batch: usize,
+    /// Hidden width of the (untrained) model.
+    pub hidden: usize,
+    /// Synthetic per-candidate evaluator latency in microseconds (paid
+    /// identically by the solo baseline and every worker).
+    pub delay_us: u64,
+    /// Determinism-gate mode: shrink scale, null timings.
+    pub smoke: bool,
+    /// Trajectory file to append to.
+    pub out: String,
+}
+
+impl Default for ScalingArgs {
+    fn default() -> Self {
+        ScalingArgs {
+            kernel: "atax".to_string(),
+            budget: 192,
+            batch: 32,
+            hidden: 12,
+            delay_us: 10_000,
+            smoke: false,
+            out: "BENCH_fleet.json".to_string(),
+        }
+    }
+}
+
+impl ScalingArgs {
+    /// Parses the argument list after the `fleet_scaling` subcommand word.
+    pub fn parse(argv: &[String]) -> ScalingArgs {
+        let mut args = ScalingArgs::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let uint = |argv: &[String], i: usize, default: usize| {
+                argv.get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v >= 1)
+                    .unwrap_or(default)
+            };
+            match argv[i].as_str() {
+                "--kernel" => {
+                    i += 1;
+                    if let Some(k) = argv.get(i) {
+                        args.kernel = k.clone();
+                    }
+                }
+                "--budget" => {
+                    i += 1;
+                    args.budget = uint(argv, i, args.budget as usize) as u64;
+                }
+                "--batch" => {
+                    i += 1;
+                    args.batch = uint(argv, i, args.batch);
+                }
+                "--hidden" => {
+                    i += 1;
+                    args.hidden = uint(argv, i, args.hidden);
+                }
+                "--delay-us" => {
+                    i += 1;
+                    args.delay_us = argv
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(args.delay_us);
+                }
+                "--smoke" => args.smoke = true,
+                "--out" => {
+                    i += 1;
+                    args.out = argv
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+                }
+                other => eprintln!("ignoring unknown flag {other:?}"),
+            }
+            i += 1;
+        }
+        if args.smoke {
+            args.budget = args.budget.min(24);
+            args.batch = args.batch.min(6);
+            args.hidden = args.hidden.min(12);
+            args.delay_us = 0;
+        }
+        args
+    }
+}
+
+fn model_opts(args: &ScalingArgs) -> TrainOptions {
+    TrainOptions::quick()
+        .with_hidden(args.hidden)
+        .with_seed(MODEL_SEED)
+}
+
+fn search_opts(args: &ScalingArgs) -> SearchOptions {
+    // random sampling proposes (nearly) all-fresh batches, so every step
+    // actually has `batch` candidates to shard — the genetic strategy
+    // re-proposes mostly ledger hits and leaves nothing to distribute
+    SearchOptions::new(args.kernel.as_str(), StrategyKind::Random, args.budget)
+        .with_seed(SEARCH_SEED)
+        .with_batch(args.batch)
+        .with_unroll_factors(vec![1, 2, 4, 8, 16])
+}
+
+/// Spawns one in-process worker server (Direct dispatch — fleet units are
+/// already batches; a small session cache keeps the eval work honest).
+fn spawn_worker(args: &ScalingArgs) -> Result<ServerHandle, String> {
+    let registry = Arc::new(ModelRegistry::with_default(
+        HierarchicalModel::new(&model_opts(args)),
+        16,
+    ));
+    let config = ServerConfig {
+        dispatch: DispatchMode::Direct,
+        ..ServerConfig::default()
+    };
+    Server::bind_with("127.0.0.1:0", registry, config)
+        .map_err(|e| format!("bind worker: {e}"))?
+        .spawn()
+        .map_err(|e| format!("spawn worker: {e}"))
+}
+
+/// One measured run.
+struct RunResult {
+    /// Fleet size (0 = in-process solo baseline).
+    workers: usize,
+    outcome: SearchOutcome,
+    digest: u64,
+    elapsed: Duration,
+    /// Units dispatched over the wire (0 for solo).
+    units: u64,
+}
+
+impl RunResult {
+    fn points_per_sec(&self) -> f64 {
+        self.outcome.spent as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The solo baseline's evaluator: the plain in-process path plus the
+/// same per-candidate latency the workers pay.
+struct DelayEval {
+    inner: SessionEval,
+    delay: Duration,
+}
+
+impl search::Evaluate for DelayEval {
+    fn evaluate(&self, cfg: &pragma::PragmaConfig) -> Result<(f64, f64), qor_core::QorError> {
+        let point = self.inner.evaluate(cfg)?;
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        Ok(point)
+    }
+}
+
+fn solo_run(args: &ScalingArgs) -> Result<RunResult, String> {
+    let session = Arc::new(Session::with_capacity(
+        HierarchicalModel::new(&model_opts(args)),
+        16,
+    ));
+    let eval = DelayEval {
+        inner: SessionEval::new(session, args.kernel.as_str()),
+        delay: Duration::from_micros(args.delay_us),
+    };
+    let mut run = SearchRun::for_kernel(search_opts(args)).map_err(|e| e.to_string())?;
+    let t = Instant::now();
+    let outcome = run.run(&eval).map_err(|e| e.to_string())?;
+    let elapsed = t.elapsed();
+    Ok(RunResult {
+        workers: 0,
+        digest: fleet::run_digest(&run),
+        outcome,
+        elapsed,
+        units: 0,
+    })
+}
+
+fn fleet_run(args: &ScalingArgs, workers: &[ServerHandle], n: usize) -> Result<RunResult, String> {
+    let roster = Arc::new(Roster::new(2));
+    for w in &workers[..n] {
+        roster.register(&w.addr().to_string());
+    }
+    let transport: Arc<dyn fleet::Transport> =
+        Arc::new(HttpTransport::with_timeout(Duration::from_secs(30)));
+    let stats = Arc::new(FleetStats::default());
+    let eval = FleetEval::new(
+        transport,
+        roster,
+        args.kernel.as_str(),
+        "bench:fleet_scaling",
+    )
+    .with_unroll_factors(Some(vec![1, 2, 4, 8, 16]))
+    .with_options(FleetOptions::default())
+    .with_stats(Arc::clone(&stats));
+    let mut run = SearchRun::for_kernel(search_opts(args)).map_err(|e| e.to_string())?;
+    let t = Instant::now();
+    let outcome = run.run_with(&eval).map_err(|e| e.to_string())?;
+    let elapsed = t.elapsed();
+    Ok(RunResult {
+        workers: n,
+        digest: fleet::run_digest(&run),
+        outcome,
+        elapsed,
+        units: stats.snapshot().dispatched,
+    })
+}
+
+/// Entry point for the `fleet_scaling` subcommand. Returns the process
+/// exit code (non-zero when a scaling target fails in a non-smoke run).
+pub fn run(argv: &[String]) -> Result<i32, Box<dyn std::error::Error>> {
+    let args = ScalingArgs::parse(argv);
+    println!(
+        "fleet_scaling: kernel {}, budget {}, batch {}, hidden {}, delay {} us, smoke={}",
+        args.kernel, args.budget, args.batch, args.hidden, args.delay_us, args.smoke
+    );
+    // in-process workers read the delay from the environment
+    std::env::set_var("QOR_FLEET_EVAL_DELAY_US", args.delay_us.to_string());
+
+    let solo = solo_run(&args)?;
+    let workers: Vec<ServerHandle> = (0..4)
+        .map(|_| spawn_worker(&args))
+        .collect::<Result<_, _>>()?;
+    let mut runs = vec![solo];
+    for n in [1usize, 2, 4] {
+        let r = fleet_run(&args, &workers, n)?;
+        // identical work or the throughput comparison is meaningless
+        if r.outcome != runs[0].outcome || r.digest != runs[0].digest {
+            return Err(format!(
+                "{n}-worker fleet run diverged from solo (digest {:016x} vs {:016x})",
+                r.digest, runs[0].digest
+            )
+            .into());
+        }
+        runs.push(r);
+    }
+    for w in workers {
+        w.shutdown();
+    }
+    std::env::remove_var("QOR_FLEET_EVAL_DELAY_US");
+
+    let widths = [10usize, 8, 12, 12, 8];
+    println!(
+        "{}",
+        crate::row(
+            &[
+                "Workers".into(),
+                "Units".into(),
+                "Elapsed (ms)".into(),
+                "Points/sec".into(),
+                "Scaling".into(),
+            ],
+            &widths
+        )
+    );
+    let base = runs[1].points_per_sec();
+    for r in &runs {
+        let label = if r.workers == 0 {
+            "solo".to_string()
+        } else {
+            r.workers.to_string()
+        };
+        let scaling = if r.workers >= 1 {
+            format!("{:.2}x", r.points_per_sec() / base)
+        } else {
+            "-".into()
+        };
+        println!(
+            "{}",
+            crate::row(
+                &[
+                    label,
+                    r.units.to_string(),
+                    r.elapsed.as_millis().to_string(),
+                    format!("{:.1}", r.points_per_sec()),
+                    scaling,
+                ],
+                &widths
+            )
+        );
+    }
+    let s2 = runs[2].points_per_sec() / base;
+    let s4 = runs[3].points_per_sec() / base;
+    let pass_2 = s2 >= 1.7;
+    let pass_4 = s4 >= 3.0;
+    println!(
+        "\nscaling vs 1 worker: {s2:.2}x at 2 (target 1.7x: {}), {s4:.2}x at 4 (target 3x: {})",
+        if pass_2 { "pass" } else { "FAIL" },
+        if pass_4 { "pass" } else { "FAIL" },
+    );
+    println!(
+        "all four runs byte-identical (ledger digest {:016x})",
+        runs[0].digest
+    );
+
+    // timing-dependent fields are nulled in smoke so the file is
+    // byte-identical across repeated runs at any QOR_THREADS
+    let measured = if args.smoke {
+        Json::Null
+    } else {
+        let per_run = |r: &RunResult| {
+            Json::obj(vec![
+                ("workers", Json::UInt(r.workers as u64)),
+                ("units", Json::UInt(r.units)),
+                ("elapsed_ms", Json::UInt(r.elapsed.as_millis() as u64)),
+                (
+                    "points_per_sec",
+                    Json::Float((r.points_per_sec() * 10.0).round() / 10.0),
+                ),
+            ])
+        };
+        Json::obj(vec![
+            ("runs", Json::Arr(runs.iter().map(per_run).collect())),
+            ("speedup_2x", Json::Float((s2 * 100.0).round() / 100.0)),
+            ("speedup_4x", Json::Float((s4 * 100.0).round() / 100.0)),
+            ("pass_2x", Json::Bool(pass_2)),
+            ("pass_4x", Json::Bool(pass_4)),
+        ])
+    };
+    let entry = Json::obj(vec![
+        ("bench", Json::str("fleet_scaling")),
+        ("kernel", Json::str(args.kernel.as_str())),
+        ("budget", Json::UInt(args.budget)),
+        ("batch", Json::UInt(args.batch as u64)),
+        ("hidden", Json::UInt(args.hidden as u64)),
+        ("delay_us", Json::UInt(args.delay_us)),
+        ("spent", Json::UInt(runs[0].outcome.spent)),
+        ("smoke", Json::Bool(args.smoke)),
+        ("digest_fnv", Json::Str(format!("{:016x}", runs[0].digest))),
+        ("measured", measured),
+    ]);
+    let total = trajectory::append(
+        std::path::Path::new(&args.out),
+        trajectory::FLEET_SCHEMA,
+        &entry,
+    )?;
+    println!("appended to {} ({total} entries)", args.out);
+    // smoke is a determinism gate, not a performance gate: timings on CI
+    // machines are too noisy to fail a build on
+    Ok(if (pass_2 && pass_4) || args.smoke {
+        0
+    } else {
+        1
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_smoke_shrink() {
+        let d = ScalingArgs::parse(&[]);
+        assert_eq!(d.budget, 192);
+        assert_eq!(d.batch, 32);
+        assert_eq!(d.hidden, 12);
+        assert_eq!(d.delay_us, 10_000);
+        assert!(!d.smoke);
+        let s = ScalingArgs::parse(&[
+            "--smoke".into(),
+            "--kernel".into(),
+            "bicg".into(),
+            "--out".into(),
+            "x.json".into(),
+        ]);
+        assert!(s.smoke);
+        assert_eq!(s.kernel, "bicg");
+        assert!(s.budget <= 24 && s.batch <= 6 && s.hidden <= 12);
+        assert_eq!(s.delay_us, 0, "smoke must not sleep");
+        assert_eq!(s.out, "x.json");
+    }
+
+    #[test]
+    fn smoke_scaling_appends_deterministic_entries() {
+        let dir = std::env::temp_dir().join(format!("qor_fleet_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_fleet.json");
+        let argv = |out: &std::path::Path| {
+            vec![
+                "--smoke".to_string(),
+                "--out".to_string(),
+                out.to_string_lossy().into_owned(),
+            ]
+        };
+        assert_eq!(run(&argv(&out)).unwrap(), 0);
+        let first = std::fs::read_to_string(&out).unwrap();
+        std::fs::remove_file(&out).unwrap();
+        assert_eq!(run(&argv(&out)).unwrap(), 0);
+        let second = std::fs::read_to_string(&out).unwrap();
+        // smoke entries carry no timings, so reruns are byte-identical
+        assert_eq!(first, second);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -26,6 +26,10 @@ pub const SERVE_SCHEMA: &str = "qor-bench-serve/v2";
 /// (`BENCH_incr.json`).
 pub const INCR_SCHEMA: &str = "qor-bench-incr/v1";
 
+/// Schema tag for the fleet-scaling trajectory document
+/// (`BENCH_fleet.json`).
+pub const FLEET_SCHEMA: &str = "qor-bench-fleet/v1";
+
 /// Appends `entry` to the trajectory document at `path`, creating the
 /// document (or migrating a legacy single-object file) as needed.
 /// Returns the number of entries the document now holds.

@@ -1,0 +1,61 @@
+//! Order-sensitive FNV-1a digest of a run's ledger and front.
+//!
+//! The acceptance contract for distributed search is "byte-identical to
+//! the single-process run": this digest is the byte sequence that claim is
+//! checked against. It covers every ledger record **in evaluation order**
+//! (fingerprint, genome, raw IEEE-754 score bits) plus the presented
+//! front, so any divergence — a reordered merge, a worker scoring with
+//! different weights, a lost unit — changes the digest.
+
+use qor_core::wire::{put_f64, put_u64};
+use search::SearchRun;
+
+/// The run's ledger + front digest (see the [module docs](self)).
+pub fn run_digest(run: &SearchRun) -> u64 {
+    let mut bytes = Vec::new();
+    for rec in run.ledger() {
+        put_u64(&mut bytes, rec.fingerprint);
+        rec.genome.encode(&mut bytes);
+        put_f64(&mut bytes, rec.point.0);
+        put_f64(&mut bytes, rec.point.1);
+    }
+    let outcome = run.outcome();
+    put_u64(&mut bytes, outcome.spent);
+    put_u64(&mut bytes, outcome.iterations);
+    for (fp, lat, area) in &outcome.front {
+        put_u64(&mut bytes, *fp);
+        put_f64(&mut bytes, *lat);
+        put_f64(&mut bytes, *area);
+    }
+    qor_core::fnv1a(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use search::{SearchOptions, SearchRun, SessionEval, StrategyKind};
+    use std::sync::Arc;
+
+    #[test]
+    fn digest_is_stable_for_same_seed_and_differs_across_seeds() {
+        let opts = qor_core::TrainOptions::quick().with_hidden(8).with_seed(2);
+        let session = Arc::new(qor_core::Session::with_capacity(
+            qor_core::HierarchicalModel::new(&opts),
+            64,
+        ));
+        let eval = SessionEval::new(session, "fir");
+        let mk = |seed| {
+            let mut run = SearchRun::for_kernel(
+                SearchOptions::new("fir", StrategyKind::Random, 8)
+                    .with_seed(seed)
+                    .with_batch(4)
+                    .with_unroll_factors(vec![1, 2, 4]),
+            )
+            .unwrap();
+            run.run(&eval).unwrap();
+            run_digest(&run)
+        };
+        assert_eq!(mk(5), mk(5));
+        assert_ne!(mk(5), mk(6));
+    }
+}

@@ -1,0 +1,114 @@
+#![warn(missing_docs)]
+//! Distributed DSE: shard one search job's evaluation across a fleet of
+//! worker servers, deterministically.
+//!
+//! The single-process [`search::SearchRun`] loop stays exactly as it was —
+//! the coordinator owns the strategy, the RNG, the ledger, and the
+//! incumbent front. Only the *evaluation* of one step's fresh candidates
+//! is farmed out: [`FleetEval`] implements [`search::BatchEvaluate`] by
+//! cutting the batch into contiguous work units, dispatching each unit to
+//! a worker through a [`Transport`], and concatenating the returned scores
+//! **in candidate order**. Reply order, worker count, retries, and
+//! evictions therefore never influence the merged result: a seeded fleet
+//! job at any size is byte-identical to the same seed run in one process.
+//!
+//! Unhappy paths are first-class:
+//!
+//! * per-unit bounded retry ([`FleetOptions::max_attempts`]) with
+//!   reassignment of orphaned units to the next live worker,
+//! * consecutive-failure eviction ([`Roster`]) plus transport-level health
+//!   probes that revive workers that came back,
+//! * typed failure ([`qor_core::QorError::Fleet`]) when no live worker
+//!   remains or a unit exhausts its attempts.
+//!
+//! The crate is transport-agnostic: `serve` supplies the HTTP transport
+//! over its existing wire (and the worker-side [`evaluate_genomes`]
+//! handler); tests inject in-process mocks with scripted failures.
+
+pub mod digest;
+pub mod dispatch;
+pub mod roster;
+
+pub use digest::run_digest;
+pub use dispatch::{FleetCounters, FleetEval, FleetOptions, FleetStats, Transport, UnitRequest};
+pub use roster::Roster;
+
+use qor_core::{QorError, Session};
+use search::space::{Genome, SpaceModel};
+use search::{Evaluate, SessionEval};
+use std::sync::Arc;
+
+/// Worker-side unit evaluation: rebuild the coordinator's genome space
+/// from wire parameters, decode each genome (clamp-safe for untrusted
+/// input), and score it through `session` — sequentially, so the result
+/// is independent of the worker's `QOR_THREADS` and identical to what the
+/// coordinator's own [`search::SessionEval`] would produce with the same
+/// model weights.
+///
+/// # Errors
+///
+/// [`QorError::UnknownKernel`] / [`QorError::Shape`] when the request does
+/// not describe a searchable space; prediction failures from the session.
+pub fn evaluate_genomes(
+    session: Arc<Session>,
+    kernel: &str,
+    unroll_factors: Option<&[u32]>,
+    genomes: &[Genome],
+) -> Result<Vec<(f64, f64)>, QorError> {
+    let model = SpaceModel::for_kernel(kernel, unroll_factors)?;
+    let eval = SessionEval::new(session, kernel);
+    let delay = eval_delay();
+    let mut out = Vec::with_capacity(genomes.len());
+    for g in genomes {
+        out.push(eval.evaluate(&model.decode(g))?);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+    Ok(out)
+}
+
+/// Synthetic per-candidate evaluator latency, from
+/// `QOR_FLEET_EVAL_DELAY_US` (zero / off by default).
+///
+/// Model inference is microseconds, but the fleet is shaped for
+/// evaluators that are not (an HLS run, a heavier model, a remote
+/// oracle). The delay injects that cost per scored genome so scaling
+/// benchmarks and chaos tests can measure the dispatch pipeline's
+/// concurrency on hardware where inference alone saturates the host. It
+/// never affects scores — results stay byte-identical at any setting.
+pub fn eval_delay() -> std::time::Duration {
+    std::env::var("QOR_FLEET_EVAL_DELAY_US")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(std::time::Duration::ZERO, std::time::Duration::from_micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qor_core::{HierarchicalModel, TrainOptions};
+
+    #[test]
+    fn worker_eval_matches_session_eval_on_decoded_configs() {
+        let opts = TrainOptions::quick().with_hidden(8).with_seed(11);
+        let session = Arc::new(Session::with_capacity(HierarchicalModel::new(&opts), 64));
+        let model = SpaceModel::for_kernel("fir", Some(&[1, 4])).unwrap();
+        let genomes: Vec<Genome> = (0..model.genome_len() as u16)
+            .map(|i| Genome(vec![i; model.genome_len()]))
+            .collect();
+        let points = evaluate_genomes(session.clone(), "fir", Some(&[1, 4]), &genomes).unwrap();
+        let eval = SessionEval::new(session, "fir");
+        for (g, p) in genomes.iter().zip(&points) {
+            assert_eq!(eval.evaluate(&model.decode(g)).unwrap(), *p);
+        }
+    }
+
+    #[test]
+    fn worker_eval_rejects_unknown_kernels_typed() {
+        let opts = TrainOptions::quick().with_hidden(8).with_seed(11);
+        let session = Arc::new(Session::with_capacity(HierarchicalModel::new(&opts), 8));
+        let err = evaluate_genomes(session, "no_such_kernel", None, &[]).unwrap_err();
+        assert!(matches!(err, QorError::UnknownKernel(_)), "{err:?}");
+    }
+}

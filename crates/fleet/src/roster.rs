@@ -1,0 +1,295 @@
+//! The coordinator's worker table: registration, health, and eviction.
+//!
+//! A [`Roster`] tracks every worker the coordinator has been told about,
+//! with per-worker completion and consecutive-failure counters. A worker
+//! is **live** while `failures < evict_after`; each failed dispatch or
+//! probe increments the counter and each success resets it, so a worker
+//! that drops off the network is evicted after a bounded number of wasted
+//! attempts instead of stalling the search. [`Roster::probe_all`] revives
+//! workers that answer their health probe again (a restarted process keeps
+//! its registration), which is what lets a fleet job survive a worker
+//! kill + restart without operator action.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use search::{FleetAssignment, FleetWorkerRecord};
+
+use crate::dispatch::Transport;
+
+struct WorkerSlot {
+    addr: String,
+    units_done: u64,
+    /// Consecutive failures; reset on every success.
+    failures: u64,
+}
+
+/// Worker table with consecutive-failure eviction (see the
+/// [module docs](self)).
+pub struct Roster {
+    workers: Mutex<Vec<WorkerSlot>>,
+    evict_after: u64,
+    evicted: AtomicU64,
+}
+
+impl Roster {
+    /// A roster that evicts a worker after `evict_after` consecutive
+    /// failures (floored at 1).
+    pub fn new(evict_after: u64) -> Roster {
+        Roster {
+            workers: Mutex::new(Vec::new()),
+            evict_after: evict_after.max(1),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn is_live(&self, w: &WorkerSlot) -> bool {
+        w.failures < self.evict_after
+    }
+
+    /// Adds a worker (idempotent). Re-registering an evicted or failing
+    /// worker resets its failure counter — re-registration is the
+    /// operator's "it's back" signal. Returns `true` when the address was
+    /// new.
+    pub fn register(&self, addr: &str) -> bool {
+        let mut workers = self.workers.lock().unwrap();
+        if let Some(w) = workers.iter_mut().find(|w| w.addr == addr) {
+            w.failures = 0;
+            return false;
+        }
+        workers.push(WorkerSlot {
+            addr: addr.to_string(),
+            units_done: 0,
+            failures: 0,
+        });
+        true
+    }
+
+    /// Forgets a worker entirely. Returns `false` for unknown addresses.
+    pub fn remove(&self, addr: &str) -> bool {
+        let mut workers = self.workers.lock().unwrap();
+        let before = workers.len();
+        workers.retain(|w| w.addr != addr);
+        workers.len() != before
+    }
+
+    /// Addresses currently accepting work, in registration order.
+    pub fn live(&self) -> Vec<String> {
+        self.workers
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|w| self.is_live(w))
+            .map(|w| w.addr.clone())
+            .collect()
+    }
+
+    /// All registered workers (live and evicted), in registration order.
+    pub fn list(&self) -> Vec<FleetWorkerRecord> {
+        self.workers
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|w| FleetWorkerRecord {
+                addr: w.addr.clone(),
+                units_done: w.units_done,
+                failures: w.failures,
+                healthy: self.is_live(w),
+            })
+            .collect()
+    }
+
+    /// Number of registered workers.
+    pub fn len(&self) -> usize {
+        self.workers.lock().unwrap().len()
+    }
+
+    /// Whether no worker is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Workers evicted over the roster's lifetime (monotonic: revivals do
+    /// not subtract).
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Records a completed unit for `addr` and resets its failure count.
+    pub fn mark_success(&self, addr: &str) {
+        let mut workers = self.workers.lock().unwrap();
+        if let Some(w) = workers.iter_mut().find(|w| w.addr == addr) {
+            w.units_done += 1;
+            w.failures = 0;
+        }
+    }
+
+    /// Records a failed dispatch or probe for `addr`. Returns `true` when
+    /// this failure crossed the eviction threshold.
+    pub fn mark_failure(&self, addr: &str) -> bool {
+        let mut workers = self.workers.lock().unwrap();
+        let Some(w) = workers.iter_mut().find(|w| w.addr == addr) else {
+            return false;
+        };
+        let was_live = self.is_live(w);
+        w.failures += 1;
+        let evicted_now = was_live && !self.is_live(w);
+        if evicted_now {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        evicted_now
+    }
+
+    /// Probes every registered worker: answering workers are revived
+    /// (failure count reset), silent ones take a failure (possibly
+    /// evicting them). Returns `(live, evicted)` counts after the sweep.
+    pub fn probe_all(&self, transport: &dyn Transport) -> (usize, usize) {
+        let addrs: Vec<String> = self
+            .workers
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|w| w.addr.clone())
+            .collect();
+        for addr in &addrs {
+            if transport.probe(addr) {
+                let mut workers = self.workers.lock().unwrap();
+                if let Some(w) = workers.iter_mut().find(|w| w.addr == *addr) {
+                    w.failures = 0;
+                }
+            } else {
+                self.mark_failure(addr);
+            }
+        }
+        let workers = self.workers.lock().unwrap();
+        let live = workers.iter().filter(|w| self.is_live(w)).count();
+        (live, workers.len() - live)
+    }
+
+    /// Seeds the roster from a restored job's [`FleetAssignment`], so a
+    /// resumed coordinator keeps counting where the crashed one stopped.
+    pub fn adopt(&self, assignment: &FleetAssignment) {
+        let mut workers = self.workers.lock().unwrap();
+        for rec in &assignment.workers {
+            if workers.iter().any(|w| w.addr == rec.addr) {
+                continue;
+            }
+            workers.push(WorkerSlot {
+                addr: rec.addr.clone(),
+                units_done: rec.units_done,
+                failures: if rec.healthy {
+                    rec.failures
+                } else {
+                    self.evict_after
+                },
+            });
+        }
+        self.evicted
+            .store(assignment.workers_evicted, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NeverUp;
+    impl Transport for NeverUp {
+        fn eval_unit(
+            &self,
+            _addr: &str,
+            _request: &crate::UnitRequest<'_>,
+        ) -> Result<Vec<(f64, f64)>, String> {
+            Err("down".into())
+        }
+        fn probe(&self, _addr: &str) -> bool {
+            false
+        }
+    }
+
+    struct AlwaysUp;
+    impl Transport for AlwaysUp {
+        fn eval_unit(
+            &self,
+            _addr: &str,
+            _request: &crate::UnitRequest<'_>,
+        ) -> Result<Vec<(f64, f64)>, String> {
+            Ok(Vec::new())
+        }
+        fn probe(&self, _addr: &str) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn register_is_idempotent_and_remove_forgets() {
+        let roster = Roster::new(2);
+        assert!(roster.register("a:1"));
+        assert!(!roster.register("a:1"));
+        assert!(roster.register("b:2"));
+        assert_eq!(roster.live(), vec!["a:1".to_string(), "b:2".to_string()]);
+        assert!(roster.remove("a:1"));
+        assert!(!roster.remove("a:1"));
+        assert_eq!(roster.len(), 1);
+    }
+
+    #[test]
+    fn consecutive_failures_evict_and_success_resets() {
+        let roster = Roster::new(2);
+        roster.register("a:1");
+        assert!(!roster.mark_failure("a:1"));
+        roster.mark_success("a:1");
+        assert!(!roster.mark_failure("a:1"), "reset counter must restart");
+        assert!(roster.mark_failure("a:1"), "second consecutive evicts");
+        assert!(roster.live().is_empty());
+        assert_eq!(roster.evicted_total(), 1);
+        let rec = &roster.list()[0];
+        assert!(!rec.healthy);
+        assert_eq!(rec.units_done, 1);
+    }
+
+    #[test]
+    fn probes_revive_and_evict() {
+        let roster = Roster::new(1);
+        roster.register("a:1");
+        roster.mark_failure("a:1");
+        assert!(roster.live().is_empty());
+        assert_eq!(roster.probe_all(&AlwaysUp), (1, 0));
+        assert_eq!(roster.live().len(), 1);
+        assert_eq!(roster.probe_all(&NeverUp), (0, 1));
+        assert!(roster.live().is_empty());
+    }
+
+    #[test]
+    fn adopt_restores_counters_without_clobbering_registrations() {
+        let assignment = FleetAssignment {
+            workers: vec![
+                FleetWorkerRecord {
+                    addr: "a:1".into(),
+                    units_done: 5,
+                    failures: 0,
+                    healthy: true,
+                },
+                FleetWorkerRecord {
+                    addr: "b:2".into(),
+                    units_done: 3,
+                    failures: 2,
+                    healthy: false,
+                },
+            ],
+            units_dispatched: 8,
+            units_retried: 1,
+            units_reassigned: 1,
+            workers_evicted: 1,
+        };
+        let roster = Roster::new(2);
+        roster.register("a:1"); // pre-registered: adopt must not reset it
+        roster.adopt(&assignment);
+        assert_eq!(roster.len(), 2);
+        assert_eq!(roster.live(), vec!["a:1".to_string()]);
+        assert_eq!(roster.evicted_total(), 1);
+        let b = roster.list().into_iter().find(|w| w.addr == "b:2").unwrap();
+        assert_eq!(b.units_done, 3);
+        assert!(!b.healthy);
+    }
+}

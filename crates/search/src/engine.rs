@@ -37,6 +37,47 @@ pub trait Evaluate: Sync {
     fn evaluate(&self, cfg: &PragmaConfig) -> Result<(f64, f64), QorError>;
 }
 
+/// Scores a whole batch of fresh candidates at once.
+///
+/// This is the seam the distributed fleet plugs into: a dispatcher shards
+/// `batch` into work units, sends them to workers, and returns the scores
+/// *in candidate order* — the engine's merge is therefore independent of
+/// reply order. Every [`Evaluate`] is a `BatchEvaluate` via the blanket
+/// impl, which runs the batch through [`par::try_map`] exactly as the
+/// single-process engine always has, so both paths score candidate `i`
+/// identically and the determinism contract is preserved.
+pub trait BatchEvaluate: Sync {
+    /// Scores `batch`, returning one `(latency, area)` per candidate in
+    /// the same order.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific evaluation failures.
+    fn evaluate_batch(&self, batch: &[(Genome, PragmaConfig)])
+        -> Result<Vec<(f64, f64)>, QorError>;
+
+    /// Live evaluator-side progress (e.g. fleet worker/unit counters) for
+    /// job status surfaces; `None` for plain in-process evaluators.
+    fn detail(&self) -> Option<obs::Json> {
+        None
+    }
+
+    /// Evaluator state to persist into the job snapshot (the fleet
+    /// dispatcher returns its assignment record); `None` otherwise.
+    fn assignment(&self) -> Option<crate::job::FleetAssignment> {
+        None
+    }
+}
+
+impl<T: Evaluate + ?Sized> BatchEvaluate for T {
+    fn evaluate_batch(
+        &self,
+        batch: &[(Genome, PragmaConfig)],
+    ) -> Result<Vec<(f64, f64)>, QorError> {
+        par::try_map("search/evaluate", batch, |_, (_, cfg)| self.evaluate(cfg))
+    }
+}
+
 /// Scores candidates with the cached GNN predictor.
 pub struct SessionEval {
     session: Arc<Session>,
@@ -184,6 +225,7 @@ pub struct SearchRun {
     pub(crate) evaluated: Vec<EvalRecord>,
     pub(crate) index: HashMap<u64, usize, FnvBuildHasher>,
     pub(crate) front: ParetoAccumulator,
+    pub(crate) fleet: Option<crate::job::FleetAssignment>,
 }
 
 impl std::fmt::Debug for SearchRun {
@@ -205,13 +247,7 @@ impl SearchRun {
     /// [`QorError::UnknownKernel`] for names outside the bundled set;
     /// [`QorError::Shape`] for degenerate spaces (see [`SpaceModel::new`]).
     pub fn for_kernel(opts: SearchOptions) -> Result<SearchRun, QorError> {
-        let func = kernels::lower_kernel(&opts.kernel)
-            .map_err(|_| QorError::UnknownKernel(opts.kernel.clone()))?;
-        let mut space = kernels::design_space(&func);
-        if let Some(factors) = &opts.unroll_factors {
-            space.unroll_factors = factors.clone();
-        }
-        let model = SpaceModel::new(space)?;
+        let model = SpaceModel::for_kernel(&opts.kernel, opts.unroll_factors.as_deref())?;
         let strategy = strategy::build(opts.strategy);
         let rng = StdRng::seed_from_u64(opts.seed);
         Ok(SearchRun {
@@ -223,6 +259,7 @@ impl SearchRun {
             evaluated: Vec::new(),
             index: HashMap::default(),
             front: ParetoAccumulator::new(),
+            fleet: None,
         })
     }
 
@@ -251,6 +288,22 @@ impl SearchRun {
         self.front.points()
     }
 
+    /// The evaluation ledger, in evaluation order.
+    pub fn ledger(&self) -> &[EvalRecord] {
+        &self.evaluated
+    }
+
+    /// Fleet assignment state carried by this run (persisted in `.qorjob`
+    /// v2 snapshots), if the run is driven by a fleet dispatcher.
+    pub fn fleet(&self) -> Option<&crate::job::FleetAssignment> {
+        self.fleet.as_ref()
+    }
+
+    /// Attaches (or clears) the fleet assignment persisted with the run.
+    pub fn set_fleet(&mut self, fleet: Option<crate::job::FleetAssignment>) {
+        self.fleet = fleet;
+    }
+
     /// Runs one ask → evaluate → tell iteration.
     ///
     /// Candidates whose fingerprint was already scored are answered from
@@ -261,6 +314,21 @@ impl SearchRun {
     ///
     /// Propagates the first (lowest-index) evaluation failure.
     pub fn step(&mut self, eval: &dyn Evaluate) -> Result<StepReport, QorError> {
+        self.step_with(eval)
+    }
+
+    /// [`SearchRun::step`] over any batch evaluator (in-process via the
+    /// blanket impl, or a fleet dispatcher). Scores are consumed in
+    /// candidate order, so the result is byte-identical no matter how the
+    /// evaluator parallelizes internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (lowest-index) evaluation failure.
+    pub fn step_with<E: BatchEvaluate + ?Sized>(
+        &mut self,
+        eval: &E,
+    ) -> Result<StepReport, QorError> {
         let sp = obs::span("search_step");
         sp.attr("kernel", self.opts.kernel.as_str());
         sp.attr("strategy", self.opts.strategy.name());
@@ -281,8 +349,8 @@ impl SearchRun {
         // and within the remaining budget
         let mut remaining = self.opts.budget.saturating_sub(self.spent()) as usize;
         let mut batch_seen: HashMap<u64, (), FnvBuildHasher> = HashMap::default();
-        let mut fresh: Vec<(usize, &PragmaConfig, u64)> = Vec::new();
-        for (i, (_, cfg, fp)) in decoded.iter().enumerate() {
+        let mut fresh: Vec<(usize, u64)> = Vec::new();
+        for (i, (_, _, fp)) in decoded.iter().enumerate() {
             if remaining == 0 {
                 break;
             }
@@ -290,27 +358,31 @@ impl SearchRun {
                 continue;
             }
             batch_seen.insert(*fp, ());
-            fresh.push((i, cfg, *fp));
+            fresh.push((i, *fp));
             remaining -= 1;
         }
 
-        let scores = par::try_map("search/evaluate", &fresh, |_, (_, cfg, _)| {
-            eval.evaluate(cfg)
-        })?;
+        let candidates: Vec<(Genome, PragmaConfig)> = fresh
+            .iter()
+            .map(|&(i, _)| (decoded[i].0.clone(), decoded[i].1.clone()))
+            .collect();
+        let scores = eval.evaluate_batch(&candidates)?;
+        if scores.len() != candidates.len() {
+            return Err(QorError::Shape(format!(
+                "evaluator returned {} scores for {} candidates",
+                scores.len(),
+                candidates.len()
+            )));
+        }
         let evaluated = fresh.len();
-        for ((_, _, fp), point) in fresh.iter().zip(&scores) {
-            self.index.insert(*fp, self.evaluated.len());
-            let genome = decoded
-                .iter()
-                .find(|(_, _, f)| f == fp)
-                .map(|(g, _, _)| g.clone())
-                .expect("fresh fingerprint comes from this batch");
+        for (&(i, fp), point) in fresh.iter().zip(&scores) {
+            self.index.insert(fp, self.evaluated.len());
             self.evaluated.push(EvalRecord {
-                fingerprint: *fp,
-                genome,
+                fingerprint: fp,
+                genome: decoded[i].0.clone(),
                 point: *point,
             });
-            self.front.push(*fp, *point);
+            self.front.push(fp, *point);
         }
 
         // answer the whole batch from the ledger, preserving ask order
@@ -360,9 +432,21 @@ impl SearchRun {
     ///
     /// Propagates the first evaluation failure.
     pub fn run(&mut self, eval: &dyn Evaluate) -> Result<SearchOutcome, QorError> {
+        self.run_with(eval)
+    }
+
+    /// [`SearchRun::run`] over any batch evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure.
+    pub fn run_with<E: BatchEvaluate + ?Sized>(
+        &mut self,
+        eval: &E,
+    ) -> Result<SearchOutcome, QorError> {
         let mut stalled = 0u32;
         while !self.is_done() {
-            let report = self.step(eval)?;
+            let report = self.step_with(eval)?;
             if report.evaluated == 0 {
                 stalled += 1;
                 // 64 consecutive dry batches ≈ the space is exhausted below

@@ -44,10 +44,13 @@ pub mod space;
 pub mod strategy;
 
 pub use engine::{
-    EvalRecord, Evaluate, OracleEval, SearchOptions, SearchOutcome, SearchRun, SessionEval,
-    StepReport,
+    BatchEvaluate, EvalRecord, Evaluate, OracleEval, SearchOptions, SearchOutcome, SearchRun,
+    SessionEval, StepReport,
 };
-pub use job::{load_job_file, restore, save_job_file, snapshot, JOB_FORMAT_VERSION, JOB_MAGIC};
+pub use job::{
+    load_job_file, restore, save_job_file, snapshot, snapshot_v1, FleetAssignment,
+    FleetWorkerRecord, JOB_FORMAT_VERSION, JOB_MAGIC, JOB_MIN_FORMAT_VERSION,
+};
 pub use runner::{JobProgress, JobRunner, JobStatus, RunnerStats};
 pub use space::{Genome, SpaceModel};
 pub use strategy::{Strategy, StrategyKind};

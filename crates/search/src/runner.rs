@@ -21,7 +21,7 @@ use obs::log::Level;
 use obs::{trace, Json};
 use qor_core::{QorError, Session};
 
-use crate::engine::{SearchOptions, SearchRun, SessionEval};
+use crate::engine::{BatchEvaluate, SearchOptions, SearchRun, SessionEval};
 use crate::job;
 
 /// Lifecycle state of one job.
@@ -69,6 +69,9 @@ pub struct JobProgress {
     pub front: Vec<(u64, f64, f64)>,
     /// Failure message when [`JobStatus::Failed`].
     pub error: Option<String>,
+    /// Evaluator-side live detail (fleet jobs publish worker/unit
+    /// counters here); `None` for in-process jobs.
+    pub fleet: Option<Json>,
     /// Job-scoped trace id (raw [`obs::TraceId`] bits), derived
     /// deterministically from the job id at submission. Every span, log
     /// event and flight record the worker thread emits carries it, so an
@@ -163,6 +166,33 @@ impl JobRunner {
     /// [`QorError::UnknownKernel`] / [`QorError::Shape`] when the request
     /// does not describe a searchable space (nothing is enqueued).
     pub fn submit(self: &Arc<Self>, opts: SearchOptions) -> Result<String, QorError> {
+        self.submit_impl(opts, None)
+    }
+
+    /// [`JobRunner::submit`], scoring candidates through a caller-supplied
+    /// batch evaluator instead of the runner's session — the hook the
+    /// fleet coordinator uses to fan evaluation out over HTTP workers. The
+    /// evaluator's [`BatchEvaluate::detail`] is republished into
+    /// [`JobProgress::fleet`] after every step, and its
+    /// [`BatchEvaluate::assignment`] is carried into each persisted
+    /// `.qorjob` snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobRunner::submit`].
+    pub fn submit_with(
+        self: &Arc<Self>,
+        opts: SearchOptions,
+        eval: Box<dyn BatchEvaluate + Send>,
+    ) -> Result<String, QorError> {
+        self.submit_impl(opts, Some(eval))
+    }
+
+    fn submit_impl(
+        self: &Arc<Self>,
+        opts: SearchOptions,
+        eval: Option<Box<dyn BatchEvaluate + Send>>,
+    ) -> Result<String, QorError> {
         let run = SearchRun::for_kernel(opts)?;
         let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed));
         self.submitted.fetch_add(1, Ordering::Relaxed);
@@ -178,6 +208,7 @@ impl JobRunner {
                 iterations: 0,
                 front: Vec::new(),
                 error: None,
+                fleet: None,
                 trace: trace_id.0,
             }),
         });
@@ -200,7 +231,7 @@ impl JobRunner {
         let thread_id = id.clone();
         std::thread::Builder::new()
             .name(format!("qor-dse-{id}"))
-            .spawn(move || runner.drive(&thread_id, handle, run))
+            .spawn(move || runner.drive(&thread_id, handle, run, eval))
             .expect("spawning a job thread");
         Ok(id)
     }
@@ -211,7 +242,13 @@ impl JobRunner {
     /// every ask/tell iteration in a `dse_step` span, and deposits a
     /// `kind: "job"` flight record (one stage per iteration) when the job
     /// leaves [`JobStatus::Running`].
-    fn drive(&self, id: &str, handle: Arc<JobHandle>, mut run: SearchRun) {
+    fn drive(
+        &self,
+        id: &str,
+        handle: Arc<JobHandle>,
+        mut run: SearchRun,
+        custom_eval: Option<Box<dyn BatchEvaluate + Send>>,
+    ) {
         let trace_id = handle.progress.lock().unwrap().trace;
         let _trace_guard = trace::adopt_raw(trace_id);
         let _job_span = obs::span!(
@@ -228,7 +265,14 @@ impl JobRunner {
         flight.start_us = started_us;
         let mut job_busy_ns = 0u64;
         let mut step_no = 0u64;
-        let eval = SessionEval::new(session.clone(), &run.options().kernel);
+        let session_eval;
+        let eval: &dyn BatchEvaluate = match &custom_eval {
+            Some(boxed) => &**boxed,
+            None => {
+                session_eval = SessionEval::new(session.clone(), &run.options().kernel);
+                &session_eval
+            }
+        };
         let mut stalled = 0u32;
         let final_status = loop {
             if handle.cancel.load(Ordering::Relaxed) {
@@ -240,7 +284,7 @@ impl JobRunner {
             let t0 = std::time::Instant::now();
             let step = {
                 let _s = obs::span("dse_step");
-                run.step(&eval)
+                run.step_with(eval)
             };
             let step_ns = t0.elapsed().as_nanos() as u64;
             self.busy_nanos.fetch_add(step_ns, Ordering::Relaxed);
@@ -272,11 +316,18 @@ impl JobRunner {
                     } else {
                         stalled = 0;
                     }
-                    self.publish(&handle, &run, JobStatus::Running, None);
+                    run.set_fleet(eval.assignment());
+                    self.publish(&handle, &run, JobStatus::Running, None, eval.detail());
                     self.persist(id, &run);
                 }
                 Err(e) => {
-                    self.publish(&handle, &run, JobStatus::Failed, Some(e.to_string()));
+                    self.publish(
+                        &handle,
+                        &run,
+                        JobStatus::Failed,
+                        Some(e.to_string()),
+                        eval.detail(),
+                    );
                     self.failed.fetch_add(1, Ordering::Relaxed);
                     self.finish(
                         id,
@@ -300,7 +351,8 @@ impl JobRunner {
             }
             _ => {}
         }
-        self.publish(&handle, &run, final_status, None);
+        run.set_fleet(eval.assignment());
+        self.publish(&handle, &run, final_status, None, eval.detail());
         self.persist(id, &run);
         self.finish(
             id,
@@ -375,6 +427,7 @@ impl JobRunner {
         run: &SearchRun,
         status: JobStatus,
         error: Option<String>,
+        fleet: Option<Json>,
     ) {
         let outcome = run.outcome();
         let mut progress = handle.progress.lock().unwrap();
@@ -383,6 +436,7 @@ impl JobRunner {
         progress.iterations = outcome.iterations;
         progress.front = outcome.front;
         progress.error = error;
+        progress.fleet = fleet;
     }
 
     fn persist(&self, id: &str, run: &SearchRun) {

@@ -150,6 +150,29 @@ impl SpaceModel {
         })
     }
 
+    /// The model for a bundled kernel's pragma space, optionally with
+    /// overridden unroll factors — the same construction
+    /// [`crate::SearchRun::for_kernel`] performs, exposed so fleet workers
+    /// can rebuild the coordinator's exact genome space from wire
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`QorError::UnknownKernel`] for names outside the bundled set;
+    /// [`QorError::Shape`] for degenerate spaces (see [`SpaceModel::new`]).
+    pub fn for_kernel(
+        kernel: &str,
+        unroll_factors: Option<&[u32]>,
+    ) -> Result<SpaceModel, QorError> {
+        let func = kernels::lower_kernel(kernel)
+            .map_err(|_| QorError::UnknownKernel(kernel.to_string()))?;
+        let mut space = kernels::design_space(&func);
+        if let Some(factors) = unroll_factors {
+            space.unroll_factors = factors.to_vec();
+        }
+        SpaceModel::new(space)
+    }
+
     /// The wrapped design space.
     pub fn space(&self) -> &DesignSpace {
         &self.space

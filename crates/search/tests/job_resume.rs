@@ -92,6 +92,84 @@ fn every_byte_flip_is_a_typed_error() {
     }
 }
 
+/// A populated fleet section — every field non-default so flips in the
+/// fleet bytes can't be absorbed by zeroed padding.
+fn assignment() -> search::FleetAssignment {
+    search::FleetAssignment {
+        workers: vec![
+            search::FleetWorkerRecord {
+                addr: "127.0.0.1:7001".to_string(),
+                units_done: 9,
+                failures: 1,
+                healthy: true,
+            },
+            search::FleetWorkerRecord {
+                addr: "127.0.0.1:7002".to_string(),
+                units_done: 4,
+                failures: 2,
+                healthy: false,
+            },
+        ],
+        units_dispatched: 13,
+        units_retried: 3,
+        units_reassigned: 2,
+        workers_evicted: 1,
+    }
+}
+
+#[test]
+fn v2_fleet_snapshot_round_trips_and_rejects_every_flip_and_truncation() {
+    let session = session();
+    let eval = SessionEval::new(session, "bicg");
+    let mut run = SearchRun::for_kernel(opts(StrategyKind::Genetic)).unwrap();
+    run.step(&eval).unwrap();
+    run.set_fleet(Some(assignment()));
+
+    let bytes = search::snapshot(&run);
+    let restored = search::restore(&bytes).unwrap();
+    assert_eq!(restored.fleet(), Some(&assignment()), "fleet section lost");
+    assert_eq!(search::snapshot(&restored), bytes, "v2 re-snapshot drifted");
+
+    for offset in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 0xff;
+        match search::restore(&corrupt) {
+            Err(QorError::Corrupt(_)) | Err(QorError::UnsupportedVersion(_)) => {}
+            Ok(_) => panic!("flip at offset {offset} was accepted"),
+            Err(other) => panic!("flip at offset {offset} gave {other:?}"),
+        }
+    }
+    for len in 0..bytes.len() {
+        assert!(
+            matches!(
+                search::restore(&bytes[..len]),
+                Err(QorError::Corrupt(_) | QorError::UnsupportedVersion(_))
+            ),
+            "truncation to {len} bytes must be typed"
+        );
+    }
+}
+
+#[test]
+fn v1_snapshots_still_restore_and_resume() {
+    let session = session();
+    let eval = SessionEval::new(session.clone(), "bicg");
+    let mut uninterrupted = SearchRun::for_kernel(opts(StrategyKind::Genetic)).unwrap();
+    let expected = uninterrupted.run(&eval).unwrap();
+
+    let mut partial = SearchRun::for_kernel(opts(StrategyKind::Genetic)).unwrap();
+    partial.step(&eval).unwrap();
+    // a fleet coordinator's run downgrades cleanly: v1 simply has no
+    // fleet section to carry
+    partial.set_fleet(Some(assignment()));
+    let v1 = search::snapshot_v1(&partial);
+    let mut resumed = search::restore(&v1).unwrap();
+    assert_eq!(resumed.spent(), partial.spent());
+    assert_eq!(resumed.fleet(), None, "v1 cannot carry a fleet section");
+    let continued = resumed.run(&eval).unwrap();
+    assert_eq!(continued, expected, "v1 resume diverged");
+}
+
 #[test]
 fn future_versions_are_unsupported_not_corrupt() {
     let session = session();

@@ -1,0 +1,284 @@
+//! The fleet dispatch wire: [`HttpTransport`] carries one work unit per
+//! `POST /v1/fleet/eval` request over the server's existing HTTP layer.
+//!
+//! Request body (coordinator → worker):
+//!
+//! ```json
+//! {"unit": 3, "job": "job-1", "kernel": "bicg",
+//!  "unroll_factors": [1, 4],
+//!  "genomes": [[0, 2, 1], [1, 0, 3]]}
+//! ```
+//!
+//! Response body (worker → coordinator):
+//!
+//! ```json
+//! {"unit": 3, "points": [[412.0, 931.5], [388.0, 1104.0]]}
+//! ```
+//!
+//! Scores cross the wire as JSON numbers printed with Rust's shortest
+//! round-tripping `f64` formatting and parsed back with `str::parse`, so
+//! a fleet run's merged score vector is bit-identical to the worker's —
+//! which is what lets the whole distributed run stay byte-identical to a
+//! single-process run. The coordinator's active trace id rides the
+//! `x-qor-trace` header, so one job's spans chain across the dispatch hop
+//! into every worker's flight recorder.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use fleet::{Transport, UnitRequest};
+use obs::Json;
+use search::space::Genome;
+
+use crate::http;
+use crate::json;
+
+/// Default per-unit request deadline (connect + read + write each).
+pub const DEFAULT_UNIT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// [`fleet::Transport`] over the server's own HTTP/1.1 wire.
+pub struct HttpTransport {
+    timeout: Duration,
+}
+
+impl HttpTransport {
+    /// A transport with the default per-request deadline, honoring a
+    /// `QOR_FLEET_TIMEOUT_MS` override.
+    pub fn from_env() -> HttpTransport {
+        let timeout = std::env::var("QOR_FLEET_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map_or(DEFAULT_UNIT_TIMEOUT, Duration::from_millis);
+        HttpTransport { timeout }
+    }
+
+    /// A transport with an explicit per-request deadline.
+    pub fn with_timeout(timeout: Duration) -> HttpTransport {
+        HttpTransport { timeout }
+    }
+}
+
+impl Transport for HttpTransport {
+    fn eval_unit(&self, addr: &str, request: &UnitRequest<'_>) -> Result<Vec<(f64, f64)>, String> {
+        let sock: SocketAddr = addr
+            .parse()
+            .map_err(|_| format!("unparseable worker address {addr:?}"))?;
+        let body = encode_unit_request(request).to_string();
+        let trace_hex = format!("{:016x}", obs::trace::current_raw());
+        let (status, _, reply) = http::client_request_timeout(
+            sock,
+            "POST",
+            "/v1/fleet/eval",
+            Some(&body),
+            &[("x-qor-trace", &trace_hex)],
+            self.timeout,
+        )
+        .map_err(|e| format!("POST /v1/fleet/eval: {e}"))?;
+        if status != 200 {
+            let mut detail = reply;
+            detail.truncate(200);
+            return Err(format!("status {status}: {detail}"));
+        }
+        decode_unit_response(&reply, request.genomes.len())
+    }
+
+    fn probe(&self, addr: &str) -> bool {
+        let Ok(sock) = addr.parse::<SocketAddr>() else {
+            return false;
+        };
+        matches!(
+            http::client_request_timeout(sock, "GET", "/v1/healthz", None, &[], self.timeout),
+            Ok((200, _, _))
+        )
+    }
+}
+
+/// Serializes one work unit as the `POST /v1/fleet/eval` body.
+pub fn encode_unit_request(request: &UnitRequest<'_>) -> Json {
+    let mut fields = vec![
+        ("unit", Json::UInt(request.unit as u64)),
+        ("job", Json::str(request.job)),
+        ("kernel", Json::str(request.kernel)),
+    ];
+    if let Some(factors) = request.unroll_factors {
+        fields.push((
+            "unroll_factors",
+            Json::Arr(factors.iter().map(|&f| Json::UInt(u64::from(f))).collect()),
+        ));
+    }
+    fields.push((
+        "genomes",
+        Json::Arr(
+            request
+                .genomes
+                .iter()
+                .map(|g| Json::Arr(g.0.iter().map(|&v| Json::UInt(u64::from(v))).collect()))
+                .collect(),
+        ),
+    ));
+    Json::obj(fields)
+}
+
+/// Decoded `POST /v1/fleet/eval` body, worker side.
+#[derive(Debug)]
+pub struct UnitBody {
+    /// Unit index (echoed back for log correlation).
+    pub unit: u64,
+    /// Kernel whose pragma space the genomes index.
+    pub kernel: String,
+    /// Unroll-factor override the coordinator's space was built with.
+    pub unroll_factors: Option<Vec<u32>>,
+    /// The candidates to score, in unit order.
+    pub genomes: Vec<Genome>,
+}
+
+/// Parses a `POST /v1/fleet/eval` request body.
+///
+/// # Errors
+///
+/// A human-readable message for any missing or mistyped field (the server
+/// maps it to a 400).
+pub fn decode_unit_body(doc: &Json) -> Result<UnitBody, String> {
+    let unit = json::field(doc, "unit").and_then(json::as_u64).unwrap_or(0);
+    let kernel = json::field(doc, "kernel")
+        .and_then(json::as_str)
+        .ok_or("\"kernel\" must be a string")?
+        .to_string();
+    let unroll_factors = match json::field(doc, "unroll_factors") {
+        Some(v) => Some(
+            json::as_array(v)
+                .ok_or("\"unroll_factors\" must be an array")?
+                .iter()
+                .map(|f| {
+                    json::as_u64(f)
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or("\"unroll_factors\" entries must be u32 integers")
+                })
+                .collect::<Result<Vec<u32>, _>>()?,
+        ),
+        None => None,
+    };
+    let genomes = json::field(doc, "genomes")
+        .and_then(json::as_array)
+        .ok_or("\"genomes\" must be an array of genomes")?
+        .iter()
+        .map(|g| {
+            json::as_array(g)
+                .ok_or("each genome must be an array of integers")?
+                .iter()
+                .map(|v| {
+                    json::as_u64(v)
+                        .and_then(|v| u16::try_from(v).ok())
+                        .ok_or("genome entries must be u16 integers")
+                })
+                .collect::<Result<Vec<u16>, _>>()
+                .map(Genome)
+        })
+        .collect::<Result<Vec<Genome>, _>>()?;
+    Ok(UnitBody {
+        unit,
+        kernel,
+        unroll_factors,
+        genomes,
+    })
+}
+
+/// Serializes the worker's scores as the `POST /v1/fleet/eval` response.
+pub fn encode_unit_response(unit: u64, points: &[(f64, f64)]) -> Json {
+    Json::obj(vec![
+        ("unit", Json::UInt(unit)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|&(lat, area)| Json::Arr(vec![Json::Float(lat), Json::Float(area)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a worker's response back into score pairs, enforcing the
+/// one-point-per-genome contract.
+///
+/// # Errors
+///
+/// A transport-grade message for malformed JSON or a length mismatch (the
+/// dispatcher treats both as a failed attempt).
+pub fn decode_unit_response(body: &str, expected: usize) -> Result<Vec<(f64, f64)>, String> {
+    let doc = json::parse(body).map_err(|e| format!("malformed reply: {e}"))?;
+    let points = json::field(&doc, "points")
+        .and_then(json::as_array)
+        .ok_or("reply has no \"points\" array")?
+        .iter()
+        .map(|p| {
+            let pair = json::as_array(p).filter(|a| a.len() == 2);
+            match pair {
+                Some([lat, area]) => match (json::as_f64(lat), json::as_f64(area)) {
+                    (Some(lat), Some(area)) => Ok((lat, area)),
+                    _ => Err("non-numeric point".to_string()),
+                },
+                _ => Err("each point must be a [latency, area] pair".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if points.len() != expected {
+        return Err(format!(
+            "reply carries {} points for {expected} genomes",
+            points.len()
+        ));
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_request_and_response_round_trip_bit_exactly() {
+        let genomes = vec![Genome(vec![0, 7, 2]), Genome(vec![65535, 1, 0])];
+        let request = UnitRequest {
+            unit: 3,
+            job: "job-9",
+            kernel: "bicg",
+            unroll_factors: Some(&[1, 4]),
+            genomes: &genomes,
+        };
+        let body = encode_unit_request(&request).to_string();
+        let decoded = decode_unit_body(&json::parse(&body).unwrap()).unwrap();
+        assert_eq!(decoded.unit, 3);
+        assert_eq!(decoded.kernel, "bicg");
+        assert_eq!(decoded.unroll_factors.as_deref(), Some(&[1u32, 4][..]));
+        assert_eq!(decoded.genomes, genomes);
+
+        // scores must survive the wire bit-for-bit, including awkward ones
+        let points = vec![(412.0, 931.5), (0.1 + 0.2, 1.0e-12), (f64::MAX, 3.0)];
+        let reply = encode_unit_response(3, &points).to_string();
+        let back = decode_unit_response(&reply, points.len()).unwrap();
+        for ((al, aa), (bl, ba)) in points.iter().zip(&back) {
+            assert_eq!(al.to_bits(), bl.to_bits());
+            assert_eq!(aa.to_bits(), ba.to_bits());
+        }
+        assert!(decode_unit_response(&reply, 2).is_err(), "length mismatch");
+    }
+
+    #[test]
+    fn malformed_unit_bodies_are_rejected_with_messages() {
+        for (body, needle) in [
+            (r#"{"genomes":[[0]]}"#, "kernel"),
+            (r#"{"kernel":"fir"}"#, "genomes"),
+            (r#"{"kernel":"fir","genomes":[[70000]]}"#, "u16"),
+            (
+                r#"{"kernel":"fir","genomes":[[0]],"unroll_factors":"x"}"#,
+                "unroll",
+            ),
+        ] {
+            let doc = json::parse(body).unwrap();
+            let err = decode_unit_body(&doc).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+}

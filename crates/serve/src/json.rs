@@ -317,6 +317,19 @@ pub fn as_u64(value: &Json) -> Option<u64> {
     }
 }
 
+/// The value as an `f64`, accepting any number. Lossless for every value
+/// the serializer emits: `Json::Float` prints the shortest round-tripping
+/// decimal, and integral floats that parsed back as `UInt`/`Int` convert
+/// exactly (they came from an `f64` with zero fraction).
+pub fn as_f64(value: &Json) -> Option<f64> {
+    match value {
+        Json::UInt(v) => Some(*v as f64),
+        Json::Int(v) => Some(*v as f64),
+        Json::Float(v) => Some(*v),
+        _ => None,
+    }
+}
+
 /// The boolean payload, if this is a boolean.
 pub fn as_bool(value: &Json) -> Option<bool> {
     match value {

@@ -1,0 +1,194 @@
+//! Multi-process fleet integration: a library-level coordinator drives
+//! real `qor-serve` worker *processes* over the HTTP wire and must stay
+//! byte-identical to a single-process run — including across a worker
+//! kill with a `.qorjob` resume that re-spends no budget.
+//!
+//! Workers are the stock binary (`--no-batch`, untrained default model);
+//! the coordinator builds the same untrained model in-process, so both
+//! sides score with identical weights.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fleet::{run_digest, FleetEval, FleetOptions, FleetStats, Roster};
+use qor_core::{HierarchicalModel, Session, TrainOptions};
+use search::{BatchEvaluate, SearchOptions, SearchRun, SessionEval, StrategyKind};
+use serve::HttpTransport;
+
+/// One worker process; killed on drop so a failing test leaks nothing.
+struct Worker {
+    child: Child,
+    addr: String,
+}
+
+impl Worker {
+    /// Spawns `qor-serve --addr 127.0.0.1:0 --no-batch` and waits for its
+    /// `listening on http://ADDR` line to learn the ephemeral port.
+    fn spawn() -> Worker {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_qor-serve"))
+            .args(["--addr", "127.0.0.1:0", "--no-batch"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn qor-serve worker");
+        let stderr = child.stderr.take().expect("worker stderr");
+        let mut lines = BufReader::new(stderr).lines();
+        let mut addr = None;
+        for line in lines.by_ref() {
+            let line = line.expect("read worker stderr");
+            if let Some(rest) = line.strip_prefix("listening on http://") {
+                addr = Some(rest.trim().to_string());
+                break;
+            }
+        }
+        let addr = addr.expect("worker never printed its listen address");
+        // keep draining so the worker never blocks on a full pipe
+        std::thread::spawn(move || for _ in lines {});
+        Worker { child, addr }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// The coordinator's session: same untrained weights as the workers'
+/// default-model path in `qor-serve` (`TrainOptions::quick()`, no seed or
+/// hidden override).
+fn coordinator_session() -> Arc<Session> {
+    let model = HierarchicalModel::new(&TrainOptions::quick());
+    Arc::new(Session::with_capacity(model, 256))
+}
+
+fn search_opts() -> SearchOptions {
+    SearchOptions::new("bicg", StrategyKind::Genetic, 16)
+        .with_seed(77)
+        .with_batch(6)
+        .with_unroll_factors(vec![1, 4])
+}
+
+fn fleet_eval(roster: &Arc<Roster>, stats: &Arc<FleetStats>) -> FleetEval {
+    let transport: Arc<dyn fleet::Transport> =
+        Arc::new(HttpTransport::with_timeout(Duration::from_secs(10)));
+    FleetEval::new(
+        Arc::clone(&transport),
+        Arc::clone(roster),
+        "bicg",
+        "mp-test",
+    )
+    .with_unroll_factors(Some(vec![1, 4]))
+    .with_options(FleetOptions {
+        unit_size: 2,
+        max_attempts: 3,
+    })
+    .with_stats(Arc::clone(stats))
+}
+
+#[test]
+fn fleet_of_processes_matches_single_process_at_1_2_4_workers() {
+    let session = coordinator_session();
+    let mut solo = SearchRun::for_kernel(search_opts()).unwrap();
+    let expected = solo.run(&SessionEval::new(session, "bicg")).unwrap();
+    let solo_digest = run_digest(&solo);
+
+    let workers: Vec<Worker> = (0..4).map(|_| Worker::spawn()).collect();
+    for n in [1usize, 2, 4] {
+        let roster = Arc::new(Roster::new(2));
+        for w in &workers[..n] {
+            roster.register(&w.addr);
+        }
+        let stats = Arc::new(FleetStats::default());
+        let eval = fleet_eval(&roster, &stats);
+        let mut run = SearchRun::for_kernel(search_opts()).unwrap();
+        let outcome = run.run_with(&eval).unwrap();
+        assert_eq!(outcome, expected, "{n} worker processes diverged");
+        assert_eq!(
+            run_digest(&run),
+            solo_digest,
+            "{n}-worker ledger digest diverged"
+        );
+        let counters = stats.snapshot();
+        assert!(counters.dispatched > 0, "no units crossed the wire");
+        assert_eq!(
+            counters.completed, counters.dispatched,
+            "a unit was orphaned"
+        );
+    }
+}
+
+#[test]
+fn fleet_survives_worker_kill_and_resumes_from_qorjob_without_respending() {
+    let session = coordinator_session();
+    let mut solo = SearchRun::for_kernel(search_opts()).unwrap();
+    let expected = solo.run(&SessionEval::new(session, "bicg")).unwrap();
+    let solo_digest = run_digest(&solo);
+
+    let mut victim = Worker::spawn();
+    let survivor = Worker::spawn();
+    let roster = Arc::new(Roster::new(2));
+    roster.register(&victim.addr);
+    roster.register(&survivor.addr);
+    let stats = Arc::new(FleetStats::default());
+    let eval = fleet_eval(&roster, &stats);
+
+    // run part of the job with both workers, then checkpoint it
+    let mut run = SearchRun::for_kernel(search_opts()).unwrap();
+    while !run.is_done() && run.spent() < 8 {
+        run.step_with(&eval).unwrap();
+    }
+    let spent_before = run.spent();
+    assert!(
+        spent_before > 0 && !run.is_done(),
+        "kill point must be mid-job"
+    );
+    run.set_fleet(eval.assignment());
+    let dir = std::env::temp_dir().join(format!("qor_fleet_mp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("job.qorjob");
+    search::save_job_file(&run, &path).unwrap();
+
+    // the coordinator "restarts": a fresh run + roster restored from disk
+    victim.kill();
+    let mut resumed = search::load_job_file(&path).unwrap();
+    assert_eq!(
+        resumed.spent(),
+        spent_before,
+        "checkpoint lost spent budget"
+    );
+    let roster2 = Arc::new(Roster::new(2));
+    let stats2 = Arc::new(FleetStats::default());
+    roster2.register(&victim.addr);
+    roster2.register(&survivor.addr);
+    if let Some(assignment) = resumed.fleet() {
+        roster2.adopt(assignment);
+        stats2.adopt(assignment);
+    } else {
+        panic!("v2 checkpoint carried no fleet assignment");
+    }
+    let eval2 = fleet_eval(&roster2, &stats2);
+    let outcome = resumed.run_with(&eval2).unwrap();
+
+    // identical front, exact budget: nothing was re-evaluated
+    assert_eq!(outcome, expected, "resumed fleet run diverged from solo");
+    assert_eq!(run_digest(&resumed), solo_digest);
+    assert_eq!(outcome.spent, search_opts().budget, "budget was re-spent");
+    assert_eq!(
+        resumed.ledger().len() as u64,
+        search_opts().budget,
+        "ledger shows re-evaluated candidates"
+    );
+    // the dead worker took at least one failure on the resumed half
+    let record = roster2.list();
+    let dead = record.iter().find(|w| w.addr == victim.addr).unwrap();
+    assert!(dead.failures > 0, "dead worker never failed a dispatch");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -565,6 +565,7 @@ fn direct_dispatch_serves_identical_predictions_without_batch_info() {
         registry,
         ServerConfig {
             dispatch: DispatchMode::Direct,
+            ..ServerConfig::default()
         },
     )
     .unwrap()

@@ -40,10 +40,17 @@ fn spawn_server() -> serve::ServerHandle {
 fn spawn_server_with(dispatch: serve::DispatchMode) -> serve::ServerHandle {
     let model = HierarchicalModel::new(&TrainOptions::quick().with_hidden(12).with_seed(4));
     let registry = std::sync::Arc::new(serve::ModelRegistry::with_default(model, 32));
-    Server::bind_with("127.0.0.1:0", registry, serve::ServerConfig { dispatch })
-        .unwrap()
-        .spawn()
-        .unwrap()
+    Server::bind_with(
+        "127.0.0.1:0",
+        registry,
+        serve::ServerConfig {
+            dispatch,
+            ..serve::ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap()
 }
 
 fn find_record(trace_hex: &str) -> Option<obs::flight::FlightRecord> {
